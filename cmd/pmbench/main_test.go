@@ -1,0 +1,14 @@
+package main
+
+import "testing"
+
+func TestRunExperiments(t *testing.T) {
+	for _, exp := range []string{"table1", "table5", "fig11", "reorg"} {
+		if err := run(exp, 200, 200, 200); err != nil {
+			t.Errorf("%s: %v", exp, err)
+		}
+	}
+	if err := run("nope", 10, 10, 10); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestRunMatrix(t *testing.T) {
+	if err := run(true, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunNewBugs(t *testing.T) {
+	if err := run(false, true); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,9 @@
+package main
+
+import "testing"
+
+func TestRunSmall(t *testing.T) {
+	if err := run(300, 100, 300); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,230 @@
+// Command pmcrash runs Yat/Agamotto-style systematic crash testing
+// (package crashtest) against the transactional workloads: it crashes the
+// program at instruction boundaries, materializes each post-crash
+// persistent image, runs recovery, and validates the recovered structure.
+//
+// Usage:
+//
+//	pmcrash -workload b_tree -n 25 -stride 13
+//	pmcrash -workload queue -n 40 -policy random -seeds 5
+//	pmcrash -workload txpair -strictlog -policy random
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pmdebugger/internal/crashtest"
+	"pmdebugger/internal/pmdk"
+	"pmdebugger/internal/pmem"
+	"pmdebugger/internal/workloads"
+)
+
+func main() {
+	var (
+		workload  = flag.String("workload", "b_tree", "b_tree, queue, or txpair")
+		n         = flag.Int("n", 25, "operations in the crashed program")
+		stride    = flag.Int("stride", 1, "test every Nth event boundary (1 = exhaustive)")
+		maxPoints = flag.Int("max", 0, "cap on crash points (0 = unlimited)")
+		policy    = flag.String("policy", "drop", "line persistence at the crash: drop, apply, random")
+		seeds     = flag.Int("seeds", 3, "seeds per crash point for -policy random")
+		strictLog = flag.Bool("strictlog", false, "use the strict (drain-per-snapshot) undo log")
+	)
+	flag.Parse()
+	if err := run(*workload, *n, *stride, *maxPoints, *policy, *seeds, *strictLog); err != nil {
+		fmt.Fprintln(os.Stderr, "pmcrash:", err)
+		os.Exit(1)
+	}
+}
+
+func run(workload string, n, stride, maxPoints int, policyName string, nseeds int, strictLog bool) error {
+	cfg := crashtest.Config{PoolSize: 1 << 21, Stride: stride, MaxPoints: maxPoints}
+	switch policyName {
+	case "drop":
+		cfg.Policy = pmem.CrashDropPending
+	case "apply":
+		cfg.Policy = pmem.CrashApplyPending
+	case "random":
+		cfg.Policy = pmem.CrashRandomPending
+		for s := 1; s <= nseeds; s++ {
+			cfg.Seeds = append(cfg.Seeds, int64(s*7))
+		}
+	default:
+		return fmt.Errorf("unknown policy %q", policyName)
+	}
+
+	prog, check, err := buildScenario(workload, n, strictLog)
+	if err != nil {
+		return err
+	}
+	res, err := crashtest.Run(prog, check, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d events, %d crash points, %d images checked\n",
+		workload, res.TotalEvents, res.Points, res.Images)
+	if len(res.Failures) == 0 {
+		fmt.Println("all recoveries consistent")
+		return nil
+	}
+	fmt.Printf("%d INCONSISTENT recoveries:\n", len(res.Failures))
+	for i, f := range res.Failures {
+		if i >= 10 {
+			fmt.Printf("  ... %d more\n", len(res.Failures)-i)
+			break
+		}
+		fmt.Printf("  %s\n", f)
+	}
+	return nil
+}
+
+func buildScenario(workload string, n int, strictLog bool) (crashtest.Program, crashtest.Checker, error) {
+	recovered := func(img *pmem.Pool) (*pmdk.Pool, bool, error) {
+		p, err := pmdk.Open(img)
+		if err != nil {
+			if strings.Contains(err.Error(), "bad pool magic") {
+				return nil, false, nil // crash before the pool existed
+			}
+			return nil, false, err
+		}
+		return p, true, nil
+	}
+
+	switch workload {
+	case "b_tree":
+		var rootCell uint64
+		prog := func(pm *pmem.Pool) error {
+			p, err := pmdk.Create(pm, 4096)
+			if err != nil {
+				return err
+			}
+			p.SetStrictLog(strictLog)
+			bt, err := workloads.NewBTree(p)
+			if err != nil {
+				return err
+			}
+			rootCell, _ = p.Root()
+			for k := uint64(0); k < uint64(n); k++ {
+				if err := bt.Insert(k, k+1000); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		check := func(img *pmem.Pool) error {
+			p, ok, err := recovered(img)
+			if err != nil || !ok {
+				return err
+			}
+			if p.Ctx().Load64(rootCell) == 0 {
+				return nil
+			}
+			bt := workloads.ReattachBTree(p, rootCell)
+			for k := uint64(0); k < uint64(n); k++ {
+				v, present := bt.Get(k)
+				if !present {
+					for k2 := k + 1; k2 < uint64(n); k2++ {
+						if _, p2 := bt.Get(k2); p2 {
+							return fmt.Errorf("non-prefix recovery: %d missing, %d present", k, k2)
+						}
+					}
+					return nil
+				}
+				if v != k+1000 {
+					return fmt.Errorf("key %d has value %d", k, v)
+				}
+			}
+			return nil
+		}
+		return prog, check, nil
+
+	case "queue":
+		var rootCell uint64
+		prog := func(pm *pmem.Pool) error {
+			p, err := pmdk.Create(pm, 4096)
+			if err != nil {
+				return err
+			}
+			p.SetStrictLog(strictLog)
+			q, err := workloads.NewQueue(p, 16)
+			if err != nil {
+				return err
+			}
+			rootCell, _ = p.Root()
+			for i := 0; i < n; i++ {
+				if err := q.Enqueue(uint64(i)); err != nil {
+					return err
+				}
+				if i%3 == 2 {
+					if _, err := q.Dequeue(); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}
+		check := func(img *pmem.Pool) error {
+			p, ok, err := recovered(img)
+			if err != nil || !ok {
+				return err
+			}
+			c := p.Ctx()
+			capacity := c.Load64(rootCell + 8)
+			head := c.Load64(rootCell + 16)
+			count := c.Load64(rootCell + 24)
+			if capacity == 0 {
+				return nil // crash before initialization committed
+			}
+			if capacity != 16 || head >= capacity || count > capacity {
+				return fmt.Errorf("invalid geometry: cap=%d head=%d count=%d", capacity, head, count)
+			}
+			// FIFO contents must be consecutive integers.
+			buf := c.Load64(rootCell)
+			var prev uint64
+			for i := uint64(0); i < count; i++ {
+				v := c.Load64(buf + (head+i)%capacity*8)
+				if i > 0 && v != prev+1 {
+					return fmt.Errorf("queue not consecutive at %d: %d after %d", i, v, prev)
+				}
+				prev = v
+			}
+			return nil
+		}
+		return prog, check, nil
+
+	case "txpair":
+		var root uint64
+		prog := func(pm *pmem.Pool) error {
+			p, err := pmdk.Create(pm, 64)
+			if err != nil {
+				return err
+			}
+			p.SetStrictLog(strictLog)
+			root, _ = p.Root()
+			for i := uint64(1); i <= uint64(n); i++ {
+				tx := p.Begin()
+				tx.Set(root, i)
+				tx.Set(root+128, i)
+				tx.Commit()
+			}
+			return nil
+		}
+		check := func(img *pmem.Pool) error {
+			p, ok, err := recovered(img)
+			if err != nil || !ok {
+				return err
+			}
+			c := p.Ctx()
+			if a, b := c.Load64(root), c.Load64(root+128); a != b {
+				return fmt.Errorf("torn pair %d/%d", a, b)
+			}
+			return nil
+		}
+		return prog, check, nil
+
+	default:
+		return nil, nil, fmt.Errorf("unknown crash workload %q", workload)
+	}
+}

@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestRunScenarios(t *testing.T) {
+	if err := run("b_tree", 8, 23, 0, "drop", 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("queue", 9, 29, 0, "apply", 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("txpair", 2, 5, 0, "random", 2, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("nope", 5, 1, 0, "drop", 0, false); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if err := run("b_tree", 5, 1, 0, "sideways", 0, false); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}

@@ -1,0 +1,158 @@
+// Command pmdebug runs a PM workload under a chosen detector and prints the
+// bug report — the equivalent of `valgrind --tool=pmdebugger ./WORKLOAD`.
+//
+// Usage:
+//
+//	pmdebug -workload b_tree -n 10000 -detector pmdebugger
+//	pmdebug -workload memcached -n 10000 -buggy -detector pmdebugger
+//	pmdebug -workload redis -n 10000 -detector pmemcheck
+//	pmdebug -workload b_tree -n 1000 -orders orders.conf
+//
+// The -orders file uses the configuration syntax of §4.5:
+//
+//	order value before key [in function]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pmdebugger/internal/baselines"
+	"pmdebugger/internal/core"
+	"pmdebugger/internal/memcached"
+	"pmdebugger/internal/memslap"
+	"pmdebugger/internal/pmem"
+	"pmdebugger/internal/redis"
+	"pmdebugger/internal/rules"
+	"pmdebugger/internal/workloads"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "b_tree", "workload: one of the Table 4 benchmarks, memcached, or redis")
+		n        = flag.Int("n", 10000, "operation count")
+		detector = flag.String("detector", "pmdebugger", "detector: pmdebugger, pmemcheck, pmtest, xfdetector, nulgrind")
+		buggy    = flag.Bool("buggy", false, "memcached only: run the faithful port with its 19 bugs")
+		threads  = flag.Int("threads", 1, "memcached only: client threads")
+		ordersF  = flag.String("orders", "", "persist-order configuration file (order X before Y)")
+	)
+	flag.Parse()
+	if err := run(*workload, *n, *detector, *buggy, *threads, *ordersF); err != nil {
+		fmt.Fprintln(os.Stderr, "pmdebug:", err)
+		os.Exit(1)
+	}
+}
+
+func run(workload string, n int, detector string, buggy bool, threads int, ordersFile string) error {
+	var orders []rules.OrderSpec
+	if ordersFile != "" {
+		f, err := os.Open(ordersFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		orders, err = rules.ParseOrderConfig(f)
+		if err != nil {
+			return err
+		}
+	}
+
+	build := func(model rules.Model) (baselines.Detector, error) {
+		switch detector {
+		case "pmdebugger":
+			return core.New(core.Config{Model: model, Orders: orders}), nil
+		case "pmemcheck":
+			return baselines.NewPmemcheck(), nil
+		case "pmtest":
+			return baselines.NewPMTest(baselines.PMTestConfig{Orders: orders}), nil
+		case "xfdetector":
+			return baselines.NewXFDetector(baselines.XFDetectorConfig{Orders: orders}), nil
+		case "nulgrind":
+			return baselines.NewNulgrind(), nil
+		default:
+			return nil, fmt.Errorf("unknown detector %q", detector)
+		}
+	}
+
+	// Size pools to the requested operation count, capped at the paper's
+	// 256 MiB real-workload pools.
+	poolSize := uint64(n)*1024 + (8 << 20)
+	if poolSize > 256<<20 {
+		poolSize = 256 << 20
+	}
+
+	var (
+		det    baselines.Detector
+		pmPool *pmem.Pool
+		err    error
+	)
+	switch workload {
+	case "memcached":
+		cache, cerr := memcached.New(memcached.Config{
+			PoolSize: poolSize, HashBuckets: 1 << 16, UseCAS: true, Bugs: buggy,
+		})
+		if cerr != nil {
+			return cerr
+		}
+		if det, err = build(cache.Model()); err != nil {
+			return err
+		}
+		cache.PM().Attach(det)
+		if buggy {
+			if err := memslap.ExerciseAll(cache); err != nil {
+				return err
+			}
+		}
+		if err := memslap.Run(cache, memslap.Config{Ops: n, Threads: threads, Seed: 42}); err != nil {
+			return err
+		}
+		cache.PM().End()
+		pmPool = cache.PM()
+
+	case "redis":
+		srv, serr := redis.New(redis.Config{PoolSize: poolSize, MaxKeys: n / 2, Seed: 42})
+		if serr != nil {
+			return serr
+		}
+		if det, err = build(srv.Model()); err != nil {
+			return err
+		}
+		srv.PM().Attach(det)
+		if err := srv.RunLRUTest(n, 42); err != nil {
+			return err
+		}
+		srv.PM().End()
+		pmPool = srv.PM()
+
+	default:
+		f, ferr := workloads.Lookup(workload)
+		if ferr != nil {
+			return ferr
+		}
+		if det, err = build(f.Model); err != nil {
+			return err
+		}
+		app, pm, berr := workloads.Build(f, n)
+		if berr != nil {
+			return berr
+		}
+		pm.Attach(det)
+		if err := workloads.RunInserts(app, n, 42); err != nil {
+			return err
+		}
+		if err := app.Close(); err != nil {
+			return err
+		}
+		pm.End()
+		pmPool = pm
+	}
+
+	fmt.Print(det.Report().Summary())
+	if pmPool != nil {
+		st := pmPool.Stats()
+		fmt.Printf("pool: %d stores (%d bytes), %d writebacks, %d fences, %d lines committed\n",
+			st.Stores, st.BytesStored, st.Flushes, st.Fences, st.LinesCommitted)
+	}
+	return nil
+}

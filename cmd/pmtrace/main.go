@@ -1,0 +1,173 @@
+// Command pmtrace records a workload's instrumented instruction stream to a
+// trace file, inspects traces, and replays them through a detector. Trace
+// files decouple capture from analysis, so the identical stream can be fed
+// to several detectors — the same methodology the benchmark harness uses
+// internally for fair comparisons.
+//
+// Usage:
+//
+//	pmtrace -record b_tree -n 10000 -o btree.pmtrace
+//	pmtrace -info btree.pmtrace
+//	pmtrace -replay btree.pmtrace -detector pmdebugger -model epoch
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pmdebugger/internal/baselines"
+	"pmdebugger/internal/core"
+	"pmdebugger/internal/rules"
+	"pmdebugger/internal/trace"
+	"pmdebugger/internal/workloads"
+)
+
+func main() {
+	var (
+		record   = flag.String("record", "", "workload to record (a Table 4 benchmark name)")
+		n        = flag.Int("n", 10000, "operation count for -record")
+		out      = flag.String("o", "trace.pmtrace", "output path for -record")
+		info     = flag.String("info", "", "trace file to summarize")
+		dump     = flag.String("dump", "", "trace file to print event by event")
+		limit    = flag.Int("limit", 50, "maximum events for -dump (0 = all)")
+		replay   = flag.String("replay", "", "trace file to replay")
+		detector = flag.String("detector", "pmdebugger", "detector for -replay")
+		model    = flag.String("model", "strict", "persistency model for -replay: strict, epoch, strand")
+	)
+	flag.Parse()
+	if err := run(*record, *n, *out, *info, *dump, *limit, *replay, *detector, *model); err != nil {
+		fmt.Fprintln(os.Stderr, "pmtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(record string, n int, out, info, dump string, limit int, replay, detector, model string) error {
+	switch {
+	case record != "":
+		return doRecord(record, n, out)
+	case info != "":
+		return doInfo(info)
+	case dump != "":
+		return doDump(dump, limit)
+	case replay != "":
+		return doReplay(replay, detector, model)
+	default:
+		return fmt.Errorf("one of -record, -info, -dump or -replay is required")
+	}
+}
+
+func doDump(path string, limit int) error {
+	events, err := readTraceFile(path)
+	if err != nil {
+		return err
+	}
+	for i, ev := range events {
+		if limit > 0 && i >= limit {
+			fmt.Printf("... %d more events\n", len(events)-i)
+			break
+		}
+		fmt.Println(ev)
+	}
+	return nil
+}
+
+func doRecord(name string, n int, out string) error {
+	f, err := workloads.Lookup(name)
+	if err != nil {
+		return err
+	}
+	app, pm, err := workloads.Build(f, n)
+	if err != nil {
+		return err
+	}
+	rec := trace.NewRecorder(n * 16)
+	pm.Attach(rec)
+	if err := workloads.RunInserts(app, n, 42); err != nil {
+		return err
+	}
+	if err := app.Close(); err != nil {
+		return err
+	}
+	pm.End()
+
+	file, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer file.Close()
+	if err := trace.WriteTrace(file, rec.Events); err != nil {
+		return err
+	}
+	stores, flushes, fences := rec.Counts()
+	fmt.Printf("recorded %d events (%d stores, %d writebacks, %d fences) to %s\n",
+		rec.Len(), stores, flushes, fences, out)
+	return nil
+}
+
+func doInfo(path string) error {
+	events, err := readTraceFile(path)
+	if err != nil {
+		return err
+	}
+	counts := map[trace.Kind]int{}
+	for _, ev := range events {
+		counts[ev.Kind]++
+	}
+	fmt.Printf("%s: %d events\n", path, len(events))
+	for k := trace.KindStore; k <= trace.KindEnd; k++ {
+		if counts[k] > 0 {
+			fmt.Printf("  %-14s %d\n", k, counts[k])
+		}
+	}
+	return nil
+}
+
+func doReplay(path, detector, modelName string) error {
+	events, err := readTraceFile(path)
+	if err != nil {
+		return err
+	}
+	var model rules.Model
+	switch modelName {
+	case "strict":
+		model = rules.Strict
+	case "epoch":
+		model = rules.Epoch
+	case "strand":
+		model = rules.Strand
+	default:
+		return fmt.Errorf("unknown model %q", modelName)
+	}
+	var det baselines.Detector
+	switch detector {
+	case "pmdebugger":
+		det = core.New(core.Config{Model: model})
+	case "pmemcheck":
+		det = baselines.NewPmemcheck()
+	case "pmtest":
+		det = baselines.NewPMTest(baselines.PMTestConfig{})
+	case "xfdetector":
+		det = baselines.NewXFDetector(baselines.XFDetectorConfig{})
+	case "persistence-inspector":
+		det = baselines.NewPersistenceInspector()
+	case "nulgrind":
+		det = baselines.NewNulgrind()
+	default:
+		return fmt.Errorf("unknown detector %q", detector)
+	}
+	for _, ev := range events {
+		det.HandleEvent(ev)
+	}
+	fmt.Print(det.Report().Summary())
+	return nil
+}
+
+func readTraceFile(path string) ([]trace.Event, error) {
+	file, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer file.Close()
+	return trace.ReadTrace(file)
+}

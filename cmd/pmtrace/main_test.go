@@ -1,0 +1,46 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestRecordInfoDumpReplay(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "t.pmtrace")
+	if err := run("c_tree", 200, out, "", "", 0, "", "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", 0, "", out, "", 0, "", "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", 0, "", "", out, 10, "", "", ""); err != nil {
+		t.Fatal(err)
+	}
+	for _, det := range []string{"pmdebugger", "pmemcheck", "persistence-inspector"} {
+		if err := run("", 0, "", "", "", 0, out, det, "epoch"); err != nil {
+			t.Errorf("%s: %v", det, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", 0, "", "", "", 0, "", "", ""); err == nil {
+		t.Error("no-op invocation accepted")
+	}
+	if err := run("nope", 10, "/tmp/x.pmtrace", "", "", 0, "", "", ""); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if err := run("", 0, "", "/nonexistent", "", 0, "", "", ""); err == nil {
+		t.Error("missing info file accepted")
+	}
+	out := "/tmp/pmtrace_errtest.pmtrace"
+	if err := run("c_tree", 50, out, "", "", 0, "", "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", 0, "", "", "", 0, out, "nope", "epoch"); err == nil {
+		t.Error("unknown detector accepted")
+	}
+	if err := run("", 0, "", "", "", 0, out, "pmdebugger", "nope"); err == nil {
+		t.Error("unknown model accepted")
+	}
+}

@@ -1,0 +1,89 @@
+// customrule demonstrates PMDebugger's flexibility claim (§1, §4.5): the
+// hierarchical design exposes its bookkeeping operations to user-defined
+// rules, so a new detection rule is a few lines of Go rather than a change
+// to the engine.
+//
+// The custom rule here flags "long-latency persistence": a store whose
+// durability is not guaranteed within N fences of its execution — a
+// performance smell on real PM (write-pending-queue pressure), not covered
+// by the nine built-in rules.
+//
+//	go run ./examples/customrule
+package main
+
+import (
+	"fmt"
+
+	"pmdebugger/internal/core"
+	"pmdebugger/internal/pmem"
+	"pmdebugger/internal/report"
+	"pmdebugger/internal/rules"
+	"pmdebugger/internal/trace"
+)
+
+// latencyRule tracks stores and reports those still undurable after
+// MaxFences fences.
+type latencyRule struct {
+	MaxFences int
+
+	open   map[uint64]int // store addr -> fences remaining
+	fences int
+}
+
+func (r *latencyRule) Name() string { return "long-latency-persistence" }
+
+func (r *latencyRule) OnEvent(ev trace.Event, q core.Query) {
+	switch ev.Kind {
+	case trace.KindStore:
+		if r.open == nil {
+			r.open = map[uint64]int{}
+		}
+		r.open[ev.Addr] = r.MaxFences
+	case trace.KindFence:
+		r.fences++
+		for addr, left := range r.open {
+			// The engine's bookkeeping answers durability: a location no
+			// longer tracked is durable.
+			if _, tracked := q.Tracked(ev.Strand, addr); !tracked {
+				delete(r.open, addr)
+				continue
+			}
+			if left == 1 {
+				st, _ := q.Tracked(ev.Strand, addr)
+				q.ReportBug(report.Bug{
+					Type: report.NoDurability, // reuse the closest type
+					Addr: addr, Size: st.Size, Seq: ev.Seq, Site: st.Site,
+					Message: fmt.Sprintf("store not durable within %d fences", r.MaxFences),
+				})
+				delete(r.open, addr)
+				continue
+			}
+			r.open[addr] = left - 1
+		}
+	}
+}
+
+func main() {
+	pool := pmem.New(1 << 16)
+	det := core.New(core.Config{
+		Model: rules.Strict,
+		Rules: rules.RuleFlushNothing, // built-in rules mostly off: only the custom rule matters
+	})
+	det.AddRule(&latencyRule{MaxFences: 3})
+	pool.Attach(det)
+
+	c := pool.Ctx()
+	fastVar := pool.Alloc(64)
+	slowVar := pool.Alloc(64)
+
+	// fastVar persists immediately; slowVar lags five fences behind.
+	c.Store64(slowVar, 1)
+	for i := 0; i < 5; i++ {
+		c.Store64(fastVar, uint64(i))
+		c.Persist(fastVar, 8)
+	}
+	c.Persist(slowVar, 8) // eventually durable — but too late for the rule
+
+	pool.End()
+	fmt.Print(det.Report().Summary())
+}

@@ -1,0 +1,3 @@
+module pmdebugger
+
+go 1.22

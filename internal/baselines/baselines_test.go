@@ -1,0 +1,310 @@
+package baselines
+
+import (
+	"errors"
+	"testing"
+
+	"pmdebugger/internal/intervals"
+	"pmdebugger/internal/pmem"
+	"pmdebugger/internal/report"
+	"pmdebugger/internal/rules"
+)
+
+func feed(d Detector, fn func(c *pmem.Ctx, p *pmem.Pool)) *report.Report {
+	p := pmem.New(1 << 16)
+	p.Attach(d)
+	fn(p.Ctx(), p)
+	p.End()
+	return d.Report()
+}
+
+func TestNulgrindCountsOnly(t *testing.T) {
+	n := NewNulgrind()
+	rep := feed(n, func(c *pmem.Ctx, p *pmem.Pool) {
+		a := p.Alloc(64)
+		c.Store64(a, 1) // an obvious durability bug
+	})
+	if rep.Len() != 0 {
+		t.Fatalf("nulgrind reported bugs:\n%s", rep.Summary())
+	}
+	if rep.Counters.Stores != 1 {
+		t.Fatalf("counters: %+v", rep.Counters)
+	}
+	if n.Name() != "nulgrind" {
+		t.Fatalf("name = %q", n.Name())
+	}
+}
+
+func TestPmemcheckDetectsFourTypes(t *testing.T) {
+	rep := feed(NewPmemcheck(), func(c *pmem.Ctx, p *pmem.Pool) {
+		a := p.Alloc(512)
+		// no durability: never flushed
+		c.Store64(a, 1)
+		// multiple overwrites
+		c.Store64(a+64, 1)
+		c.Store64(a+64, 2)
+		c.Persist(a+64, 8)
+		// redundant flush
+		c.Store64(a+128, 1)
+		c.Flush(a+128, 8)
+		c.Flush(a+128, 8)
+		c.Fence()
+		// flush nothing
+		c.Flush(a+256, 8)
+		c.Fence()
+	})
+	for _, typ := range []report.BugType{
+		report.NoDurability, report.MultipleOverwrites,
+		report.RedundantFlush, report.FlushNothing,
+	} {
+		if !rep.Has(typ) {
+			t.Errorf("pmemcheck missed %s:\n%s", typ, rep.Summary())
+		}
+	}
+}
+
+func TestPmemcheckMissesRelaxedModelBugs(t *testing.T) {
+	rep := feed(NewPmemcheck(), func(c *pmem.Ctx, p *pmem.Pool) {
+		a := p.Alloc(128)
+		c.EpochBegin()
+		c.Store64(a, 1)
+		c.Persist(a, 8)
+		c.Store64(a+64, 2)
+		c.Persist(a+64, 8) // redundant epoch fence — invisible to pmemcheck
+		c.EpochEnd()
+	})
+	if rep.Has(report.RedundantEpochFence) || rep.Has(report.LackDurabilityInEpoch) {
+		t.Fatalf("pmemcheck detected relaxed-model bugs it should not know about")
+	}
+}
+
+func TestPmemcheckEagerReorganization(t *testing.T) {
+	pc := NewPmemcheck()
+	feed(pc, func(c *pmem.Ctx, p *pmem.Pool) {
+		a := p.Alloc(4096)
+		for i := 0; i < 50; i++ {
+			c.Store64(a+uint64(i)*64, uint64(i))
+			c.Persist(a+uint64(i)*64, 8)
+		}
+	})
+	if got := pc.Report().Counters.TreeReorgs; got != 50 {
+		t.Fatalf("pmemcheck reorgs = %d, want one per fence (50)", got)
+	}
+}
+
+func TestPMTestAnnotatedDetection(t *testing.T) {
+	cfg := PMTestConfig{Watch: []string{"cas"}}
+	rep := feed(NewPMTest(cfg), func(c *pmem.Ctx, p *pmem.Pool) {
+		a := p.Alloc(64)
+		p.RegisterNamed("cas", a, 8)
+		c.Store64(a, 1) // annotated, never persisted
+	})
+	if !rep.Has(report.NoDurability) {
+		t.Fatalf("pmtest missed annotated durability bug:\n%s", rep.Summary())
+	}
+}
+
+func TestPMTestMissesUnannotated(t *testing.T) {
+	rep := feed(NewPMTest(PMTestConfig{}), func(c *pmem.Ctx, p *pmem.Pool) {
+		a := p.Alloc(64)
+		c.Store64(a, 1) // durability bug but no annotation
+	})
+	if rep.Len() != 0 {
+		t.Fatalf("pmtest detected unannotated bug:\n%s", rep.Summary())
+	}
+}
+
+func TestPMTestOrderAssertion(t *testing.T) {
+	cfg := PMTestConfig{Orders: []rules.OrderSpec{{Before: "v", After: "k"}}}
+	rep := feed(NewPMTest(cfg), func(c *pmem.Ctx, p *pmem.Pool) {
+		v := p.Alloc(64)
+		k := p.Alloc(64)
+		p.RegisterNamed("v", v, 8)
+		p.RegisterNamed("k", k, 8)
+		c.Store64(k, 1)
+		c.Persist(k, 8) // k durable before v
+		c.Store64(v, 2)
+		c.Persist(v, 8)
+	})
+	if !rep.Has(report.NoOrderGuarantee) {
+		t.Fatalf("pmtest missed order violation:\n%s", rep.Summary())
+	}
+}
+
+func TestPMTestOrderSatisfied(t *testing.T) {
+	cfg := PMTestConfig{Orders: []rules.OrderSpec{{Before: "v", After: "k"}}}
+	rep := feed(NewPMTest(cfg), func(c *pmem.Ctx, p *pmem.Pool) {
+		v := p.Alloc(64)
+		k := p.Alloc(64)
+		p.RegisterNamed("v", v, 8)
+		p.RegisterNamed("k", k, 8)
+		c.Store64(v, 2)
+		c.Persist(v, 8)
+		c.Store64(k, 1)
+		c.Persist(k, 8)
+	})
+	if rep.Len() != 0 {
+		t.Fatalf("pmtest false positive:\n%s", rep.Summary())
+	}
+}
+
+func TestPMTestWatchRanges(t *testing.T) {
+	p := pmem.New(1 << 12)
+	a := p.Base()
+	pt := NewPMTest(PMTestConfig{WatchRanges: []intervals.Range{intervals.R(a, 8)}})
+	p.Attach(pt)
+	c := p.Ctx()
+	c.Store64(a, 1)
+	c.Store64(a, 2) // multiple overwrite on a watched range
+	c.Persist(a, 8)
+	p.End()
+	if !pt.Report().Has(report.MultipleOverwrites) {
+		t.Fatalf("watch range overwrite missed:\n%s", pt.Report().Summary())
+	}
+}
+
+func TestPMTestRedundantLogging(t *testing.T) {
+	cfg := PMTestConfig{Watch: []string{"obj"}}
+	rep := feed(NewPMTest(cfg), func(c *pmem.Ctx, p *pmem.Pool) {
+		a := p.Alloc(64)
+		p.RegisterNamed("obj", a, 16)
+		c.EpochBegin()
+		c.TxLogAdd(a, 16)
+		c.TxLogAdd(a, 16)
+		c.Store64(a, 1)
+		c.Persist(a, 8)
+		c.EpochEnd()
+	})
+	if !rep.Has(report.RedundantLogging) {
+		t.Fatalf("pmtest missed annotated redundant logging:\n%s", rep.Summary())
+	}
+}
+
+func TestXFDetectorDetectsSixTypes(t *testing.T) {
+	calls := 0
+	cfg := XFDetectorConfig{
+		Orders: []rules.OrderSpec{{Before: "v", After: "k"}},
+		CrossFailureCheck: func() error {
+			calls++
+			if calls == 1 {
+				return errors.New("post-failure read of uninitialized value")
+			}
+			return nil
+		},
+	}
+	xf := NewXFDetector(cfg)
+	rep := feed(xf, func(c *pmem.Ctx, p *pmem.Pool) {
+		v := p.Alloc(64)
+		k := p.Alloc(64)
+		a := p.Alloc(256)
+		p.RegisterNamed("v", v, 8)
+		p.RegisterNamed("k", k, 8)
+		// order violation
+		c.Store64(k, 1)
+		c.Persist(k, 8)
+		c.Store64(v, 2)
+		c.Persist(v, 8)
+		// no durability
+		c.Store64(a, 3)
+		// multiple overwrite
+		c.Store64(a+64, 1)
+		c.Store64(a+64, 2)
+		c.Persist(a+64, 8)
+		// redundant flush
+		c.Store64(a+128, 1)
+		c.Flush(a+128, 8)
+		c.Flush(a+128, 8)
+		c.Fence()
+		// redundant logging
+		c.EpochBegin()
+		c.TxLogAdd(a+192, 8)
+		c.TxLogAdd(a+192, 8)
+		c.Store64(a+192, 1)
+		c.Persist(a+192, 8)
+		c.EpochEnd()
+	})
+	for _, typ := range []report.BugType{
+		report.NoDurability, report.MultipleOverwrites, report.NoOrderGuarantee,
+		report.RedundantFlush, report.RedundantLogging, report.CrossFailureSemantic,
+	} {
+		if !rep.Has(typ) {
+			t.Errorf("xfdetector missed %s:\n%s", typ, rep.Summary())
+		}
+	}
+	if rep.Has(report.FlushNothing) {
+		t.Errorf("xfdetector detected flush-nothing, which it should not")
+	}
+	if xf.FailurePoints() == 0 {
+		t.Errorf("no failure points analyzed")
+	}
+}
+
+func TestXFDetectorFailurePointSampling(t *testing.T) {
+	xf := NewXFDetector(XFDetectorConfig{FailurePointStride: 4})
+	feed(xf, func(c *pmem.Ctx, p *pmem.Pool) {
+		a := p.Alloc(64)
+		for i := 0; i < 16; i++ {
+			c.Store64(a, uint64(i))
+			c.Persist(a, 8)
+		}
+	})
+	// 16 fences / stride 4 = 4 sampled + 1 final at End.
+	if got := xf.FailurePoints(); got != 5 {
+		t.Fatalf("failure points = %d, want 5", got)
+	}
+
+	xf = NewXFDetector(XFDetectorConfig{MaxFailurePoints: 3})
+	feed(xf, func(c *pmem.Ctx, p *pmem.Pool) {
+		a := p.Alloc(64)
+		for i := 0; i < 16; i++ {
+			c.Store64(a, uint64(i))
+			c.Persist(a, 8)
+		}
+	})
+	if got := xf.FailurePoints(); got != 3 {
+		t.Fatalf("capped failure points = %d, want 3", got)
+	}
+}
+
+func TestCleanProgramAllBaselines(t *testing.T) {
+	clean := func(c *pmem.Ctx, p *pmem.Pool) {
+		a := p.Alloc(256)
+		for i := 0; i < 4; i++ {
+			c.Store64(a+uint64(i)*64, uint64(i))
+			c.Persist(a+uint64(i)*64, 8)
+		}
+	}
+	for _, d := range []Detector{
+		NewNulgrind(), NewPmemcheck(), NewPMTest(PMTestConfig{}),
+		NewXFDetector(XFDetectorConfig{}),
+	} {
+		if rep := feed(d, clean); rep.Len() != 0 {
+			t.Errorf("%s false positives on clean program:\n%s", d.Name(), rep.Summary())
+		}
+	}
+}
+
+func TestBaselineNames(t *testing.T) {
+	if NewPmemcheck().Name() != "pmemcheck" ||
+		NewPMTest(PMTestConfig{}).Name() != "pmtest" ||
+		NewXFDetector(XFDetectorConfig{}).Name() != "xfdetector" {
+		t.Fatal("baseline names wrong")
+	}
+}
+
+func TestPmemcheckTreeInstrumentation(t *testing.T) {
+	pc := NewPmemcheck()
+	p := pmem.New(1 << 14)
+	p.Attach(pc)
+	c := p.Ctx()
+	a := p.Alloc(512)
+	for i := 0; i < 8; i++ {
+		c.Store64(a+uint64(i)*64, uint64(i)) // all unflushed
+	}
+	if pc.TreeLen() != 8 {
+		t.Fatalf("tree len = %d", pc.TreeLen())
+	}
+	if pc.TreeStats().Inserts != 8 {
+		t.Fatalf("stats = %+v", pc.TreeStats())
+	}
+}

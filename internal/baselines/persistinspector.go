@@ -1,0 +1,110 @@
+package baselines
+
+import (
+	"pmdebugger/internal/avl"
+	"pmdebugger/internal/intervals"
+	"pmdebugger/internal/report"
+	"pmdebugger/internal/trace"
+)
+
+// PersistenceInspector models Intel's Persistence Inspector (Table 1,
+// "Persist. Ins."): a post-mortem tool that records the entire instrumented
+// run and analyzes it after the fact, rather than keeping incremental
+// bookkeeping. That record-then-analyze design is why the real tool's
+// overhead is high (it buffers every access) and why it cannot flag bugs as
+// they happen.
+//
+// The analysis phase replays the recorded stream through the same reference
+// semantics the incremental tools use and detects the Table 1 "medium
+// coverage" set: missing durability, redundant flushes and multiple
+// overwrites. Like pmemcheck it is PMDK-transaction aware.
+type PersistenceInspector struct {
+	rep    *report.Report
+	events []trace.Event
+	ended  bool
+}
+
+// NewPersistenceInspector returns the post-mortem baseline.
+func NewPersistenceInspector() *PersistenceInspector {
+	return &PersistenceInspector{rep: report.New("persistence-inspector")}
+}
+
+// Name returns "persistence-inspector".
+func (pi *PersistenceInspector) Name() string { return "persistence-inspector" }
+
+// HandleEvent buffers the event; all analysis happens post-mortem.
+func (pi *PersistenceInspector) HandleEvent(ev trace.Event) {
+	switch ev.Kind {
+	case trace.KindStore:
+		pi.rep.Counters.Stores++
+	case trace.KindFlush:
+		pi.rep.Counters.Flushes++
+	case trace.KindFence:
+		pi.rep.Counters.Fences++
+	}
+	pi.events = append(pi.events, ev)
+	if ev.Kind == trace.KindEnd {
+		pi.analyze()
+	}
+}
+
+// analyze is the post-mortem pass.
+func (pi *PersistenceInspector) analyze() {
+	if pi.ended {
+		return
+	}
+	pi.ended = true
+	tree := avl.New()
+	inEpoch := false
+	for _, ev := range pi.events {
+		switch ev.Kind {
+		case trace.KindStore:
+			r := intervals.R(ev.Addr, ev.Size)
+			if !inEpoch {
+				overlapped := false
+				tree.VisitOverlapping(r, func(avl.Item) { overlapped = true })
+				if overlapped {
+					pi.rep.Add(report.Bug{
+						Type: report.MultipleOverwrites,
+						Addr: ev.Addr, Size: ev.Size, Seq: ev.Seq, Site: ev.Site,
+						Message: "location written again before durability",
+					})
+				}
+			}
+			tree.Insert(avl.Item{Addr: ev.Addr, Size: ev.Size, Seq: ev.Seq, Site: ev.Site})
+		case trace.KindFlush:
+			newly, already := tree.MarkFlushed(intervals.R(ev.Addr, ev.Size))
+			if newly == 0 && already > 0 {
+				pi.rep.Add(report.Bug{
+					Type: report.RedundantFlush,
+					Addr: ev.Addr, Size: ev.Size, Seq: ev.Seq, Site: ev.Site,
+					Message: "writeback persists only already-flushed data",
+				})
+			}
+		case trace.KindFence:
+			tree.RemoveFlushed()
+		case trace.KindEpochBegin:
+			inEpoch = true
+		case trace.KindEpochEnd:
+			inEpoch = false
+		}
+	}
+	tree.Visit(func(it avl.Item) {
+		msg := "location never flushed: missing CLF"
+		if it.Flushed {
+			msg = "location flushed but not fenced: missing fence"
+		}
+		pi.rep.Add(report.Bug{
+			Type: report.NoDurability,
+			Addr: it.Addr, Size: it.Size, Seq: it.Seq, Site: it.Site,
+			Message: msg,
+		})
+	})
+	pi.events = nil
+}
+
+// Report finalizes and returns the bug report.
+func (pi *PersistenceInspector) Report() *report.Report {
+	pi.analyze()
+	return pi.rep
+}

@@ -1,0 +1,83 @@
+package baselines
+
+import (
+	"testing"
+
+	"pmdebugger/internal/pmem"
+	"pmdebugger/internal/report"
+)
+
+func TestPersistenceInspectorDetectsCoreTypes(t *testing.T) {
+	pi := NewPersistenceInspector()
+	rep := feed(pi, func(c *pmem.Ctx, p *pmem.Pool) {
+		a := p.Alloc(512)
+		c.Store64(a, 1) // no durability
+		c.Store64(a+64, 1)
+		c.Store64(a+64, 2) // multiple overwrites
+		c.Persist(a+64, 8)
+		c.Store64(a+128, 1)
+		c.Flush(a+128, 8)
+		c.Flush(a+128, 8) // redundant flush
+		c.Fence()
+	})
+	for _, typ := range []report.BugType{
+		report.NoDurability, report.MultipleOverwrites, report.RedundantFlush,
+	} {
+		if !rep.Has(typ) {
+			t.Errorf("persistence inspector missed %s:\n%s", typ, rep.Summary())
+		}
+	}
+	if pi.Name() != "persistence-inspector" {
+		t.Errorf("name = %q", pi.Name())
+	}
+}
+
+func TestPersistenceInspectorCleanProgram(t *testing.T) {
+	rep := feed(NewPersistenceInspector(), func(c *pmem.Ctx, p *pmem.Pool) {
+		a := p.Alloc(64)
+		for i := 0; i < 5; i++ {
+			c.Store64(a, uint64(i))
+			c.Persist(a, 8)
+		}
+	})
+	if rep.Len() != 0 {
+		t.Fatalf("false positives:\n%s", rep.Summary())
+	}
+}
+
+func TestPersistenceInspectorEpochAware(t *testing.T) {
+	rep := feed(NewPersistenceInspector(), func(c *pmem.Ctx, p *pmem.Pool) {
+		a := p.Alloc(64)
+		c.EpochBegin()
+		c.Store64(a, 1)
+		c.Store64(a, 2) // legal inside a transaction
+		c.Persist(a, 8)
+		c.EpochEnd()
+	})
+	if rep.Has(report.MultipleOverwrites) {
+		t.Fatalf("in-TX overwrite flagged:\n%s", rep.Summary())
+	}
+}
+
+func TestPersistenceInspectorPostMortem(t *testing.T) {
+	// Nothing is reported until the analysis runs.
+	pi := NewPersistenceInspector()
+	p := pmem.New(1 << 12)
+	p.Attach(pi)
+	p.Ctx().Store64(p.Base(), 1)
+	if len(pi.rep.Bugs) != 0 {
+		t.Fatal("bugs reported before analysis")
+	}
+	p.End()
+	if !pi.Report().Has(report.NoDurability) {
+		t.Fatal("post-mortem analysis missed the bug")
+	}
+	// Report is idempotent and the buffer is released.
+	if pi.events != nil {
+		t.Fatal("event buffer retained after analysis")
+	}
+	n := pi.Report().Len()
+	if pi.Report().Len() != n {
+		t.Fatal("report not idempotent")
+	}
+}

@@ -1,0 +1,255 @@
+package baselines
+
+import (
+	"fmt"
+	"strings"
+
+	"pmdebugger/internal/intervals"
+	"pmdebugger/internal/report"
+	"pmdebugger/internal/rules"
+	"pmdebugger/internal/trace"
+)
+
+// PMTestConfig carries the programmer annotations PMTest depends on (§2.2,
+// §7.3): which variables have assertion-like checkers attached, and which
+// isOrderedBefore assertions were written. Variables are referred to by the
+// names registered through pmem.RegisterNamed; unannotated state is
+// invisible to PMTest — that selectivity is both its speed and its limited
+// bug coverage.
+type PMTestConfig struct {
+	// Watch lists the named variables annotated with durability checkers
+	// (isPersist-style assertions).
+	Watch []string
+	// WatchRanges adds explicit address ranges annotated with checkers.
+	WatchRanges []intervals.Range
+	// Orders lists isOrderedBefore(X, Y) assertions.
+	Orders []rules.OrderSpec
+}
+
+type watchedVar struct {
+	name    string
+	rng     intervals.Range
+	have    bool
+	writes  []intervals.Range // written-but-not-durable byte ranges
+	flushed bool
+	durable bool
+	lastSeq uint64
+	site    trace.SiteID
+	// order bookkeeping
+	commitAt uint64
+}
+
+func (w *watchedVar) written() bool { return len(w.writes) > 0 }
+
+// PMTest models the annotation-driven detector (§2.2): it tracks only
+// annotated variables in a flat list, so its per-event work is O(checkers) —
+// small, which reproduces its performance advantage — while anything the
+// programmer did not annotate is invisible, which reproduces its missed
+// bugs. It detects the five Table 6 types: no durability, multiple
+// overwrites, no order, redundant flushes and redundant logging.
+type PMTest struct {
+	rep     *report.Report
+	cfg     PMTestConfig
+	watched []watchedVar
+	fenceNo uint64
+	ended   bool
+
+	inEpoch bool
+	logged  []intervals.Range
+}
+
+// NewPMTest returns the PMTest baseline with the given annotations.
+func NewPMTest(cfg PMTestConfig) *PMTest {
+	pt := &PMTest{rep: report.New("pmtest"), cfg: cfg}
+	for _, n := range cfg.Watch {
+		pt.watched = append(pt.watched, watchedVar{name: n})
+	}
+	for _, sp := range cfg.Orders {
+		for _, n := range []string{sp.Before, sp.After} {
+			if pt.lookup(n) == nil {
+				pt.watched = append(pt.watched, watchedVar{name: n})
+			}
+		}
+	}
+	for i, r := range cfg.WatchRanges {
+		pt.watched = append(pt.watched, watchedVar{
+			name: fmt.Sprintf("range#%d", i), rng: r, have: true,
+		})
+	}
+	return pt
+}
+
+// Name returns "pmtest".
+func (pt *PMTest) Name() string { return "pmtest" }
+
+func (pt *PMTest) lookup(name string) *watchedVar {
+	for i := range pt.watched {
+		if pt.watched[i].name == name {
+			return &pt.watched[i]
+		}
+	}
+	return nil
+}
+
+// HandleEvent consumes one instrumented instruction.
+func (pt *PMTest) HandleEvent(ev trace.Event) {
+	switch ev.Kind {
+	case trace.KindStore:
+		pt.rep.Counters.Stores++
+		r := intervals.R(ev.Addr, ev.Size)
+		for i := range pt.watched {
+			w := &pt.watched[i]
+			if !w.have || !w.rng.Overlaps(r) {
+				continue
+			}
+			wr := w.rng.Intersect(r)
+			for _, prev := range w.writes {
+				if prev.Overlaps(wr) {
+					pt.rep.Add(report.Bug{
+						Type: report.MultipleOverwrites,
+						Addr: ev.Addr, Size: ev.Size, Seq: ev.Seq, Site: ev.Site,
+						Message: "annotated variable " + w.name + " overwritten before durability",
+					})
+					break
+				}
+			}
+			w.writes = append(w.writes, wr)
+			w.flushed = false
+			w.durable = false
+			w.lastSeq = ev.Seq
+			w.site = ev.Site
+		}
+
+	case trace.KindFlush:
+		pt.rep.Counters.Flushes++
+		r := intervals.R(ev.Addr, ev.Size)
+		for i := range pt.watched {
+			w := &pt.watched[i]
+			if !w.have || !w.written() || !r.Contains(w.rng) {
+				continue
+			}
+			if w.flushed && !w.durable {
+				pt.rep.Add(report.Bug{
+					Type: report.RedundantFlush,
+					Addr: w.rng.Addr, Size: w.rng.Size, Seq: ev.Seq, Site: w.site,
+					Message: "annotated variable " + w.name + " flushed twice before fence",
+				})
+			}
+			w.flushed = true
+		}
+
+	case trace.KindFence:
+		pt.rep.Counters.Fences++
+		pt.fenceNo++
+		var committed []*watchedVar
+		for i := range pt.watched {
+			w := &pt.watched[i]
+			if w.written() && w.flushed && !w.durable {
+				w.durable = true
+				w.commitAt = pt.fenceNo
+				w.writes = w.writes[:0] // later rewrites start a fresh cycle
+				committed = append(committed, w)
+			}
+		}
+		for _, sp := range pt.cfg.Orders {
+			after := pt.lookup(sp.After)
+			before := pt.lookup(sp.Before)
+			if after == nil || before == nil {
+				continue
+			}
+			justCommitted := false
+			for _, c := range committed {
+				if c == after {
+					justCommitted = true
+				}
+			}
+			if !justCommitted {
+				continue
+			}
+			if !(before.durable && before.commitAt < after.commitAt) {
+				pt.rep.Add(report.Bug{
+					Type: report.NoOrderGuarantee,
+					Addr: after.rng.Addr, Size: after.rng.Size, Seq: ev.Seq,
+					Site:    trace.RegisterSite("pmtest-order:" + sp.Before + "<" + sp.After),
+					Message: fmt.Sprintf("isOrderedBefore(%s, %s) violated", sp.Before, sp.After),
+				})
+			}
+		}
+
+	case trace.KindRegister:
+		if ev.Site == 0 {
+			return
+		}
+		name := trace.SiteName(ev.Site)
+		if strings.HasPrefix(name, "scope:") {
+			return
+		}
+		if w := pt.lookup(name); w != nil {
+			w.rng = intervals.R(ev.Addr, ev.Size)
+			w.have = true
+		}
+
+	case trace.KindEpochBegin:
+		pt.inEpoch = true
+		pt.logged = pt.logged[:0]
+
+	case trace.KindEpochEnd:
+		pt.inEpoch = false
+		pt.logged = pt.logged[:0]
+
+	case trace.KindTxLogAdd:
+		// PMTest's TX checkers flag double-logging of annotated objects.
+		r := intervals.R(ev.Addr, ev.Size)
+		watched := false
+		for i := range pt.watched {
+			if pt.watched[i].have && pt.watched[i].rng.Overlaps(r) {
+				watched = true
+				break
+			}
+		}
+		if !watched {
+			return
+		}
+		for _, prev := range pt.logged {
+			if prev.Overlaps(r) {
+				pt.rep.Add(report.Bug{
+					Type: report.RedundantLogging,
+					Addr: ev.Addr, Size: ev.Size, Seq: ev.Seq, Site: ev.Site,
+					Message: "annotated object logged twice in one transaction",
+				})
+				return
+			}
+		}
+		pt.logged = append(pt.logged, r)
+
+	case trace.KindEnd:
+		pt.finish()
+	}
+}
+
+func (pt *PMTest) finish() {
+	if pt.ended {
+		return
+	}
+	pt.ended = true
+	for i := range pt.watched {
+		w := &pt.watched[i]
+		if w.written() && !w.durable {
+			msg := "annotated variable " + w.name + " never flushed"
+			if w.flushed {
+				msg = "annotated variable " + w.name + " flushed but not fenced"
+			}
+			pt.rep.Add(report.Bug{
+				Type: report.NoDurability,
+				Addr: w.rng.Addr, Size: w.rng.Size, Seq: w.lastSeq, Site: w.site,
+				Message: msg,
+			})
+		}
+	}
+}
+
+// Report finalizes and returns the bug report.
+func (pt *PMTest) Report() *report.Report {
+	pt.finish()
+	return pt.rep
+}

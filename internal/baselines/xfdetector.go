@@ -1,0 +1,248 @@
+package baselines
+
+import (
+	"fmt"
+	"strings"
+
+	"pmdebugger/internal/avl"
+	"pmdebugger/internal/intervals"
+	"pmdebugger/internal/report"
+	"pmdebugger/internal/rules"
+	"pmdebugger/internal/trace"
+)
+
+// XFDetectorConfig parameterizes the cross-failure detector.
+type XFDetectorConfig struct {
+	// Orders are persist-order requirements (XFDetector takes these like
+	// PMDebugger does, §8).
+	Orders []rules.OrderSpec
+	// CrossFailureCheck is the post-failure execution run at failure points:
+	// it returns an error when recovery would read semantically inconsistent
+	// data.
+	CrossFailureCheck func() error
+	// FailurePointStride samples a failure point every N fences (default 1:
+	// every fence). XFDetector restricts its instrumented failure points to
+	// bound its overhead (§7.4); raising the stride models that restriction
+	// and is what makes it miss bugs in large programs.
+	FailurePointStride int
+	// MaxFailurePoints caps the total failure points analyzed (0 =
+	// unlimited).
+	MaxFailurePoints int
+}
+
+// XFDetector models the cross-failure detector (§2.2, [38]): full tree
+// bookkeeping plus, at every sampled failure point (fence), a pre-failure /
+// post-failure analysis pass over the entire tracked state. That per-fence
+// whole-state sweep — snapshotting the persistence state and simulating the
+// post-failure reader — is what gives the real tool its orders-of-magnitude
+// slowdown, and it is reproduced here structurally: each failure point costs
+// O(tracked locations) plus a snapshot allocation.
+//
+// It detects the six Table 6 types: no durability, multiple overwrites, no
+// order, redundant flushes, redundant logging and cross-failure semantic
+// bugs.
+type XFDetector struct {
+	rep  *report.Report
+	cfg  XFDetectorConfig
+	tree *avl.Tree
+
+	names     map[string]intervals.Range
+	committed map[string]uint64
+	written   map[string]bool
+	fenceNo   uint64
+
+	failurePoints int
+	snapshot      []avl.Item // reused buffer for the failure-point sweep
+
+	inEpoch bool
+	logged  []intervals.Range
+	ended   bool
+}
+
+// NewXFDetector returns the XFDetector baseline.
+func NewXFDetector(cfg XFDetectorConfig) *XFDetector {
+	if cfg.FailurePointStride <= 0 {
+		cfg.FailurePointStride = 1
+	}
+	return &XFDetector{
+		rep:       report.New("xfdetector"),
+		cfg:       cfg,
+		tree:      avl.New(),
+		names:     map[string]intervals.Range{},
+		committed: map[string]uint64{},
+		written:   map[string]bool{},
+	}
+}
+
+// Name returns "xfdetector".
+func (xf *XFDetector) Name() string { return "xfdetector" }
+
+// HandleEvent consumes one instrumented instruction.
+func (xf *XFDetector) HandleEvent(ev trace.Event) {
+	switch ev.Kind {
+	case trace.KindStore:
+		xf.rep.Counters.Stores++
+		r := intervals.R(ev.Addr, ev.Size)
+		// Like pmemcheck, XFDetector is transaction-aware: in-place
+		// overwrites under an undo log are legal.
+		overlapped := false
+		if !xf.inEpoch {
+			xf.tree.VisitOverlapping(r, func(avl.Item) { overlapped = true })
+		}
+		if overlapped {
+			xf.rep.Add(report.Bug{
+				Type: report.MultipleOverwrites,
+				Addr: ev.Addr, Size: ev.Size, Seq: ev.Seq, Site: ev.Site,
+				Message: "location written again before durability",
+			})
+		}
+		xf.tree.Insert(avl.Item{Addr: ev.Addr, Size: ev.Size, Seq: ev.Seq, Site: ev.Site})
+		for name, nr := range xf.names {
+			if nr.Overlaps(r) {
+				xf.written[name] = true
+				delete(xf.committed, name)
+			}
+		}
+
+	case trace.KindFlush:
+		xf.rep.Counters.Flushes++
+		newly, already := xf.tree.MarkFlushed(intervals.R(ev.Addr, ev.Size))
+		if newly == 0 && already > 0 {
+			xf.rep.Add(report.Bug{
+				Type: report.RedundantFlush,
+				Addr: ev.Addr, Size: ev.Size, Seq: ev.Seq, Site: ev.Site,
+				Message: "writeback persists only already-flushed data",
+			})
+		}
+
+	case trace.KindFence:
+		xf.rep.Counters.Fences++
+		xf.fenceNo++
+		removed := xf.tree.RemoveFlushed()
+		for _, it := range removed {
+			for name, nr := range xf.names {
+				if _, done := xf.committed[name]; done {
+					continue
+				}
+				if it.Range().Contains(nr) {
+					xf.committed[name] = xf.fenceNo
+					xf.checkOrders(name, ev)
+				}
+			}
+		}
+		xf.rep.Counters.TreeNodeSamples += uint64(xf.tree.Len())
+		if xf.fenceNo%uint64(xf.cfg.FailurePointStride) == 0 {
+			xf.failurePoint()
+		}
+
+	case trace.KindRegister:
+		if ev.Site == 0 {
+			return
+		}
+		name := trace.SiteName(ev.Site)
+		if !strings.HasPrefix(name, "scope:") {
+			xf.names[name] = intervals.R(ev.Addr, ev.Size)
+		}
+
+	case trace.KindEpochBegin:
+		xf.inEpoch = true
+		xf.logged = xf.logged[:0]
+
+	case trace.KindEpochEnd:
+		xf.inEpoch = false
+		xf.logged = xf.logged[:0]
+
+	case trace.KindTxLogAdd:
+		r := intervals.R(ev.Addr, ev.Size)
+		for _, prev := range xf.logged {
+			if prev.Overlaps(r) {
+				xf.rep.Add(report.Bug{
+					Type: report.RedundantLogging,
+					Addr: ev.Addr, Size: ev.Size, Seq: ev.Seq, Site: ev.Site,
+					Message: "object logged twice in one transaction",
+				})
+				return
+			}
+		}
+		xf.logged = append(xf.logged, r)
+
+	case trace.KindEnd:
+		xf.finish()
+	}
+}
+
+// checkOrders runs the order rule when a named variable just committed.
+func (xf *XFDetector) checkOrders(justCommitted string, ev trace.Event) {
+	for _, sp := range xf.cfg.Orders {
+		if sp.After != justCommitted {
+			continue
+		}
+		bc, ok := xf.committed[sp.Before]
+		if ok && bc < xf.fenceNo {
+			continue
+		}
+		xf.rep.Add(report.Bug{
+			Type:    report.NoOrderGuarantee,
+			Seq:     ev.Seq,
+			Site:    trace.RegisterSite("xf-order:" + sp.Before + "<" + sp.After),
+			Message: fmt.Sprintf("%q became durable before %q", sp.After, sp.Before),
+		})
+	}
+}
+
+// failurePoint performs the cross-failure analysis pass: snapshot the
+// not-yet-durable state and run the post-failure reader. The full sweep per
+// failure point is the tool's documented cost profile.
+func (xf *XFDetector) failurePoint() {
+	if xf.cfg.MaxFailurePoints > 0 && xf.failurePoints >= xf.cfg.MaxFailurePoints {
+		return
+	}
+	xf.failurePoints++
+	// Pre-failure stage: snapshot every tracked (non-durable) location.
+	xf.snapshot = xf.snapshot[:0]
+	xf.tree.Visit(func(it avl.Item) { xf.snapshot = append(xf.snapshot, it) })
+	// Post-failure stage: simulate the reader over the snapshot. The
+	// analysis walks every snapshotted location; the cross-failure check
+	// hook stands in for re-executing the recovery code.
+	for i := range xf.snapshot {
+		_ = xf.snapshot[i].Range() // the sweep itself is the modeled cost
+	}
+	if xf.cfg.CrossFailureCheck != nil {
+		if err := xf.cfg.CrossFailureCheck(); err != nil {
+			xf.rep.Add(report.Bug{
+				Type:    report.CrossFailureSemantic,
+				Site:    trace.RegisterSite("xf-recovery"),
+				Message: err.Error(),
+			})
+		}
+	}
+}
+
+// FailurePoints returns how many failure points were analyzed.
+func (xf *XFDetector) FailurePoints() int { return xf.failurePoints }
+
+func (xf *XFDetector) finish() {
+	if xf.ended {
+		return
+	}
+	xf.ended = true
+	// Final failure point at program end, then the durability sweep.
+	xf.failurePoint()
+	xf.tree.Visit(func(it avl.Item) {
+		msg := "location never flushed: missing CLF"
+		if it.Flushed {
+			msg = "location flushed but not fenced: missing fence"
+		}
+		xf.rep.Add(report.Bug{
+			Type: report.NoDurability,
+			Addr: it.Addr, Size: it.Size, Seq: it.Seq, Site: it.Site,
+			Message: msg,
+		})
+	})
+}
+
+// Report finalizes and returns the bug report.
+func (xf *XFDetector) Report() *report.Report {
+	xf.finish()
+	return xf.rep
+}

@@ -1,0 +1,138 @@
+package bugsuite
+
+import (
+	"strings"
+	"testing"
+
+	"pmdebugger/internal/report"
+)
+
+func TestSuiteCountsMatchTable6(t *testing.T) {
+	cases := Cases()
+	if len(cases) != 78 {
+		t.Fatalf("suite has %d cases, want 78", len(cases))
+	}
+	byType := map[report.BugType]int{}
+	ids := map[string]bool{}
+	for _, c := range cases {
+		byType[c.Type]++
+		if ids[c.ID] {
+			t.Errorf("duplicate case id %s", c.ID)
+		}
+		ids[c.ID] = true
+		if c.Run == nil {
+			t.Errorf("case %s has no Run", c.ID)
+		}
+	}
+	for typ, want := range ExpectedCounts {
+		if byType[typ] != want {
+			t.Errorf("%s: %d cases, want %d", typ, byType[typ], want)
+		}
+	}
+}
+
+func TestPMDebuggerDetectsEveryCase(t *testing.T) {
+	for _, c := range Cases() {
+		found, err := Detects(PMDebugger, c)
+		if err != nil {
+			t.Fatalf("%s: %v", c.ID, err)
+		}
+		if !found {
+			rep, _ := RunCase(PMDebugger, c)
+			t.Errorf("pmdebugger missed %s (%s)\n%s", c.ID, c.Type, rep.Summary())
+		}
+	}
+}
+
+func TestBaselinesDetectExactlyTheirTypes(t *testing.T) {
+	for _, k := range []DetectorKind{Pmemcheck, PMTest, XFDetector} {
+		for _, c := range Cases() {
+			found, err := Detects(k, c)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", k, c.ID, err)
+			}
+			if CanDetect(k, c.Type) && !found {
+				rep, _ := RunCase(k, c)
+				t.Errorf("%s missed in-capability case %s (%s)\n%s", k, c.ID, c.Type, rep.Summary())
+			}
+			if !CanDetect(k, c.Type) && found {
+				t.Errorf("%s detected out-of-capability case %s (%s)", k, c.ID, c.Type)
+			}
+		}
+	}
+}
+
+func TestNoFalsePositivesOnTwins(t *testing.T) {
+	for _, k := range AllDetectors() {
+		for _, c := range CorrectTwins() {
+			rep, err := RunCase(k, c)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", k, c.ID, err)
+			}
+			if rep.Len() != 0 {
+				t.Errorf("%s false positive on %s:\n%s", k, c.ID, rep.Summary())
+			}
+		}
+	}
+}
+
+func TestMatrixReproducesPaperNumbers(t *testing.T) {
+	m, err := RunMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §7.3: PMDebugger 78 (ten types), XFDetector 65 (six), PMTest 61
+	// (five), Pmemcheck 55 (four).
+	wantTotal := map[DetectorKind]int{
+		PMDebugger: 78, XFDetector: 65, PMTest: 61, Pmemcheck: 55,
+	}
+	wantTypes := map[DetectorKind]int{
+		PMDebugger: 10, XFDetector: 6, PMTest: 5, Pmemcheck: 4,
+	}
+	for k, want := range wantTotal {
+		if m.TotalDetected[k] != want {
+			t.Errorf("%s detected %d, want %d (missed: %v)",
+				k, m.TotalDetected[k], want, m.Missed[k])
+		}
+	}
+	for k, want := range wantTypes {
+		if m.TypesDetected[k] != want {
+			t.Errorf("%s types %d, want %d", k, m.TypesDetected[k], want)
+		}
+	}
+	// False negative rates: 29.5% / 21.8% / 16.7% / 0%.
+	checkRate := func(k DetectorKind, want float64) {
+		t.Helper()
+		if got := m.FalseNegativeRate(k); got < want-0.1 || got > want+0.1 {
+			t.Errorf("%s FN rate = %.1f%%, want %.1f%%", k, got, want)
+		}
+	}
+	checkRate(Pmemcheck, 29.5)
+	checkRate(PMTest, 21.8)
+	checkRate(XFDetector, 16.7)
+	checkRate(PMDebugger, 0)
+	for _, k := range AllDetectors() {
+		if m.FalsePositives[k] != 0 {
+			t.Errorf("%s has %d false positives", k, m.FalsePositives[k])
+		}
+	}
+	out := m.Format()
+	for _, want := range []string{"pmdebugger", "pmemcheck", "Table 6", "78"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("matrix output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(m.FormatMissed(), "pmemcheck missed 23") {
+		t.Errorf("FormatMissed:\n%s", m.FormatMissed())
+	}
+}
+
+func TestDetectorKindStrings(t *testing.T) {
+	if PMDebugger.String() != "pmdebugger" || Pmemcheck.String() != "pmemcheck" ||
+		PMTest.String() != "pmtest" || XFDetector.String() != "xfdetector" {
+		t.Fatal("kind names wrong")
+	}
+	if len(AllDetectors()) != 4 {
+		t.Fatal("detector list wrong")
+	}
+}

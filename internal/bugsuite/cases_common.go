@@ -1,0 +1,226 @@
+package bugsuite
+
+import (
+	"pmdebugger/internal/report"
+	"pmdebugger/internal/rules"
+	"pmdebugger/internal/trace"
+)
+
+// overwriteCases returns the 2 multiple-overwrites cases.
+func overwriteCases() []Case {
+	return []Case{
+		{
+			ID: "mo-exact-rewrite", Type: report.MultipleOverwrites, Model: rules.Strict,
+			Watch: []string{"x"},
+			Run: func(h *Harness) error {
+				x := h.Alloc("x", 8)
+				h.C.Store64(x, 1)
+				h.C.Store64(x, 2) // overwrite before durability
+				h.C.Persist(x, 8)
+				return nil
+			},
+		},
+		{
+			ID: "mo-overlap-tree-resident", Type: report.MultipleOverwrites, Model: rules.Strict,
+			Watch: []string{"x"},
+			Run: func(h *Harness) error {
+				// The first store survives a fence (tree resident); the
+				// overlapping rewrite arrives one fence interval later.
+				x := h.Alloc("x", 16)
+				y := h.Alloc("y", 8)
+				h.C.StoreBytes(x, make([]byte, 16))
+				h.C.Store64(y, 1)
+				h.C.Persist(y, 8) // fence: x migrates to the tree, unflushed
+				h.C.StoreBytes(x+8, make([]byte, 8))
+				h.C.Flush(x, 16)
+				h.C.Fence()
+				return nil
+			},
+		},
+	}
+}
+
+// orderCases returns the 4 no-order-guarantee cases.
+func orderCases() []Case {
+	kvOrder := []rules.OrderSpec{{Before: "value", After: "key"}}
+	return []Case{
+		{
+			ID: "no-key-before-value", Type: report.NoOrderGuarantee, Model: rules.Strict,
+			Orders: kvOrder, Watch: []string{"value", "key"},
+			Run: func(h *Harness) error {
+				// The classic KV-store bug: the key becomes durable before
+				// the value it points to.
+				v := h.Alloc("value", 8)
+				k := h.Alloc("key", 8)
+				h.C.Store64(k, 0xbeef)
+				h.C.Persist(k, 8)
+				h.C.Store64(v, 0xcafe)
+				h.C.Persist(v, 8)
+				return nil
+			},
+		},
+		{
+			ID: "no-same-fence", Type: report.NoOrderGuarantee, Model: rules.Strict,
+			Orders: kvOrder, Watch: []string{"value", "key"},
+			Run: func(h *Harness) error {
+				// Both committed by one fence: the required order is not
+				// established.
+				v := h.Alloc("value", 8)
+				k := h.PM.Alloc(128)
+				h.PM.RegisterNamed("key", k+64, 8)
+				h.C.Store64(v, 1)
+				h.C.Store64(k+64, 2)
+				h.C.Flush(v, 8)
+				h.C.Flush(k+64, 8)
+				h.C.Fence()
+				return nil
+			},
+		},
+		{
+			ID: "no-later-fence", Type: report.NoOrderGuarantee, Model: rules.Strict,
+			Orders: kvOrder, Watch: []string{"value", "key"},
+			Run: func(h *Harness) error {
+				// The value is eventually durable — two fences too late.
+				v := h.Alloc("value", 8)
+				k := h.Alloc("key", 8)
+				h.C.Store64(v, 1)
+				h.C.Store64(k, 2)
+				h.C.Persist(k, 8) // key durable first
+				h.C.Persist(v, 8)
+				h.C.Fence()
+				return nil
+			},
+		},
+		{
+			ID: "no-scoped-update", Type: report.NoOrderGuarantee, Model: rules.Strict,
+			Orders: []rules.OrderSpec{{Before: "value", After: "key", Scope: "update"}},
+			Watch:  []string{"value", "key"},
+			Run: func(h *Harness) error {
+				// Violation inside the configured application function.
+				v := h.Alloc("value", 8)
+				k := h.Alloc("key", 8)
+				h.PM.RegisterNamed("scope:update:begin", h.PM.Base(), 1)
+				h.C.Store64(k, 2)
+				h.C.Persist(k, 8)
+				h.C.Store64(v, 1)
+				h.C.Persist(v, 8)
+				h.PM.RegisterNamed("scope:update:end", h.PM.Base(), 1)
+				return nil
+			},
+		},
+	}
+}
+
+// redundantFlushCases returns the 6 redundant-flush cases.
+func redundantFlushCases() []Case {
+	rf := func(id string, run func(h *Harness) error) Case {
+		return Case{
+			ID: "rf-" + id, Type: report.RedundantFlush, Model: rules.Strict,
+			Watch: []string{"x"}, Run: run,
+		}
+	}
+	return []Case{
+		rf("same-line-twice", func(h *Harness) error {
+			x := h.Alloc("x", 8)
+			h.C.Store64(x, 1)
+			h.C.Flush(x, 8)
+			h.C.Flush(x, 8) // same dirty data flushed again
+			h.C.Fence()
+			return nil
+		}),
+		rf("clflush-then-clwb", func(h *Harness) error {
+			// Mixing writeback instructions does not make the second one
+			// useful.
+			x := h.Alloc("x", 8)
+			h.C.Store64(x, 1)
+			h.C.FlushKind(x, 8, trace.CLFLUSH)
+			h.C.FlushKind(x, 8, trace.CLWB)
+			h.C.Fence()
+			return nil
+		}),
+		rf("two-stores-one-line", func(h *Harness) error {
+			// Both fields share the line; the per-field flush loop issues
+			// two writebacks for one line.
+			blk := h.PM.Alloc(128)
+			x := (blk + 63) &^ 63
+			h.PM.RegisterNamed("x", x, 16)
+			h.C.Store64(x, 1)
+			h.C.Store64(x+8, 2)
+			h.C.Flush(x, 8)
+			h.C.Flush(x+8, 8)
+			h.C.Fence()
+			return nil
+		}),
+		rf("range-reflush", func(h *Harness) error {
+			// A two-line object flushed wholesale, then its first line
+			// flushed again "for safety".
+			blk := h.PM.Alloc(192)
+			x := (blk + 63) &^ 63
+			h.PM.RegisterNamed("x", x, 8) // the annotated head field
+			h.C.StoreBytes(x, make([]byte, 128))
+			h.C.Flush(x, 128)
+			h.C.Flush(x, 8)
+			h.C.Fence()
+			return nil
+		}),
+		rf("flush-loop", func(h *Harness) error {
+			x := h.Alloc("x", 8)
+			h.C.Store64(x, 1)
+			for i := 0; i < 3; i++ {
+				h.C.Flush(x, 8) // two of the three are redundant
+			}
+			h.C.Fence()
+			return nil
+		}),
+		rf("tree-resident-reflush", func(h *Harness) error {
+			// The record migrated to the tree before being flushed twice.
+			x := h.Alloc("x", 8)
+			h.C.Store64(x, 1)
+			h.C.Fence() // moves to the tree, unflushed
+			h.C.Flush(x, 8)
+			h.C.Flush(x, 8)
+			h.C.Fence()
+			return nil
+		}),
+	}
+}
+
+// flushNothingCases returns the 3 flush-nothing cases.
+func flushNothingCases() []Case {
+	return []Case{
+		{
+			ID: "fn-no-prior-store", Type: report.FlushNothing, Model: rules.Strict,
+			Run: func(h *Harness) error {
+				x := h.PM.Alloc(64)
+				h.C.Flush(x, 8) // nothing was ever stored there
+				h.C.Fence()
+				return nil
+			},
+		},
+		{
+			ID: "fn-wrong-line", Type: report.FlushNothing, Model: rules.Strict,
+			Run: func(h *Harness) error {
+				// Off-by-one-line flush: the store is persisted separately
+				// so the stray flush hits nothing.
+				blk := h.PM.Alloc(256)
+				x := (blk + 63) &^ 63
+				h.C.Store64(x, 1)
+				h.C.Persist(x, 8)
+				h.C.Flush(x+128, 8) // wrong line
+				h.C.Fence()
+				return nil
+			},
+		},
+		{
+			ID: "fn-already-durable", Type: report.FlushNothing, Model: rules.Strict,
+			Run: func(h *Harness) error {
+				x := h.PM.Alloc(64)
+				h.C.Store64(x, 1)
+				h.C.Persist(x, 8)
+				h.C.Flush(x, 8) // the data is already durable
+				h.C.Fence()
+				return nil
+			},
+		},
+	}
+}

@@ -1,0 +1,149 @@
+package bugsuite
+
+import (
+	"errors"
+	"fmt"
+
+	"pmdebugger/internal/pmem"
+	"pmdebugger/internal/report"
+	"pmdebugger/internal/rules"
+)
+
+// crossFailureCases returns the 4 cross-failure semantic cases: programs
+// whose every store is eventually durable (so no other rule fires), but
+// whose recovery code reads semantically inconsistent data for some crash
+// point. The Cross hook is the "manually invoked recovery program" of
+// §7.3: it replays the protocol on a private pool, crashes at the
+// vulnerable point, and runs the recovery-side consistency check.
+func crossFailureCases() []Case {
+	cf := func(id string, run func(h *Harness) error, cross func() error) Case {
+		return Case{
+			ID: "cf-" + id, Type: report.CrossFailureSemantic, Model: rules.Strict,
+			Run: run, Cross: cross,
+		}
+	}
+	return []Case{
+		cf("valid-flag-first",
+			func(h *Harness) error {
+				// Monitored run: flag and payload both durable; the bug is
+				// that the flag is persisted before the payload.
+				flag := h.PM.Alloc(64)
+				payload := h.PM.Alloc(64)
+				h.C.Store64(flag, 1)
+				h.C.Persist(flag, 8)
+				h.C.StoreBytes(payload, []byte("payload!"))
+				h.C.Persist(payload, 8)
+				return nil
+			},
+			func() error {
+				pm := pmem.New(1 << 12)
+				c := pm.Ctx()
+				flag := pm.Alloc(64)
+				payload := pm.Alloc(64)
+				c.Store64(flag, 1)
+				c.Persist(flag, 8)
+				// Crash before the payload persists.
+				c.StoreBytes(payload, []byte("payload!"))
+				crashed := pm.Crash(pmem.CrashDropPending, 0)
+				cc := crashed.Ctx()
+				if cc.Load64(flag) == 1 && cc.Load64(payload) == 0 {
+					return errors.New("recovery reads valid=1 with uninitialized payload")
+				}
+				return nil
+			}),
+		cf("count-ahead-of-data",
+			func(h *Harness) error {
+				arr := h.PM.Alloc(256)
+				count := h.PM.Alloc(64)
+				for i := uint64(0); i < 3; i++ {
+					h.C.Store64(count, i+1)
+					h.C.Persist(count, 8) // count persisted before the element
+					h.C.Store64(arr+i*64, i+100)
+					h.C.Persist(arr+i*64, 8)
+				}
+				return nil
+			},
+			func() error {
+				pm := pmem.New(1 << 12)
+				c := pm.Ctx()
+				arr := pm.Alloc(256)
+				count := pm.Alloc(64)
+				c.Store64(count, 1)
+				c.Persist(count, 8)
+				c.Store64(arr, 100)
+				// Crash before the element persists.
+				crashed := pm.Crash(pmem.CrashDropPending, 0)
+				cc := crashed.Ctx()
+				n := cc.Load64(count)
+				if n >= 1 && cc.Load64(arr) == 0 {
+					return fmt.Errorf("recovery sees count=%d but element 0 missing", n)
+				}
+				return nil
+			}),
+		cf("log-truncated-early",
+			func(h *Harness) error {
+				logHead := h.PM.Alloc(64)
+				data := h.PM.Alloc(64)
+				h.C.Store64(logHead, 1) // log valid
+				h.C.Persist(logHead, 8)
+				h.C.Store64(logHead, 0) // truncate before applying
+				h.C.Persist(logHead, 8)
+				h.C.Store64(data, 7) // apply after truncation
+				h.C.Persist(data, 8)
+				return nil
+			},
+			func() error {
+				pm := pmem.New(1 << 12)
+				c := pm.Ctx()
+				logHead := pm.Alloc(64)
+				data := pm.Alloc(64)
+				c.Store64(logHead, 1)
+				c.Persist(logHead, 8)
+				c.Store64(logHead, 0)
+				c.Persist(logHead, 8)
+				// Crash before the data application persists.
+				c.Store64(data, 7)
+				crashed := pm.Crash(pmem.CrashDropPending, 0)
+				cc := crashed.Ctx()
+				if cc.Load64(logHead) == 0 && cc.Load64(data) != 7 {
+					return errors.New("log retired before its effects were applied; recovery cannot redo")
+				}
+				return nil
+			}),
+		cf("torn-pair-same-fence",
+			func(h *Harness) error {
+				// Two semantically-coupled fields on different lines
+				// persisted by one fence: either may land without the
+				// other.
+				a := h.PM.Alloc(64)
+				b := h.PM.Alloc(64)
+				h.C.Store64(a, 0xaaaa)
+				h.C.Store64(b, 0xbbbb)
+				h.C.Flush(a, 8)
+				h.C.Flush(b, 8)
+				h.C.Fence()
+				return nil
+			},
+			func() error {
+				pm := pmem.New(1 << 12)
+				c := pm.Ctx()
+				a := pm.Alloc(64)
+				b := pm.Alloc(64)
+				c.Store64(a, 0xaaaa)
+				c.Store64(b, 0xbbbb)
+				c.Flush(a, 8)
+				c.Flush(b, 8)
+				// Crash with the writebacks issued but the fence not yet
+				// executed: the hardware may persist either line.
+				for seed := int64(0); seed < 8; seed++ {
+					crashed := pm.Crash(pmem.CrashRandomPending, seed)
+					cc := crashed.Ctx()
+					av, bv := cc.Load64(a), cc.Load64(b)
+					if (av == 0xaaaa) != (bv == 0xbbbb) {
+						return fmt.Errorf("recovery reads torn pair: a=%#x b=%#x", av, bv)
+					}
+				}
+				return nil
+			}),
+	}
+}

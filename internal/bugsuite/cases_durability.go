@@ -1,0 +1,283 @@
+package bugsuite
+
+import (
+	"fmt"
+
+	"pmdebugger/internal/report"
+	"pmdebugger/internal/rules"
+	"pmdebugger/internal/trace"
+)
+
+// durabilityCases returns the 44 no-durability-guarantee cases: 20
+// scenario-specific cases covering the distinct ways durability is lost
+// (missing CLF, missing fence, partial flushes, line splits, re-dirtied
+// lines, long-lived tree-resident records, relaxed-model contexts), plus 24
+// cases generated over a parameter grid of object sizes, intra-line
+// offsets and failure modes so every split/overlap path in the bookkeeping
+// is exercised.
+func durabilityCases() []Case {
+	nd := func(id string, run func(h *Harness) error) Case {
+		return Case{
+			ID: "nd-" + id, Type: report.NoDurability, Model: rules.Strict,
+			Watch: []string{"x"}, Run: run,
+		}
+	}
+	cases := []Case{
+		nd("missing-clf-basic", func(h *Harness) error {
+			x := h.Alloc("x", 8)
+			h.C.Store64(x, 1) // never flushed
+			return nil
+		}),
+		nd("missing-fence-basic", func(h *Harness) error {
+			x := h.Alloc("x", 8)
+			h.C.Store64(x, 1)
+			h.C.Flush(x, 8) // flushed, never fenced
+			return nil
+		}),
+		nd("survives-fences", func(h *Harness) error {
+			// The record migrates to the AVL tree and must still be
+			// reported many fences later.
+			x := h.Alloc("x", 8)
+			y := h.Alloc("y", 8)
+			h.C.Store64(x, 1)
+			for i := 0; i < 20; i++ {
+				h.C.Store64(y, uint64(i))
+				h.C.Persist(y, 8)
+			}
+			return nil
+		}),
+		nd("partial-flush-middle", func(h *Harness) error {
+			// A three-line object whose flush loop skips the middle line;
+			// the detector must split the record and keep the remainder.
+			blk := h.PM.Alloc(320)
+			start := (blk + 63) &^ 63
+			h.PM.RegisterNamed("x", start+64, 64)
+			h.C.StoreBytes(start, make([]byte, 192))
+			h.C.Flush(start, 64)
+			h.C.Flush(start+128, 64)
+			h.C.Fence()
+			return nil
+		}),
+		nd("cross-line-one-flushed", func(h *Harness) error {
+			// A store spanning two cache lines with only one line flushed.
+			base := h.PM.Alloc(192)
+			x := base + 56 // 16 bytes: crosses into the next line
+			h.PM.RegisterNamed("x", x, 16)
+			h.C.StoreBytes(x, make([]byte, 16))
+			h.C.Flush(x, 4) // flushes only the first line
+			h.C.Fence()
+			return nil
+		}),
+		nd("clflushopt-no-fence", func(h *Harness) error {
+			x := h.Alloc("x", 8)
+			h.C.Store64(x, 7)
+			h.C.FlushKind(x, 8, trace.CLFLUSHOPT) // optimized flush still needs the fence
+			return nil
+		}),
+		nd("flush-wrong-target", func(h *Harness) error {
+			x := h.Alloc("x", 8)
+			y := h.Alloc("y", 8)
+			h.C.Store64(y, 1)
+			h.C.Persist(y, 8)
+			h.C.Store64(x, 2)
+			h.C.Flush(y, 8) // developer flushed the wrong variable
+			h.C.Fence()
+			return nil
+		}),
+		nd("rewrite-after-persist", func(h *Harness) error {
+			// The last write is the one that lacks durability.
+			x := h.Alloc("x", 8)
+			h.C.Store64(x, 1)
+			h.C.Persist(x, 8)
+			h.C.Store64(x, 2) // never persisted
+			return nil
+		}),
+		nd("node-field-forgotten", func(h *Harness) error {
+			// Three of four struct fields persisted; the developer missed
+			// the fourth (it sits on a different line).
+			node := h.PM.Alloc(256)
+			h.PM.RegisterNamed("x", node+128, 8)
+			h.C.Store64(node, 1)
+			h.C.Store64(node+8, 2)
+			h.C.Store64(node+16, 3)
+			h.C.Store64(node+128, 4) // second line
+			h.C.Flush(node, 24)
+			h.C.Fence()
+			return nil
+		}),
+		nd("list-head-unflushed", func(h *Harness) error {
+			// Entry persisted; the published head pointer is not.
+			entry := h.PM.Alloc(24)
+			head := h.Alloc("x", 8)
+			h.C.Store64(entry, 42)
+			h.C.Store64(entry+8, 43)
+			h.C.Persist(entry, 16)
+			h.C.Store64(head, entry) // publication never flushed
+			return nil
+		}),
+		nd("count-unfenced", func(h *Harness) error {
+			payload := h.PM.Alloc(64)
+			count := h.Alloc("x", 8)
+			h.C.StoreBytes(payload, make([]byte, 64))
+			h.C.Persist(payload, 64)
+			h.C.Store64(count, 1)
+			h.C.Flush(count, 8) // fence missing at program end
+			return nil
+		}),
+		{
+			ID: "nd-after-epoch", Type: report.NoDurability, Model: rules.Epoch,
+			Watch: []string{"x"},
+			Run: func(h *Harness) error {
+				// Epoch-model program: a plain store after the transaction
+				// is never persisted.
+				p, err := h.PMDK()
+				if err != nil {
+					return err
+				}
+				root, _ := p.Root()
+				tx := p.Begin()
+				tx.Set(root, 1)
+				tx.Commit()
+				x := h.Alloc("x", 8)
+				h.C.Store64(x, 99)
+				return nil
+			},
+		},
+		{
+			ID: "nd-strand-leftover", Type: report.NoDurability, Model: rules.Strand,
+			Watch: []string{"x"},
+			Run: func(h *Harness) error {
+				// A strand persists its entry but leaves a second field
+				// unflushed in its own bookkeeping space.
+				x := h.Alloc("x", 8)
+				y := h.Alloc("y", 8)
+				s := h.C.StrandBegin()
+				s.Store64(y, 1)
+				s.Flush(y, 8)
+				s.Fence()
+				s.Store64(x, 2) // unflushed at strand end
+				s.StrandEnd()
+				return nil
+			},
+		},
+		{
+			ID: "nd-tx-raw-store-after-commit", Type: report.NoDurability, Model: rules.Epoch,
+			Watch: []string{"x"},
+			Run: func(h *Harness) error {
+				p, err := h.PMDK()
+				if err != nil {
+					return err
+				}
+				root, _ := p.Root()
+				tx := p.Begin()
+				tx.Set(root+8, 5)
+				tx.Commit()
+				// Developer updates a sibling field outside any
+				// transaction and forgets pmemobj_persist.
+				h.PM.RegisterNamed("x", root+16, 8)
+				h.C.Store64(root+16, 6)
+				return nil
+			},
+		},
+		nd("flush-subset-loop", func(h *Harness) error {
+			// Eight sibling slots; the flush loop covers only the first
+			// four (a classic off-by-stride bug).
+			base := h.PM.Alloc(512)
+			h.PM.RegisterNamed("x", base+4*64, 8)
+			for i := 0; i < 8; i++ {
+				h.C.Store64(base+uint64(i)*64, uint64(i))
+			}
+			for i := 0; i < 4; i++ {
+				h.C.Flush(base+uint64(i)*64, 8)
+			}
+			h.C.Fence()
+			return nil
+		}),
+		nd("big-object-tail", func(h *Harness) error {
+			// A 4 KiB object persisted except for its last line.
+			obj := h.PM.Alloc(4096)
+			h.PM.RegisterNamed("x", obj+4032, 64)
+			h.C.StoreBytes(obj, make([]byte, 4096))
+			h.C.Flush(obj, 4096-64)
+			h.C.Fence()
+			return nil
+		}),
+		nd("interleaved-two-vars", func(h *Harness) error {
+			x := h.Alloc("x", 8)
+			y := h.Alloc("y", 8)
+			h.C.Store64(x, 1)
+			h.C.Store64(y, 2)
+			h.C.Store64(x, 3) // strict-model overwrite noise is fine here
+			h.C.Flush(y, 8)
+			h.C.Fence() // y durable; x never flushed
+			return nil
+		}),
+		{
+			ID: "nd-unflushed-overwrite-chain", Type: report.NoDurability, Model: rules.Epoch,
+			Watch: []string{"x"},
+			Run: func(h *Harness) error {
+				x := h.Alloc("x", 8)
+				for i := 0; i < 5; i++ {
+					h.C.Store64(x, uint64(i)) // legal overwrites (epoch model), never persisted
+				}
+				return nil
+			},
+		},
+		nd("flushed-then-dirtied", func(h *Harness) error {
+			// The line is flushed, then dirtied again; only the stale
+			// snapshot is durable.
+			x := h.Alloc("x", 8)
+			h.C.Store64(x, 1)
+			h.C.Flush(x, 8)
+			h.C.Store64(x, 2) // re-dirties after the flush
+			h.C.Fence()       // persists the snapshot with value 1
+			return nil
+		}),
+		nd("fence-before-flush", func(h *Harness) error {
+			x := h.Alloc("x", 8)
+			h.C.Store64(x, 1)
+			h.C.Fence()     // nearest fence guarantees nothing (Fig. 3)
+			h.C.Flush(x, 8) // flushed, but the program ends before a fence
+			return nil
+		}),
+	}
+
+	// Parameter-grid cases: sizes × intra-line offsets × failure mode.
+	sizes := []uint64{8, 32, 64, 200}
+	offsets := []uint64{0, 4, 60}
+	for _, size := range sizes {
+		for _, off := range offsets {
+			for _, missing := range []string{"clf", "fence"} {
+				size, off, missing := size, off, missing
+				id := fmt.Sprintf("nd-gen-sz%d-off%d-no%s", size, off, missing)
+				cases = append(cases, Case{
+					ID: id, Type: report.NoDurability, Model: rules.Strict,
+					Watch: []string{"x"},
+					Run: func(h *Harness) error {
+						// A clean neighbor cycle first keeps the
+						// bookkeeping honest about which record is the
+						// bug; it must precede the buggy sequence so its
+						// fence cannot accidentally commit it.
+						nb := h.PM.Alloc(64)
+						h.C.Store64(nb, 1)
+						h.C.Persist(nb, 8)
+
+						blk := h.PM.Alloc(512)
+						addr := (blk+63)&^63 + off
+						h.PM.RegisterNamed("x", addr, size)
+						data := make([]byte, size)
+						for i := range data {
+							data[i] = byte(i + 1)
+						}
+						h.C.StoreBytes(addr, data)
+						if missing == "fence" {
+							h.C.Flush(addr, size)
+						}
+						return nil
+					},
+				})
+			}
+		}
+	}
+	return cases
+}

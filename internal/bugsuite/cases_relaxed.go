@@ -1,0 +1,269 @@
+package bugsuite
+
+import (
+	"pmdebugger/internal/report"
+	"pmdebugger/internal/rules"
+)
+
+// redundantLoggingCases returns the 5 redundant-logging cases.
+func redundantLoggingCases() []Case {
+	rl := func(id string, run func(h *Harness) error) Case {
+		return Case{
+			ID: "rl-" + id, Type: report.RedundantLogging, Model: rules.Epoch,
+			Watch: []string{"x"}, Run: run,
+		}
+	}
+	// cleanTxTail persists x inside a well-formed epoch so the only bug is
+	// the double logging.
+	logTwice := func(h *Harness, first, second func(h *Harness, x uint64)) error {
+		x := h.Alloc("x", 32)
+		h.C.EpochBegin()
+		first(h, x)
+		second(h, x)
+		h.C.StoreBytes(x, make([]byte, 32))
+		h.C.Flush(x, 32)
+		h.C.Fence()
+		h.C.EpochEnd()
+		return nil
+	}
+	return []Case{
+		rl("exact-double", func(h *Harness) error {
+			return logTwice(h,
+				func(h *Harness, x uint64) { h.C.TxLogAdd(x, 32) },
+				func(h *Harness, x uint64) { h.C.TxLogAdd(x, 32) })
+		}),
+		rl("partial-overlap", func(h *Harness) error {
+			return logTwice(h,
+				func(h *Harness, x uint64) { h.C.TxLogAdd(x, 16) },
+				func(h *Harness, x uint64) { h.C.TxLogAdd(x+8, 16) })
+		}),
+		rl("containing-range", func(h *Harness) error {
+			return logTwice(h,
+				func(h *Harness, x uint64) { h.C.TxLogAdd(x, 8) },
+				func(h *Harness, x uint64) { h.C.TxLogAdd(x, 32) })
+		}),
+		rl("pmdk-overlapping-add", func(h *Harness) error {
+			// Through the transaction API: two partially overlapping
+			// TX_ADDs write the overlap into the undo log twice.
+			p, err := h.PMDK()
+			if err != nil {
+				return err
+			}
+			root, _ := p.Root()
+			h.PM.RegisterNamed("x", root, 16)
+			tx := p.Begin()
+			tx.Add(root, 12)
+			tx.Add(root+8, 8)
+			tx.Store64(root, 1)
+			tx.Store64(root+8, 2)
+			tx.Commit()
+			return nil
+		}),
+		rl("dup-after-other-object", func(h *Harness) error {
+			return logTwice(h,
+				func(h *Harness, x uint64) {
+					h.C.TxLogAdd(x, 8)
+					y := h.PM.Alloc(8)
+					h.C.TxLogAdd(y, 8)
+					h.C.Store64(y, 1)
+					h.C.Flush(y, 8)
+				},
+				func(h *Harness, x uint64) { h.C.TxLogAdd(x, 8) })
+		}),
+	}
+}
+
+// epochDurabilityCases returns the 4 lack-durability-in-epoch cases.
+func epochDurabilityCases() []Case {
+	return []Case{
+		{
+			ID: "lde-unflushed-store", Type: report.LackDurabilityInEpoch, Model: rules.Epoch,
+			Watch: []string{"x"},
+			Run: func(h *Harness) error {
+				// Fig. 7c: A is written in the epoch but only B is
+				// persisted.
+				x := h.Alloc("x", 8)
+				y := h.Alloc("y", 8)
+				h.C.EpochBegin()
+				h.C.Store64(x, 1) // never flushed
+				h.C.Store64(y, 2)
+				h.C.Flush(y, 8)
+				h.C.Fence()
+				h.C.EpochEnd()
+				return nil
+			},
+		},
+		{
+			ID: "lde-flushed-unfenced", Type: report.LackDurabilityInEpoch, Model: rules.Epoch,
+			Watch: []string{"x"},
+			Run: func(h *Harness) error {
+				// The store is flushed but the epoch closes before any
+				// fence.
+				x := h.Alloc("x", 8)
+				h.C.EpochBegin()
+				h.C.Store64(x, 1)
+				h.C.Flush(x, 8)
+				h.C.EpochEnd()
+				return nil
+			},
+		},
+		{
+			ID: "lde-partial-object", Type: report.LackDurabilityInEpoch, Model: rules.Epoch,
+			Watch: []string{"x"},
+			Run: func(h *Harness) error {
+				// Only half the object reaches durability inside the
+				// epoch (the PMDK "array" bug shape, Fig. 9c).
+				blk := h.PM.Alloc(256)
+				x := (blk + 63) &^ 63
+				h.PM.RegisterNamed("x", x, 128)
+				h.C.EpochBegin()
+				h.C.StoreBytes(x, make([]byte, 128))
+				h.C.Flush(x, 64) // second line missed
+				h.C.Fence()
+				h.C.EpochEnd()
+				return nil
+			},
+		},
+		{
+			ID: "lde-pmdk-raw-store", Type: report.LackDurabilityInEpoch, Model: rules.Epoch,
+			Watch: []string{"x"},
+			Run: func(h *Harness) error {
+				// Fig. 9c through the transaction API: fields modified
+				// with plain stores inside the TX, while only the sibling
+				// allocation is persisted.
+				p, err := h.PMDK()
+				if err != nil {
+					return err
+				}
+				root, _ := p.Root()
+				h.PM.RegisterNamed("x", root+64, 8)
+				tx := p.Begin()
+				h.C.Store64(root+64, 7) // raw store: not added, not flushed
+				tx.Set(root, 1)
+				tx.Commit()
+				return nil
+			},
+		},
+	}
+}
+
+// epochFenceCases returns the 4 redundant-epoch-fence cases.
+func epochFenceCases() []Case {
+	return []Case{
+		{
+			ID: "ref-two-persists", Type: report.RedundantEpochFence, Model: rules.Epoch,
+			Run: func(h *Harness) error {
+				// Fig. 7a: two full persist sequences inside one epoch.
+				x := h.PM.Alloc(128)
+				h.C.EpochBegin()
+				h.C.Store64(x, 1)
+				h.C.Persist(x, 8)
+				h.C.Store64(x+64, 2)
+				h.C.Persist(x+64, 8)
+				h.C.EpochEnd()
+				return nil
+			},
+		},
+		{
+			ID: "ref-pmdk-persist-in-tx", Type: report.RedundantEpochFence, Model: rules.Epoch,
+			Run: func(h *Harness) error {
+				// Fig. 9b: pmemobj_persist called inside a transaction
+				// adds a fence the TX commit already provides.
+				p, err := h.PMDK()
+				if err != nil {
+					return err
+				}
+				root, _ := p.Root()
+				tx := p.Begin()
+				tx.Set(root, 1)
+				p.Persist(root, 8) // the redundant fence
+				tx.Commit()
+				return nil
+			},
+		},
+		{
+			ID: "ref-three-fences", Type: report.RedundantEpochFence, Model: rules.Epoch,
+			Run: func(h *Harness) error {
+				x := h.PM.Alloc(256)
+				h.C.EpochBegin()
+				for i := 0; i < 3; i++ {
+					h.C.Store64(x+uint64(i)*64, uint64(i))
+					h.C.Persist(x+uint64(i)*64, 8)
+				}
+				h.C.EpochEnd()
+				return nil
+			},
+		},
+		{
+			ID: "ref-bare-fence", Type: report.RedundantEpochFence, Model: rules.Epoch,
+			Run: func(h *Harness) error {
+				// A stray drain before the real persist.
+				x := h.PM.Alloc(64)
+				h.C.EpochBegin()
+				h.C.Fence() // pointless drain
+				h.C.Store64(x, 1)
+				h.C.Persist(x, 8)
+				h.C.EpochEnd()
+				return nil
+			},
+		},
+	}
+}
+
+// strandOrderCases returns the 2 lack-ordering-in-strands cases.
+func strandOrderCases() []Case {
+	abOrder := []rules.OrderSpec{{Before: "A", After: "B"}}
+	return []Case{
+		{
+			ID: "los-two-strands", Type: report.LackOrderingInStrands, Model: rules.Strand,
+			Orders: abOrder, Watch: []string{"A", "B"},
+			Run: func(h *Harness) error {
+				// Fig. 7b: strand 1 persists B while strand 0, which must
+				// persist A first, is still running.
+				a := h.Alloc("A", 8)
+				b := h.Alloc("B", 8)
+				s0 := h.C.StrandBegin()
+				s1 := h.C.StrandBegin()
+				s0.Store64(a, 1)
+				s0.Store64(b, 2)
+				s0.Flush(a, 8)
+				s1.Store64(b, 3)
+				s1.Flush(b, 8) // B persisted cross-strand before A is durable
+				s1.Fence()
+				s1.StrandEnd()
+				s0.Fence()
+				s0.Flush(b, 8)
+				s0.Fence()
+				s0.StrandEnd()
+				return nil
+			},
+		},
+		{
+			ID: "los-three-strands", Type: report.LackOrderingInStrands, Model: rules.Strand,
+			Orders: abOrder, Watch: []string{"A", "B"},
+			Run: func(h *Harness) error {
+				// The violating persist comes from a third strand while
+				// the writer of A runs unjoined.
+				a := h.Alloc("A", 8)
+				b := h.Alloc("B", 8)
+				c := h.Alloc("C", 8)
+				s0 := h.C.StrandBegin()
+				s1 := h.C.StrandBegin()
+				s2 := h.C.StrandBegin()
+				s1.Store64(c, 9)
+				s1.Flush(c, 8)
+				s1.Fence()
+				s1.StrandEnd()
+				s0.Store64(a, 1)
+				s2.Store64(b, 2)
+				s2.Flush(b, 8) // strand 2 persists B; strand 0 holds A undurable
+				s2.Fence()
+				s2.StrandEnd()
+				s0.Flush(a, 8)
+				s0.Fence()
+				s0.StrandEnd()
+				return nil
+			},
+		},
+	}
+}

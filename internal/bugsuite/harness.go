@@ -1,0 +1,230 @@
+// Package bugsuite is the bug evaluation dataset of §7.3 (Table 6): 78 bug
+// cases across the ten bug types — with the exact per-type counts of the
+// paper — plus correct twin programs for false-positive measurement, and
+// the machinery to run every case under every detector and produce the
+// capability matrix and false-negative rates.
+package bugsuite
+
+import (
+	"fmt"
+
+	"pmdebugger/internal/baselines"
+	"pmdebugger/internal/core"
+	"pmdebugger/internal/pmdk"
+	"pmdebugger/internal/pmem"
+	"pmdebugger/internal/report"
+	"pmdebugger/internal/rules"
+)
+
+// Case is one bug scenario (or correct twin).
+type Case struct {
+	// ID uniquely names the case.
+	ID string
+	// Type is the bug type the scenario plants (ignored for twins).
+	Type report.BugType
+	// Model is the persistency model the scenario uses.
+	Model rules.Model
+	// Orders are the persist-order requirements handed to detectors that
+	// accept them (PMDebugger's configuration file, PMTest's
+	// isOrderedBefore, XFDetector's requirements).
+	Orders []rules.OrderSpec
+	// Watch lists the variable names the PMTest developers annotated with
+	// checkers. Without an entry here PMTest is blind to the variable.
+	Watch []string
+	// PoolSize overrides the default 1 MiB pool.
+	PoolSize uint64
+	// Run executes the scenario against the harness pool.
+	Run func(h *Harness) error
+	// Cross, when non-nil, is the post-failure recovery check of the
+	// cross-failure cases: it is invoked by the detectors that support
+	// cross-failure testing and returns an error when recovery would read
+	// semantically inconsistent data. It must be self-contained (it builds
+	// its own pools) so it adds no events to the monitored stream.
+	Cross func() error
+}
+
+// Harness provides the instrumented execution environment for a case.
+type Harness struct {
+	PM *pmem.Pool
+	C  *pmem.Ctx
+
+	pmdkPool *pmdk.Pool
+}
+
+// NewHarness builds the pool for a case. Detectors should be attached
+// before Run.
+func NewHarness(c Case) *Harness {
+	size := c.PoolSize
+	if size == 0 {
+		size = 1 << 20
+	}
+	pm := pmem.New(size)
+	return &Harness{PM: pm, C: pm.Ctx()}
+}
+
+// PMDK returns (creating on first use) a mini-PMDK pool over the harness
+// memory, for transactional cases.
+func (h *Harness) PMDK() (*pmdk.Pool, error) {
+	if h.pmdkPool == nil {
+		p, err := pmdk.Create(h.PM, 4096)
+		if err != nil {
+			return nil, err
+		}
+		h.pmdkPool = p
+	}
+	return h.pmdkPool, nil
+}
+
+// Alloc reserves an address range and registers it under the given name so
+// rule configurations and PMTest annotations can refer to it. Each named
+// variable gets its own cache line(s) so a writeback of one variable never
+// incidentally persists another; cases that want same-line co-location lay
+// addresses out manually.
+func (h *Harness) Alloc(name string, size uint64) uint64 {
+	padded := (size + pmem.LineSize - 1) &^ uint64(pmem.LineSize-1)
+	block := h.PM.Alloc(padded + pmem.LineSize)
+	addr := (block + pmem.LineSize - 1) &^ uint64(pmem.LineSize-1)
+	h.PM.RegisterNamed(name, addr, size)
+	return addr
+}
+
+// DetectorKind selects one of the four evaluated detectors.
+type DetectorKind int
+
+// The four detectors of Table 6.
+const (
+	PMDebugger DetectorKind = iota
+	Pmemcheck
+	PMTest
+	XFDetector
+)
+
+// AllDetectors lists the detectors in Table 6 row order (baselines first).
+func AllDetectors() []DetectorKind {
+	return []DetectorKind{Pmemcheck, PMTest, XFDetector, PMDebugger}
+}
+
+// String returns the detector name.
+func (k DetectorKind) String() string {
+	switch k {
+	case PMDebugger:
+		return "pmdebugger"
+	case Pmemcheck:
+		return "pmemcheck"
+	case PMTest:
+		return "pmtest"
+	case XFDetector:
+		return "xfdetector"
+	default:
+		return fmt.Sprintf("detector(%d)", int(k))
+	}
+}
+
+// Build constructs the detector configured for the case: order specs for
+// the tools that accept them, annotations for PMTest, the cross-failure
+// hook for the tools that can run recovery.
+func Build(k DetectorKind, c Case) baselines.Detector {
+	switch k {
+	case PMDebugger:
+		cfg := core.Config{Model: c.Model, Orders: c.Orders}
+		if c.Cross != nil {
+			cfg.CrossFailureCheck = c.Cross
+		}
+		return core.New(cfg)
+	case Pmemcheck:
+		return baselines.NewPmemcheck()
+	case PMTest:
+		return baselines.NewPMTest(baselines.PMTestConfig{
+			Watch:  c.Watch,
+			Orders: c.Orders,
+		})
+	case XFDetector:
+		return baselines.NewXFDetector(baselines.XFDetectorConfig{
+			Orders:            c.Orders,
+			CrossFailureCheck: c.Cross,
+		})
+	default:
+		panic("bugsuite: unknown detector kind")
+	}
+}
+
+// RunCase executes the case under the detector and returns the report.
+func RunCase(k DetectorKind, c Case) (*report.Report, error) {
+	h := NewHarness(c)
+	det := Build(k, c)
+	h.PM.Attach(det)
+	if err := c.Run(h); err != nil {
+		return nil, fmt.Errorf("case %s: %w", c.ID, err)
+	}
+	h.PM.End()
+	return det.Report(), nil
+}
+
+// Detects reports whether the detector finds the case's planted bug type.
+func Detects(k DetectorKind, c Case) (bool, error) {
+	rep, err := RunCase(k, c)
+	if err != nil {
+		return false, err
+	}
+	return rep.Has(c.Type), nil
+}
+
+// Cases returns the 78 bug cases in Table 6 column order.
+func Cases() []Case {
+	var all []Case
+	all = append(all, durabilityCases()...)
+	all = append(all, overwriteCases()...)
+	all = append(all, orderCases()...)
+	all = append(all, redundantFlushCases()...)
+	all = append(all, flushNothingCases()...)
+	all = append(all, redundantLoggingCases()...)
+	all = append(all, epochDurabilityCases()...)
+	all = append(all, epochFenceCases()...)
+	all = append(all, strandOrderCases()...)
+	all = append(all, crossFailureCases()...)
+	return all
+}
+
+// ExpectedCounts is the Table 6 "Bug cases" row.
+var ExpectedCounts = map[report.BugType]int{
+	report.NoDurability:          44,
+	report.MultipleOverwrites:    2,
+	report.NoOrderGuarantee:      4,
+	report.RedundantFlush:        6,
+	report.FlushNothing:          3,
+	report.RedundantLogging:      5,
+	report.LackDurabilityInEpoch: 4,
+	report.RedundantEpochFence:   4,
+	report.LackOrderingInStrands: 2,
+	report.CrossFailureSemantic:  4,
+}
+
+// CanDetect is the Table 6 capability matrix: which bug types each tool's
+// mechanism can observe at all.
+func CanDetect(k DetectorKind, t report.BugType) bool {
+	switch k {
+	case PMDebugger:
+		return true
+	case Pmemcheck:
+		switch t {
+		case report.NoDurability, report.MultipleOverwrites,
+			report.RedundantFlush, report.FlushNothing:
+			return true
+		}
+	case PMTest:
+		switch t {
+		case report.NoDurability, report.MultipleOverwrites,
+			report.NoOrderGuarantee, report.RedundantFlush,
+			report.RedundantLogging:
+			return true
+		}
+	case XFDetector:
+		switch t {
+		case report.NoDurability, report.MultipleOverwrites,
+			report.NoOrderGuarantee, report.RedundantFlush,
+			report.RedundantLogging, report.CrossFailureSemantic:
+			return true
+		}
+	}
+	return false
+}

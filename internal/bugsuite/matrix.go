@@ -1,0 +1,161 @@
+package bugsuite
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pmdebugger/internal/report"
+)
+
+// MatrixResult is the outcome of running the full suite under every
+// detector: the Table 6 capability matrix and the §7.3 false-negative /
+// false-positive rates.
+type MatrixResult struct {
+	// DetectedByType[k][t] counts cases of type t detected by detector k.
+	DetectedByType map[DetectorKind]map[report.BugType]int
+	// TotalDetected[k] is the detector's total across the 78 cases.
+	TotalDetected map[DetectorKind]int
+	// TypesDetected[k] is the number of distinct bug types found.
+	TypesDetected map[DetectorKind]int
+	// FalseNegatives / FalsePositives per detector.
+	FalseNegatives map[DetectorKind]int
+	FalsePositives map[DetectorKind]int
+	// Missed lists the case IDs each detector failed to detect.
+	Missed map[DetectorKind][]string
+	// Cases is the number of bug cases; Twins the number of correct twins.
+	Cases, Twins int
+	// PMTestAnnotations counts the per-variable checker annotations the
+	// PMTest developers had to supply across the suite, and
+	// ConfigOrderLines the configuration-file lines PMDebugger needed for
+	// the same coverage — the §8 programmer-effort comparison.
+	PMTestAnnotations int
+	ConfigOrderLines  int
+}
+
+// FalseNegativeRate returns the §7.3 rate for the detector.
+func (m *MatrixResult) FalseNegativeRate(k DetectorKind) float64 {
+	if m.Cases == 0 {
+		return 0
+	}
+	return 100 * float64(m.FalseNegatives[k]) / float64(m.Cases)
+}
+
+// RunMatrix executes all 78 bug cases and all correct twins under the four
+// detectors.
+func RunMatrix() (*MatrixResult, error) {
+	cases := Cases()
+	twins := CorrectTwins()
+	m := &MatrixResult{
+		DetectedByType: map[DetectorKind]map[report.BugType]int{},
+		TotalDetected:  map[DetectorKind]int{},
+		TypesDetected:  map[DetectorKind]int{},
+		FalseNegatives: map[DetectorKind]int{},
+		FalsePositives: map[DetectorKind]int{},
+		Missed:         map[DetectorKind][]string{},
+		Cases:          len(cases),
+		Twins:          len(twins),
+	}
+	for _, c := range cases {
+		m.PMTestAnnotations += len(c.Watch) + len(c.Orders)
+		m.ConfigOrderLines += len(c.Orders)
+	}
+	for _, k := range AllDetectors() {
+		m.DetectedByType[k] = map[report.BugType]int{}
+		for _, c := range cases {
+			found, err := Detects(k, c)
+			if err != nil {
+				return nil, err
+			}
+			if found {
+				m.DetectedByType[k][c.Type]++
+				m.TotalDetected[k]++
+			} else {
+				m.FalseNegatives[k]++
+				m.Missed[k] = append(m.Missed[k], c.ID)
+			}
+		}
+		m.TypesDetected[k] = len(m.DetectedByType[k])
+		for _, c := range twins {
+			rep, err := RunCase(k, c)
+			if err != nil {
+				return nil, err
+			}
+			m.FalsePositives[k] += rep.Len()
+		}
+	}
+	return m, nil
+}
+
+// Format renders the Table 6 matrix and the rates.
+func (m *MatrixResult) Format() string {
+	var sb strings.Builder
+	types := report.AllBugTypes()
+	fmt.Fprintf(&sb, "Table 6: bug detection capability (%d bug cases, %d correct twins)\n\n",
+		m.Cases, m.Twins)
+	fmt.Fprintf(&sb, "%-12s", "")
+	for _, t := range types {
+		fmt.Fprintf(&sb, " %5s", abbrev(t))
+	}
+	fmt.Fprintf(&sb, " %7s %6s %7s %4s\n", "total", "types", "FN-rate", "FP")
+	fmt.Fprintf(&sb, "%-12s", "bug cases")
+	for _, t := range types {
+		fmt.Fprintf(&sb, " %5d", ExpectedCounts[t])
+	}
+	fmt.Fprintf(&sb, " %7d\n", m.Cases)
+	for _, k := range AllDetectors() {
+		fmt.Fprintf(&sb, "%-12s", k.String())
+		for _, t := range types {
+			n := m.DetectedByType[k][t]
+			if n == 0 {
+				fmt.Fprintf(&sb, " %5s", "-")
+			} else {
+				fmt.Fprintf(&sb, " %5d", n)
+			}
+		}
+		fmt.Fprintf(&sb, " %7d %6d %6.1f%% %4d\n",
+			m.TotalDetected[k], m.TypesDetected[k], m.FalseNegativeRate(k), m.FalsePositives[k])
+	}
+	fmt.Fprintf(&sb, "\nprogrammer effort (§8): pmtest needed %d checker annotations; "+
+		"pmdebugger needed %d order-config lines\n",
+		m.PMTestAnnotations, m.ConfigOrderLines)
+	return sb.String()
+}
+
+// FormatMissed lists each detector's missed cases grouped by type.
+func (m *MatrixResult) FormatMissed() string {
+	var sb strings.Builder
+	for _, k := range AllDetectors() {
+		ids := append([]string(nil), m.Missed[k]...)
+		sort.Strings(ids)
+		fmt.Fprintf(&sb, "%s missed %d: %s\n", k, len(ids), strings.Join(ids, " "))
+	}
+	return sb.String()
+}
+
+func abbrev(t report.BugType) string {
+	switch t {
+	case report.NoDurability:
+		return "nodur"
+	case report.MultipleOverwrites:
+		return "movr"
+	case report.NoOrderGuarantee:
+		return "noord"
+	case report.RedundantFlush:
+		return "rflsh"
+	case report.FlushNothing:
+		return "fnone"
+	case report.RedundantLogging:
+		return "rlog"
+	case report.LackDurabilityInEpoch:
+		return "ldepo"
+	case report.RedundantEpochFence:
+		return "refen"
+	case report.LackOrderingInStrands:
+		return "lostr"
+	case report.CrossFailureSemantic:
+		return "xfail"
+	default:
+		return "?"
+	}
+}

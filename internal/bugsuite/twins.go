@@ -1,0 +1,166 @@
+package bugsuite
+
+import (
+	"pmdebugger/internal/rules"
+)
+
+// CorrectTwins returns correct counterparts of the bug cases: programs that
+// exercise the same code shapes with the bug fixed. Every detector must
+// report zero bugs on every twin — the false-positive measurement of §7.3.
+func CorrectTwins() []Case {
+	tw := func(id string, model rules.Model, run func(h *Harness) error) Case {
+		return Case{ID: "tw-" + id, Model: model, Watch: []string{"x"}, Run: run}
+	}
+	return []Case{
+		tw("persist-cycle", rules.Strict, func(h *Harness) error {
+			x := h.Alloc("x", 8)
+			for i := 0; i < 10; i++ {
+				h.C.Store64(x, uint64(i))
+				h.C.Persist(x, 8)
+			}
+			return nil
+		}),
+		tw("multi-line-object", rules.Strict, func(h *Harness) error {
+			blk := h.PM.Alloc(320)
+			x := (blk + 63) &^ 63
+			h.PM.RegisterNamed("x", x, 8)
+			h.C.StoreBytes(x, make([]byte, 192))
+			h.C.Flush(x, 192) // single covering writeback
+			h.C.Fence()
+			return nil
+		}),
+		tw("overwrite-after-durable", rules.Strict, func(h *Harness) error {
+			x := h.Alloc("x", 8)
+			h.C.Store64(x, 1)
+			h.C.Persist(x, 8)
+			h.C.Store64(x, 2)
+			h.C.Persist(x, 8)
+			return nil
+		}),
+		{
+			ID: "tw-order-satisfied", Model: rules.Strict,
+			Orders: []rules.OrderSpec{{Before: "value", After: "key"}},
+			Watch:  []string{"value", "key"},
+			Run: func(h *Harness) error {
+				v := h.Alloc("value", 8)
+				k := h.Alloc("key", 8)
+				h.C.Store64(v, 1)
+				h.C.Persist(v, 8)
+				h.C.Store64(k, 2)
+				h.C.Persist(k, 8)
+				return nil
+			},
+		},
+		tw("one-flush-per-line", rules.Strict, func(h *Harness) error {
+			blk := h.PM.Alloc(192)
+			x := (blk + 63) &^ 63
+			h.PM.RegisterNamed("x", x, 16)
+			h.C.Store64(x, 1)
+			h.C.Store64(x+8, 2) // same line: one flush suffices
+			h.C.Flush(x, 16)
+			h.C.Fence()
+			return nil
+		}),
+		tw("clean-pmdk-tx", rules.Epoch, func(h *Harness) error {
+			p, err := h.PMDK()
+			if err != nil {
+				return err
+			}
+			root, _ := p.Root()
+			h.PM.RegisterNamed("x", root, 8)
+			for i := 0; i < 5; i++ {
+				tx := p.Begin()
+				tx.Set(root, uint64(i))
+				tx.SetBytes(root+16, []byte{1, 2, 3, byte(i)})
+				tx.Commit()
+			}
+			return nil
+		}),
+		tw("log-once-per-tx", rules.Epoch, func(h *Harness) error {
+			x := h.Alloc("x", 16)
+			for i := 0; i < 3; i++ {
+				h.C.EpochBegin()
+				h.C.TxLogAdd(x, 16)
+				h.C.StoreBytes(x, []byte{byte(i), 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})
+				h.C.Flush(x, 16)
+				h.C.Fence()
+				h.C.EpochEnd()
+			}
+			return nil
+		}),
+		tw("epoch-single-fence", rules.Epoch, func(h *Harness) error {
+			blk := h.PM.Alloc(256)
+			x := (blk + 63) &^ 63
+			h.PM.RegisterNamed("x", x, 8)
+			h.C.EpochBegin()
+			h.C.Store64(x, 1)
+			h.C.Store64(x+64, 2)
+			h.C.Flush(x, 8)
+			h.C.Flush(x+64, 8)
+			h.C.Fence()
+			h.C.EpochEnd()
+			return nil
+		}),
+		{
+			ID: "tw-strand-joined", Model: rules.Strand,
+			Orders: []rules.OrderSpec{{Before: "A", After: "B"}},
+			Watch:  []string{"A", "B"},
+			Run: func(h *Harness) error {
+				a := h.Alloc("A", 8)
+				b := h.Alloc("B", 8)
+				s0 := h.C.StrandBegin()
+				s0.Store64(a, 1)
+				s0.Flush(a, 8)
+				s0.Fence()
+				s0.StrandEnd()
+				h.C.JoinStrand() // explicit order before touching B
+				s1 := h.C.StrandBegin()
+				s1.Store64(b, 2)
+				s1.Flush(b, 8)
+				s1.Fence()
+				s1.StrandEnd()
+				return nil
+			},
+		},
+		{
+			ID: "tw-recovery-sound", Model: rules.Strict,
+			Run: func(h *Harness) error {
+				// Payload persisted strictly before the valid flag.
+				payload := h.PM.Alloc(64)
+				flag := h.PM.Alloc(64)
+				h.C.StoreBytes(payload, []byte("payload!"))
+				h.C.Persist(payload, 8)
+				h.C.Store64(flag, 1)
+				h.C.Persist(flag, 8)
+				return nil
+			},
+			Cross: func() error { return nil }, // recovery finds no inconsistency
+		},
+		tw("batched-stores-one-flush", rules.Strict, func(h *Harness) error {
+			blk := h.PM.Alloc(128)
+			x := (blk + 63) &^ 63
+			h.PM.RegisterNamed("x", x, 8)
+			for i := uint64(0); i < 8; i++ {
+				h.C.Store8(x+i, byte(i))
+			}
+			h.C.Flush(x, 8)
+			h.C.Fence()
+			return nil
+		}),
+		tw("strand-independent", rules.Strand, func(h *Harness) error {
+			x := h.Alloc("x", 8)
+			y := h.Alloc("y", 8)
+			s0 := h.C.StrandBegin()
+			s1 := h.C.StrandBegin()
+			s0.Store64(x, 1)
+			s1.Store64(y, 2)
+			s0.Flush(x, 8)
+			s1.Flush(y, 8)
+			s0.Fence()
+			s1.Fence()
+			s0.StrandEnd()
+			s1.StrandEnd()
+			return nil
+		}),
+	}
+}

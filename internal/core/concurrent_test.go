@@ -1,0 +1,82 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"pmdebugger/internal/pmem"
+	"pmdebugger/internal/rules"
+)
+
+// TestConcurrentStrandsFromGoroutines drives strand sections from parallel
+// goroutines — the paper's strand sections "can happen in parallel" (§5.1)
+// — and requires a clean report plus intact detector state. The pool
+// serializes event delivery, so the detector itself needs no locking; this
+// test guards that contract.
+func TestConcurrentStrandsFromGoroutines(t *testing.T) {
+	pm := pmem.New(1 << 22)
+	det := New(Config{Model: rules.Strand})
+	pm.Attach(det)
+
+	const workers = 8
+	const opsPerWorker = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := pm.ThreadCtx(int32(w))
+			region := pm.Alloc(opsPerWorker * 64)
+			for i := 0; i < opsPerWorker; i++ {
+				s := c.StrandBegin()
+				addr := region + uint64(i)*64
+				s.Store64(addr, uint64(i))
+				s.Flush(addr, 8)
+				s.Fence()
+				s.StrandEnd()
+			}
+		}(w)
+	}
+	wg.Wait()
+	pm.End()
+
+	rep := det.Report()
+	if rep.Len() != 0 {
+		t.Fatalf("concurrent strands flagged:\n%s", rep.Summary())
+	}
+	if rep.Counters.Stores != workers*opsPerWorker {
+		t.Fatalf("stores = %d", rep.Counters.Stores)
+	}
+	// All strand spaces were empty at StrandEnd and must have been retired.
+	if n := len(det.spaces); n != 1 {
+		t.Fatalf("%d spaces retained; want only space 0", n)
+	}
+}
+
+// TestConcurrentMixedThreadsStrictModel drives a strict-model detector from
+// concurrent threads with disjoint working sets.
+func TestConcurrentMixedThreadsStrictModel(t *testing.T) {
+	pm := pmem.New(1 << 22)
+	det := New(Config{Model: rules.Strict})
+	pm.Attach(det)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := pm.ThreadCtx(int32(w))
+			region := pm.Alloc(64 * 128)
+			for i := 0; i < 128; i++ {
+				addr := region + uint64(i)*64
+				c.Store64(addr, uint64(w))
+				c.Persist(addr, 8)
+			}
+		}(w)
+	}
+	wg.Wait()
+	pm.End()
+	if rep := det.Report(); rep.Len() != 0 {
+		t.Fatalf("concurrent strict workload flagged:\n%s", rep.Summary())
+	}
+}

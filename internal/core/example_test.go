@@ -1,0 +1,76 @@
+package core_test
+
+import (
+	"fmt"
+
+	"pmdebugger/internal/core"
+	"pmdebugger/internal/pmem"
+	"pmdebugger/internal/rules"
+)
+
+// Example shows the basic debugging loop: attach a detector to a simulated
+// pool, run the PM program, read the report.
+func Example() {
+	pool := pmem.New(1 << 16)
+	det := core.New(core.Config{Model: rules.Strict})
+	pool.Attach(det)
+
+	c := pool.Ctx()
+	x := pool.Alloc(64)
+	c.Store64(x, 42) // store, never flushed: a durability bug
+	pool.End()
+
+	rep := det.Report()
+	fmt.Println(rep.Len(), "bug:", rep.Bugs[0].Type)
+	// Output:
+	// 1 bug: no durability guarantee
+}
+
+// Example_orderRule configures a persist-order requirement from the §4.5
+// configuration-file syntax and catches a violation.
+func Example_orderRule() {
+	orders := []rules.OrderSpec{{Before: "value", After: "key"}}
+	pool := pmem.New(1 << 16)
+	det := core.New(core.Config{Model: rules.Strict, Orders: orders})
+	pool.Attach(det)
+
+	c := pool.Ctx()
+	v := pool.Alloc(64)
+	k := pool.Alloc(64)
+	pool.RegisterNamed("value", v, 8)
+	pool.RegisterNamed("key", k, 8)
+
+	c.Store64(k, 1)
+	c.Persist(k, 8) // key durable before value: violation
+	c.Store64(v, 2)
+	c.Persist(v, 8)
+	pool.End()
+
+	fmt.Println(det.Report().Has(2)) // report.NoOrderGuarantee
+	// Output:
+	// true
+}
+
+// Example_epochModel shows the relaxed-model rules on a transaction-shaped
+// program with one fence too many.
+func Example_epochModel() {
+	pool := pmem.New(1 << 16)
+	det := core.New(core.Config{Model: rules.Epoch})
+	pool.Attach(det)
+
+	c := pool.Ctx()
+	a := pool.Alloc(128)
+	c.EpochBegin()
+	c.Store64(a, 1)
+	c.Persist(a, 8) // fence 1
+	c.Store64(a+64, 2)
+	c.Persist(a+64, 8) // fence 2: redundant in this epoch
+	c.EpochEnd()
+	pool.End()
+
+	for _, b := range det.Report().Bugs {
+		fmt.Println(b.Type)
+	}
+	// Output:
+	// redundant epoch fence
+}

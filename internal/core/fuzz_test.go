@@ -1,0 +1,68 @@
+package core
+
+import (
+	"testing"
+
+	"pmdebugger/internal/report"
+	"pmdebugger/internal/rules"
+	"pmdebugger/internal/trace"
+)
+
+// FuzzDetectorVsOracle drives the engine and the brute-force oracle with an
+// instruction stream decoded from fuzz input and requires identical
+// bug-type outcomes. Run with `go test -fuzz FuzzDetectorVsOracle` for
+// continuous exploration; the seed corpus runs in normal test mode.
+func FuzzDetectorVsOracle(f *testing.F) {
+	f.Add([]byte{0, 10, 1, 20, 3, 0, 0, 10, 2, 30})
+	f.Add([]byte{0, 0, 0, 1, 0, 2, 1, 0, 2, 0, 3, 0})
+	f.Add([]byte{4, 0, 0, 8, 1, 8, 2, 0, 5, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const base = 0x1000_0000
+		var evs []trace.Event
+		seq := uint64(0)
+		emit := func(kind trace.Kind, addr, size uint64) {
+			seq++
+			evs = append(evs, trace.Event{Seq: seq, Kind: kind, Addr: addr, Size: size})
+		}
+		for i := 0; i+1 < len(data); i += 2 {
+			op, arg := data[i], uint64(data[i+1])
+			switch op % 5 {
+			case 0: // store
+				emit(trace.KindStore, base+arg, arg%24+1)
+			case 1: // arbitrary flush
+				emit(trace.KindFlush, base+arg, arg%64+1)
+			case 2: // line flush
+				emit(trace.KindFlush, (base+arg)&^63, 64)
+			case 3: // fence
+				emit(trace.KindFence, 0, 0)
+			case 4: // store crossing lines
+				emit(trace.KindStore, base+arg, 64+arg%64)
+			}
+		}
+		emit(trace.KindEnd, 0, 0)
+
+		d := New(Config{
+			Model: rules.Strict,
+			Rules: rules.RuleNoDurability | rules.RuleMultipleOverwrites |
+				rules.RuleRedundantFlush | rules.RuleFlushNothing,
+			// Exercise spill and merge machinery under fuzzing too.
+			ArrayCapacity:  8,
+			MergeThreshold: 4,
+		})
+		o := newOracle()
+		for _, ev := range evs {
+			d.HandleEvent(ev)
+			o.HandleEvent(ev)
+		}
+		rep := d.Report()
+		for _, typ := range []report.BugType{
+			report.NoDurability, report.MultipleOverwrites,
+			report.RedundantFlush, report.FlushNothing,
+		} {
+			if rep.Has(typ) != o.bugs[typ] {
+				t.Fatalf("%s: engine=%v oracle=%v\nreport:\n%s",
+					typ, rep.Has(typ), o.bugs[typ], rep.Summary())
+			}
+		}
+	})
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"pmdebugger/internal/report"
+	"pmdebugger/internal/rules"
+	"pmdebugger/internal/trace"
+)
+
+// epochOracle extends the brute-force reference with the epoch-model rules:
+// lack of durability in an epoch, redundant epoch fences and redundant
+// logging, straight from their §5.2 definitions.
+type epochOracle struct {
+	written map[uint64]oracleByte
+	bugs    map[report.BugType]bool
+
+	inEpoch     bool
+	epochID     int
+	epochFences int
+	logged      map[uint64]bool // bytes logged in the current epoch
+}
+
+type oracleByte struct {
+	flushed bool
+	epoch   int // -1 outside epochs
+}
+
+func newEpochOracle() *epochOracle {
+	return &epochOracle{
+		written: map[uint64]oracleByte{},
+		bugs:    map[report.BugType]bool{},
+		logged:  map[uint64]bool{},
+		epochID: -1,
+	}
+}
+
+func (o *epochOracle) HandleEvent(ev trace.Event) {
+	switch ev.Kind {
+	case trace.KindStore:
+		ep := -1
+		if o.inEpoch {
+			ep = o.epochID
+		}
+		for a := ev.Addr; a < ev.End(); a++ {
+			o.written[a] = oracleByte{epoch: ep}
+		}
+	case trace.KindFlush:
+		for a := ev.Addr; a < ev.End(); a++ {
+			if st, ok := o.written[a]; ok && !st.flushed {
+				st.flushed = true
+				o.written[a] = st
+			}
+		}
+	case trace.KindFence:
+		if o.inEpoch {
+			o.epochFences++
+		}
+		for a, st := range o.written {
+			if st.flushed {
+				delete(o.written, a)
+			}
+		}
+	case trace.KindEpochBegin:
+		o.inEpoch = true
+		o.epochID++
+		o.epochFences = 0
+		o.logged = map[uint64]bool{}
+	case trace.KindEpochEnd:
+		if !o.inEpoch {
+			return
+		}
+		o.inEpoch = false
+		if o.epochFences > 1 {
+			o.bugs[report.RedundantEpochFence] = true
+		}
+		for _, st := range o.written {
+			if st.epoch == o.epochID {
+				o.bugs[report.LackDurabilityInEpoch] = true
+				break
+			}
+		}
+	case trace.KindTxLogAdd:
+		if !o.inEpoch {
+			return
+		}
+		for a := ev.Addr; a < ev.End(); a++ {
+			if o.logged[a] {
+				o.bugs[report.RedundantLogging] = true
+			}
+			o.logged[a] = true
+		}
+	case trace.KindEnd:
+		// The epoch differential focuses on the epoch rules; the common
+		// rules are covered by the strict-model oracle.
+	}
+}
+
+// genEpochStream produces random epoch-model instruction streams.
+func genEpochStream(rng *rand.Rand, n int) []trace.Event {
+	const base = 0x1000_0000
+	var evs []trace.Event
+	seq := uint64(0)
+	inEpoch := false
+	emit := func(kind trace.Kind, addr, size uint64) {
+		seq++
+		evs = append(evs, trace.Event{Seq: seq, Kind: kind, Addr: addr, Size: size})
+	}
+	for i := 0; i < n; i++ {
+		switch rng.Intn(12) {
+		case 0, 1, 2, 3:
+			emit(trace.KindStore, base+uint64(rng.Intn(256)), uint64(rng.Intn(16)+1))
+		case 4, 5, 6:
+			addr := base + uint64(rng.Intn(256))
+			emit(trace.KindFlush, addr&^63, 64)
+		case 7, 8:
+			emit(trace.KindFence, 0, 0)
+		case 9:
+			if !inEpoch {
+				emit(trace.KindEpochBegin, 0, 0)
+				inEpoch = true
+			} else {
+				emit(trace.KindEpochEnd, 0, 0)
+				inEpoch = false
+			}
+		case 10, 11:
+			if inEpoch {
+				emit(trace.KindTxLogAdd, base+uint64(rng.Intn(128)), uint64(rng.Intn(16)+1))
+			}
+		}
+	}
+	if inEpoch {
+		emit(trace.KindEpochEnd, 0, 0)
+	}
+	emit(trace.KindEnd, 0, 0)
+	return evs
+}
+
+func TestDifferentialEpochRules(t *testing.T) {
+	cfg := Config{
+		Model: rules.Epoch,
+		Rules: rules.RuleLackDurabilityInEpoch | rules.RuleRedundantEpochFence |
+			rules.RuleRedundantLogging,
+	}
+	for seed := int64(3000); seed < 3200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		evs := genEpochStream(rng, 120)
+		d := New(cfg)
+		o := newEpochOracle()
+		for _, ev := range evs {
+			d.HandleEvent(ev)
+			o.HandleEvent(ev)
+		}
+		rep := d.Report()
+		for _, typ := range []report.BugType{
+			report.LackDurabilityInEpoch, report.RedundantEpochFence,
+			report.RedundantLogging,
+		} {
+			if rep.Has(typ) != o.bugs[typ] {
+				t.Fatalf("seed %d: %s engine=%v oracle=%v\nreport:\n%s",
+					seed, typ, rep.Has(typ), o.bugs[typ], rep.Summary())
+			}
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"pmdebugger/internal/report"
+	"pmdebugger/internal/rules"
+	"pmdebugger/internal/trace"
+)
+
+// oracle is a brute-force reference detector: it tracks the state of every
+// byte in plain maps with no bookkeeping cleverness, implementing the same
+// five common rules from their definitions. Differential testing against it
+// validates the hybrid array+tree engine on arbitrary instruction streams.
+type oracle struct {
+	// per-byte state
+	written map[uint64]byteState
+	bugs    map[report.BugType]bool
+}
+
+type byteState struct {
+	flushed bool
+}
+
+func newOracle() *oracle {
+	return &oracle{written: map[uint64]byteState{}, bugs: map[report.BugType]bool{}}
+}
+
+func (o *oracle) HandleEvent(ev trace.Event) {
+	switch ev.Kind {
+	case trace.KindStore:
+		for a := ev.Addr; a < ev.End(); a++ {
+			if _, tracked := o.written[a]; tracked {
+				o.bugs[report.MultipleOverwrites] = true
+			}
+			o.written[a] = byteState{}
+		}
+	case trace.KindFlush:
+		anyNew, anyOld := false, false
+		for a := ev.Addr; a < ev.End(); a++ {
+			st, tracked := o.written[a]
+			if !tracked {
+				continue
+			}
+			if st.flushed {
+				anyOld = true
+			} else {
+				anyNew = true
+				o.written[a] = byteState{flushed: true}
+			}
+		}
+		if !anyNew && anyOld {
+			o.bugs[report.RedundantFlush] = true
+		}
+		if !anyNew && !anyOld {
+			o.bugs[report.FlushNothing] = true
+		}
+	case trace.KindFence:
+		for a, st := range o.written {
+			if st.flushed {
+				delete(o.written, a)
+			}
+		}
+	case trace.KindEnd:
+		if len(o.written) > 0 {
+			o.bugs[report.NoDurability] = true
+		}
+	}
+}
+
+// genStream produces a random instruction stream over a small address space
+// so overlaps, splits and line effects are dense.
+func genStream(rng *rand.Rand, n int) []trace.Event {
+	const base = 0x1000_0000
+	var evs []trace.Event
+	seq := uint64(0)
+	emit := func(kind trace.Kind, addr, size uint64) {
+		seq++
+		evs = append(evs, trace.Event{Seq: seq, Kind: kind, Addr: addr, Size: size})
+	}
+	for i := 0; i < n; i++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4: // store
+			addr := base + uint64(rng.Intn(256))
+			size := uint64(rng.Intn(24) + 1)
+			emit(trace.KindStore, addr, size)
+		case 5, 6, 7: // flush (sometimes line-aligned, sometimes arbitrary)
+			addr := base + uint64(rng.Intn(256))
+			size := uint64(rng.Intn(64) + 1)
+			if rng.Intn(2) == 0 {
+				addr &^= 63
+				size = 64
+			}
+			emit(trace.KindFlush, addr, size)
+		case 8, 9: // fence
+			emit(trace.KindFence, 0, 0)
+		}
+	}
+	emit(trace.KindEnd, 0, 0)
+	return evs
+}
+
+// TestDifferentialAgainstOracle replays random streams into the engine and
+// the oracle and compares which bug types each saw. The engine's dedup and
+// record granularity differ from per-byte tracking, so the comparison is on
+// type presence, which both define identically.
+func TestDifferentialAgainstOracle(t *testing.T) {
+	cfg := Config{
+		Model: rules.Strict,
+		Rules: rules.RuleNoDurability | rules.RuleMultipleOverwrites |
+			rules.RuleRedundantFlush | rules.RuleFlushNothing,
+	}
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		evs := genStream(rng, 120)
+
+		d := New(cfg)
+		o := newOracle()
+		for _, ev := range evs {
+			d.HandleEvent(ev)
+			o.HandleEvent(ev)
+		}
+		rep := d.Report()
+		for _, typ := range []report.BugType{
+			report.NoDurability, report.MultipleOverwrites,
+			report.RedundantFlush, report.FlushNothing,
+		} {
+			if rep.Has(typ) != o.bugs[typ] {
+				t.Fatalf("seed %d: %s engine=%v oracle=%v\nreport:\n%s",
+					seed, typ, rep.Has(typ), o.bugs[typ], rep.Summary())
+			}
+		}
+	}
+}
+
+// TestDifferentialSmallArray re-runs the differential test with a tiny
+// memory location array so the tree paths dominate.
+func TestDifferentialSmallArray(t *testing.T) {
+	cfg := Config{
+		Model:         rules.Strict,
+		ArrayCapacity: 4,
+		Rules: rules.RuleNoDurability | rules.RuleMultipleOverwrites |
+			rules.RuleRedundantFlush | rules.RuleFlushNothing,
+	}
+	for seed := int64(1000); seed < 1100; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		evs := genStream(rng, 150)
+		d := New(cfg)
+		o := newOracle()
+		for _, ev := range evs {
+			d.HandleEvent(ev)
+			o.HandleEvent(ev)
+		}
+		rep := d.Report()
+		for _, typ := range []report.BugType{
+			report.NoDurability, report.MultipleOverwrites,
+			report.RedundantFlush, report.FlushNothing,
+		} {
+			if rep.Has(typ) != o.bugs[typ] {
+				t.Fatalf("seed %d: %s engine=%v oracle=%v\nreport:\n%s",
+					seed, typ, rep.Has(typ), o.bugs[typ], rep.Summary())
+			}
+		}
+	}
+}
+
+// TestDifferentialAggressiveMerge re-runs with a merge threshold of 0 so
+// reorganization happens constantly; merging must never change rule
+// outcomes.
+func TestDifferentialAggressiveMerge(t *testing.T) {
+	cfg := Config{
+		Model:          rules.Strict,
+		MergeThreshold: 1,
+		Rules: rules.RuleNoDurability | rules.RuleMultipleOverwrites |
+			rules.RuleRedundantFlush | rules.RuleFlushNothing,
+	}
+	for seed := int64(2000); seed < 2100; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		evs := genStream(rng, 150)
+		d := New(cfg)
+		o := newOracle()
+		for _, ev := range evs {
+			d.HandleEvent(ev)
+			o.HandleEvent(ev)
+		}
+		rep := d.Report()
+		for _, typ := range []report.BugType{
+			report.NoDurability, report.MultipleOverwrites,
+			report.RedundantFlush, report.FlushNothing,
+		} {
+			if rep.Has(typ) != o.bugs[typ] {
+				t.Fatalf("seed %d: %s engine=%v oracle=%v\nreport:\n%s",
+					seed, typ, rep.Has(typ), o.bugs[typ], rep.Summary())
+			}
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"pmdebugger/internal/pmem"
+	"pmdebugger/internal/report"
+	"pmdebugger/internal/rules"
+)
+
+func TestOrderRewriteInvalidatesDurability(t *testing.T) {
+	// X becomes durable, is rewritten (durability lost), then Y commits:
+	// the requirement is violated even though X was durable once.
+	orders := []rules.OrderSpec{{Before: "X", After: "Y"}}
+	rep := run(Config{Model: rules.Strict, Orders: orders}, func(c *pmem.Ctx, p *pmem.Pool) {
+		x := p.Alloc(64)
+		y := p.Alloc(64)
+		p.RegisterNamed("X", x, 8)
+		p.RegisterNamed("Y", y, 8)
+		c.Store64(x, 1)
+		c.Persist(x, 8) // X durable
+		c.Store64(x, 2) // rewrite: X no longer durable
+		c.Store64(y, 3)
+		c.Persist(y, 8) // Y durable while the new X is not
+		c.Persist(x, 8)
+	})
+	if !rep.Has(report.NoOrderGuarantee) {
+		t.Fatalf("rewrite-invalidated order not detected:\n%s", rep.Summary())
+	}
+}
+
+func TestOrderPartialCommitAccumulates(t *testing.T) {
+	// X is a 16-byte variable persisted in two halves across two fences;
+	// it counts as durable only once fully covered, which still precedes Y.
+	orders := []rules.OrderSpec{{Before: "X", After: "Y"}}
+	rep := run(Config{Model: rules.Strict, Orders: orders}, func(c *pmem.Ctx, p *pmem.Pool) {
+		blk := p.Alloc(256)
+		// X straddles a cache-line boundary so its two halves can be
+		// persisted by separate line writebacks at separate fences.
+		x := (blk+63)&^63 + 56
+		y := p.Alloc(64)
+		p.RegisterNamed("X", x, 16)
+		p.RegisterNamed("Y", y, 8)
+		c.StoreBytes(x, make([]byte, 16))
+		c.Flush(x, 1)   // first line only
+		c.Fence()       // half of X durable: not committed yet
+		c.Flush(x+8, 1) // second line
+		c.Fence()       // X fully durable here
+		c.Store64(y, 1)
+		c.Persist(y, 8)
+	})
+	if rep.Has(report.NoOrderGuarantee) {
+		t.Fatalf("accumulated commit flagged:\n%s", rep.Summary())
+	}
+	wantBugs(t, rep, nil)
+}
+
+func TestOrderYNeverDurableNoReport(t *testing.T) {
+	// Y is never made durable, so the order rule has nothing to fire on
+	// (the durability bug is reported separately).
+	orders := []rules.OrderSpec{{Before: "X", After: "Y"}}
+	rep := run(Config{Model: rules.Strict, Orders: orders}, func(c *pmem.Ctx, p *pmem.Pool) {
+		x := p.Alloc(64)
+		y := p.Alloc(64)
+		p.RegisterNamed("X", x, 8)
+		p.RegisterNamed("Y", y, 8)
+		c.Store64(y, 1) // never persisted
+		c.Store64(x, 2)
+		c.Persist(x, 8)
+	})
+	if rep.Has(report.NoOrderGuarantee) {
+		t.Fatalf("order reported without Y committing:\n%s", rep.Summary())
+	}
+	if !rep.Has(report.NoDurability) {
+		t.Fatalf("missing durability bug for Y:\n%s", rep.Summary())
+	}
+}
+
+func TestOrderUnresolvedNamesAreInert(t *testing.T) {
+	// Specs referring to names never registered must not fire or crash.
+	orders := []rules.OrderSpec{{Before: "ghost", After: "phantom"}}
+	rep := run(Config{Model: rules.Strict, Orders: orders}, func(c *pmem.Ctx, p *pmem.Pool) {
+		a := p.Alloc(64)
+		c.Store64(a, 1)
+		c.Persist(a, 8)
+	})
+	wantBugs(t, rep, nil)
+}
+
+func TestOrderRepeatedCyclesStayClean(t *testing.T) {
+	// A correct update loop re-persisting X before Y every iteration.
+	orders := []rules.OrderSpec{{Before: "X", After: "Y"}}
+	rep := run(Config{Model: rules.Strict, Orders: orders}, func(c *pmem.Ctx, p *pmem.Pool) {
+		x := p.Alloc(64)
+		y := p.Alloc(64)
+		p.RegisterNamed("X", x, 8)
+		p.RegisterNamed("Y", y, 8)
+		for i := uint64(0); i < 10; i++ {
+			c.Store64(x, i)
+			c.Persist(x, 8)
+			c.Store64(y, i)
+			c.Persist(y, 8)
+		}
+	})
+	wantBugs(t, rep, nil)
+}
+
+// TestArrayFirstFenceEquivalence verifies the A3 ablation knob changes only
+// performance, never outcomes: random streams produce identical bug-type
+// sets under both fence-processing orders.
+func TestArrayFirstFenceEquivalence(t *testing.T) {
+	base := Config{
+		Model: rules.Strict,
+		Rules: rules.RuleNoDurability | rules.RuleMultipleOverwrites |
+			rules.RuleRedundantFlush | rules.RuleFlushNothing,
+		ArrayCapacity:  8,
+		MergeThreshold: 4,
+	}
+	alt := base
+	alt.ArrayFirstFence = true
+	for seed := int64(5000); seed < 5100; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		evs := genStream(rng, 150)
+		d1 := New(base)
+		d2 := New(alt)
+		for _, ev := range evs {
+			d1.HandleEvent(ev)
+			d2.HandleEvent(ev)
+		}
+		r1, r2 := d1.Report(), d2.Report()
+		for _, typ := range report.AllBugTypes() {
+			if r1.Has(typ) != r2.Has(typ) {
+				t.Fatalf("seed %d: %s differs between fence orders", seed, typ)
+			}
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+
+	"pmdebugger/internal/report"
+	"pmdebugger/internal/rules"
+	"pmdebugger/internal/trace"
+)
+
+// The artifact's address_specific function tests: with RequireRegistration,
+// only registered regions are debugging targets.
+
+func regDetector() *Detector {
+	return New(Config{
+		Model:               rules.Strict,
+		RequireRegistration: true,
+		Rules: rules.RuleNoDurability | rules.RuleMultipleOverwrites |
+			rules.RuleRedundantFlush | rules.RuleFlushNothing,
+	})
+}
+
+func ev(kind trace.Kind, addr, size uint64) trace.Event {
+	return trace.Event{Kind: kind, Addr: addr, Size: size}
+}
+
+func TestUnregisteredStoresIgnored(t *testing.T) {
+	d := regDetector()
+	d.HandleEvent(ev(trace.KindRegister, 0x1000, 0x100))
+	d.HandleEvent(ev(trace.KindStore, 0x1000, 8)) // inside: tracked, never persisted
+	d.HandleEvent(ev(trace.KindStore, 0x5000, 8)) // outside: ignored
+	d.HandleEvent(ev(trace.KindEnd, 0, 0))
+	rep := d.Report()
+	if got := rep.CountByType()[report.NoDurability]; got != 1 {
+		t.Fatalf("durability bugs = %d, want 1 (outside store must be ignored)\n%s",
+			got, rep.Summary())
+	}
+	if rep.Bugs[0].Addr != 0x1000 {
+		t.Fatalf("wrong bug: %s", rep.Bugs[0])
+	}
+}
+
+func TestUnregisteredFlushNotFlushNothing(t *testing.T) {
+	d := regDetector()
+	d.HandleEvent(ev(trace.KindRegister, 0x1000, 0x100))
+	d.HandleEvent(ev(trace.KindFlush, 0x5000, 64)) // outside: not a bug
+	d.HandleEvent(ev(trace.KindFence, 0, 0))
+	d.HandleEvent(ev(trace.KindEnd, 0, 0))
+	if d.Report().Len() != 0 {
+		t.Fatalf("outside flush flagged:\n%s", d.Report().Summary())
+	}
+}
+
+func TestUnregisterPurgesTracking(t *testing.T) {
+	d := regDetector()
+	d.HandleEvent(ev(trace.KindRegister, 0x1000, 0x100))
+	d.HandleEvent(ev(trace.KindStore, 0x1000, 8))
+	d.HandleEvent(ev(trace.KindStore, 0x1040, 8))
+	// Unregister half; its pending record must not surface at End.
+	d.HandleEvent(ev(trace.KindUnregister, 0x1000, 0x40))
+	d.HandleEvent(ev(trace.KindEnd, 0, 0))
+	rep := d.Report()
+	if got := rep.CountByType()[report.NoDurability]; got != 1 {
+		t.Fatalf("durability bugs = %d, want 1\n%s", got, rep.Summary())
+	}
+	if rep.Bugs[0].Addr != 0x1040 {
+		t.Fatalf("surviving bug at %#x, want 0x1040", rep.Bugs[0].Addr)
+	}
+}
+
+func TestUnregisterPurgesTreeResidents(t *testing.T) {
+	d := regDetector()
+	d.HandleEvent(ev(trace.KindRegister, 0x1000, 0x100))
+	d.HandleEvent(ev(trace.KindStore, 0x1000, 16))
+	d.HandleEvent(ev(trace.KindFence, 0, 0)) // migrates to the tree
+	// Unregister the middle: the two remainders stay tracked.
+	d.HandleEvent(ev(trace.KindUnregister, 0x1004, 8))
+	d.HandleEvent(ev(trace.KindEnd, 0, 0))
+	rep := d.Report()
+	if got := rep.CountByType()[report.NoDurability]; got != 2 {
+		t.Fatalf("durability bugs = %d, want 2 (split remainders)\n%s", got, rep.Summary())
+	}
+}
+
+func TestReRegisterResumesTracking(t *testing.T) {
+	d := regDetector()
+	d.HandleEvent(ev(trace.KindRegister, 0x1000, 0x40))
+	d.HandleEvent(ev(trace.KindUnregister, 0x1000, 0x40))
+	d.HandleEvent(ev(trace.KindStore, 0x1000, 8)) // ignored: unregistered
+	d.HandleEvent(ev(trace.KindRegister, 0x1000, 0x40))
+	d.HandleEvent(ev(trace.KindStore, 0x1010, 8)) // tracked again
+	d.HandleEvent(ev(trace.KindEnd, 0, 0))
+	rep := d.Report()
+	if got := rep.CountByType()[report.NoDurability]; got != 1 {
+		t.Fatalf("durability bugs = %d, want 1\n%s", got, rep.Summary())
+	}
+	if rep.Bugs[0].Addr != 0x1010 {
+		t.Fatalf("wrong bug addr %#x", rep.Bugs[0].Addr)
+	}
+}
+
+func TestRegistrationOffByDefault(t *testing.T) {
+	// Without RequireRegistration every store is tracked even with no
+	// Register events at all.
+	d := New(Config{Model: rules.Strict, Rules: rules.RuleNoDurability})
+	d.HandleEvent(ev(trace.KindStore, 0x9000, 8))
+	d.HandleEvent(ev(trace.KindEnd, 0, 0))
+	if d.Report().Len() != 1 {
+		t.Fatalf("default tracking changed:\n%s", d.Report().Summary())
+	}
+}

@@ -1,0 +1,429 @@
+package core
+
+import (
+	"pmdebugger/internal/avl"
+	"pmdebugger/internal/intervals"
+	"pmdebugger/internal/report"
+	"pmdebugger/internal/rules"
+	"pmdebugger/internal/trace"
+)
+
+// flushState is the collective cache-flushing state of a CLF interval
+// (§4.1): all flushed, partially flushed, or not flushed.
+type flushState uint8
+
+const (
+	notFlushed flushState = iota
+	partiallyFlushed
+	allFlushed
+)
+
+// clfMeta is the metadata node for one CLF interval (Fig. 5): the array
+// index range of its stores, the address range they cover, and the
+// collective flushing state. The paper keeps these nodes in a linked list;
+// an appended slice is the idiomatic Go equivalent with identical
+// per-interval semantics (nodes are only ever appended and then dropped
+// wholesale at the fence).
+type clfMeta struct {
+	start, end int // [start, end) indexes into the memory location array
+	minAddr    uint64
+	maxAddr    uint64 // exclusive
+	state      flushState
+	flushed    int // entries individually marked flushed (partial tracking)
+}
+
+func (m *clfMeta) empty() bool { return m.start == m.end }
+
+func (m *clfMeta) count() int { return m.end - m.start }
+
+func (m *clfMeta) rng() intervals.Range {
+	if m.empty() || m.maxAddr <= m.minAddr {
+		return intervals.Range{}
+	}
+	return intervals.R(m.minAddr, m.maxAddr-m.minAddr)
+}
+
+// space is one bookkeeping space (§4.1): the memory location array, the CLF
+// interval metadata, and the AVL tree for long-lived records. The strict and
+// epoch models use a single space; the strand model allocates one per strand
+// section (§5.1).
+type space struct {
+	d      *Detector
+	strand int32
+	arr    []avl.Item
+	meta   []clfMeta
+	tree   *avl.Tree
+}
+
+func newSpace(d *Detector, strand int32) *space {
+	// The array is logically fixed-size (capacity d.cfg.ArrayCapacity) but
+	// its backing storage grows on demand so per-strand spaces stay cheap.
+	s := &space{
+		d:      d,
+		strand: strand,
+		arr:    make([]avl.Item, 0, 256),
+		tree:   avl.New(),
+	}
+	s.meta = append(s.meta, clfMeta{minAddr: ^uint64(0)})
+	return s
+}
+
+// empty reports whether the space tracks nothing.
+func (s *space) empty() bool { return len(s.arr) == 0 && s.tree.Len() == 0 }
+
+func (s *space) cur() *clfMeta { return &s.meta[len(s.meta)-1] }
+
+// trackedOverlap reports whether any record in the bookkeeping space
+// overlaps r. It prefilters CLF intervals by their collective address range
+// so most intervals are skipped without touching entries (Pattern 2).
+func (s *space) trackedOverlap(r intervals.Range) (avl.Item, bool) {
+	for mi := range s.meta {
+		m := &s.meta[mi]
+		if m.empty() || !r.Overlaps(m.rng()) {
+			continue
+		}
+		for i := m.start; i < m.end; i++ {
+			if s.arr[i].Range().Overlaps(r) {
+				return s.arr[i], true
+			}
+		}
+	}
+	var hit avl.Item
+	found := false
+	s.tree.VisitOverlapping(r, func(it avl.Item) {
+		if !found {
+			hit, found = it, true
+		}
+	})
+	return hit, found
+}
+
+// store processes a memory store instruction (§4.2): append to the array
+// (or spill to the tree when the array is full) and update the current CLF
+// interval metadata. The multiple-overwrites rule runs first so it sees the
+// pre-store bookkeeping state.
+func (s *space) store(ev trace.Event, epochID int32) {
+	r := intervals.R(ev.Addr, ev.Size)
+	if s.d.cfg.Rules.Has(rules.RuleMultipleOverwrites) {
+		if prev, ok := s.trackedOverlap(r); ok {
+			s.d.rep.Add(report.Bug{
+				Type: report.MultipleOverwrites,
+				Addr: ev.Addr, Size: ev.Size, Seq: ev.Seq,
+				Site: ev.Site, Strand: ev.Strand,
+				Message: "location written again before its durability is guaranteed (previous store at seq " +
+					usay(prev.Seq) + ")",
+			})
+		}
+	}
+
+	it := avl.Item{
+		Addr: ev.Addr, Size: ev.Size, Seq: ev.Seq,
+		Site: ev.Site, Strand: ev.Strand,
+		Epoch: epochID >= 0, Epochs: epochID,
+	}
+	if len(s.arr) < s.d.cfg.ArrayCapacity {
+		s.arr = append(s.arr, it)
+		m := s.cur()
+		m.end = len(s.arr)
+		if ev.Addr < m.minAddr {
+			m.minAddr = ev.Addr
+		}
+		if ev.End() > m.maxAddr {
+			m.maxAddr = ev.End()
+		}
+		s.d.rep.Counters.ArrayAppends++
+	} else {
+		// Rare overflow (§4.1): new locations go straight to the AVL tree.
+		s.tree.Insert(it)
+		s.d.rep.Counters.ArraySpills++
+	}
+	if s.d.order != nil {
+		s.d.order.noteStore(ev)
+	}
+}
+
+// flush processes a CLF instruction (§4.3). The array is traversed at CLF
+// interval granularity: a flush covering an interval's whole address range
+// updates only the collective state; partial overlaps examine entries
+// individually, splitting entries whose range is only partially persisted
+// (the covered part stays in the array, the remainder moves to the tree).
+// Afterwards the tree is updated and a fresh CLF interval is opened.
+//
+// It returns whether the flush hit any not-yet-flushed record and whether it
+// hit any already-flushed record, which drive the redundant-flush and
+// flush-nothing rules.
+func (s *space) flush(ev trace.Event) (anyNew, anyOld bool) {
+	fr := intervals.R(ev.Addr, ev.Size)
+	for mi := range s.meta {
+		m := &s.meta[mi]
+		if m.empty() {
+			continue
+		}
+		ir := m.rng()
+		if !fr.Overlaps(ir) {
+			continue
+		}
+		if fr.Contains(ir) {
+			// Collective update: the whole interval is covered (Pattern 2).
+			switch m.state {
+			case allFlushed:
+				anyOld = true
+			case notFlushed:
+				m.state = allFlushed
+				m.flushed = m.count()
+				anyNew = true
+			case partiallyFlushed:
+				if m.flushed > 0 {
+					anyOld = true
+				}
+				if m.flushed < m.count() {
+					anyNew = true
+				}
+				for i := m.start; i < m.end; i++ {
+					s.arr[i].Flushed = true
+				}
+				m.state = allFlushed
+				m.flushed = m.count()
+			}
+			continue
+		}
+		// Partial overlap: examine entries individually.
+		if m.state == allFlushed {
+			// Every entry is already flushed; this is a re-flush only if
+			// the range hits an actual entry rather than a gap between the
+			// interval's min and max addresses.
+			for i := m.start; i < m.end; i++ {
+				if fr.Overlaps(s.arr[i].Range()) {
+					anyOld = true
+					break
+				}
+			}
+			continue
+		}
+		for i := m.start; i < m.end; i++ {
+			e := &s.arr[i]
+			er := e.Range()
+			if !fr.Overlaps(er) {
+				continue
+			}
+			if e.Flushed {
+				anyOld = true
+				continue
+			}
+			if fr.Contains(er) {
+				e.Flushed = true
+				m.flushed++
+				anyNew = true
+				continue
+			}
+			// Split: covered sub-range stays (flushed); remainders move to
+			// the tree, still unflushed (§4.3).
+			covered := er.Intersect(fr)
+			for _, rem := range er.Subtract(covered) {
+				keep := *e
+				keep.Addr, keep.Size = rem.Addr, rem.Size
+				s.tree.Insert(keep)
+			}
+			e.Addr, e.Size = covered.Addr, covered.Size
+			e.Flushed = true
+			m.flushed++
+			anyNew = true
+		}
+		if m.flushed == m.count() {
+			m.state = allFlushed
+		} else if m.flushed > 0 {
+			m.state = partiallyFlushed
+		}
+	}
+
+	// Then the AVL tree (§4.3): the array absorbs most updates, so this
+	// traversal is usually a cheap no-op.
+	newly, already := s.tree.MarkFlushed(fr)
+	anyNew = anyNew || newly > 0
+	anyOld = anyOld || already > 0
+
+	// Start a new CLF interval.
+	if !s.cur().empty() {
+		s.meta = append(s.meta, clfMeta{start: len(s.arr), end: len(s.arr), minAddr: ^uint64(0)})
+	}
+	return anyNew, anyOld
+}
+
+// fence processes a fence instruction (§4.4): records whose durability the
+// fence guarantees are removed — tree first, then the array via its interval
+// metadata — remaining unflushed array entries are re-distributed to the
+// tree, the tree is merged past the threshold, and the array is reset for
+// the next fence interval by invalidating the metadata.
+func (s *space) fence(ev trace.Event) {
+	ot := s.d.order
+
+	// 0. Sample the tree size as seen during the closing fence interval
+	// (the Fig. 11 metric): the hybrid design's win is how little of the
+	// interval's state ever reaches the tree.
+	s.d.rep.Counters.TreeNodeSamples += uint64(s.tree.Len())
+
+	// 1. Tree first, so subsequent insertions hit a smaller tree (§4.4).
+	// The A3 ablation reverses the order to quantify that choice.
+	if !s.d.cfg.ArrayFirstFence {
+		s.fenceTree(ot)
+	}
+	s.fenceArray(ot)
+	if s.d.cfg.ArrayFirstFence {
+		s.fenceTree(ot)
+	}
+
+	// 3. Merge only past the threshold to avoid constant reorganization
+	// (§4.4).
+	if s.d.cfg.MergeThreshold >= 0 && s.tree.Len() > s.d.cfg.MergeThreshold {
+		s.tree.Merge()
+		s.d.rep.Counters.TreeReorgs++
+	}
+
+	// 4. Reset the array and metadata for the next fence interval.
+	s.arr = s.arr[:0]
+	s.meta = s.meta[:0]
+	s.meta = append(s.meta, clfMeta{minAddr: ^uint64(0)})
+
+	if ot != nil {
+		ot.fenceDone(ev)
+	}
+}
+
+// fenceTree removes durable records from the AVL tree.
+func (s *space) fenceTree(ot *orderTracker) {
+	removed := s.tree.RemoveFlushed()
+	if ot != nil {
+		for _, it := range removed {
+			ot.noteCommit(it.Range())
+		}
+	}
+}
+
+// fenceArray drops or re-distributes the memory location array via its CLF
+// interval metadata.
+func (s *space) fenceArray(ot *orderTracker) {
+	for mi := range s.meta {
+		m := &s.meta[mi]
+		if m.empty() {
+			continue
+		}
+		switch m.state {
+		case allFlushed:
+			// Durability guaranteed for the whole interval; dropping it is
+			// pure metadata invalidation.
+			if ot != nil {
+				for i := m.start; i < m.end; i++ {
+					ot.noteCommit(s.arr[i].Range())
+				}
+			}
+		case notFlushed:
+			for i := m.start; i < m.end; i++ {
+				s.tree.Insert(s.arr[i])
+				s.d.rep.Counters.Redistributions++
+			}
+		case partiallyFlushed:
+			for i := m.start; i < m.end; i++ {
+				if s.arr[i].Flushed {
+					if ot != nil {
+						ot.noteCommit(s.arr[i].Range())
+					}
+					continue
+				}
+				s.tree.Insert(s.arr[i])
+				s.d.rep.Counters.Redistributions++
+			}
+		}
+	}
+}
+
+// visitRemaining calls fn for every record still tracked (used by the
+// end-of-program and epoch-end durability rules). The flushed flag passed to
+// fn accounts for collective interval state.
+func (s *space) visitRemaining(fn func(it avl.Item, flushed bool)) {
+	for mi := range s.meta {
+		m := &s.meta[mi]
+		for i := m.start; i < m.end; i++ {
+			if s.arr[i].Size == 0 {
+				continue // purged (Unregister_pmem)
+			}
+			fn(s.arr[i], s.arr[i].Flushed || m.state == allFlushed)
+		}
+	}
+	s.tree.Visit(func(it avl.Item) { fn(it, it.Flushed) })
+}
+
+// purge drops all tracking for records overlapping r (Unregister_pmem):
+// array entries shrink to their non-overlapping remainders (a zero-size
+// entry is inert everywhere), tree records are removed or truncated.
+func (s *space) purge(r intervals.Range) {
+	for mi := range s.meta {
+		m := &s.meta[mi]
+		if m.empty() || !r.Overlaps(m.rng()) {
+			continue
+		}
+		for i := m.start; i < m.end; i++ {
+			e := &s.arr[i]
+			if !e.Range().Overlaps(r) {
+				continue
+			}
+			rem := e.Range().Subtract(r)
+			if len(rem) == 0 {
+				e.Size = 0
+				continue
+			}
+			// Keep the first remainder in place; extras go to the tree.
+			e.Addr, e.Size = rem[0].Addr, rem[0].Size
+			for _, extra := range rem[1:] {
+				keep := *e
+				keep.Addr, keep.Size = extra.Addr, extra.Size
+				s.tree.Insert(keep)
+			}
+		}
+	}
+	for _, old := range s.tree.CollectOverlapping(r) {
+		s.tree.Delete(old.Addr)
+		for _, rem := range old.Range().Subtract(r) {
+			keep := old
+			keep.Addr, keep.Size = rem.Addr, rem.Size
+			s.tree.InsertDisjoint(keep)
+		}
+	}
+}
+
+// markReported flags tracked records overlapping r as already reported so a
+// later rule (end-of-program no-durability) does not double-report them.
+func (s *space) markReported(r intervals.Range) {
+	for mi := range s.meta {
+		m := &s.meta[mi]
+		if m.empty() || !r.Overlaps(m.rng()) {
+			continue
+		}
+		for i := m.start; i < m.end; i++ {
+			if s.arr[i].Range().Overlaps(r) {
+				s.arr[i].Reported = true
+			}
+		}
+	}
+	// The AVL tree stores items by value; rewrite overlapping ones.
+	hit := s.tree.CollectOverlapping(r)
+	for _, it := range hit {
+		s.tree.Delete(it.Addr)
+		it.Reported = true
+		s.tree.InsertDisjoint(it)
+	}
+}
+
+func usay(v uint64) string {
+	// Minimal unsigned itoa to avoid fmt on the hot path.
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,153 @@
+// Package crashtest is a systematic crash-consistency testing framework in
+// the style of Yat [33] and Agamotto [43], the exhaustive-testing relatives
+// the paper compares against: it re-executes a deterministic PM program,
+// crashing it at successive instruction boundaries, materializes the
+// post-crash persistent image under a chosen line-persistence policy, and
+// runs a recovery checker on every image.
+//
+// Where PMDebugger reasons about the instruction stream online, crashtest
+// actually explores the crash-state space — which is why the paper calls
+// the approach "extremely" expensive and why Stride exists. The framework
+// doubles as the correctness harness for this repository's own
+// crash-consistent substrates (the pmdk undo log and the workloads).
+package crashtest
+
+import (
+	"fmt"
+
+	"pmdebugger/internal/pmem"
+)
+
+// Program is a deterministic PM program: given a fresh pool it performs its
+// setup and workload. It must behave identically on every invocation (no
+// wall-clock, no global randomness) — determinism is what makes crash-point
+// enumeration meaningful.
+type Program func(pm *pmem.Pool) error
+
+// Checker validates a post-crash persistent image: it runs recovery against
+// the image and returns an error when the recovered state is inconsistent.
+type Checker func(img *pmem.Pool) error
+
+// Config parameterizes an exploration.
+type Config struct {
+	// PoolSize is the pool given to the program (default 1 MiB).
+	PoolSize uint64
+	// Policy decides the fate of flushed-but-unfenced lines in each image
+	// (default CrashDropPending, the adversarial choice).
+	Policy pmem.CrashPolicy
+	// Seeds are the per-crash-point seeds explored under
+	// CrashRandomPending; ignored for the deterministic policies.
+	Seeds []int64
+	// Stride tests every Stride-th event boundary (default 1: exhaustive,
+	// as Yat; larger values trade coverage for time, as XFDetector's
+	// restricted failure points do).
+	Stride int
+	// MaxPoints caps the number of crash points (0 = unlimited).
+	MaxPoints int
+}
+
+func (c *Config) fill() {
+	if c.PoolSize == 0 {
+		c.PoolSize = 1 << 20
+	}
+	if c.Stride <= 0 {
+		c.Stride = 1
+	}
+	if c.Policy == pmem.CrashRandomPending && len(c.Seeds) == 0 {
+		c.Seeds = []int64{1, 2, 3}
+	}
+}
+
+// Failure is one crash point whose recovered state failed the checker.
+type Failure struct {
+	// AfterEvents is the number of instrumented events executed before the
+	// crash.
+	AfterEvents uint64
+	// Seed is the line-persistence seed (0 for deterministic policies).
+	Seed int64
+	// Err is the checker's verdict.
+	Err error
+}
+
+func (f Failure) String() string {
+	return fmt.Sprintf("crash after event %d (seed %d): %v", f.AfterEvents, f.Seed, f.Err)
+}
+
+// Result summarizes an exploration.
+type Result struct {
+	// TotalEvents is the program's full event count.
+	TotalEvents uint64
+	// Points is the number of crash points explored.
+	Points int
+	// Images is the number of (point, seed) images checked.
+	Images int
+	// Failures lists every inconsistent recovery.
+	Failures []Failure
+}
+
+// Run explores the program's crash space. The program is first executed to
+// completion to count events and verify the final state passes the checker;
+// then it is re-executed once per crash point.
+func Run(prog Program, check Checker, cfg Config) (*Result, error) {
+	cfg.fill()
+	res := &Result{}
+
+	// Full run: count events, sanity-check the checker on the final image.
+	full := pmem.New(cfg.PoolSize)
+	if err := prog(full); err != nil {
+		return nil, fmt.Errorf("crashtest: program failed without crashes: %w", err)
+	}
+	res.TotalEvents = full.EventCount()
+	if err := check(full.Crash(cfg.Policy, 0)); err != nil {
+		return nil, fmt.Errorf("crashtest: checker rejects the completed program: %w", err)
+	}
+
+	seeds := cfg.Seeds
+	if cfg.Policy != pmem.CrashRandomPending {
+		seeds = []int64{0}
+	}
+
+	for point := uint64(cfg.Stride); point <= res.TotalEvents; point += uint64(cfg.Stride) {
+		if cfg.MaxPoints > 0 && res.Points >= cfg.MaxPoints {
+			break
+		}
+		res.Points++
+		pool, trapped, err := runTrapped(prog, cfg.PoolSize, point)
+		if err != nil {
+			return nil, fmt.Errorf("crashtest: program failed at point %d: %w", point, err)
+		}
+		if !trapped {
+			// The program finished before the trap (points past its end).
+			break
+		}
+		for _, seed := range seeds {
+			res.Images++
+			img := pool.Crash(cfg.Policy, seed)
+			if cerr := check(img); cerr != nil {
+				res.Failures = append(res.Failures, Failure{
+					AfterEvents: point, Seed: seed, Err: cerr,
+				})
+			}
+		}
+	}
+	return res, nil
+}
+
+// runTrapped executes the program with a crash trap after n events,
+// reporting whether the trap fired.
+func runTrapped(prog Program, poolSize, n uint64) (pool *pmem.Pool, trapped bool, err error) {
+	pool = pmem.New(poolSize)
+	pool.SetCrashTrap(n)
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(pmem.CrashTrap); ok {
+				trapped = true
+				err = nil
+				return
+			}
+			panic(r)
+		}
+	}()
+	err = prog(pool)
+	return pool, false, err
+}

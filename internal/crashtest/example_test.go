@@ -1,0 +1,35 @@
+package crashtest_test
+
+import (
+	"errors"
+	"fmt"
+
+	"pmdebugger/internal/crashtest"
+	"pmdebugger/internal/pmem"
+)
+
+// Example explores every crash point of a broken publish protocol and
+// reports how many post-crash images fail recovery validation.
+func Example() {
+	prog := func(pm *pmem.Pool) error {
+		c := pm.Ctx()
+		flag := pm.Alloc(64)
+		payload := pm.Alloc(64)
+		c.Store64(flag, 1) // BUG: valid flag persisted before the payload
+		c.Persist(flag, 8)
+		c.Store64(payload, 7)
+		c.Persist(payload, 8)
+		return nil
+	}
+	check := func(img *pmem.Pool) error {
+		c := img.Ctx()
+		if c.Load64(img.Base()) == 1 && c.Load64(img.Base()+64) == 0 {
+			return errors.New("flag valid but payload missing")
+		}
+		return nil
+	}
+	res, _ := crashtest.Run(prog, check, crashtest.Config{PoolSize: 1 << 12})
+	fmt.Printf("%d of %d crash points inconsistent\n", len(res.Failures), res.Points)
+	// Output:
+	// 3 of 6 crash points inconsistent
+}

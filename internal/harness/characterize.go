@@ -1,0 +1,99 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"pmdebugger/internal/memcached"
+	"pmdebugger/internal/stats"
+	"pmdebugger/internal/workloads"
+	"pmdebugger/internal/ycsb"
+)
+
+// CharacterizationRow pairs a benchmark label with its §3 metrics.
+type CharacterizationRow struct {
+	Name   string
+	Result stats.Result
+}
+
+// CharacterizeMicro runs the Fig. 2 characterization on one Table 4
+// micro-benchmark.
+func CharacterizeMicro(name string, inserts int) (CharacterizationRow, error) {
+	f, err := workloads.Lookup(name)
+	if err != nil {
+		return CharacterizationRow{}, err
+	}
+	app, pm, err := workloads.Build(f, inserts)
+	if err != nil {
+		return CharacterizationRow{}, err
+	}
+	ch := stats.New()
+	pm.Attach(ch)
+	if err := workloads.RunInserts(app, inserts, 42); err != nil {
+		return CharacterizationRow{}, err
+	}
+	if err := app.Close(); err != nil {
+		return CharacterizationRow{}, err
+	}
+	pm.End()
+	return CharacterizationRow{Name: name, Result: ch.Result()}, nil
+}
+
+// CharacterizeYCSB runs the Fig. 2 characterization on one YCSB load
+// against memcached.
+func CharacterizeYCSB(w ycsb.Workload, records, ops int) (CharacterizationRow, error) {
+	cache, err := memcached.New(memcached.Config{
+		PoolSize: 128 << 20, HashBuckets: 1 << 14, UseCAS: true,
+	})
+	if err != nil {
+		return CharacterizationRow{}, err
+	}
+	ch := stats.New()
+	cache.PM().Attach(ch)
+	store := &ycsb.MemcachedStore{Cache: cache}
+	if err := ycsb.Run(w, store, ycsb.Config{Records: records, Ops: ops, Seed: 42}); err != nil {
+		return CharacterizationRow{}, err
+	}
+	cache.PM().End()
+	return CharacterizationRow{Name: w.String(), Result: ch.Result()}, nil
+}
+
+// Fig2MicroNames lists the micro-benchmarks of Fig. 2 in figure order.
+func Fig2MicroNames() []string {
+	return []string{"b_tree", "c_tree", "rb_tree", "hashmap_tx", "hashmap_atomic"}
+}
+
+// CharacterizeAll regenerates the full Fig. 2 dataset: the five
+// micro-benchmarks plus YCSB A–F over memcached.
+func CharacterizeAll(inserts, ycsbRecords, ycsbOps int) ([]CharacterizationRow, error) {
+	var rows []CharacterizationRow
+	for _, name := range Fig2MicroNames() {
+		row, err := CharacterizeMicro(name, inserts)
+		if err != nil {
+			return nil, fmt.Errorf("characterize %s: %w", name, err)
+		}
+		rows = append(rows, row)
+	}
+	for _, w := range ycsb.All() {
+		row, err := CharacterizeYCSB(w, ycsbRecords, ycsbOps)
+		if err != nil {
+			return nil, fmt.Errorf("characterize %s: %w", w, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatCharacterization renders the Fig. 2 table.
+func FormatCharacterization(rows []CharacterizationRow) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 2: PM program characterization\n")
+	sb.WriteString("  (a) distance distribution   (b) collective writeback   (c) instruction mix\n\n")
+	sb.WriteString(stats.Header())
+	sb.WriteByte('\n')
+	for _, r := range rows {
+		sb.WriteString(r.Result.Row(r.Name))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

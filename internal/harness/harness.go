@@ -1,0 +1,384 @@
+// Package harness drives the performance evaluation of §7.2 and §7.5: it
+// runs each benchmark natively and under each detector on the identical
+// workload, measures wall-clock slowdowns (Fig. 8, Table 5), thread
+// scalability (Fig. 10), bookkeeping tree sizes (Fig. 11) and tree
+// reorganization counts (the §7.5 key insight).
+package harness
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"pmdebugger/internal/baselines"
+	"pmdebugger/internal/core"
+	"pmdebugger/internal/memcached"
+	"pmdebugger/internal/memslap"
+	"pmdebugger/internal/redis"
+	"pmdebugger/internal/report"
+	"pmdebugger/internal/rules"
+	"pmdebugger/internal/workloads"
+)
+
+// Tool identifies a measured configuration.
+type Tool int
+
+// The measured tools. Native is the program with detectors disabled (the
+// normalization baseline of Fig. 8); Nulgrind isolates instrumentation
+// overhead.
+const (
+	Native Tool = iota
+	Nulgrind
+	PMDebugger
+	Pmemcheck
+	PMTest
+	XFDetector
+)
+
+// String returns the tool name.
+func (t Tool) String() string {
+	switch t {
+	case Native:
+		return "native"
+	case Nulgrind:
+		return "nulgrind"
+	case PMDebugger:
+		return "pmdebugger"
+	case Pmemcheck:
+		return "pmemcheck"
+	case PMTest:
+		return "pmtest"
+	case XFDetector:
+		return "xfdetector"
+	default:
+		return fmt.Sprintf("tool(%d)", int(t))
+	}
+}
+
+// Fig8Tools are the tools of Figure 8.
+func Fig8Tools() []Tool { return []Tool{Nulgrind, PMDebugger, Pmemcheck} }
+
+// AllTools are every measured tool.
+func AllTools() []Tool {
+	return []Tool{Nulgrind, PMDebugger, Pmemcheck, PMTest, XFDetector}
+}
+
+// buildDetector constructs the detector for a tool, or nil for Native.
+func buildDetector(t Tool, model rules.Model) baselines.Detector {
+	switch t {
+	case Nulgrind:
+		return baselines.NewNulgrind()
+	case PMDebugger:
+		return core.New(core.Config{Model: model})
+	case Pmemcheck:
+		return baselines.NewPmemcheck()
+	case PMTest:
+		// PMTest's performance case: a handful of annotated checkers.
+		return baselines.NewPMTest(baselines.PMTestConfig{
+			Watch: []string{"check0", "check1", "check2", "check3"},
+		})
+	case XFDetector:
+		return baselines.NewXFDetector(baselines.XFDetectorConfig{})
+	default:
+		return nil
+	}
+}
+
+// Measurement is one (benchmark, tool) timing plus detector statistics.
+type Measurement struct {
+	Benchmark string
+	Tool      Tool
+	Ops       int
+	Elapsed   time.Duration
+	// Counters from the detector's report (zero for Native).
+	Counters report.Counters
+	// TreeReorgs and AvgTreeNodes for the §7.5 / Fig. 11 analyses.
+	TreeReorgs   uint64
+	AvgTreeNodes float64
+}
+
+// Row holds all tool measurements for one benchmark configuration.
+type Row struct {
+	Benchmark string
+	Ops       int
+	ByTool    map[Tool]Measurement
+}
+
+// Slowdown returns time(tool) / time(native).
+func (r Row) Slowdown(t Tool) float64 {
+	n := r.ByTool[Native].Elapsed
+	if n == 0 {
+		return 0
+	}
+	return float64(r.ByTool[t].Elapsed) / float64(n)
+}
+
+// SpeedupOverPmemcheck returns the Table 5 headline number, including
+// instrumentation time.
+func (r Row) SpeedupOverPmemcheck() float64 {
+	d := r.ByTool[PMDebugger].Elapsed
+	if d == 0 {
+		return 0
+	}
+	return float64(r.ByTool[Pmemcheck].Elapsed) / float64(d)
+}
+
+// SpeedupOverPmemcheckNoInstr removes the instrumentation-only cost
+// (Nulgrind) from both sides, the Table 5 "W/O Instru." column. When
+// timing noise makes the corrected numbers non-positive (tiny runs), the
+// uncorrected speedup is returned instead.
+func (r Row) SpeedupOverPmemcheckNoInstr() float64 {
+	instr := r.ByTool[Nulgrind].Elapsed
+	native := r.ByTool[Native].Elapsed
+	base := instr - native // pure instrumentation cost
+	if base < 0 {
+		base = 0
+	}
+	d := r.ByTool[PMDebugger].Elapsed - base
+	p := r.ByTool[Pmemcheck].Elapsed - base
+	if d <= 0 || p <= 0 {
+		return r.SpeedupOverPmemcheck()
+	}
+	return float64(p) / float64(d)
+}
+
+// Repeats is how many times each (benchmark, tool) pair is run; the
+// minimum elapsed time is kept, the standard way to suppress scheduling
+// noise. The paper reports the average of ten runs; the minimum of a few
+// runs gives the same ordering with less wall-clock.
+var Repeats = 1
+
+// measureTimed runs the experiment Repeats times — setup untimed, exercise
+// timed — and returns the minimum elapsed time along with the last run's
+// detector.
+func measureTimed(mkDet func() baselines.Detector, setup func(det baselines.Detector) (func() error, error)) (time.Duration, baselines.Detector, error) {
+	var best time.Duration
+	var lastDet baselines.Detector
+	reps := Repeats
+	if reps < 1 {
+		reps = 1
+	}
+	for i := 0; i < reps; i++ {
+		det := mkDet()
+		exercise, err := setup(det)
+		if err != nil {
+			return 0, nil, err
+		}
+		start := time.Now()
+		if err := exercise(); err != nil {
+			return 0, nil, err
+		}
+		elapsed := time.Since(start)
+		if i == 0 || elapsed < best {
+			best = elapsed
+		}
+		lastDet = det
+	}
+	return best, lastDet, nil
+}
+
+// MeasureMicro measures one Table 4 micro-benchmark with the given insert
+// count under every requested tool.
+func MeasureMicro(name string, inserts int, tools []Tool) (Row, error) {
+	f, err := workloads.Lookup(name)
+	if err != nil {
+		return Row{}, err
+	}
+	row := Row{Benchmark: name, Ops: inserts, ByTool: map[Tool]Measurement{}}
+	for _, tool := range append([]Tool{Native}, tools...) {
+		tool := tool
+		elapsed, det, err := measureTimed(
+			func() baselines.Detector { return buildDetector(tool, f.Model) },
+			func(det baselines.Detector) (func() error, error) {
+				app, pm, err := workloads.Build(f, inserts)
+				if err != nil {
+					return nil, err
+				}
+				if det != nil {
+					pm.Attach(det)
+				}
+				return func() error {
+					if err := workloads.RunInserts(app, inserts, 42); err != nil {
+						return err
+					}
+					if err := app.Close(); err != nil {
+						return err
+					}
+					pm.End()
+					return nil
+				}, nil
+			})
+		if err != nil {
+			return Row{}, err
+		}
+		m := Measurement{Benchmark: name, Tool: tool, Ops: inserts, Elapsed: elapsed}
+		if det != nil {
+			rep := det.Report()
+			m.Counters = rep.Counters
+			m.TreeReorgs = rep.Counters.TreeReorgs
+			m.AvgTreeNodes = rep.Counters.AvgTreeNodes()
+		}
+		row.ByTool[tool] = m
+	}
+	return row, nil
+}
+
+// memcachedPoolSize sizes the cache pool for an operation count.
+func memcachedPoolSize(ops int) uint64 {
+	size := uint64(ops)*256 + (8 << 20)
+	if size > 256<<20 {
+		size = 256 << 20
+	}
+	return size
+}
+
+// MeasureMemcached measures the memslap-driven memcached workload.
+func MeasureMemcached(ops, threads int, tools []Tool) (Row, error) {
+	row := Row{Benchmark: "memcached", Ops: ops, ByTool: map[Tool]Measurement{}}
+	for _, tool := range append([]Tool{Native}, tools...) {
+		tool := tool
+		elapsed, det, err := measureTimed(
+			func() baselines.Detector { return buildDetector(tool, rules.Strict) },
+			func(det baselines.Detector) (func() error, error) {
+				cache, err := memcached.New(memcached.Config{
+					PoolSize: memcachedPoolSize(ops), HashBuckets: 1 << 14, UseCAS: true,
+				})
+				if err != nil {
+					return nil, err
+				}
+				if det != nil {
+					cache.PM().Attach(det)
+				}
+				return func() error {
+					if err := memslap.Run(cache, memslap.Config{Ops: ops, Threads: threads, Seed: 42}); err != nil {
+						return err
+					}
+					cache.PM().End()
+					return nil
+				}, nil
+			})
+		if err != nil {
+			return Row{}, err
+		}
+		m := Measurement{Benchmark: "memcached", Tool: tool, Ops: ops, Elapsed: elapsed}
+		if det != nil {
+			rep := det.Report()
+			m.Counters = rep.Counters
+			m.TreeReorgs = rep.Counters.TreeReorgs
+			m.AvgTreeNodes = rep.Counters.AvgTreeNodes()
+		}
+		row.ByTool[tool] = m
+	}
+	return row, nil
+}
+
+// MeasureRedis measures the redis LRU-test workload with the given key
+// count.
+func MeasureRedis(keys int, tools []Tool) (Row, error) {
+	row := Row{Benchmark: "redis", Ops: keys, ByTool: map[Tool]Measurement{}}
+	for _, tool := range append([]Tool{Native}, tools...) {
+		tool := tool
+		elapsed, det, err := measureTimed(
+			func() baselines.Detector { return buildDetector(tool, rules.Epoch) },
+			func(det baselines.Detector) (func() error, error) {
+				srv, err := redis.New(redis.Config{
+					PoolSize: memcachedPoolSize(keys), MaxKeys: keys / 2, Seed: 42,
+				})
+				if err != nil {
+					return nil, err
+				}
+				if det != nil {
+					srv.PM().Attach(det)
+				}
+				return func() error {
+					if err := srv.RunLRUTest(keys, 42); err != nil {
+						return err
+					}
+					srv.PM().End()
+					return nil
+				}, nil
+			})
+		if err != nil {
+			return Row{}, err
+		}
+		m := Measurement{Benchmark: "redis", Tool: tool, Ops: keys, Elapsed: elapsed}
+		if det != nil {
+			rep := det.Report()
+			m.Counters = rep.Counters
+			m.TreeReorgs = rep.Counters.TreeReorgs
+			m.AvgTreeNodes = rep.Counters.AvgTreeNodes()
+		}
+		row.ByTool[tool] = m
+	}
+	return row, nil
+}
+
+// MicroBenchNames lists the Fig. 8 micro-benchmarks in figure order.
+func MicroBenchNames() []string {
+	return []string{"b_tree", "c_tree", "r_tree", "rb_tree",
+		"hashmap_tx", "hashmap_atomic", "synth_strand"}
+}
+
+// FormatSlowdownTable renders rows as a Fig. 8-style slowdown table.
+func FormatSlowdownTable(rows []Row, tools []Tool) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-16s %9s", "benchmark", "ops")
+	for _, t := range tools {
+		fmt.Fprintf(&sb, " %11s", t)
+	}
+	sb.WriteByte('\n')
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-16s %9d", r.Benchmark, r.Ops)
+		for _, t := range tools {
+			fmt.Fprintf(&sb, " %10.2fx", r.Slowdown(t))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// FormatTable5 renders the Table 5 speedup summary.
+func FormatTable5(rows []Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-16s %14s %14s\n", "benchmark", "with instru.", "w/o instru.")
+	var prodWith, prodWithout float64 = 1, 1
+	n := 0
+	for _, r := range rows {
+		w := r.SpeedupOverPmemcheck()
+		wo := r.SpeedupOverPmemcheckNoInstr()
+		fmt.Fprintf(&sb, "%-16s %13.2fx %13.2fx\n", r.Benchmark, w, wo)
+		if w > 0 && wo > 0 {
+			prodWith *= w
+			prodWithout *= wo
+			n++
+		}
+	}
+	if n > 0 {
+		fmt.Fprintf(&sb, "%-16s %13.2fx %13.2fx (geometric mean)\n", "average",
+			math.Pow(prodWith, 1/float64(n)), math.Pow(prodWithout, 1/float64(n)))
+	}
+	return sb.String()
+}
+
+// FormatFig11 renders the average-tree-nodes comparison.
+func FormatFig11(rows []Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-16s %12s %12s\n", "benchmark", "pmdebugger", "pmemcheck")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-16s %12.1f %12.1f\n", r.Benchmark,
+			r.ByTool[PMDebugger].AvgTreeNodes, r.ByTool[Pmemcheck].AvgTreeNodes)
+	}
+	return sb.String()
+}
+
+// FormatReorgs renders the tree-reorganization comparison of §7.5.
+func FormatReorgs(rows []Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-16s %12s %12s\n", "benchmark", "pmdebugger", "pmemcheck")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-16s %12d %12d\n", r.Benchmark,
+			r.ByTool[PMDebugger].TreeReorgs, r.ByTool[Pmemcheck].TreeReorgs)
+	}
+	return sb.String()
+}

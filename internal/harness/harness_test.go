@@ -1,0 +1,190 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMeasureMicroProducesAllTools(t *testing.T) {
+	row, err := MeasureMicro("b_tree", 200, AllTools())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tool := range append([]Tool{Native}, AllTools()...) {
+		m, ok := row.ByTool[tool]
+		if !ok || m.Elapsed <= 0 {
+			t.Errorf("tool %s not measured: %+v", tool, m)
+		}
+	}
+	// Detectors saw the same instruction counts (identical workload).
+	ref := row.ByTool[Nulgrind].Counters
+	for _, tool := range []Tool{PMDebugger, Pmemcheck, PMTest, XFDetector} {
+		c := row.ByTool[tool].Counters
+		if c.Stores != ref.Stores || c.Fences != ref.Fences {
+			t.Errorf("%s saw %d/%d events, nulgrind saw %d/%d",
+				tool, c.Stores, c.Fences, ref.Stores, ref.Fences)
+		}
+	}
+	if row.Slowdown(PMDebugger) <= 0 {
+		t.Error("slowdown not computed")
+	}
+}
+
+func TestMeasureMemcachedAndRedis(t *testing.T) {
+	row, err := MeasureMemcached(500, 1, []Tool{Nulgrind, PMDebugger})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.ByTool[PMDebugger].Counters.Stores == 0 {
+		t.Error("memcached produced no stores")
+	}
+	row, err = MeasureRedis(300, []Tool{Nulgrind, PMDebugger})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.ByTool[PMDebugger].Counters.Stores == 0 {
+		t.Error("redis produced no stores")
+	}
+}
+
+func TestPmemcheckReorgsExceedPMDebugger(t *testing.T) {
+	// The §7.5 key insight: pmemcheck reorganizes orders of magnitude more
+	// often than PMDebugger.
+	row, err := MeasureMicro("hashmap_atomic", 1000, []Tool{PMDebugger, Pmemcheck})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd := row.ByTool[PMDebugger].TreeReorgs
+	pc := row.ByTool[Pmemcheck].TreeReorgs
+	if pc <= pd*10 {
+		t.Errorf("reorgs: pmdebugger=%d pmemcheck=%d; expected >=10x gap", pd, pc)
+	}
+}
+
+func TestFig11TreeSizesShrink(t *testing.T) {
+	row, err := MeasureMicro("hashmap_tx", 2000, []Tool{PMDebugger, Pmemcheck})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd := row.ByTool[PMDebugger].AvgTreeNodes
+	pc := row.ByTool[Pmemcheck].AvgTreeNodes
+	if pd <= 25 {
+		t.Errorf("hashmap_tx should keep a large tree in pmdebugger: %.1f", pd)
+	}
+	if pd >= pc {
+		t.Errorf("pmdebugger tree (%.1f) not smaller than pmemcheck (%.1f)", pd, pc)
+	}
+	// The other benchmarks keep small trees.
+	row, err = MeasureMicro("b_tree", 2000, []Tool{PMDebugger, Pmemcheck})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := row.ByTool[PMDebugger].AvgTreeNodes; n > 25 {
+		t.Errorf("b_tree avg tree nodes = %.1f, want < 25", n)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	row, err := MeasureMicro("c_tree", 200, Fig8Tools())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []Row{row}
+	if out := FormatSlowdownTable(rows, Fig8Tools()); !strings.Contains(out, "c_tree") {
+		t.Errorf("slowdown table:\n%s", out)
+	}
+	if out := FormatTable5(rows); !strings.Contains(out, "average") {
+		t.Errorf("table 5:\n%s", out)
+	}
+	if out := FormatFig11(rows); !strings.Contains(out, "pmemcheck") {
+		t.Errorf("fig 11:\n%s", out)
+	}
+	if out := FormatReorgs(rows); !strings.Contains(out, "c_tree") {
+		t.Errorf("reorgs:\n%s", out)
+	}
+}
+
+func TestCharacterizeMicroPatterns(t *testing.T) {
+	// Pattern 1: for most stores durability is guaranteed by the nearest
+	// fence. Pattern 2: most CLF intervals are collective.
+	row, err := CharacterizeMicro("hashmap_atomic", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := row.Result
+	if le3 := r.DistanceLE(3); le3 < 80 {
+		t.Errorf("hashmap_atomic distance<=3 = %.1f%%, want > 80%%", le3)
+	}
+	if c := r.CollectivePercent(); c < 71 {
+		t.Errorf("hashmap_atomic collective = %.1f%%, want > 71%%", c)
+	}
+	s, _, _ := r.MixPercent()
+	if s < 40.2 {
+		t.Errorf("store share = %.1f%%, want > 40%%", s)
+	}
+}
+
+func TestCharacterizeYCSB(t *testing.T) {
+	row, err := CharacterizeYCSB('A', 300, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Name != "a_YCSB" {
+		t.Errorf("name = %s", row.Name)
+	}
+	if row.Result.Stores == 0 || row.Result.Fences == 0 {
+		t.Errorf("no traffic characterized: %+v", row.Result)
+	}
+}
+
+func TestMeasureMemcachedMultiThread(t *testing.T) {
+	row, err := MeasureMemcached(800, 4, []Tool{PMDebugger, Pmemcheck})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.ByTool[PMDebugger].Elapsed <= 0 || row.ByTool[Pmemcheck].Elapsed <= 0 {
+		t.Fatalf("threads run not measured: %+v", row)
+	}
+}
+
+func TestCharacterizeAllAndFormat(t *testing.T) {
+	rows, err := CharacterizeAll(300, 100, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 micro-benchmarks + 6 YCSB loads.
+	if len(rows) != 11 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	out := FormatCharacterization(rows)
+	for _, want := range []string{"b_tree", "a_YCSB", "f_YCSB", "Figure 2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("characterization output missing %q", want)
+		}
+	}
+}
+
+func TestRepeatsKeepsMinimum(t *testing.T) {
+	old := Repeats
+	defer func() { Repeats = old }()
+	Repeats = 3
+	row, err := MeasureMicro("c_tree", 150, []Tool{Nulgrind})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.ByTool[Nulgrind].Elapsed <= 0 {
+		t.Fatal("no measurement recorded")
+	}
+}
+
+func TestToolStrings(t *testing.T) {
+	names := map[Tool]string{
+		Native: "native", Nulgrind: "nulgrind", PMDebugger: "pmdebugger",
+		Pmemcheck: "pmemcheck", PMTest: "pmtest", XFDetector: "xfdetector",
+	}
+	for tool, want := range names {
+		if tool.String() != want {
+			t.Errorf("%d = %q", tool, tool.String())
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package memcached
+
+import (
+	"errors"
+	"strconv"
+)
+
+// The arithmetic and concatenation commands of the memcached protocol:
+// incr/decr operate on ASCII-decimal values (as real memcached does),
+// append/prepend grow a value in place of the stored item. All of them
+// reuse the persist-then-publish Set path, so their instruction patterns
+// match the original's command handlers.
+
+// Incr adds delta to the ASCII-decimal value of key and returns the new
+// value.
+func (c *Cache) Incr(thread int32, key string, delta uint64) (uint64, error) {
+	return c.arith(thread, key, delta, false)
+}
+
+// Decr subtracts delta from the ASCII-decimal value of key, clamping at
+// zero as memcached does.
+func (c *Cache) Decr(thread int32, key string, delta uint64) (uint64, error) {
+	return c.arith(thread, key, delta, true)
+}
+
+func (c *Cache) arith(thread int32, key string, delta uint64, sub bool) (uint64, error) {
+	v, _, ok := c.Get(thread, key)
+	if !ok {
+		return 0, errors.New("memcached: NOT_FOUND")
+	}
+	n, err := strconv.ParseUint(string(v), 10, 64)
+	if err != nil {
+		return 0, errors.New("memcached: cannot increment or decrement non-numeric value")
+	}
+	if sub {
+		if delta > n {
+			n = 0
+		} else {
+			n -= delta
+		}
+	} else {
+		n += delta
+	}
+	out := strconv.FormatUint(n, 10)
+	if err := c.Set(thread, key, []byte(out), 0, 0); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// Append appends data to key's value.
+func (c *Cache) Append(thread int32, key string, data []byte) error {
+	return c.concat(thread, key, data, false)
+}
+
+// Prepend prepends data to key's value.
+func (c *Cache) Prepend(thread int32, key string, data []byte) error {
+	return c.concat(thread, key, data, true)
+}
+
+func (c *Cache) concat(thread int32, key string, data []byte, front bool) error {
+	v, _, ok := c.Get(thread, key)
+	if !ok {
+		return errors.New("memcached: NOT_STORED")
+	}
+	combined := make([]byte, 0, len(v)+len(data))
+	if front {
+		combined = append(combined, data...)
+		combined = append(combined, v...)
+	} else {
+		combined = append(combined, v...)
+		combined = append(combined, data...)
+	}
+	return c.Set(thread, key, combined, 0, 0)
+}

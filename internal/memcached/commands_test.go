@@ -1,0 +1,72 @@
+package memcached
+
+import (
+	"testing"
+
+	"pmdebugger/internal/core"
+	"pmdebugger/internal/rules"
+)
+
+func TestIncrDecr(t *testing.T) {
+	c := newCache(t, Config{})
+	c.Set(0, "n", []byte("10"), 0, 0)
+	v, err := c.Incr(0, "n", 5)
+	if err != nil || v != 15 {
+		t.Fatalf("Incr = %d, %v", v, err)
+	}
+	v, err = c.Decr(0, "n", 20) // clamps at zero
+	if err != nil || v != 0 {
+		t.Fatalf("Decr = %d, %v", v, err)
+	}
+	got, _, _ := c.Get(0, "n")
+	if string(got) != "0" {
+		t.Fatalf("stored = %q", got)
+	}
+	if _, err := c.Incr(0, "absent", 1); err == nil {
+		t.Fatal("Incr on absent key succeeded")
+	}
+	c.Set(0, "s", []byte("abc"), 0, 0)
+	if _, err := c.Incr(0, "s", 1); err == nil {
+		t.Fatal("Incr on non-numeric value succeeded")
+	}
+}
+
+func TestAppendPrepend(t *testing.T) {
+	c := newCache(t, Config{})
+	c.Set(0, "k", []byte("mid"), 0, 0)
+	if err := c.Append(0, "k", []byte("-end")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Prepend(0, "k", []byte("start-")); err != nil {
+		t.Fatal(err)
+	}
+	v, _, _ := c.Get(0, "k")
+	if string(v) != "start-mid-end" {
+		t.Fatalf("value = %q", v)
+	}
+	if err := c.Append(0, "absent", []byte("x")); err == nil {
+		t.Fatal("Append on absent key succeeded")
+	}
+}
+
+func TestCommandsCleanInFixedPort(t *testing.T) {
+	c := newCache(t, Config{Bugs: false, UseCAS: true})
+	det := core.New(core.Config{Model: rules.Strict, Rules: rules.RuleNoDurability | rules.RuleFlushNothing})
+	c.PM().Attach(det)
+	c.Set(0, "n", []byte("0"), 0, 0)
+	for i := 0; i < 30; i++ {
+		if _, err := c.Incr(0, "n", 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Set(0, "log", []byte("a"), 0, 0)
+	for i := 0; i < 10; i++ {
+		if err := c.Append(0, "log", []byte("b")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.PM().End()
+	if rep := det.Report(); rep.Len() != 0 {
+		t.Fatalf("command mix flagged:\n%s", rep.Summary())
+	}
+}

@@ -1,0 +1,489 @@
+// Package memcached reimplements the PM-aware memcached (the Lenovo
+// memcached-pmem port evaluated in Table 4) over the simulated persistent
+// memory substrate: a slab allocator carving item chunks out of PM, items
+// holding header+key+value in PM with CAS ids, a hash table with persistent
+// chain links, per-thread operation contexts, and the statistics counters
+// the original maintains.
+//
+// The package reproduces the paper's §7.4 result: the real memcached-pmem
+// contains 19 previously unreported no-durability bugs — stores to
+// persistent fields (the CAS id of Fig. 9a, item metadata, statistics
+// counters) that are never made durable. Those stores are behind the Bugs
+// switch: with Bugs true (the faithful port) the 19 buggy sites skip
+// persistence; with Bugs false the same sites persist correctly, modeling
+// the fixed version.
+package memcached
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"pmdebugger/internal/pmem"
+	"pmdebugger/internal/rules"
+	"pmdebugger/internal/trace"
+)
+
+// Config parameterizes a cache instance.
+type Config struct {
+	// PoolSize is the simulated PM size (default 64 MiB).
+	PoolSize uint64
+	// HashBuckets is the hash table size (default 65536).
+	HashBuckets int
+	// Bugs enables the 19 faithful no-durability bugs of §7.4.
+	Bugs bool
+	// UseCAS enables CAS id maintenance (settings.use_cas).
+	UseCAS bool
+}
+
+// item layout in a slab chunk:
+//
+//	+0  hashNext u64   persistent hash chain link
+//	+8  cas u64        CAS id (bug 1: not persisted in the faithful port)
+//	+16 exptime u64
+//	+24 flags u32, itFlags u32
+//	+32 keyLen u32, valLen u32
+//	+40 key bytes, then value bytes
+const (
+	itFHashNext = 0
+	itFCas      = 8
+	itFExptime  = 16
+	itFFlags    = 24
+	itFLens     = 32
+	itHdrSize   = 40
+
+	itFlagFetched = 1 << 0
+	itFlagLinked  = 1 << 1
+)
+
+// Cache is one memcached instance. All public operations are safe for
+// concurrent use by multiple goroutines (the global cache lock, as in
+// memcached's default configuration).
+type Cache struct {
+	mu   sync.Mutex
+	cfg  Config
+	pm   *pmem.Pool
+	slab *slabAllocator
+
+	buckets []uint64 // volatile bucket heads (rebuilt on restart)
+	casSeq  uint64
+	clock   uint64 // logical time, advanced once per operation
+	sweep   int    // eviction scan cursor
+
+	stats statsArea
+	super uint64 // persistent superblock (restart.go)
+	sites sitesTable
+}
+
+// Model returns the strict persistency model (Table 4).
+func (c *Cache) Model() rules.Model { return rules.Strict }
+
+// sitesTable interns the instrumentation sites of the buggy stores so each
+// of the 19 bugs is attributed to its own source location.
+type sitesTable struct {
+	setCas     trace.SiteID
+	touchExp   trace.SiteID
+	setFlags   trace.SiteID
+	fetched    trace.SiteID
+	statSites  [15]trace.SiteID
+	oldestLive trace.SiteID
+	clean      trace.SiteID
+}
+
+// The 15 statistics counters maintained in PM, in stats-area order.
+var statNames = [15]string{
+	"total_items", "curr_items", "get_hits", "get_misses", "set_cmds",
+	"delete_hits", "delete_misses", "cas_hits", "cas_badval", "expired",
+	"evictions", "bytes_written", "bytes_read", "curr_bytes", "touch_cmds",
+}
+
+// statsArea is the persistent statistics block: 15 u64 counters plus the
+// oldest_live timestamp.
+type statsArea struct {
+	base uint64
+}
+
+func (s statsArea) counter(i int) uint64 { return s.base + uint64(i)*8 }
+func (s statsArea) oldestLive() uint64   { return s.base + 15*8 }
+func (s statsArea) size() uint64         { return 16 * 8 }
+
+// New creates a cache over a fresh simulated PM pool.
+func New(cfg Config) (*Cache, error) {
+	if cfg.PoolSize == 0 {
+		cfg.PoolSize = 64 << 20
+	}
+	if cfg.HashBuckets == 0 {
+		cfg.HashBuckets = 1 << 16
+	}
+	pm := pmem.New(cfg.PoolSize)
+	c := &Cache{
+		cfg:     cfg,
+		pm:      pm,
+		buckets: make([]uint64, cfg.HashBuckets),
+	}
+	c.slab = newSlabAllocator(pm)
+	c.slab.cache = c
+	c.stats.base = pm.Alloc(c.stats.size())
+	c.initSites()
+
+	// Initialize the stats block durably, then the superblock that makes
+	// warm restart possible.
+	ctx := pm.Ctx().At(c.sites.clean)
+	ctx.StoreBytes(c.stats.base, make([]byte, c.stats.size()))
+	ctx.Persist(c.stats.base, c.stats.size())
+	c.initSuperblock()
+	return c, nil
+}
+
+func (c *Cache) initSites() {
+	c.sites.setCas = trace.RegisterSite("items.c:ITEM_set_cas")
+	c.sites.touchExp = trace.RegisterSite("items.c:do_item_update:exptime")
+	c.sites.setFlags = trace.RegisterSite("items.c:do_item_update:flags")
+	c.sites.fetched = trace.RegisterSite("items.c:do_item_get:ITEM_FETCHED")
+	for i, n := range statNames {
+		c.sites.statSites[i] = trace.RegisterSite("memcached.c:stats:" + n)
+	}
+	c.sites.oldestLive = trace.RegisterSite("memcached.c:process_flush_all:oldest_live")
+	c.sites.clean = trace.RegisterSite("memcached-pmem")
+}
+
+// PM returns the underlying pool (for attaching detectors).
+func (c *Cache) PM() *pmem.Pool { return c.pm }
+
+// BugSites returns the distinct source sites of the 19 faithful bugs, for
+// the new-bug reproduction harness (E10).
+func (c *Cache) BugSites() []trace.SiteID {
+	out := []trace.SiteID{
+		c.sites.setCas, c.sites.touchExp, c.sites.setFlags, c.sites.fetched,
+	}
+	out = append(out, c.sites.statSites[:]...)
+	// 4 + 15 = 19; oldest_live is persisted correctly even in the faithful
+	// port (it is only written by flush_all).
+	return out
+}
+
+func hashKey(key string) uint64 {
+	// FNV-1a.
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// storeBuggy performs a store that the faithful port forgets to persist and
+// the fixed version persists.
+func (c *Cache) storeBuggy(ctx *pmem.Ctx, site trace.SiteID, addr uint64, v uint64) {
+	ctx.At(site).Store64(addr, v)
+	if !c.cfg.Bugs {
+		ctx.Persist(addr, 8)
+	}
+}
+
+// storeBuggy32 is storeBuggy for 32-bit fields.
+func (c *Cache) storeBuggy32(ctx *pmem.Ctx, site trace.SiteID, addr uint64, v uint32) {
+	ctx.At(site).Store32(addr, v)
+	if !c.cfg.Bugs {
+		ctx.Persist(addr, 4)
+	}
+}
+
+// bumpStat increments a persistent statistics counter (one of the buggy
+// sites).
+func (c *Cache) bumpStat(ctx *pmem.Ctx, i int, delta uint64) {
+	addr := c.stats.counter(i)
+	c.storeBuggy(ctx, c.sites.statSites[i], addr, ctx.Load64(addr)+delta)
+}
+
+// Stat returns a counter value by name.
+func (c *Cache) Stat(name string) (uint64, bool) {
+	for i, n := range statNames {
+		if n == name {
+			return c.pm.Ctx().Load64(c.stats.counter(i)), true
+		}
+	}
+	return 0, false
+}
+
+// itemAddrs walks the bucket chain for key, returning the item address and
+// its predecessor's hashNext slot (0 slot means bucket head).
+func (c *Cache) find(key string) (addr uint64, prevSlot uint64, bucket int) {
+	bucket = int(hashKey(key) % uint64(len(c.buckets)))
+	addr = c.buckets[bucket]
+	prevSlot = 0
+	ctx := c.pm.Ctx()
+	for addr != 0 {
+		if c.keyEquals(ctx, addr, key) {
+			return addr, prevSlot, bucket
+		}
+		prevSlot = addr + itFHashNext
+		addr = ctx.Load64(addr + itFHashNext)
+	}
+	return 0, prevSlot, bucket
+}
+
+func (c *Cache) keyEquals(ctx *pmem.Ctx, it uint64, key string) bool {
+	lens := ctx.Load64(it + itFLens)
+	kl := uint32(lens)
+	if int(kl) != len(key) {
+		return false
+	}
+	kb := ctx.LoadBytes(it+itHdrSize, uint64(kl))
+	return string(kb) == key
+}
+
+func (c *Cache) itemValue(ctx *pmem.Ctx, it uint64) []byte {
+	lens := ctx.Load64(it + itFLens)
+	kl, vl := uint32(lens), uint32(lens>>32)
+	return ctx.LoadBytes(it+itHdrSize+uint64(kl), uint64(vl))
+}
+
+// Set stores key=value from the given thread, allocating a fresh item and
+// publishing it with the persist-then-link protocol, then updating CAS and
+// statistics.
+func (c *Cache) Set(thread int32, key string, value []byte, flags uint32, exptime uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ctx := c.pm.ThreadCtx(thread).SetSite(c.sites.clean)
+
+	c.clock++
+	old, prevSlot, bucket := c.find(key)
+
+	size := uint64(itHdrSize + len(key) + len(value))
+	it, _, err := c.slab.alloc(ctx, size)
+	if err == errSlabFull {
+		// Evict items until the allocation fits, as the slab LRU does.
+		// Chunks free into their own size class, so under mixed item sizes
+		// many evictions may pass before one matches (slab calcification);
+		// the bound only guards against an unevictable cache.
+		for tries := 0; tries < 4096 && err == errSlabFull; tries++ {
+			if !c.evictOne(ctx) {
+				break
+			}
+			it, _, err = c.slab.alloc(ctx, size)
+		}
+	}
+	if err != nil {
+		return err
+	}
+	// Build the new item completely, then persist it collectively.
+	var lens [8]byte
+	binary.LittleEndian.PutUint32(lens[0:], uint32(len(key)))
+	binary.LittleEndian.PutUint32(lens[4:], uint32(len(value)))
+	next := c.buckets[bucket]
+	if old != 0 {
+		next = ctx.Load64(old + itFHashNext) // replace in place in the chain
+	}
+	ctx.Store64(it+itFHashNext, next)
+	ctx.Store64(it+itFExptime, exptime)
+	ctx.Store32(it+itFFlags, flags)
+	ctx.Store32(it+itFFlags+4, itFlagLinked)
+	ctx.StoreBytes(it+itFLens, lens[:])
+	ctx.StoreBytes(it+itHdrSize, []byte(key))
+	if len(value) > 0 {
+		ctx.StoreBytes(it+itHdrSize+uint64(len(key)), value)
+	}
+	ctx.Persist(it, size)
+
+	// Bug 1 (Fig. 9a): the CAS id is assigned after linking preparation and
+	// never persisted in the faithful port.
+	if c.cfg.UseCAS {
+		c.casSeq++
+		c.storeBuggy(ctx, c.sites.setCas, it+itFCas, c.casSeq)
+	}
+
+	// Publish: replace or prepend in the (volatile) bucket with the
+	// persistent chain link already set.
+	if old != 0 {
+		if prevSlot == 0 {
+			c.buckets[bucket] = it
+		} else {
+			ctx.Store64(prevSlot, it)
+			ctx.Persist(prevSlot, 8)
+		}
+		c.releaseItem(ctx, old)
+	} else {
+		c.buckets[bucket] = it
+		c.bumpStat(ctx, 1, 1) // curr_items
+	}
+	c.bumpStat(ctx, 0, 1)                   // total_items
+	c.bumpStat(ctx, 4, 1)                   // set_cmds
+	c.bumpStat(ctx, 11, uint64(len(value))) // bytes_written
+	c.bumpStat(ctx, 13, size)               // curr_bytes
+	return nil
+}
+
+// Get fetches key's value, updating the fetched flag and hit/miss
+// statistics.
+func (c *Cache) Get(thread int32, key string) ([]byte, uint64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ctx := c.pm.ThreadCtx(thread).SetSite(c.sites.clean)
+	c.clock++
+	it, prevSlot, bucket := c.find(key)
+	if it == 0 {
+		c.bumpStat(ctx, 3, 1) // get_misses
+		return nil, 0, false
+	}
+	// Lazy expiration, as in do_item_get.
+	if exp := ctx.Load64(it + itFExptime); exp != 0 && exp <= c.clock {
+		next := ctx.Load64(it + itFHashNext)
+		if prevSlot == 0 {
+			c.buckets[bucket] = next
+		} else {
+			ctx.Store64(prevSlot, next)
+			ctx.Persist(prevSlot, 8)
+		}
+		c.releaseItem(ctx, it)
+		c.bumpStat(ctx, 9, 1)          // expired
+		c.bumpStat(ctx, 1, ^uint64(0)) // curr_items--
+		c.bumpStat(ctx, 3, 1)          // get_misses
+		return nil, 0, false
+	}
+	// ITEM_FETCHED is set on first access (do_item_get).
+	fl := ctx.Load32(it + itFFlags + 4)
+	if fl&itFlagFetched == 0 {
+		c.storeBuggy32(ctx, c.sites.fetched, it+itFFlags+4, fl|itFlagFetched)
+	}
+	c.bumpStat(ctx, 2, 1) // get_hits
+	v := c.itemValue(ctx, it)
+	c.bumpStat(ctx, 12, uint64(len(v))) // bytes_read
+	return v, ctx.Load64(it + itFCas), true
+}
+
+// Touch updates an item's expiry (a buggy metadata store in the faithful
+// port).
+func (c *Cache) Touch(thread int32, key string, exptime uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ctx := c.pm.ThreadCtx(thread).SetSite(c.sites.clean)
+	it, _, _ := c.find(key)
+	if it == 0 {
+		return false
+	}
+	c.storeBuggy(ctx, c.sites.touchExp, it+itFExptime, exptime)
+	c.bumpStat(ctx, 14, 1) // touch_cmds
+	return true
+}
+
+// SetFlags updates an item's client flags in place.
+func (c *Cache) SetFlags(thread int32, key string, flags uint32) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ctx := c.pm.ThreadCtx(thread).SetSite(c.sites.clean)
+	it, _, _ := c.find(key)
+	if it == 0 {
+		return false
+	}
+	c.storeBuggy32(ctx, c.sites.setFlags, it+itFFlags, flags)
+	return true
+}
+
+// CAS stores key=value only when the caller's cas id matches.
+func (c *Cache) CAS(thread int32, key string, value []byte, cas uint64) error {
+	c.mu.Lock()
+	ctx := c.pm.ThreadCtx(thread).SetSite(c.sites.clean)
+	it, _, _ := c.find(key)
+	if it == 0 {
+		c.mu.Unlock()
+		return errors.New("memcached: CAS on missing key")
+	}
+	if ctx.Load64(it+itFCas) != cas {
+		c.bumpStat(ctx, 8, 1) // cas_badval
+		c.mu.Unlock()
+		return errors.New("memcached: CAS mismatch")
+	}
+	c.bumpStat(ctx, 7, 1) // cas_hits
+	c.mu.Unlock()
+	return c.Set(thread, key, value, 0, 0)
+}
+
+// evictOne frees one linked item, scanning buckets round-robin (standing in
+// for the LRU tail walk). It reports whether anything was evicted.
+func (c *Cache) evictOne(ctx *pmem.Ctx) bool {
+	for scanned := 0; scanned < len(c.buckets); scanned++ {
+		b := c.sweep % len(c.buckets)
+		c.sweep++
+		if it := c.buckets[b]; it != 0 {
+			c.buckets[b] = ctx.Load64(it + itFHashNext)
+			c.releaseItem(ctx, it)
+			c.bumpStat(ctx, 10, 1)         // evictions
+			c.bumpStat(ctx, 1, ^uint64(0)) // curr_items--
+			return true
+		}
+	}
+	return false
+}
+
+// Delete unlinks key.
+func (c *Cache) Delete(thread int32, key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ctx := c.pm.ThreadCtx(thread).SetSite(c.sites.clean)
+	it, prevSlot, bucket := c.find(key)
+	if it == 0 {
+		c.bumpStat(ctx, 6, 1) // delete_misses
+		return false
+	}
+	next := ctx.Load64(it + itFHashNext)
+	if prevSlot == 0 {
+		c.buckets[bucket] = next
+	} else {
+		ctx.Store64(prevSlot, next)
+		ctx.Persist(prevSlot, 8)
+	}
+	c.releaseItem(ctx, it)
+	c.bumpStat(ctx, 5, 1)          // delete_hits
+	c.bumpStat(ctx, 1, ^uint64(0)) // curr_items--
+	return true
+}
+
+// FlushAll records the oldest-live timestamp (correctly persisted even in
+// the faithful port) and drops all buckets.
+func (c *Cache) FlushAll(thread int32, now uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ctx := c.pm.ThreadCtx(thread).SetSite(c.sites.clean)
+	ctx.At(c.sites.oldestLive).Store64(c.stats.oldestLive(), now)
+	ctx.Persist(c.stats.oldestLive(), 8)
+	for i := range c.buckets {
+		for it := c.buckets[i]; it != 0; {
+			next := ctx.Load64(it + itFHashNext)
+			c.releaseItem(ctx, it)
+			it = next
+		}
+		c.buckets[i] = 0
+	}
+}
+
+func (c *Cache) releaseItem(ctx *pmem.Ctx, it uint64) {
+	// Durably clear the linked flag before the chunk can be reused, so a
+	// warm restart never resurrects a released item.
+	fl := ctx.Load32(it + itFFlags + 4)
+	ctx.Store32(it+itFFlags+4, fl&^uint32(itFlagLinked))
+	ctx.Persist(it+itFFlags+4, 4)
+	c.slab.free(ctx, it)
+}
+
+// Close persists nothing extra: in the fixed version every site already
+// persisted its stores; in the faithful version the bugs are the point.
+func (c *Cache) Close() error { return nil }
+
+// Check verifies basic volatile/persistent agreement for testing: every
+// linked item's key must be findable.
+func (c *Cache) Check() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ctx := c.pm.Ctx()
+	for i := range c.buckets {
+		for it := c.buckets[i]; it != 0; it = ctx.Load64(it + itFHashNext) {
+			lens := ctx.Load64(it + itFLens)
+			if uint32(lens) == 0 {
+				return fmt.Errorf("memcached: zero-length key in bucket %d", i)
+			}
+		}
+	}
+	return nil
+}

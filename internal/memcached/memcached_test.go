@@ -1,0 +1,216 @@
+package memcached
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"pmdebugger/internal/core"
+	"pmdebugger/internal/report"
+	"pmdebugger/internal/rules"
+)
+
+func newCache(t *testing.T, cfg Config) *Cache {
+	t.Helper()
+	if cfg.PoolSize == 0 {
+		cfg.PoolSize = 1 << 22
+	}
+	if cfg.HashBuckets == 0 {
+		cfg.HashBuckets = 256
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSetGetDelete(t *testing.T) {
+	c := newCache(t, Config{UseCAS: true})
+	if err := c.Set(0, "hello", []byte("world"), 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	v, cas, ok := c.Get(0, "hello")
+	if !ok || !bytes.Equal(v, []byte("world")) {
+		t.Fatalf("Get = %q %v", v, ok)
+	}
+	if cas == 0 {
+		t.Fatal("cas id not assigned")
+	}
+	if _, _, ok := c.Get(0, "nope"); ok {
+		t.Fatal("absent key found")
+	}
+	if !c.Delete(0, "hello") {
+		t.Fatal("delete missed")
+	}
+	if _, _, ok := c.Get(0, "hello"); ok {
+		t.Fatal("deleted key still present")
+	}
+	if c.Delete(0, "hello") {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+func TestReplaceUpdatesValue(t *testing.T) {
+	c := newCache(t, Config{})
+	c.Set(0, "k", []byte("one"), 0, 0)
+	c.Set(0, "k", []byte("two"), 0, 0)
+	v, _, ok := c.Get(0, "k")
+	if !ok || string(v) != "two" {
+		t.Fatalf("replace failed: %q %v", v, ok)
+	}
+	n, _ := c.Stat("curr_items")
+	if n != 1 {
+		t.Fatalf("curr_items = %d after replace", n)
+	}
+}
+
+func TestCASProtocol(t *testing.T) {
+	c := newCache(t, Config{UseCAS: true})
+	c.Set(0, "k", []byte("v1"), 0, 0)
+	_, cas, _ := c.Get(0, "k")
+	if err := c.CAS(0, "k", []byte("v2"), cas); err != nil {
+		t.Fatalf("matching CAS failed: %v", err)
+	}
+	if err := c.CAS(0, "k", []byte("v3"), cas); err == nil {
+		t.Fatal("stale CAS succeeded")
+	}
+	v, _, _ := c.Get(0, "k")
+	if string(v) != "v2" {
+		t.Fatalf("value = %q", v)
+	}
+	hits, _ := c.Stat("cas_hits")
+	bad, _ := c.Stat("cas_badval")
+	if hits != 1 || bad != 1 {
+		t.Fatalf("cas stats = %d/%d", hits, bad)
+	}
+}
+
+func TestLazyExpiration(t *testing.T) {
+	c := newCache(t, Config{})
+	c.Set(0, "k", []byte("v"), 0, 2) // expires at clock 2
+	for i := 0; i < 8; i++ {
+		c.Get(0, "other")
+	}
+	if _, _, ok := c.Get(0, "k"); ok {
+		t.Fatal("expired item served")
+	}
+	n, _ := c.Stat("expired")
+	if n != 1 {
+		t.Fatalf("expired = %d", n)
+	}
+}
+
+func TestEvictionUnderPressure(t *testing.T) {
+	c := newCache(t, Config{PoolSize: 1 << 17, HashBuckets: 64})
+	big := make([]byte, 2048)
+	for i := 0; i < 200; i++ {
+		if err := c.Set(0, key(i), big, 0, 0); err != nil {
+			t.Fatalf("set %d: %v", i, err)
+		}
+	}
+	n, _ := c.Stat("evictions")
+	if n == 0 {
+		t.Fatal("no evictions under memory pressure")
+	}
+	if err := c.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func key(i int) string {
+	return string([]byte{'k', byte('0' + i%10), byte('0' + (i/10)%10), byte('0' + (i/100)%10)})
+}
+
+func TestFlushAll(t *testing.T) {
+	c := newCache(t, Config{})
+	for i := 0; i < 20; i++ {
+		c.Set(0, key(i), []byte("v"), 0, 0)
+	}
+	c.FlushAll(0, 99)
+	for i := 0; i < 20; i++ {
+		if _, _, ok := c.Get(0, key(i)); ok {
+			t.Fatalf("key %d survived flush_all", i)
+		}
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	c := newCache(t, Config{PoolSize: 1 << 22, HashBuckets: 1024})
+	var wg sync.WaitGroup
+	for th := 0; th < 4; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := key(th*1000 + i)
+				c.Set(int32(th), k, []byte{byte(th)}, 0, 0)
+				if v, _, ok := c.Get(int32(th), k); !ok || v[0] != byte(th) {
+					t.Errorf("thread %d lost key %s", th, k)
+					return
+				}
+			}
+		}(th)
+	}
+	wg.Wait()
+	if err := c.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuggyPortHas19Sites(t *testing.T) {
+	c := newCache(t, Config{Bugs: true, UseCAS: true})
+	if got := len(c.BugSites()); got != 19 {
+		t.Fatalf("bug sites = %d, want 19", got)
+	}
+	seen := map[string]bool{}
+	for _, s := range c.BugSites() {
+		if seen[s.String()] {
+			t.Fatalf("duplicate bug site %s", s)
+		}
+		seen[s.String()] = true
+	}
+}
+
+func TestFixedPortIsCleanUnderPMDebugger(t *testing.T) {
+	c := newCache(t, Config{Bugs: false, UseCAS: true})
+	det := core.New(core.Config{
+		Model: rules.Strict,
+		// The fixed port persists every store immediately; the multiple-
+		// overwrites rule stays meaningful.
+	})
+	c.PM().Attach(det)
+	for i := 0; i < 100; i++ {
+		if err := c.Set(0, key(i), []byte("value"), 0, 0); err != nil {
+			t.Fatal(err)
+		}
+		c.Get(0, key(i%50))
+	}
+	c.PM().End()
+	rep := det.Report()
+	if rep.Len() != 0 {
+		t.Fatalf("fixed port flagged:\n%s", rep.Summary())
+	}
+}
+
+func TestBuggyPortBugsDetected(t *testing.T) {
+	c := newCache(t, Config{Bugs: true, UseCAS: true})
+	det := core.New(core.Config{Model: rules.Strict, Rules: rules.RuleNoDurability})
+	c.PM().Attach(det)
+	for i := 0; i < 100; i++ {
+		if err := c.Set(0, key(i), []byte("value"), 0, 0); err != nil {
+			t.Fatal(err)
+		}
+		c.Get(0, key(i%50))
+		c.Get(0, "miss")
+	}
+	c.PM().End()
+	rep := det.Report()
+	byType := rep.CountByType()
+	// set/get exercise the CAS bug, the fetched-flag bug and several stats
+	// counters; each distinct site is one bug.
+	if byType[report.NoDurability] < 8 {
+		t.Fatalf("only %d durability bugs detected:\n%s",
+			byType[report.NoDurability], rep.Summary())
+	}
+}

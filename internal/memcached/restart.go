@@ -1,0 +1,193 @@
+package memcached
+
+import (
+	"errors"
+	"fmt"
+
+	"pmdebugger/internal/pmem"
+)
+
+// Warm restart — the capability that motivates memcached-pmem: after a
+// crash or shutdown, the cache contents survive in PM and the volatile
+// acceleration structures (hash table, free lists) are rebuilt by scanning
+// the persistent slab pages.
+//
+// The persistent superblock records where everything lives:
+//
+//	+0  magic
+//	+8  stats area address
+//	+16 page count
+//	+24 pages[maxPages] of {page addr u64, chunk size u64}
+//
+// Pages are published with a persist-then-count protocol, so a crash during
+// page carving never exposes a half-registered page. Items carry a
+// persistent linked flag: set when published, cleared durably before a
+// chunk is freed. A crash between bucket unlink and flag clear may
+// resurrect a deleted item — acceptable cache semantics, and exactly the
+// window the original port has.
+const (
+	mcMagic     = 0x4d454d43414348ff // "MEMCACH" + ff
+	sbFMagic    = 0
+	sbFStats    = 8
+	sbFNPages   = 16
+	sbFPages    = 24
+	sbMaxPages  = 1024
+	sbSize      = sbFPages + sbMaxPages*16
+	slabPageMin = 1 << 16
+)
+
+// initSuperblock lays out and persists the superblock on a fresh pool.
+func (c *Cache) initSuperblock() {
+	ctx := c.pm.Ctx().At(c.sites.clean)
+	c.super = c.pm.Alloc(sbSize)
+	ctx.Store64(c.super+sbFStats, c.stats.base)
+	ctx.Store64(c.super+sbFNPages, 0)
+	ctx.Persist(c.super+sbFStats, 16)
+	ctx.Store64(c.super+sbFMagic, mcMagic)
+	ctx.Persist(c.super+sbFMagic, 8)
+}
+
+// registerPage durably publishes a carved slab page and returns its
+// registry slot.
+func (c *Cache) registerPage(ctx *pmem.Ctx, pageAddr, chunkSize uint64) (uint64, error) {
+	n := ctx.Load64(c.super + sbFNPages)
+	if n >= sbMaxPages {
+		return 0, errors.New("memcached: slab page registry full")
+	}
+	entry := c.super + sbFPages + n*16
+	ctx.Store64(entry, pageAddr)
+	ctx.Store64(entry+8, chunkSize)
+	ctx.Persist(entry, 16)
+	ctx.Store64(c.super+sbFNPages, n+1) // publication point
+	ctx.Persist(c.super+sbFNPages, 8)
+	return n, nil
+}
+
+// tombstonePage durably retires a reclaimed page's registry entry (chunk
+// size zero) so restart scans skip it. The slot itself is not reused; the
+// registry is an append-only log, like slab page tables in the original.
+func (c *Cache) tombstonePage(ctx *pmem.Ctx, regIndex uint64) {
+	entry := c.super + sbFPages + regIndex*16
+	ctx.Store64(entry+8, 0)
+	ctx.Persist(entry+8, 8)
+}
+
+// Restart attaches a cache to a pool that already holds one (typically a
+// crash image), scanning the registered slab pages to rebuild the hash
+// table, the free lists, the CAS sequence and the clock.
+func Restart(pm *pmem.Pool, cfg Config) (*Cache, error) {
+	if cfg.HashBuckets == 0 {
+		cfg.HashBuckets = 1 << 16
+	}
+	c := &Cache{
+		cfg:     cfg,
+		pm:      pm,
+		buckets: make([]uint64, cfg.HashBuckets),
+	}
+	c.slab = newSlabAllocator(pm)
+	c.slab.cache = c
+	c.initSites()
+
+	// The superblock is the first allocation after the stats block; its
+	// address is deterministic, but locate it defensively via the stats
+	// pointer it records.
+	ctx := pm.Ctx().At(c.sites.clean)
+	c.stats.base = pm.Base() // stats block is the pool's first allocation
+	c.super = c.stats.base + c.stats.size()
+	if ctx.Load64(c.super+sbFMagic) != mcMagic {
+		return nil, errors.New("memcached: no cache superblock in pool")
+	}
+	c.stats.base = ctx.Load64(c.super + sbFStats)
+
+	// Re-claim the metadata regions so the fresh volatile allocator cannot
+	// hand them out.
+	if !pm.AllocAt(c.stats.base, c.stats.size()) || !pm.AllocAt(c.super, sbSize) {
+		return nil, errors.New("memcached: metadata regions not reservable")
+	}
+
+	nPages := ctx.Load64(c.super + sbFNPages)
+	if nPages > sbMaxPages {
+		return nil, fmt.Errorf("memcached: implausible page count %d", nPages)
+	}
+	for pi := uint64(0); pi < nPages; pi++ {
+		entry := c.super + sbFPages + pi*16
+		pageAddr := ctx.Load64(entry)
+		chunkSize := ctx.Load64(entry + 8)
+		if chunkSize == 0 {
+			continue // tombstoned (reclaimed) page
+		}
+		class := c.slab.class(chunkSize)
+		if class < 0 || c.slab.classes[class].size != chunkSize {
+			return nil, fmt.Errorf("memcached: page %d has unknown chunk size %d", pi, chunkSize)
+		}
+		pageSize := slabPageSize(chunkSize)
+		// Claim the page's pool space: the volatile allocator starts fresh
+		// after a crash, and live pages must not be handed out again.
+		if !pm.AllocAt(pageAddr, pageSize) {
+			return nil, fmt.Errorf("memcached: restored page [%#x,+%d) not reservable", pageAddr, pageSize)
+		}
+		p := &pageInfo{addr: pageAddr, size: pageSize, class: class, regIndex: pi}
+		c.slab.insertPage(p)
+		for off := uint64(0); off+chunkSize <= pageSize; off += chunkSize {
+			it := pageAddr + off
+			if !c.reattachItem(ctx, it) {
+				c.slab.classes[class].free = append(c.slab.classes[class].free, it)
+				p.freeCnt++
+			}
+		}
+	}
+	return c, nil
+}
+
+// reattachItem validates a chunk's item and relinks it into the rebuilt
+// hash table, reporting whether the chunk held a live item.
+func (c *Cache) reattachItem(ctx *pmem.Ctx, it uint64) bool {
+	if ctx.Load32(it+itFFlags+4)&itFlagLinked == 0 {
+		return false
+	}
+	lens := ctx.Load64(it + itFLens)
+	kl, vl := uint32(lens), uint32(lens>>32)
+	if kl == 0 || kl > 250 || uint64(itHdrSize)+uint64(kl)+uint64(vl) > slabMaxChunk {
+		return false // torn or stale header: treat as free
+	}
+	key := string(ctx.LoadBytes(it+itHdrSize, uint64(kl)))
+	// Drop duplicates (an older version may survive if a crash hit a
+	// replace between publish and release): keep the one already linked.
+	if existing, _, _ := c.find(key); existing != 0 {
+		return false
+	}
+	bucket := int(hashKey(key) % uint64(len(c.buckets)))
+	ctx.Store64(it+itFHashNext, c.buckets[bucket])
+	ctx.Persist(it+itFHashNext, 8)
+	c.buckets[bucket] = it
+	if cas := ctx.Load64(it + itFCas); cas > c.casSeq {
+		c.casSeq = cas
+	}
+	if exp := ctx.Load64(it + itFExptime); exp > c.clock {
+		c.clock = 0 // conservative: never advance past stored expiries
+	}
+	return true
+}
+
+// slabPageSize returns the page size used for a chunk class.
+func slabPageSize(chunkSize uint64) uint64 {
+	size := uint64(slabPageMin)
+	if chunkSize*4 > size {
+		size = chunkSize * 4
+	}
+	return size
+}
+
+// ItemCount walks the rebuilt hash table (test helper).
+func (c *Cache) ItemCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ctx := c.pm.Ctx()
+	n := 0
+	for i := range c.buckets {
+		for it := c.buckets[i]; it != 0; it = ctx.Load64(it + itFHashNext) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,171 @@
+package memcached
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"pmdebugger/internal/pmem"
+)
+
+func TestWarmRestartPreservesItems(t *testing.T) {
+	c := newCache(t, Config{PoolSize: 1 << 22, UseCAS: true})
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if err := c.Set(0, k, []byte(fmt.Sprintf("val-%d", i)), uint32(i), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delete some, replace some.
+	for i := 0; i < 50; i++ {
+		c.Delete(0, fmt.Sprintf("key-%d", i))
+	}
+	for i := 50; i < 80; i++ {
+		c.Set(0, fmt.Sprintf("key-%d", i), []byte("replaced"), 0, 0)
+	}
+
+	crashed := c.PM().Crash(pmem.CrashDropPending, 0)
+	c2, err := Restart(crashed, Config{HashBuckets: 512, UseCAS: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.ItemCount(); got != 150 {
+		t.Fatalf("restored items = %d, want 150", got)
+	}
+	for i := 0; i < 50; i++ {
+		if _, _, ok := c2.Get(0, fmt.Sprintf("key-%d", i)); ok {
+			t.Fatalf("deleted key-%d resurrected", i)
+		}
+	}
+	for i := 50; i < 80; i++ {
+		v, _, ok := c2.Get(0, fmt.Sprintf("key-%d", i))
+		if !ok || !bytes.Equal(v, []byte("replaced")) {
+			t.Fatalf("key-%d = %q, %v", i, v, ok)
+		}
+	}
+	for i := 80; i < 200; i++ {
+		v, _, ok := c2.Get(0, fmt.Sprintf("key-%d", i))
+		if !ok || !bytes.Equal(v, []byte(fmt.Sprintf("val-%d", i))) {
+			t.Fatalf("key-%d = %q, %v", i, v, ok)
+		}
+	}
+}
+
+func TestWarmRestartUsableAfterRestore(t *testing.T) {
+	c := newCache(t, Config{PoolSize: 1 << 22, UseCAS: true})
+	c.Set(0, "old", []byte("x"), 0, 0)
+	_, oldCas, _ := c.Get(0, "old")
+
+	c2, err := Restart(c.PM().Crash(pmem.CrashDropPending, 0), Config{UseCAS: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// New writes must not collide with restored pages and must advance the
+	// CAS sequence past restored ids.
+	if err := c2.Set(0, "new", []byte("y"), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	_, newCas, ok := c2.Get(0, "new")
+	if !ok || newCas <= oldCas {
+		t.Fatalf("cas sequence not restored: old %d new %d", oldCas, newCas)
+	}
+	if v, _, ok := c2.Get(0, "old"); !ok || string(v) != "x" {
+		t.Fatalf("restored item unusable: %q %v", v, ok)
+	}
+	if err := c2.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWarmRestartRejectsRawPool(t *testing.T) {
+	if _, err := Restart(pmem.New(1<<20), Config{}); err == nil {
+		t.Fatal("raw pool accepted")
+	}
+}
+
+func TestPageReclamationCuresCalcification(t *testing.T) {
+	// Fill the pool with large items, release them all, then allocate
+	// small items: reclaimed pages must serve the new class.
+	c := newCache(t, Config{PoolSize: 1 << 19}) // 512 KiB
+	big := make([]byte, 2048)
+	var keys []string
+	for i := 0; ; i++ {
+		k := fmt.Sprintf("big-%d", i)
+		if err := c.Set(0, k, big, 0, 0); err != nil {
+			break
+		}
+		keys = append(keys, k)
+		// Memory pressure reached: eviction keeps Set succeeding forever,
+		// so stop once the pool has cycled.
+		if ev, _ := c.Stat("evictions"); ev > 0 {
+			break
+		}
+		if i > 1000 {
+			t.Fatal("pool never filled")
+		}
+	}
+	for _, k := range keys {
+		c.Delete(0, k)
+	}
+	// The large-class pages are all free now; small items need new pages.
+	for i := 0; i < 100; i++ {
+		if err := c.Set(0, fmt.Sprintf("small-%d", i), []byte("v"), 0, 0); err != nil {
+			t.Fatalf("small set %d failed after reclamation: %v", i, err)
+		}
+	}
+}
+
+func TestWarmRestartAfterReclamation(t *testing.T) {
+	// Tombstoned pages must not be scanned or double-reserved at restart.
+	c := newCache(t, Config{PoolSize: 1 << 20})
+	big := make([]byte, 2048)
+	for i := 0; i < 30; i++ {
+		if err := c.Set(0, fmt.Sprintf("b-%d", i), big, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 30; i++ {
+		c.Delete(0, fmt.Sprintf("b-%d", i))
+	}
+	c.Set(0, "keep", []byte("v"), 0, 0)
+
+	c2, err := Restart(c.PM().Crash(pmem.CrashDropPending, 0), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.ItemCount(); got != 1 {
+		t.Fatalf("restored items = %d, want 1", got)
+	}
+	if v, _, ok := c2.Get(0, "keep"); !ok || string(v) != "v" {
+		t.Fatalf("keep = %q, %v", v, ok)
+	}
+}
+
+func TestWarmRestartFromSerializedImage(t *testing.T) {
+	// End-to-end persistence: cache -> pool image file -> reload ->
+	// warm restart, composing pmem.WriteImage/ReadImage with Restart.
+	c := newCache(t, Config{PoolSize: 1 << 21, UseCAS: true})
+	for i := 0; i < 40; i++ {
+		if err := c.Set(0, fmt.Sprintf("img-%d", i), []byte{byte(i)}, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := c.PM().WriteImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	pm, err := pmem.ReadImage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Restart(pm, Config{UseCAS: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		v, _, ok := c2.Get(0, fmt.Sprintf("img-%d", i))
+		if !ok || v[0] != byte(i) {
+			t.Fatalf("img-%d = %v %v", i, v, ok)
+		}
+	}
+}

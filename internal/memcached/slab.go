@@ -1,0 +1,166 @@
+package memcached
+
+import (
+	"errors"
+	"sort"
+
+	"pmdebugger/internal/pmem"
+)
+
+// slabAllocator carves item chunks out of PM in power-of-two size classes
+// with per-class volatile free lists, the shape of memcached's slab
+// subsystem. Chunk memory is persistent; the free lists are rebuilt on
+// restart (as memcached-pmem does), so they live in DRAM.
+type slabAllocator struct {
+	pm      *pmem.Pool
+	classes []slabClass
+	// pages tracks every carved page, sorted by address, for chunk-to-page
+	// resolution and whole-page reclamation.
+	pages []*pageInfo
+	// cache backs page registration in the persistent superblock so a warm
+	// restart can rediscover every carved page.
+	cache *Cache
+}
+
+type slabClass struct {
+	size uint64
+	free []uint64
+}
+
+type pageInfo struct {
+	addr     uint64
+	size     uint64
+	class    int
+	regIndex uint64 // superblock registry slot
+	freeCnt  int    // chunks currently on the free list
+}
+
+const (
+	slabMinChunk = 64
+	slabMaxChunk = 16384
+)
+
+func newSlabAllocator(pm *pmem.Pool) *slabAllocator {
+	s := &slabAllocator{pm: pm}
+	for sz := uint64(slabMinChunk); sz <= slabMaxChunk; sz *= 2 {
+		s.classes = append(s.classes, slabClass{size: sz})
+	}
+	return s
+}
+
+// class returns the index of the smallest class fitting size, or -1.
+func (s *slabAllocator) class(size uint64) int {
+	for i := range s.classes {
+		if s.classes[i].size >= size {
+			return i
+		}
+	}
+	return -1
+}
+
+var errSlabFull = errors.New("memcached: out of slab memory")
+
+// alloc returns a chunk for an item of the given total size, carving and
+// registering a fresh slab page when the class free list is empty.
+func (s *slabAllocator) alloc(ctx *pmem.Ctx, size uint64) (addr uint64, class int, err error) {
+	class = s.class(size)
+	if class < 0 {
+		return 0, -1, errors.New("memcached: item too large")
+	}
+	cl := &s.classes[class]
+	if len(cl.free) == 0 {
+		if err := s.carvePage(ctx, cl); err != nil {
+			return 0, class, err
+		}
+	}
+	n := len(cl.free)
+	addr = cl.free[n-1]
+	cl.free = cl.free[:n-1]
+	if p := s.pageOf(addr); p != nil {
+		p.freeCnt--
+	}
+	return addr, class, nil
+}
+
+// carvePage allocates a page for the class, slices it into chunks, and
+// durably registers it in the superblock.
+func (s *slabAllocator) carvePage(ctx *pmem.Ctx, cl *slabClass) error {
+	pageSize := slabPageSize(cl.size)
+	page, ok := s.pm.TryAlloc(pageSize)
+	if !ok {
+		return errSlabFull
+	}
+	regIndex := uint64(0)
+	if s.cache != nil {
+		idx, err := s.cache.registerPage(ctx, page, cl.size)
+		if err != nil {
+			s.pm.Free(page, pageSize)
+			return err
+		}
+		regIndex = idx
+	}
+	class := s.class(cl.size)
+	chunks := 0
+	for off := uint64(0); off+cl.size <= pageSize; off += cl.size {
+		cl.free = append(cl.free, page+off)
+		chunks++
+	}
+	s.insertPage(&pageInfo{addr: page, size: pageSize, class: class, regIndex: regIndex, freeCnt: chunks})
+	return nil
+}
+
+// insertPage keeps the page index sorted by address.
+func (s *slabAllocator) insertPage(p *pageInfo) {
+	i := sort.Search(len(s.pages), func(i int) bool { return s.pages[i].addr >= p.addr })
+	s.pages = append(s.pages, nil)
+	copy(s.pages[i+1:], s.pages[i:])
+	s.pages[i] = p
+}
+
+// pageOf resolves the page containing a chunk address.
+func (s *slabAllocator) pageOf(addr uint64) *pageInfo {
+	i := sort.Search(len(s.pages), func(i int) bool { return s.pages[i].addr > addr })
+	if i == 0 {
+		return nil
+	}
+	p := s.pages[i-1]
+	if addr >= p.addr+p.size {
+		return nil
+	}
+	return p
+}
+
+// reclaim returns an entirely-free page to the pool so another size class
+// can use the space (the cure for slab calcification). The page's chunks
+// are filtered out of the class free list and its registry entry is
+// tombstoned so a warm restart does not scan it.
+func (s *slabAllocator) reclaim(ctx *pmem.Ctx, p *pageInfo) {
+	cl := &s.classes[p.class]
+	kept := cl.free[:0]
+	for _, c := range cl.free {
+		if c < p.addr || c >= p.addr+p.size {
+			kept = append(kept, c)
+		}
+	}
+	cl.free = kept
+	i := sort.Search(len(s.pages), func(i int) bool { return s.pages[i].addr >= p.addr })
+	s.pages = append(s.pages[:i], s.pages[i+1:]...)
+	if s.cache != nil {
+		s.cache.tombstonePage(ctx, p.regIndex)
+	}
+	s.pm.Free(p.addr, p.size)
+}
+
+// free returns an item chunk to its class free list, reclaiming the whole
+// page when every chunk in it is free.
+func (s *slabAllocator) free(ctx *pmem.Ctx, it uint64) {
+	p := s.pageOf(it)
+	if p == nil {
+		return // not slab memory (should not happen)
+	}
+	s.classes[p.class].free = append(s.classes[p.class].free, it)
+	p.freeCnt++
+	if p.freeCnt == int(p.size/s.classes[p.class].size) {
+		s.reclaim(ctx, p) // every chunk free: return the page to the pool
+	}
+}

@@ -1,0 +1,210 @@
+// Package memslap is the load driver the paper uses against memcached
+// ("Memslap (5% set)", Table 4): a configurable multi-threaded get/set mix
+// over a key space, plus an exerciser that walks every command path for the
+// new-bug reproduction (E10).
+package memslap
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"pmdebugger/internal/memcached"
+)
+
+// Config parameterizes a run.
+type Config struct {
+	// Ops is the total operation count across all threads.
+	Ops int
+	// SetRatio is the fraction of sets (default 0.05, the paper's 5%).
+	SetRatio float64
+	// Threads is the number of client threads (default 1).
+	Threads int
+	// ValueSize is the value payload size in bytes (default 64).
+	ValueSize int
+	// KeySpace is the number of distinct keys (default Ops/10, min 64).
+	KeySpace int
+	// Seed seeds the per-thread generators.
+	Seed int64
+}
+
+func (c *Config) fill() {
+	if c.SetRatio == 0 {
+		c.SetRatio = 0.05
+	}
+	if c.Threads == 0 {
+		c.Threads = 1
+	}
+	if c.ValueSize == 0 {
+		c.ValueSize = 64
+	}
+	if c.KeySpace == 0 {
+		c.KeySpace = c.Ops / 10
+	}
+	if c.KeySpace < 64 {
+		c.KeySpace = 64
+	}
+}
+
+// Run drives the cache with the configured mix. Keys are warmed first so
+// gets mostly hit, as memslap does.
+func Run(cache *memcached.Cache, cfg Config) error {
+	cfg.fill()
+	value := make([]byte, cfg.ValueSize)
+	for i := range value {
+		value[i] = byte('a' + i%26)
+	}
+
+	// Warm a slice of the key space (counted against Ops).
+	warm := cfg.KeySpace / 4
+	if warm > cfg.Ops {
+		warm = cfg.Ops
+	}
+	for i := 0; i < warm; i++ {
+		if err := cache.Set(0, key(i), value, 0, 0); err != nil {
+			return fmt.Errorf("memslap warm: %w", err)
+		}
+	}
+
+	remaining := cfg.Ops - warm
+	perThread := remaining / cfg.Threads
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.Threads)
+	for th := 0; th < cfg.Threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(th)))
+			for i := 0; i < perThread; i++ {
+				k := key(rng.Intn(cfg.KeySpace))
+				if rng.Float64() < cfg.SetRatio {
+					// Clients checksum outgoing payloads (memslap's data
+					// verification mode); this is the per-operation CPU
+					// work that parallelizes across client threads.
+					checksumSink[th&7] ^= fnv1a(value)
+					if err := cache.Set(int32(th), k, value, 0, 0); err != nil {
+						errs[th] = err
+						return
+					}
+				} else {
+					v, _, ok := cache.Get(int32(th), k)
+					if ok {
+						checksumSink[th&7] ^= fnv1a(v)
+					}
+				}
+			}
+		}(th)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func key(i int) string { return fmt.Sprintf("memslap-%08d", i) }
+
+// checksumSink keeps the per-op verification work observable so the
+// compiler cannot elide it; slots are striped by thread to avoid false
+// sharing dominating the measurement.
+var checksumSink [8]uint64
+
+// fnv1a is the payload checksum memslap's verification mode computes per
+// operation.
+func fnv1a(data []byte) uint64 {
+	h := uint64(1469598103934665603)
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	// Re-hash a few rounds: the real client also parses the response
+	// protocol; a handful of extra passes stands in for that CPU time.
+	for i := 0; i < 3; i++ {
+		for _, b := range data {
+			h ^= uint64(b)
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
+// ExerciseAll walks every command path of the cache — CAS hit and mismatch,
+// lazy expiration, delete hit and miss, set, replace, get hit and miss,
+// fetched-flag, touch and flags update — so that every buggy site of the
+// faithful port executes.
+//
+// Ordering matters for bug *reproduction*: an unpersisted store is only
+// reportable at program end while its location has not been reused and
+// re-persisted by a later allocation, so the destructive paths (CAS
+// replacement, expiry, delete) run first and the item-metadata paths run
+// last on an item that stays live. The same supersession effect is why
+// end-of-run detectors can miss short-lived-location bugs in general.
+func ExerciseAll(cache *memcached.Cache) error {
+	v := []byte("value")
+	ops := []func() error{
+		func() error { // CAS hit then mismatch (replaces k2's item)
+			if err := cache.Set(0, "k2", v, 0, 0); err != nil {
+				return err
+			}
+			_, cas, ok := cache.Get(0, "k2")
+			if !ok {
+				return fmt.Errorf("exercise: k2 missing")
+			}
+			if err := cache.CAS(0, "k2", v, cas); err != nil {
+				return fmt.Errorf("exercise: cas hit failed: %w", err)
+			}
+			if err := cache.CAS(0, "k2", v, cas+999); err == nil {
+				return fmt.Errorf("exercise: stale cas succeeded")
+			}
+			return nil
+		},
+		func() error { // expiry: set with short exptime, advance the clock
+			if err := cache.Set(0, "short", v, 0, 2); err != nil {
+				return err
+			}
+			for i := 0; i < 8; i++ {
+				cache.Get(0, "absent2")
+			}
+			if _, _, ok := cache.Get(0, "short"); ok {
+				return fmt.Errorf("exercise: item did not expire")
+			}
+			return nil
+		},
+		func() error { // delete hit + miss
+			if err := cache.Set(0, "gone", v, 0, 0); err != nil {
+				return err
+			}
+			if !cache.Delete(0, "gone") {
+				return fmt.Errorf("exercise: delete missed")
+			}
+			cache.Delete(0, "gone") // miss
+			return nil
+		},
+		// Item-metadata paths last, on an item that stays live.
+		func() error { return cache.Set(0, "k1", v, 7, 0) },      // set: cas, stats
+		func() error { return cache.Set(0, "k1", v, 7, 0) },      // replace path
+		func() error { cache.Get(0, "k1"); return nil },          // hit + fetched flag
+		func() error { cache.Get(0, "absent"); return nil },      // miss
+		func() error { cache.Touch(0, "k1", 1<<60); return nil }, // exptime store
+		func() error { cache.SetFlags(0, "k1", 42); return nil }, // flags store
+	}
+	for _, op := range ops {
+		if err := op(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ExerciseEvictions fills a small cache until evictions occur.
+func ExerciseEvictions(cache *memcached.Cache, n int) error {
+	big := make([]byte, 1024)
+	for i := 0; i < n; i++ {
+		if err := cache.Set(0, key(i), big, 0, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}

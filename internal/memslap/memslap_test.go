@@ -1,0 +1,90 @@
+package memslap
+
+import (
+	"testing"
+
+	"pmdebugger/internal/core"
+	"pmdebugger/internal/memcached"
+	"pmdebugger/internal/report"
+	"pmdebugger/internal/rules"
+)
+
+func TestRunMix(t *testing.T) {
+	cache, err := memcached.New(memcached.Config{PoolSize: 1 << 23, HashBuckets: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Run(cache, Config{Ops: 2000, Threads: 2, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	sets, _ := cache.Stat("set_cmds")
+	hits, _ := cache.Stat("get_hits")
+	misses, _ := cache.Stat("get_misses")
+	gets := hits + misses
+	if gets == 0 || sets == 0 {
+		t.Fatalf("no traffic: sets=%d gets=%d", sets, gets)
+	}
+	ratio := float64(sets) / float64(sets+gets)
+	// Warm-up sets inflate the ratio slightly above the configured 5%.
+	if ratio < 0.02 || ratio > 0.2 {
+		t.Fatalf("set ratio = %.3f", ratio)
+	}
+}
+
+func TestExerciseAllHitsAll19Sites(t *testing.T) {
+	cache, err := memcached.New(memcached.Config{
+		PoolSize: 1 << 22, HashBuckets: 256, Bugs: true, UseCAS: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := core.New(core.Config{Model: rules.Strict, Rules: rules.RuleNoDurability})
+	cache.PM().Attach(det)
+	// Eviction pressure first: evictions reuse chunks, which would
+	// supersede the unpersisted metadata stores exercised afterwards.
+	if err := ExerciseEvictions(cache, 4000); err != nil {
+		t.Fatal(err)
+	}
+	if err := ExerciseAll(cache); err != nil {
+		t.Fatal(err)
+	}
+	cache.PM().End()
+	rep := det.Report()
+
+	found := map[string]bool{}
+	for _, b := range rep.Bugs {
+		if b.Type == report.NoDurability {
+			found[b.Site.String()] = true
+		}
+	}
+	var missing []string
+	for _, s := range cache.BugSites() {
+		if !found[s.String()] {
+			missing = append(missing, s.String())
+		}
+	}
+	if len(missing) != 0 {
+		t.Fatalf("bug sites not detected: %v\n%s", missing, rep.Summary())
+	}
+}
+
+func TestFixedVersionCleanUnderLoad(t *testing.T) {
+	cache, err := memcached.New(memcached.Config{
+		PoolSize: 1 << 23, HashBuckets: 1024, Bugs: false, UseCAS: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := core.New(core.Config{Model: rules.Strict, Rules: rules.RuleNoDurability | rules.RuleFlushNothing})
+	cache.PM().Attach(det)
+	if err := Run(cache, Config{Ops: 1000, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ExerciseAll(cache); err != nil {
+		t.Fatal(err)
+	}
+	cache.PM().End()
+	if rep := det.Report(); rep.Len() != 0 {
+		t.Fatalf("fixed memcached flagged:\n%s", rep.Summary())
+	}
+}

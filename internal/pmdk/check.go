@@ -1,0 +1,101 @@
+package pmdk
+
+import (
+	"errors"
+	"fmt"
+)
+
+// CheckResult is the outcome of a pool consistency check, the analog of
+// `pmempool check`.
+type CheckResult struct {
+	// Consistent is true when the pool can be opened and recovered safely.
+	Consistent bool
+	// InFlightTx is true when an uncommitted transaction's undo log is
+	// present (recovery will roll it back).
+	InFlightTx bool
+	// LogEntries is the number of valid undo-log entries found.
+	LogEntries int
+	// Problems lists everything wrong with the pool layout.
+	Problems []string
+}
+
+// Check validates a pool image's metadata without modifying it: the magic,
+// the layout header, the undo-log framing and entry checksums. It is safe
+// to run on a crashed image before Open.
+func Check(pm interface {
+	Base() uint64
+	Size() uint64
+	Load(addr, size uint64) []byte
+}) (*CheckResult, error) {
+	res := &CheckResult{Consistent: true}
+	base := pm.Base()
+	problem := func(format string, args ...any) {
+		res.Consistent = false
+		res.Problems = append(res.Problems, fmt.Sprintf(format, args...))
+	}
+
+	if pm.Size() < hdrSize {
+		return nil, errors.New("pmdk: pool smaller than a header")
+	}
+	u64 := func(addr uint64) uint64 {
+		b := pm.Load(addr, 8)
+		var v uint64
+		for i := 7; i >= 0; i-- {
+			v = v<<8 | uint64(b[i])
+		}
+		return v
+	}
+
+	if u64(base+hdrMagic) != poolMagic {
+		problem("bad pool magic %#x", u64(base+hdrMagic))
+		return res, nil
+	}
+	rootOff := u64(base + hdrRootOff)
+	rootSize := u64(base + hdrRootSize)
+	logOff := u64(base + hdrLogOff)
+	logSize := u64(base + hdrLogSize)
+	lastGen := u64(base + hdrLastGen)
+
+	end := base + pm.Size()
+	if rootOff < base || rootOff+rootSize > end || rootSize == 0 {
+		problem("root object [%#x,+%d) outside pool", rootOff, rootSize)
+	}
+	if logOff < base || logOff+logSize > end || logSize < entryHdrSize {
+		problem("undo log [%#x,+%d) outside pool", logOff, logSize)
+		return res, nil
+	}
+
+	// Walk the log: entries of generation lastGen+1 form the in-flight
+	// transaction; anything else terminates the walk.
+	inflight := lastGen + 1
+	off := logOff
+	for off+entryHdrSize <= logOff+logSize {
+		size := u64(off)
+		if size == 0 {
+			break
+		}
+		if off+entryHdrSize+entryPad(size) > logOff+logSize {
+			// A torn tail is not an inconsistency: recovery ignores it.
+			break
+		}
+		addr := u64(off + 8)
+		gen := u64(off + 16)
+		sum := u64(off + 24)
+		if gen != inflight {
+			break // stale entry from a retired generation
+		}
+		data := pm.Load(off+entryHdrSize, size)
+		if csum(gen, addr, size, data) != sum {
+			break // torn entry: recovery stops here too
+		}
+		if addr < base || addr+size > end {
+			problem("log entry %d targets [%#x,+%d) outside pool", res.LogEntries, addr, size)
+		}
+		res.LogEntries++
+		off += entryHdrSize + entryPad(size)
+	}
+	if res.LogEntries > 0 {
+		res.InFlightTx = true
+	}
+	return res, nil
+}

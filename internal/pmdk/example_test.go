@@ -1,0 +1,33 @@
+package pmdk_test
+
+import (
+	"fmt"
+
+	"pmdebugger/internal/pmdk"
+	"pmdebugger/internal/pmem"
+)
+
+// Example shows the transactional API and crash recovery: a committed
+// transaction survives a power failure, an uncommitted one rolls back.
+func Example() {
+	pm := pmem.New(1 << 20)
+	p, _ := pmdk.Create(pm, 64)
+	root, _ := p.Root()
+
+	tx := p.Begin()
+	tx.Set(root, 1)
+	tx.Commit()
+
+	tx = p.Begin()
+	tx.Set(root, 999)
+	// Power fails before Commit; the in-place write may even have reached
+	// the media.
+	p.Ctx().Persist(root, 8)
+	crashed := pm.Crash(pmem.CrashDropPending, 0)
+
+	p2, _ := pmdk.Open(crashed) // runs undo-log recovery
+	root2, _ := p2.Root()
+	fmt.Println("recovered value:", p2.Ctx().Load64(root2))
+	// Output:
+	// recovered value: 1
+}

@@ -1,0 +1,323 @@
+package pmdk
+
+import (
+	"testing"
+
+	"pmdebugger/internal/core"
+	"pmdebugger/internal/pmem"
+	"pmdebugger/internal/report"
+	"pmdebugger/internal/rules"
+	"pmdebugger/internal/trace"
+)
+
+func TestCreateOpen(t *testing.T) {
+	pm := pmem.New(1 << 20)
+	p, err := Create(pm, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, size := p.Root()
+	if size != 128 || root == 0 {
+		t.Fatalf("root = %#x size %d", root, size)
+	}
+	// Write something durable at the root.
+	p.Ctx().Store64(root, 0xabcdef)
+	p.Persist(root, 8)
+
+	crashed := pm.Crash(pmem.CrashDropPending, 0)
+	p2, err := Open(crashed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root2, size2 := p2.Root()
+	if root2 != root || size2 != size {
+		t.Fatalf("root changed across crash: %#x/%d", root2, size2)
+	}
+	if p2.Ctx().Load64(root2) != 0xabcdef {
+		t.Fatalf("durable root data lost")
+	}
+}
+
+func TestOpenUninitialized(t *testing.T) {
+	if _, err := Open(pmem.New(1 << 12)); err == nil {
+		t.Fatal("Open of raw pool succeeded")
+	}
+}
+
+func TestTxCommitDurable(t *testing.T) {
+	pm := pmem.New(1 << 20)
+	p, _ := Create(pm, 64)
+	root, _ := p.Root()
+
+	tx := p.Begin()
+	tx.Set(root, 11)
+	tx.Set(root+8, 22)
+	tx.Commit()
+
+	crashed := pm.Crash(pmem.CrashDropPending, 0)
+	p2, err := Open(crashed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := p2.Ctx()
+	if c.Load64(root) != 11 || c.Load64(root+8) != 22 {
+		t.Fatalf("committed data lost: %d %d", c.Load64(root), c.Load64(root+8))
+	}
+}
+
+func TestTxCrashBeforeCommitRollsBack(t *testing.T) {
+	pm := pmem.New(1 << 20)
+	p, _ := Create(pm, 64)
+	root, _ := p.Root()
+
+	// Establish durable initial value.
+	tx := p.Begin()
+	tx.Set(root, 1)
+	tx.Commit()
+
+	// Start a transaction, modify, crash before Commit.
+	tx = p.Begin()
+	tx.Set(root, 99)
+	// Adversarially let the in-place modification reach PM while the
+	// transaction is not committed: the undo log must fix it.
+	p.Ctx().Flush(root, 8)
+	p.Ctx().Fence()
+
+	crashed := pm.Crash(pmem.CrashDropPending, 0)
+	p2, err := Open(crashed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p2.Ctx().Load64(root); got != 1 {
+		t.Fatalf("rollback failed: root = %d, want 1", got)
+	}
+}
+
+func TestTxCrashMidLogWrite(t *testing.T) {
+	pm := pmem.New(1 << 20)
+	p, _ := Create(pm, 64)
+	root, _ := p.Root()
+	tx := p.Begin()
+	tx.Set(root, 5)
+	tx.Commit()
+
+	// New transaction: snapshot written but possibly torn (pending lines
+	// dropped at crash).
+	tx = p.Begin()
+	tx.Add(root, 8)
+	crashed := pm.Crash(pmem.CrashDropPending, 0)
+	p2, err := Open(crashed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p2.Ctx().Load64(root); got != 5 {
+		t.Fatalf("recovery corrupted data: %d", got)
+	}
+}
+
+func TestTxAbort(t *testing.T) {
+	pm := pmem.New(1 << 20)
+	p, _ := Create(pm, 64)
+	root, _ := p.Root()
+	tx := p.Begin()
+	tx.Set(root, 7)
+	tx.Commit()
+
+	tx = p.Begin()
+	tx.Set(root, 1000)
+	tx.Set(root+8, 2000)
+	tx.Abort()
+	c := p.Ctx()
+	if c.Load64(root) != 7 || c.Load64(root+8) != 0 {
+		t.Fatalf("abort did not restore: %d %d", c.Load64(root), c.Load64(root+8))
+	}
+
+	// Pool still usable for the next transaction.
+	tx = p.Begin()
+	tx.Set(root, 8)
+	tx.Commit()
+	if c.Load64(root) != 8 {
+		t.Fatalf("post-abort commit failed")
+	}
+}
+
+func TestCleanTxHasNoBugs(t *testing.T) {
+	// The critical integration property: a well-formed transaction
+	// generates an instruction stream that PMDebugger's epoch-model rules
+	// consider clean — exactly one fence in the epoch, everything durable.
+	pm := pmem.New(1 << 20)
+	det := core.New(core.Config{Model: rules.Epoch})
+	pm.Attach(det)
+	p, _ := Create(pm, 256)
+	root, _ := p.Root()
+	for i := 0; i < 10; i++ {
+		tx := p.Begin()
+		tx.Set(root+uint64(i%4)*64, uint64(i))
+		tx.SetBytes(root+32, []byte{1, 2, 3, byte(i)})
+		tx.Commit()
+	}
+	pm.End()
+	rep := det.Report()
+	if rep.Len() != 0 {
+		t.Fatalf("clean transactions flagged:\n%s", rep.Summary())
+	}
+}
+
+func TestCleanAbortHasNoBugs(t *testing.T) {
+	pm := pmem.New(1 << 20)
+	det := core.New(core.Config{Model: rules.Epoch})
+	pm.Attach(det)
+	p, _ := Create(pm, 256)
+	root, _ := p.Root()
+	tx := p.Begin()
+	tx.Set(root, 42)
+	tx.Abort()
+	pm.End()
+	if rep := det.Report(); rep.Len() != 0 {
+		t.Fatalf("clean abort flagged:\n%s", rep.Summary())
+	}
+}
+
+func TestDoubleAddIsDetectableRedundantLogging(t *testing.T) {
+	pm := pmem.New(1 << 20)
+	det := core.New(core.Config{Model: rules.Epoch})
+	pm.Attach(det)
+	p, _ := Create(pm, 64)
+	root, _ := p.Root()
+	tx := p.Begin()
+	tx.Add(root, 8)
+	tx.Add(root+4, 8) // partial overlap: the overlap is logged again
+	tx.Store64(root, 1)
+	tx.Commit()
+	pm.End()
+	if !det.Report().Has(report.RedundantLogging) {
+		t.Fatalf("overlapping Add not flagged:\n%s", det.Report().Summary())
+	}
+}
+
+func TestCoveredAddIsSilentlySkipped(t *testing.T) {
+	// A fully covered re-Add performs no log write (libpmemobj range-tree
+	// dedup) and therefore must not be flagged.
+	pm := pmem.New(1 << 20)
+	det := core.New(core.Config{Model: rules.Epoch})
+	pm.Attach(det)
+	p, _ := Create(pm, 64)
+	root, _ := p.Root()
+	tx := p.Begin()
+	tx.Add(root, 16)
+	tx.Add(root, 8) // covered
+	tx.Store64(root, 1)
+	tx.Commit()
+	pm.End()
+	if det.Report().Has(report.RedundantLogging) {
+		t.Fatalf("covered Add flagged:\n%s", det.Report().Summary())
+	}
+}
+
+func TestPersistInsideTxIsRedundantEpochFence(t *testing.T) {
+	// Reproduces the shape of PMDK bug 2 (Fig. 9b): pmemobj_persist inside
+	// a transaction adds a second fence to the epoch.
+	pm := pmem.New(1 << 20)
+	det := core.New(core.Config{Model: rules.Epoch})
+	pm.Attach(det)
+	p, _ := Create(pm, 64)
+	root, _ := p.Root()
+	tx := p.Begin()
+	tx.Set(root, 1)
+	p.Persist(root, 8) // redundant fence inside the epoch
+	tx.Commit()
+	pm.End()
+	if !det.Report().Has(report.RedundantEpochFence) {
+		t.Fatalf("persist-inside-tx not flagged:\n%s", det.Report().Summary())
+	}
+}
+
+func TestTxGenerationsMonotonic(t *testing.T) {
+	pm := pmem.New(1 << 20)
+	p, _ := Create(pm, 64)
+	root, _ := p.Root()
+	g0 := p.lastGen
+	for i := 0; i < 3; i++ {
+		tx := p.Begin()
+		tx.Set(root, uint64(i))
+		tx.Commit()
+	}
+	if p.lastGen != g0+3 {
+		t.Fatalf("generations: %d -> %d", g0, p.lastGen)
+	}
+}
+
+func TestLogExhaustionPanics(t *testing.T) {
+	pm := pmem.New(1 << 22)
+	p, _ := Create(pm, 64)
+	big := p.Alloc(DefaultLogSize * 2)
+	tx := p.Begin()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("log exhaustion did not panic")
+		}
+	}()
+	tx.Add(big, DefaultLogSize*2)
+}
+
+func TestAddedTracking(t *testing.T) {
+	pm := pmem.New(1 << 20)
+	p, _ := Create(pm, 64)
+	root, _ := p.Root()
+	tx := p.Begin()
+	tx.Add(root, 16)
+	if !tx.Added(root, 8) || !tx.Added(root+8, 8) {
+		t.Fatal("contained sub-range not reported as added")
+	}
+	if tx.Added(root+8, 16) {
+		t.Fatal("straddling range falsely reported as added")
+	}
+	tx.Commit()
+}
+
+func TestFinishedTxPanics(t *testing.T) {
+	pm := pmem.New(1 << 20)
+	p, _ := Create(pm, 64)
+	root, _ := p.Root()
+	tx := p.Begin()
+	tx.Set(root, 1)
+	tx.Commit()
+	for _, fn := range []func(){
+		func() { tx.Commit() },
+		func() { tx.Abort() },
+		func() { tx.Add(root, 8) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("use of finished tx did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRecoveryEmitsInstrumentedStream(t *testing.T) {
+	// Recovery itself is a PM program: its stores must appear in the event
+	// stream so detectors can check the recovery code too.
+	pm := pmem.New(1 << 20)
+	p, _ := Create(pm, 64)
+	root, _ := p.Root()
+	tx := p.Begin()
+	tx.Set(root, 1)
+	tx.Commit()
+	tx = p.Begin()
+	tx.Set(root, 2)
+	// crash before commit
+	crashed := pm.Crash(pmem.CrashDropPending, 0)
+	rec := trace.NewRecorder(64)
+	crashed.Attach(rec)
+	if _, err := Open(crashed); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Count(trace.KindStore) == 0 || rec.Count(trace.KindFence) == 0 {
+		t.Fatalf("recovery not instrumented: %d stores, %d fences",
+			rec.Count(trace.KindStore), rec.Count(trace.KindFence))
+	}
+}

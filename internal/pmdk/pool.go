@@ -1,0 +1,249 @@
+// Package pmdk is a from-scratch miniature of Intel PMDK's libpmemobj: a
+// persistent object pool with a root object, an undo-log transaction
+// mechanism mapped onto the epoch persistency model (TX_BEGIN/TX_END =
+// epoch begin/end, §2.3), and the persist primitives the PMDK example
+// workloads use.
+//
+// The transaction protocol is crash consistent under the pmem cache-line
+// model and is shaped so that a clean transaction contains exactly one
+// fence inside its epoch section:
+//
+//   - Add (TX_ADD) snapshots the old bytes into the undo log and flushes the
+//     log lines without a fence; entries carry a generation number and a
+//     checksum, so recovery detects torn entries without per-add drains —
+//     the same lazy-drain design as libpmemobj.
+//   - Commit flushes every modified data range, issues the single data
+//     fence, and closes the epoch; the log is then retired (generation
+//     bump + fence) by the runtime after the epoch section, where it
+//     belongs to the library, not to the program under test.
+//
+// A crash before the commit fence rolls the transaction back during Open;
+// a crash after it but before the generation bump also rolls back, which is
+// exactly libpmemobj's semantics (a transaction commits only when its log
+// is retired).
+package pmdk
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"pmdebugger/internal/pmem"
+	"pmdebugger/internal/trace"
+)
+
+// Pool layout constants.
+const (
+	poolMagic = 0x504d444b504f4f4c // "PMDKPOOL"
+
+	hdrMagic    = 0  // u64
+	hdrRootOff  = 8  // u64
+	hdrRootSize = 16 // u64
+	hdrLastGen  = 24 // u64: generation of the last retired transaction
+	hdrLogOff   = 32 // u64
+	hdrLogSize  = 40 // u64
+	hdrSize     = 64
+
+	// DefaultLogSize is the undo-log area size.
+	DefaultLogSize = 1 << 16
+)
+
+// Pool is a persistent object pool over a pmem.Pool.
+type Pool struct {
+	pm  *pmem.Pool
+	ctx *pmem.Ctx
+
+	rootOff  uint64
+	rootSize uint64
+	logOff   uint64
+	logSize  uint64
+	lastGen  uint64
+
+	strictLog bool
+}
+
+// SetStrictLog selects the undo-log durability discipline.
+//
+// The default (lazy) discipline flushes log entries without draining and
+// relies on checksums to detect torn entries — PMDK's ulog design, and the
+// reason a clean transaction has exactly one fence in its epoch. Its cost:
+// under an adversary that persists an arbitrary subset of issued writebacks
+// at the crash (pmem.CrashRandomPending), a data line can become durable
+// while its undo entry tears, leaving the transaction unrecoverable — the
+// bug class systematic crash testing (package crashtest) exposes, and that
+// Agamotto-style tools reported in real PM libraries.
+//
+// The strict discipline drains the log after every new snapshot, which is
+// sound under any crash adversary but adds a fence per snapshot — which
+// PMDebugger's redundant-epoch-fence rule then rightly reports as a
+// performance bug. The tension between the two is the durability/
+// performance trade-off the paper's performance rules exist to police.
+func (p *Pool) SetStrictLog(strict bool) { p.strictLog = strict }
+
+// Create formats pm as a pmdk pool with a root object of rootSize bytes and
+// persists the layout header.
+func Create(pm *pmem.Pool, rootSize uint64) (*Pool, error) {
+	if rootSize == 0 {
+		return nil, errors.New("pmdk: root size must be non-zero")
+	}
+	p := &Pool{pm: pm, ctx: pm.Ctx()}
+	base := pm.Base()
+
+	// Reserve header and log with the pool allocator so heap allocations
+	// cannot collide with them.
+	hdr := pm.Alloc(hdrSize)
+	if hdr != base {
+		return nil, fmt.Errorf("pmdk: header not at pool base (%#x)", hdr)
+	}
+	p.logOff = pm.Alloc(DefaultLogSize)
+	p.logSize = DefaultLogSize
+	p.rootOff = pm.Alloc(rootSize)
+	p.rootSize = rootSize
+
+	c := p.ctx.At(trace.RegisterSite("pmdk.Create"))
+	c.Store64(base+hdrRootOff, p.rootOff)
+	c.Store64(base+hdrRootSize, p.rootSize)
+	c.Store64(base+hdrLastGen, 0)
+	c.Store64(base+hdrLogOff, p.logOff)
+	c.Store64(base+hdrLogSize, p.logSize)
+	// Zero the first log entry header so recovery of a fresh pool is a
+	// no-op.
+	c.Store64(p.logOff, 0)
+	// Magic last: a pool is valid only once fully initialized.
+	c.Flush(base, hdrSize)
+	c.Flush(p.logOff, 8)
+	c.Fence()
+	c.Store64(base+hdrMagic, poolMagic)
+	c.Persist(base+hdrMagic, 8)
+	return p, nil
+}
+
+// Open attaches to a previously created pool (typically after a simulated
+// crash) and runs undo-log recovery.
+func Open(pm *pmem.Pool) (*Pool, error) {
+	p := &Pool{pm: pm, ctx: pm.Ctx()}
+	base := pm.Base()
+	c := p.ctx
+	if c.Load64(base+hdrMagic) != poolMagic {
+		return nil, errors.New("pmdk: bad pool magic (pool never fully created)")
+	}
+	p.rootOff = c.Load64(base + hdrRootOff)
+	p.rootSize = c.Load64(base + hdrRootSize)
+	p.logOff = c.Load64(base + hdrLogOff)
+	p.logSize = c.Load64(base + hdrLogSize)
+	p.lastGen = c.Load64(base + hdrLastGen)
+	if err := p.recover(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// PM returns the underlying simulated persistent memory pool.
+func (p *Pool) PM() *pmem.Pool { return p.pm }
+
+// Ctx returns the pool's default instrumented context.
+func (p *Pool) Ctx() *pmem.Ctx { return p.ctx }
+
+// Root returns the address and size of the root object.
+func (p *Pool) Root() (addr, size uint64) { return p.rootOff, p.rootSize }
+
+// Alloc reserves size bytes of heap space. Allocation metadata is volatile:
+// persistent structures must be reachable from the root object, as in
+// libpmemobj's reachability discipline.
+func (p *Pool) Alloc(size uint64) uint64 { return p.pm.Alloc(size) }
+
+// Free returns heap space.
+func (p *Pool) Free(addr, size uint64) { p.pm.Free(addr, size) }
+
+// Persist is pmemobj_persist: flush the covering lines and fence.
+func (p *Pool) Persist(addr, size uint64) { p.ctx.Persist(addr, size) }
+
+// Flush is pmemobj_flush: flush without draining.
+func (p *Pool) Flush(addr, size uint64) { p.ctx.Flush(addr, size) }
+
+// Drain is pmemobj_drain: fence only.
+func (p *Pool) Drain() { p.ctx.Fence() }
+
+// undo log entry layout: header {size u64 (0 = terminator), addr u64,
+// gen u64, csum u64} followed by size bytes of old data, padded to 8.
+const entryHdrSize = 32
+
+func entryPad(size uint64) uint64 { return (size + 7) &^ 7 }
+
+func csum(gen, addr, size uint64, data []byte) uint64 {
+	// FNV-1a over the header fields and payload.
+	const (
+		offset = 1469598103934665603
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		for _, x := range b {
+			h ^= uint64(x)
+			h *= prime
+		}
+	}
+	mix(gen)
+	mix(addr)
+	mix(size)
+	for _, x := range data {
+		h ^= uint64(x)
+		h *= prime
+	}
+	return h
+}
+
+// recover applies any in-flight transaction's undo log. Entries of the
+// in-flight generation (lastGen+1) with valid checksums are applied in
+// reverse order; the generation is then retired so stale entries are never
+// reapplied.
+func (p *Pool) recover() error {
+	c := p.ctx.At(trace.RegisterSite("pmdk.recover"))
+	inflight := p.lastGen + 1
+
+	type entry struct {
+		addr, size uint64
+		data       []byte
+	}
+	var entries []entry
+	off := p.logOff
+	for off+entryHdrSize <= p.logOff+p.logSize {
+		size := c.Load64(off)
+		if size == 0 {
+			break
+		}
+		addr := c.Load64(off + 8)
+		gen := c.Load64(off + 16)
+		sum := c.Load64(off + 24)
+		if off+entryHdrSize+entryPad(size) > p.logOff+p.logSize {
+			break // torn tail
+		}
+		data := c.LoadBytes(off+entryHdrSize, size)
+		if gen != inflight || csum(gen, addr, size, data) != sum {
+			break // stale or torn entry terminates the valid prefix
+		}
+		entries = append(entries, entry{addr: addr, size: size, data: data})
+		off += entryHdrSize + entryPad(size)
+	}
+
+	// Apply in reverse: the oldest snapshot of a range wins.
+	for i := len(entries) - 1; i >= 0; i-- {
+		e := entries[i]
+		c.StoreBytes(e.addr, e.data)
+		c.Flush(e.addr, e.size)
+	}
+	if len(entries) > 0 {
+		c.Fence()
+	}
+
+	// Retire the in-flight generation and reset the log.
+	p.lastGen = inflight
+	c.Store64(p.pm.Base()+hdrLastGen, p.lastGen)
+	c.Store64(p.logOff, 0)
+	c.Flush(p.pm.Base()+hdrLastGen, 8)
+	c.Flush(p.logOff, 8)
+	c.Fence()
+	return nil
+}

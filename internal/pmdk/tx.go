@@ -1,0 +1,217 @@
+package pmdk
+
+import (
+	"fmt"
+
+	"pmdebugger/internal/intervals"
+	"pmdebugger/internal/pmem"
+	"pmdebugger/internal/trace"
+)
+
+// Tx is an undo-log transaction (TX_BEGIN .. TX_END). All mutations of
+// persistent state inside the transaction should go through Add + the Tx
+// store methods; Commit makes them durable atomically.
+type Tx struct {
+	p   *Pool
+	c   *pmem.Ctx
+	gen uint64
+
+	cursor   uint64 // next free byte in the log area
+	snapped  []intervals.Range
+	modified []intervals.Range
+	done     bool
+}
+
+var (
+	siteTxAdd    = trace.RegisterSite("pmdk.Tx.Add")
+	siteTxCommit = trace.RegisterSite("pmdk.Tx.Commit")
+	siteTxAbort  = trace.RegisterSite("pmdk.Tx.Abort")
+)
+
+// Begin starts a transaction. Transactions on a pool must not be
+// interleaved (libpmemobj scopes them per thread; the workloads here are
+// transaction-at-a-time). Nested Begin is expressed by the pmem layer's
+// epoch flattening: use Begin only at the outermost level and plain method
+// calls inside.
+func (p *Pool) Begin() *Tx {
+	tx := &Tx{p: p, c: p.ctx, gen: p.lastGen + 1, cursor: p.logOff}
+	tx.c.EpochBegin()
+	return tx
+}
+
+// Added reports whether the range is already covered by a snapshot in this
+// transaction.
+func (tx *Tx) Added(addr, size uint64) bool {
+	r := intervals.R(addr, size)
+	for _, s := range tx.snapped {
+		if s.Contains(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// Add is TX_ADD: snapshot the current bytes of [addr, addr+size) into the
+// undo log. A range fully covered by an earlier snapshot is skipped
+// silently, like libpmemobj's range-tree deduplication — no log write
+// happens, so no log-add event is emitted. A partially overlapping range is
+// logged in full, re-snapshotting the overlap; that written redundancy is
+// what the redundant-logging rule (§5.2) observes.
+func (tx *Tx) Add(addr, size uint64) {
+	if tx.done {
+		panic("pmdk: Add on finished transaction")
+	}
+	if tx.Added(addr, size) {
+		return
+	}
+	c := tx.c.At(siteTxAdd)
+	c.TxLogAdd(addr, size)
+	tx.snapped = append(tx.snapped, intervals.R(addr, size))
+
+	need := entryHdrSize + entryPad(size) + 8 // entry + next terminator
+	if tx.cursor+need > tx.p.logOff+tx.p.logSize {
+		panic(fmt.Sprintf("pmdk: undo log exhausted (%d bytes needed)", need))
+	}
+	old := c.LoadBytes(addr, size)
+	c.Store64(tx.cursor, size)
+	c.Store64(tx.cursor+8, addr)
+	c.Store64(tx.cursor+16, tx.gen)
+	c.Store64(tx.cursor+24, csum(tx.gen, addr, size, old))
+	c.StoreBytes(tx.cursor+entryHdrSize, old)
+	next := tx.cursor + entryHdrSize + entryPad(size)
+	c.Store64(next, 0) // terminator after the tail
+	// Flush the entry and terminator. In the default lazy discipline no
+	// fence is issued: checksums make torn entries detectable and the drain
+	// is deferred to the commit fence. See Pool.SetStrictLog for the sound-
+	// under-any-adversary alternative.
+	c.Flush(tx.cursor, next+8-tx.cursor)
+	if tx.p.strictLog {
+		c.Fence()
+	}
+	tx.cursor = next
+}
+
+// note records a modified range for the commit-time flush. Only the most
+// recent range is checked for containment (the common adjacent-field
+// pattern); full deduplication happens in the merge at commit.
+func (tx *Tx) note(addr, size uint64) {
+	r := intervals.R(addr, size)
+	if n := len(tx.modified); n > 0 && tx.modified[n-1].Contains(r) {
+		return
+	}
+	tx.modified = append(tx.modified, r)
+}
+
+// Store64 writes a 64-bit value inside the transaction.
+func (tx *Tx) Store64(addr uint64, v uint64) {
+	tx.c.Store64(addr, v)
+	tx.note(addr, 8)
+}
+
+// Store32 writes a 32-bit value inside the transaction.
+func (tx *Tx) Store32(addr uint64, v uint32) {
+	tx.c.Store32(addr, v)
+	tx.note(addr, 4)
+}
+
+// Store8 writes one byte inside the transaction.
+func (tx *Tx) Store8(addr uint64, v uint8) {
+	tx.c.Store8(addr, v)
+	tx.note(addr, 1)
+}
+
+// StoreBytes writes a byte slice inside the transaction.
+func (tx *Tx) StoreBytes(addr uint64, data []byte) {
+	tx.c.StoreBytes(addr, data)
+	tx.note(addr, uint64(len(data)))
+}
+
+// Set is the common Add-then-store idiom for 64-bit fields.
+func (tx *Tx) Set(addr uint64, v uint64) {
+	tx.Add(addr, 8)
+	tx.Store64(addr, v)
+}
+
+// SetBytes is the Add-then-store idiom for byte ranges.
+func (tx *Tx) SetBytes(addr uint64, data []byte) {
+	tx.Add(addr, uint64(len(data)))
+	tx.StoreBytes(addr, data)
+}
+
+// Commit is TX_END: flush every range modified in the transaction, issue
+// the epoch's single fence, close the epoch, and retire the undo log.
+func (tx *Tx) Commit() {
+	if tx.done {
+		panic("pmdk: Commit on finished transaction")
+	}
+	tx.done = true
+	c := tx.c.At(siteTxCommit)
+
+	// Flush modified data ranges, deduplicating cache lines so the clean
+	// path never re-flushes a line (which detectors would rightly flag).
+	tx.flushRanges(c, tx.modified)
+	c.Fence()
+	c.EpochEnd()
+	tx.retire(c)
+}
+
+// Abort rolls the transaction back in place from the undo log snapshots and
+// retires the log. The epoch closes with its single fence after the
+// rollback stores are flushed.
+func (tx *Tx) Abort() {
+	if tx.done {
+		panic("pmdk: Abort on finished transaction")
+	}
+	tx.done = true
+	c := tx.c.At(siteTxAbort)
+
+	// Walk the log backwards applying snapshots.
+	type ent struct{ addr, size, off uint64 }
+	var ents []ent
+	off := tx.p.logOff
+	for off < tx.cursor {
+		size := c.Load64(off)
+		addr := c.Load64(off + 8)
+		ents = append(ents, ent{addr: addr, size: size, off: off})
+		off += entryHdrSize + entryPad(size)
+	}
+	for i := len(ents) - 1; i >= 0; i-- {
+		e := ents[i]
+		old := c.LoadBytes(e.off+entryHdrSize, e.size)
+		c.StoreBytes(e.addr, old)
+		c.Flush(e.addr, e.size)
+	}
+	c.Fence()
+	c.EpochEnd()
+	tx.retire(c)
+}
+
+// retire bumps the durable generation and resets the log head. This is
+// library maintenance after the epoch section (see the package comment for
+// why it sits outside the epoch).
+func (tx *Tx) retire(c *pmem.Ctx) {
+	tx.p.lastGen = tx.gen
+	c.Store64(tx.p.pm.Base()+hdrLastGen, tx.p.lastGen)
+	c.Store64(tx.p.logOff, 0)
+	c.Flush(tx.p.pm.Base()+hdrLastGen, 8)
+	c.Flush(tx.p.logOff, 8)
+	c.Fence()
+}
+
+// flushRanges flushes the cache lines covering the ranges, each line once.
+func (tx *Tx) flushRanges(c *pmem.Ctx, rs []intervals.Range) {
+	if len(rs) == 0 {
+		return
+	}
+	merged := make([]intervals.Range, len(rs))
+	copy(merged, rs)
+	merged = intervals.Merge(merged)
+	var lines []intervals.Range
+	for _, r := range merged {
+		lines = append(lines, intervals.SpanLines(r))
+	}
+	lines = intervals.Merge(lines)
+	for _, l := range lines {
+		c.Flush(l.Addr, l.Size)
+	}
+}

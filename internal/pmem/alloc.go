@@ -1,0 +1,169 @@
+package pmem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// allocator is a first-fit free-list allocator over the pool's address
+// space. It backs Alloc/Free on the pool and the mini-PMDK object allocator.
+// Allocation metadata is volatile by design: persistent allocators rebuild
+// their heaps during recovery from object headers, which the mini-PMDK layer
+// models itself.
+type allocator struct {
+	free []freeBlock // sorted by address, coalesced
+}
+
+type freeBlock struct {
+	addr uint64
+	size uint64
+}
+
+func (a *allocator) init(base, size uint64) {
+	a.free = []freeBlock{{addr: base, size: size}}
+}
+
+const allocAlign = 16
+
+func alignUp(v, align uint64) uint64 {
+	return (v + align - 1) &^ (align - 1)
+}
+
+// alloc returns the address of a block of at least size bytes aligned to
+// allocAlign, or 0 when the pool is exhausted.
+func (a *allocator) alloc(size uint64) uint64 {
+	size = alignUp(size, allocAlign)
+	for i := range a.free {
+		b := &a.free[i]
+		start := alignUp(b.addr, allocAlign)
+		pad := start - b.addr
+		if b.size < pad+size {
+			continue
+		}
+		// Carve [start, start+size) out of b.
+		tailAddr := start + size
+		tailSize := b.addr + b.size - tailAddr
+		if pad > 0 {
+			b.size = pad
+			if tailSize > 0 {
+				a.free = append(a.free, freeBlock{})
+				copy(a.free[i+2:], a.free[i+1:])
+				a.free[i+1] = freeBlock{addr: tailAddr, size: tailSize}
+			}
+		} else {
+			if tailSize > 0 {
+				b.addr, b.size = tailAddr, tailSize
+			} else {
+				a.free = append(a.free[:i], a.free[i+1:]...)
+			}
+		}
+		return start
+	}
+	return 0
+}
+
+// allocAt carves exactly [addr, addr+size) out of the free list, reporting
+// whether the range was fully free. Used when reconstructing allocator
+// state from persistent metadata after a restart.
+func (a *allocator) allocAt(addr, size uint64) bool {
+	size = alignUp(size, allocAlign)
+	for i := range a.free {
+		b := a.free[i]
+		if addr < b.addr || addr+size > b.addr+b.size {
+			continue
+		}
+		head := addr - b.addr
+		tail := b.addr + b.size - (addr + size)
+		switch {
+		case head == 0 && tail == 0:
+			a.free = append(a.free[:i], a.free[i+1:]...)
+		case head == 0:
+			a.free[i] = freeBlock{addr: addr + size, size: tail}
+		case tail == 0:
+			a.free[i].size = head
+		default:
+			a.free[i].size = head
+			a.free = append(a.free, freeBlock{})
+			copy(a.free[i+2:], a.free[i+1:])
+			a.free[i+1] = freeBlock{addr: addr + size, size: tail}
+		}
+		return true
+	}
+	return false
+}
+
+// release returns a block to the free list, coalescing neighbours.
+func (a *allocator) release(addr, size uint64) {
+	size = alignUp(size, allocAlign)
+	i := sort.Search(len(a.free), func(i int) bool { return a.free[i].addr >= addr })
+	a.free = append(a.free, freeBlock{})
+	copy(a.free[i+1:], a.free[i:])
+	a.free[i] = freeBlock{addr: addr, size: size}
+	// Coalesce with the next block.
+	if i+1 < len(a.free) && a.free[i].addr+a.free[i].size == a.free[i+1].addr {
+		a.free[i].size += a.free[i+1].size
+		a.free = append(a.free[:i+1], a.free[i+2:]...)
+	}
+	// Coalesce with the previous block.
+	if i > 0 && a.free[i-1].addr+a.free[i-1].size == a.free[i].addr {
+		a.free[i-1].size += a.free[i].size
+		a.free = append(a.free[:i], a.free[i+1:]...)
+	}
+}
+
+// freeBytes returns the total free space.
+func (a *allocator) freeBytes() uint64 {
+	var total uint64
+	for _, b := range a.free {
+		total += b.size
+	}
+	return total
+}
+
+// Alloc reserves size bytes of pool space and returns its address. It
+// panics when the pool is exhausted: workloads size their pools up front,
+// so exhaustion is a harness bug.
+func (p *Pool) Alloc(size uint64) uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	addr := p.alloc.alloc(size)
+	if addr == 0 {
+		panic(fmt.Sprintf("pmem: pool exhausted allocating %d bytes (%d free)",
+			size, p.alloc.freeBytes()))
+	}
+	return addr
+}
+
+// TryAlloc is Alloc but returns ok=false instead of panicking on
+// exhaustion.
+func (p *Pool) TryAlloc(size uint64) (addr uint64, ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	addr = p.alloc.alloc(size)
+	return addr, addr != 0
+}
+
+// AllocAt reserves the exact range [addr, addr+size), reporting whether it
+// was free. Restart paths use it to re-claim regions recorded in
+// persistent metadata so the volatile allocator cannot hand them out again.
+func (p *Pool) AllocAt(addr, size uint64) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.checkRange(addr, size)
+	return p.alloc.allocAt(addr, size)
+}
+
+// Free returns a block previously obtained from Alloc.
+func (p *Pool) Free(addr, size uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.checkRange(addr, size)
+	p.alloc.release(addr, size)
+}
+
+// FreeBytes returns the pool space not currently allocated.
+func (p *Pool) FreeBytes() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.alloc.freeBytes()
+}

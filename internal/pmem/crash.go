@@ -1,0 +1,108 @@
+package pmem
+
+import "math/rand"
+
+// CrashPolicy decides the fate of cache lines that were flushed but not yet
+// fenced when the crash happens. On real hardware those lines may or may not
+// have reached the persistence domain; the policy picks an outcome so tests
+// can explore the space deterministically.
+type CrashPolicy uint8
+
+const (
+	// CrashDropPending models the adversarial outcome for durability: no
+	// un-fenced writeback reached PM.
+	CrashDropPending CrashPolicy = iota
+	// CrashApplyPending models the other extreme: every issued writeback
+	// reached PM even without the fence.
+	CrashApplyPending
+	// CrashRandomPending flips a seeded coin per pending line, exploring
+	// intermediate outcomes.
+	CrashRandomPending
+)
+
+// Crash simulates a power failure and returns a new pool whose contents are
+// the persistent image (plus pending lines according to the policy, seeded
+// by seed for CrashRandomPending). The new pool starts with no handlers, all
+// lines clean, the allocator reset to full — recovery code is expected to
+// rebuild heap metadata from persistent structures, as on real PM.
+//
+// The original pool remains usable; Crash takes a snapshot.
+func (p *Pool) Crash(policy CrashPolicy, seed int64) *Pool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	n := New(p.Size())
+	copy(n.persist, p.persist)
+	var rng *rand.Rand
+	if policy == CrashRandomPending {
+		rng = rand.New(rand.NewSource(seed))
+	}
+	for l, st := range p.state {
+		if st != linePending && st != lineDirtyPending {
+			continue
+		}
+		apply := false
+		switch policy {
+		case CrashApplyPending:
+			apply = true
+		case CrashRandomPending:
+			apply = rng.Intn(2) == 0
+		}
+		if apply {
+			copy(n.persist[l*LineSize:(l+1)*LineSize], p.pending[l*LineSize:(l+1)*LineSize])
+		}
+	}
+	copy(n.volatile, n.persist)
+	// Preserve the named-variable registry: names model program symbols,
+	// which survive restart.
+	for name, r := range p.names {
+		n.names[name] = r
+	}
+	return n
+}
+
+// PersistedEquals reports whether the persistent image bytes at addr equal
+// want. It lets tests assert durability outcomes without crashing.
+func (p *Pool) PersistedEquals(addr uint64, want []byte) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.checkRange(addr, uint64(len(want)))
+	got := p.persist[p.off(addr) : p.off(addr)+uint64(len(want))]
+	for i := range want {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PersistedBytes copies size bytes of the persistent image at addr.
+func (p *Pool) PersistedBytes(addr, size uint64) []byte {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.checkRange(addr, size)
+	out := make([]byte, size)
+	copy(out, p.persist[p.off(addr):])
+	return out
+}
+
+// DirtyLines returns the number of lines with unflushed stores, and
+// PendingLines the number flushed but not yet fenced. Tests use these to
+// assert the line state machine.
+func (p *Pool) DirtyLines() int { return p.countState(lineDirty) + p.countState(lineDirtyPending) }
+
+// PendingLines returns the number of lines staged by a flush but not yet
+// committed by a fence.
+func (p *Pool) PendingLines() int { return p.countState(linePending) + p.countState(lineDirtyPending) }
+
+func (p *Pool) countState(want lineState) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, st := range p.state {
+		if st == want {
+			n++
+		}
+	}
+	return n
+}

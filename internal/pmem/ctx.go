@@ -1,0 +1,224 @@
+package pmem
+
+import (
+	"encoding/binary"
+
+	"pmdebugger/internal/trace"
+)
+
+// Ctx is an execution context for issuing instrumented PM operations: it
+// carries the thread id, the current strand section, and the current source
+// site used to attribute stores in bug reports.
+//
+// A single-threaded program can use Pool.Ctx(). Multi-threaded workloads
+// create one Ctx per goroutine; the pool serializes the resulting event
+// stream. Strand sections (§5) are entered with StrandBegin, which returns a
+// derived Ctx bound to a fresh strand id.
+type Ctx struct {
+	pool   *Pool
+	strand int32
+	thread int32
+	site   trace.SiteID
+}
+
+// Ctx returns the pool's default context: thread 0, the implicit strand 0.
+func (p *Pool) Ctx() *Ctx { return &Ctx{pool: p} }
+
+// ThreadCtx returns a context for the given application thread id.
+func (p *Pool) ThreadCtx(thread int32) *Ctx { return &Ctx{pool: p, thread: thread} }
+
+// Pool returns the underlying pool.
+func (c *Ctx) Pool() *Pool { return c.pool }
+
+// Strand returns the context's strand id (0 outside strand sections).
+func (c *Ctx) Strand() int32 { return c.strand }
+
+// Thread returns the context's thread id.
+func (c *Ctx) Thread() int32 { return c.thread }
+
+// SetSite sets the source site attributed to subsequent stores and returns
+// the context for chaining. Typical use: c.SetSite(itemSetCasSite).
+func (c *Ctx) SetSite(site trace.SiteID) *Ctx {
+	c.site = site
+	return c
+}
+
+// At returns a derived context with the given site, leaving c unchanged.
+func (c *Ctx) At(site trace.SiteID) *Ctx {
+	d := *c
+	d.site = site
+	return &d
+}
+
+// StoreBytes writes data to PM at addr (a store instruction).
+func (c *Ctx) StoreBytes(addr uint64, data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	c.pool.mu.Lock()
+	defer c.pool.mu.Unlock()
+	c.pool.storeLocked(addr, data, c.strand, c.thread, c.site)
+}
+
+// Store8 writes one byte.
+func (c *Ctx) Store8(addr uint64, v uint8) {
+	c.StoreBytes(addr, []byte{v})
+}
+
+// Store16 writes a little-endian 16-bit value.
+func (c *Ctx) Store16(addr uint64, v uint16) {
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], v)
+	c.StoreBytes(addr, b[:])
+}
+
+// Store32 writes a little-endian 32-bit value.
+func (c *Ctx) Store32(addr uint64, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	c.StoreBytes(addr, b[:])
+}
+
+// Store64 writes a little-endian 64-bit value.
+func (c *Ctx) Store64(addr uint64, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	c.StoreBytes(addr, b[:])
+}
+
+// Load8 reads one byte from the volatile image.
+func (c *Ctx) Load8(addr uint64) uint8 {
+	var b [1]byte
+	c.pool.LoadInto(addr, b[:])
+	return b[0]
+}
+
+// Load16 reads a little-endian 16-bit value.
+func (c *Ctx) Load16(addr uint64) uint16 {
+	var b [2]byte
+	c.pool.LoadInto(addr, b[:])
+	return binary.LittleEndian.Uint16(b[:])
+}
+
+// Load32 reads a little-endian 32-bit value.
+func (c *Ctx) Load32(addr uint64) uint32 {
+	var b [4]byte
+	c.pool.LoadInto(addr, b[:])
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+// Load64 reads a little-endian 64-bit value.
+func (c *Ctx) Load64(addr uint64) uint64 {
+	var b [8]byte
+	c.pool.LoadInto(addr, b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// LoadBytes reads size bytes from the volatile image.
+func (c *Ctx) LoadBytes(addr, size uint64) []byte {
+	return c.pool.Load(addr, size)
+}
+
+// Flush issues a CLWB covering [addr, addr+size).
+func (c *Ctx) Flush(addr, size uint64) {
+	c.FlushKind(addr, size, trace.CLWB)
+}
+
+// FlushKind issues a writeback of the given instruction kind.
+func (c *Ctx) FlushKind(addr, size uint64, kind trace.FlushKind) {
+	c.pool.mu.Lock()
+	defer c.pool.mu.Unlock()
+	c.pool.flushLocked(addr, size, kind, c.strand, c.thread, c.site)
+}
+
+// Fence issues an SFENCE: all prior writebacks become durable.
+func (c *Ctx) Fence() {
+	c.pool.mu.Lock()
+	defer c.pool.mu.Unlock()
+	c.pool.fenceLocked(c.strand, c.thread)
+}
+
+// Persist is the libpmemobj pmemobj_persist idiom: flush the covering cache
+// lines, then fence.
+func (c *Ctx) Persist(addr, size uint64) {
+	c.Flush(addr, size)
+	c.Fence()
+}
+
+// EpochBegin marks the start of an epoch section (TX_BEGIN). Epochs nest:
+// only the outermost begin/end emit events, matching the paper's flattening
+// of nested transactions (§6).
+func (c *Ctx) EpochBegin() {
+	c.pool.mu.Lock()
+	defer c.pool.mu.Unlock()
+	c.pool.epochDepth++
+	if c.pool.epochDepth > 1 {
+		return
+	}
+	c.pool.epochID++
+	c.pool.emitLocked(trace.Event{Kind: trace.KindEpochBegin, Strand: c.strand, Thread: c.thread})
+}
+
+// EpochEnd marks the end of an epoch section (TX_END).
+func (c *Ctx) EpochEnd() {
+	c.pool.mu.Lock()
+	defer c.pool.mu.Unlock()
+	if c.pool.epochDepth == 0 {
+		panic("pmem: EpochEnd without EpochBegin")
+	}
+	c.pool.epochDepth--
+	if c.pool.epochDepth > 0 {
+		return
+	}
+	c.pool.emitLocked(trace.Event{Kind: trace.KindEpochEnd, Strand: c.strand, Thread: c.thread})
+}
+
+// InEpoch reports whether an epoch section is open.
+func (c *Ctx) InEpoch() bool {
+	c.pool.mu.Lock()
+	defer c.pool.mu.Unlock()
+	return c.pool.epochDepth > 0
+}
+
+// StrandBegin opens a new strand section and returns a context bound to it.
+// Memory accesses from different strands are concurrent unless explicitly
+// ordered with JoinStrand.
+func (c *Ctx) StrandBegin() *Ctx {
+	c.pool.mu.Lock()
+	defer c.pool.mu.Unlock()
+	c.pool.strandSeq++
+	s := &Ctx{pool: c.pool, strand: c.pool.strandSeq, thread: c.thread, site: c.site}
+	c.pool.emitLocked(trace.Event{Kind: trace.KindStrandBegin, Strand: s.strand, Thread: c.thread})
+	return s
+}
+
+// StrandEnd closes the strand section this context is bound to.
+func (c *Ctx) StrandEnd() {
+	if c.strand == 0 {
+		panic("pmem: StrandEnd on the implicit strand")
+	}
+	c.pool.mu.Lock()
+	defer c.pool.mu.Unlock()
+	c.pool.emitLocked(trace.Event{Kind: trace.KindStrandEnd, Strand: c.strand, Thread: c.thread})
+}
+
+// JoinStrand establishes explicit persist ordering: all strands opened so
+// far must complete their persists before persists after the join.
+func (c *Ctx) JoinStrand() {
+	c.pool.mu.Lock()
+	defer c.pool.mu.Unlock()
+	c.pool.emitLocked(trace.Event{Kind: trace.KindJoinStrand, Strand: c.strand, Thread: c.thread})
+}
+
+// TxLogAdd records that the object at [addr, addr+size) was appended to a
+// transaction undo log. The redundant-logging rule (§5.2) treats this as a
+// store to the logged object's address.
+func (c *Ctx) TxLogAdd(addr, size uint64) {
+	c.pool.mu.Lock()
+	defer c.pool.mu.Unlock()
+	c.pool.checkRange(addr, size)
+	c.pool.emitLocked(trace.Event{
+		Kind: trace.KindTxLogAdd, Addr: addr, Size: size,
+		Strand: c.strand, Thread: c.thread, Site: c.site,
+	})
+}

@@ -1,0 +1,455 @@
+package pmem
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"pmdebugger/internal/trace"
+)
+
+func TestPoolSizing(t *testing.T) {
+	p := New(100) // rounds up to 128
+	if p.Size() != 128 {
+		t.Fatalf("Size = %d", p.Size())
+	}
+	if p.Base() != DefaultBase {
+		t.Fatalf("Base = %#x", p.Base())
+	}
+	if p.Range().Size != 128 {
+		t.Fatalf("Range = %v", p.Range())
+	}
+}
+
+func TestStoreLoadRoundTrip(t *testing.T) {
+	p := New(1024)
+	c := p.Ctx()
+	a := p.Alloc(64)
+	c.Store64(a, 0xdeadbeefcafe)
+	if got := c.Load64(a); got != 0xdeadbeefcafe {
+		t.Fatalf("Load64 = %#x", got)
+	}
+	c.Store32(a+8, 0x1234)
+	c.Store16(a+12, 0x55aa)
+	c.Store8(a+14, 0x7f)
+	if c.Load32(a+8) != 0x1234 || c.Load16(a+12) != 0x55aa || c.Load8(a+14) != 0x7f {
+		t.Fatalf("narrow loads wrong")
+	}
+	c.StoreBytes(a+16, []byte("hello"))
+	if !bytes.Equal(c.LoadBytes(a+16, 5), []byte("hello")) {
+		t.Fatalf("StoreBytes round trip failed")
+	}
+}
+
+func TestEventEmission(t *testing.T) {
+	p := New(1024)
+	rec := trace.NewRecorder(16)
+	p.Attach(rec)
+	c := p.Ctx()
+	a := p.Alloc(64)
+	site := trace.RegisterSite("pmem_test.go:emit")
+	c.SetSite(site)
+	c.Store64(a, 1)
+	c.Flush(a, 8)
+	c.Fence()
+	p.End()
+
+	// Attach emits a Register covering the pool.
+	evs := rec.Events
+	if len(evs) != 5 {
+		t.Fatalf("events = %d: %v", len(evs), evs)
+	}
+	if evs[0].Kind != trace.KindRegister || evs[0].Size != p.Size() {
+		t.Errorf("register event wrong: %v", evs[0])
+	}
+	if evs[1].Kind != trace.KindStore || evs[1].Addr != a || evs[1].Size != 8 || evs[1].Site != site {
+		t.Errorf("store event wrong: %v", evs[1])
+	}
+	if evs[2].Kind != trace.KindFlush || evs[2].Addr != a&^63 || evs[2].Size != 64 {
+		t.Errorf("flush event not line aligned: %v", evs[2])
+	}
+	if evs[3].Kind != trace.KindFence {
+		t.Errorf("fence event wrong: %v", evs[3])
+	}
+	if evs[4].Kind != trace.KindEnd {
+		t.Errorf("end event wrong: %v", evs[4])
+	}
+	// Sequence numbers strictly increase.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Errorf("seq not increasing: %v then %v", evs[i-1], evs[i])
+		}
+	}
+}
+
+func TestDetach(t *testing.T) {
+	p := New(1024)
+	rec := trace.NewRecorder(4)
+	p.Attach(rec)
+	p.Detach(rec)
+	p.Ctx().Store8(p.Base(), 1)
+	if rec.Count(trace.KindStore) != 0 {
+		t.Fatalf("detached handler received events")
+	}
+}
+
+func TestLineStateMachine(t *testing.T) {
+	p := New(1024)
+	c := p.Ctx()
+	a := p.Base()
+
+	c.Store64(a, 42)
+	if p.DirtyLines() != 1 || p.PendingLines() != 0 {
+		t.Fatalf("after store: dirty=%d pending=%d", p.DirtyLines(), p.PendingLines())
+	}
+	c.Flush(a, 8)
+	if p.DirtyLines() != 0 || p.PendingLines() != 1 {
+		t.Fatalf("after flush: dirty=%d pending=%d", p.DirtyLines(), p.PendingLines())
+	}
+	// Store after flush re-dirties the line while keeping the staged copy.
+	c.Store64(a, 43)
+	if p.DirtyLines() != 1 || p.PendingLines() != 1 {
+		t.Fatalf("after store-after-flush: dirty=%d pending=%d", p.DirtyLines(), p.PendingLines())
+	}
+	c.Fence()
+	// The staged value (42) is persistent; the line is dirty with 43.
+	if !p.PersistedEquals(a, []byte{42, 0, 0, 0, 0, 0, 0, 0}) {
+		t.Fatalf("persistent image has %v", p.PersistedBytes(a, 8))
+	}
+	if p.DirtyLines() != 1 || p.PendingLines() != 0 {
+		t.Fatalf("after fence: dirty=%d pending=%d", p.DirtyLines(), p.PendingLines())
+	}
+	if c.Load64(a) != 43 {
+		t.Fatalf("volatile image lost the newer store")
+	}
+}
+
+func TestFenceWithoutFlushPersistsNothing(t *testing.T) {
+	p := New(1024)
+	c := p.Ctx()
+	a := p.Base()
+	c.Store64(a, 7)
+	c.Fence()
+	if p.PersistedEquals(a, []byte{7, 0, 0, 0, 0, 0, 0, 0}) {
+		t.Fatalf("unflushed store reached persistence domain")
+	}
+}
+
+func TestCrashPolicies(t *testing.T) {
+	setup := func() *Pool {
+		p := New(1024)
+		c := p.Ctx()
+		c.Store64(p.Base(), 1) // flushed+fenced: durable
+		c.Persist(p.Base(), 8)
+		c.Store64(p.Base()+64, 2) // flushed, not fenced: pending
+		c.Flush(p.Base()+64, 8)
+		c.Store64(p.Base()+128, 3) // not flushed: lost
+		return p
+	}
+
+	p := setup()
+	crashed := p.Crash(CrashDropPending, 0)
+	cc := crashed.Ctx()
+	if cc.Load64(crashed.Base()) != 1 {
+		t.Errorf("durable store lost")
+	}
+	if cc.Load64(crashed.Base()+64) != 0 {
+		t.Errorf("pending line survived DropPending")
+	}
+	if cc.Load64(crashed.Base()+128) != 0 {
+		t.Errorf("unflushed store survived crash")
+	}
+
+	crashed = setup().Crash(CrashApplyPending, 0)
+	cc = crashed.Ctx()
+	if cc.Load64(crashed.Base()+64) != 2 {
+		t.Errorf("pending line dropped under ApplyPending")
+	}
+
+	// Random policy is deterministic per seed.
+	a := setup().Crash(CrashRandomPending, 99)
+	b := setup().Crash(CrashRandomPending, 99)
+	if a.Ctx().Load64(a.Base()+64) != b.Ctx().Load64(b.Base()+64) {
+		t.Errorf("CrashRandomPending not deterministic for equal seeds")
+	}
+}
+
+func TestCrashPreservesNames(t *testing.T) {
+	p := New(1024)
+	p.RegisterNamed("root", p.Base(), 64)
+	crashed := p.Crash(CrashDropPending, 0)
+	if _, ok := crashed.NamedRange("root"); !ok {
+		t.Fatalf("named range lost on crash")
+	}
+}
+
+func TestAllocFree(t *testing.T) {
+	p := New(4096)
+	a := p.Alloc(100)
+	b := p.Alloc(100)
+	if a == b {
+		t.Fatalf("overlapping allocations")
+	}
+	if a%16 != 0 || b%16 != 0 {
+		t.Fatalf("misaligned allocations %#x %#x", a, b)
+	}
+	before := p.FreeBytes()
+	p.Free(a, 100)
+	p.Free(b, 100)
+	if p.FreeBytes() <= before {
+		t.Fatalf("free did not return space")
+	}
+	if p.FreeBytes() != 4096 {
+		t.Fatalf("coalescing failed: free=%d", p.FreeBytes())
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	p := New(256)
+	if _, ok := p.TryAlloc(1024); ok {
+		t.Fatalf("oversized TryAlloc succeeded")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Alloc beyond pool did not panic")
+		}
+	}()
+	p.Alloc(1024)
+}
+
+func TestAllocReuseAfterFree(t *testing.T) {
+	p := New(1024)
+	var addrs []uint64
+	for i := 0; i < 8; i++ {
+		addrs = append(addrs, p.Alloc(128))
+	}
+	if _, ok := p.TryAlloc(128); ok {
+		t.Fatalf("pool should be exhausted")
+	}
+	p.Free(addrs[3], 128)
+	got, ok := p.TryAlloc(128)
+	if !ok || got != addrs[3] {
+		t.Fatalf("freed block not reused: got %#x want %#x", got, addrs[3])
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	p := New(256)
+	c := p.Ctx()
+	for _, fn := range []func(){
+		func() { c.Store8(p.Base()+p.Size(), 1) },
+		func() { c.Store8(p.Base()-1, 1) },
+		func() { c.Flush(p.Base()+p.Size(), 1) },
+		func() { c.LoadBytes(p.Base()+p.Size()-4, 8) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("out-of-range access did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestEpochNesting(t *testing.T) {
+	p := New(256)
+	rec := trace.NewRecorder(8)
+	p.Attach(rec)
+	c := p.Ctx()
+	c.EpochBegin()
+	c.EpochBegin() // nested: no event
+	if !c.InEpoch() {
+		t.Fatalf("InEpoch false inside epoch")
+	}
+	c.EpochEnd() // nested: no event
+	c.EpochEnd()
+	if c.InEpoch() {
+		t.Fatalf("InEpoch true after close")
+	}
+	if rec.Count(trace.KindEpochBegin) != 1 || rec.Count(trace.KindEpochEnd) != 1 {
+		t.Fatalf("nested epochs not flattened: %d begins, %d ends",
+			rec.Count(trace.KindEpochBegin), rec.Count(trace.KindEpochEnd))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("unbalanced EpochEnd did not panic")
+		}
+	}()
+	c.EpochEnd()
+}
+
+func TestStrands(t *testing.T) {
+	p := New(256)
+	rec := trace.NewRecorder(8)
+	p.Attach(rec)
+	c := p.Ctx()
+	s1 := c.StrandBegin()
+	s2 := c.StrandBegin()
+	if s1.Strand() == s2.Strand() || s1.Strand() == 0 {
+		t.Fatalf("strand ids not unique: %d %d", s1.Strand(), s2.Strand())
+	}
+	s1.Store8(p.Base(), 1)
+	s2.Store8(p.Base()+64, 2)
+	s1.StrandEnd()
+	s2.StrandEnd()
+	c.JoinStrand()
+
+	var strandOfStore []int32
+	for _, ev := range rec.Events {
+		if ev.Kind == trace.KindStore {
+			strandOfStore = append(strandOfStore, ev.Strand)
+		}
+	}
+	if len(strandOfStore) != 2 || strandOfStore[0] == strandOfStore[1] {
+		t.Fatalf("store strand tagging wrong: %v", strandOfStore)
+	}
+	if rec.Count(trace.KindJoinStrand) != 1 {
+		t.Fatalf("join not emitted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("StrandEnd on implicit strand did not panic")
+		}
+	}()
+	c.StrandEnd()
+}
+
+func TestRegisterNamed(t *testing.T) {
+	p := New(256)
+	rec := trace.NewRecorder(4)
+	p.Attach(rec)
+	p.RegisterNamed("key", p.Base()+16, 8)
+	r, ok := p.NamedRange("key")
+	if !ok || r.Addr != p.Base()+16 || r.Size != 8 {
+		t.Fatalf("NamedRange = %v %v", r, ok)
+	}
+	if _, ok := p.NamedRange("absent"); ok {
+		t.Fatalf("absent name resolved")
+	}
+	found := false
+	for _, ev := range rec.Events {
+		if ev.Kind == trace.KindRegister && trace.SiteName(ev.Site) == "key" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("register event for name not emitted")
+	}
+}
+
+func TestConcurrentStoresSerialize(t *testing.T) {
+	p := New(1 << 16)
+	rec := trace.NewRecorder(1024)
+	p.Attach(rec)
+	var wg sync.WaitGroup
+	const threads, per = 8, 100
+	for th := 0; th < threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			c := p.ThreadCtx(int32(th))
+			base := p.Base() + uint64(th)*4096
+			for i := 0; i < per; i++ {
+				c.Store64(base+uint64(i)*8, uint64(i))
+			}
+		}(th)
+	}
+	wg.Wait()
+	if got := rec.Count(trace.KindStore); got != threads*per {
+		t.Fatalf("stores = %d, want %d", got, threads*per)
+	}
+	// Every thread's own values must be intact (no torn interleaving).
+	for th := 0; th < threads; th++ {
+		c := p.ThreadCtx(int32(th))
+		base := p.Base() + uint64(th)*4096
+		for i := 0; i < per; i++ {
+			if got := c.Load64(base + uint64(i)*8); got != uint64(i) {
+				t.Fatalf("thread %d slot %d = %d", th, i, got)
+			}
+		}
+	}
+}
+
+func TestTxLogAddEvent(t *testing.T) {
+	p := New(256)
+	rec := trace.NewRecorder(4)
+	p.Attach(rec)
+	c := p.Ctx()
+	c.TxLogAdd(p.Base()+32, 16)
+	if rec.Count(trace.KindTxLogAdd) != 1 {
+		t.Fatalf("TxLogAdd not emitted")
+	}
+	ev := rec.Events[len(rec.Events)-1]
+	if ev.Addr != p.Base()+32 || ev.Size != 16 {
+		t.Fatalf("TxLogAdd range wrong: %v", ev)
+	}
+}
+
+// Property: persist-then-crash always preserves stored data regardless of
+// address and size (within one line).
+func TestQuickPersistDurable(t *testing.T) {
+	f := func(off uint16, v uint64) bool {
+		p := New(1 << 12)
+		c := p.Ctx()
+		addr := p.Base() + uint64(off%(1<<12-8))
+		c.Store64(addr, v)
+		c.Persist(addr, 8)
+		crashed := p.Crash(CrashDropPending, 0)
+		return crashed.Ctx().Load64(addr) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: allocator never hands out overlapping blocks.
+func TestQuickAllocDisjoint(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		p := New(1 << 16)
+		type blk struct{ a, s uint64 }
+		var blocks []blk
+		for _, s := range sizes {
+			sz := uint64(s%512) + 1
+			a, ok := p.TryAlloc(sz)
+			if !ok {
+				continue
+			}
+			for _, b := range blocks {
+				if a < b.a+b.s && b.a < a+sz {
+					return false
+				}
+			}
+			blocks = append(blocks, blk{a, sz})
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkStore64(b *testing.B) {
+	p := New(1 << 20)
+	c := p.Ctx()
+	base := p.Base()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Store64(base+uint64(i%(1<<17))*8, uint64(i))
+	}
+}
+
+func BenchmarkStoreFlushFence(b *testing.B) {
+	p := New(1 << 20)
+	c := p.Ctx()
+	base := p.Base()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a := base + uint64(i%(1<<14))*64
+		c.Store64(a, uint64(i))
+		c.Flush(a, 8)
+		c.Fence()
+	}
+}

@@ -1,0 +1,313 @@
+// Package pmem simulates byte-addressable persistent memory with an
+// instrumented access API.
+//
+// It is the substitution for the paper's combination of Intel Optane DCPMM
+// and Valgrind instrumentation: PM programs written against this package
+// perform explicit Store/Flush/Fence operations on a simulated pool, and the
+// pool emits one trace.Event per operation to registered handlers — exactly
+// the callback stream Valgrind delivers to PMDebugger and Pmemcheck.
+//
+// Beyond event emission, the pool models crash semantics with a 64-byte
+// cache-line state machine: stores land in a volatile image, cache-line
+// flushes stage line snapshots, and fences commit staged lines to the
+// persistent image. Crash() materializes what a real power failure would
+// leave behind, which is what the cross-failure detector and the recovery
+// examples exercise.
+package pmem
+
+import (
+	"fmt"
+	"sync"
+
+	"pmdebugger/internal/intervals"
+	"pmdebugger/internal/trace"
+)
+
+// LineSize is the modeled cache-line size in bytes.
+const LineSize = intervals.CacheLineSize
+
+// lineState tracks where a cache line's latest bytes live.
+type lineState uint8
+
+const (
+	lineClean        lineState = iota // volatile == persistent
+	lineDirty                         // stores not yet flushed
+	linePending                       // flushed, awaiting fence
+	lineDirtyPending                  // flushed, then stored to again
+)
+
+// DefaultBase is the base address of a pool's simulated address space. A
+// non-zero base catches detectors that confuse offsets with addresses.
+const DefaultBase = 0x1000_0000
+
+// Pool is a simulated persistent memory pool.
+//
+// All operations are serialized by an internal mutex, so multi-threaded
+// workloads observe a single total order of instrumented instructions — the
+// same serialization Valgrind imposes on the paper's detectors.
+type Pool struct {
+	mu       sync.Mutex
+	base     uint64
+	volatile []byte // what loads observe
+	persist  []byte // what survives a crash
+	pending  []byte // staged line snapshots (valid where state==*Pending)
+	state    []lineState
+
+	// pendingLines lists line indexes in state linePending or
+	// lineDirtyPending so fences commit in O(pending) rather than scanning
+	// the whole pool.
+	pendingLines []uint64
+
+	handlers trace.MultiHandler
+	seq      uint64
+	// trapAfter, when non-zero, makes the pool panic with CrashTrap once
+	// seq reaches it — the injection point for systematic crash testing
+	// (package crashtest).
+	trapAfter uint64
+
+	alloc allocator
+	names map[string]intervals.Range
+	stats Stats
+
+	epochDepth int
+	epochID    int32
+	strandSeq  int32
+}
+
+// New creates a pool of the given size (rounded up to a whole number of
+// cache lines) based at DefaultBase.
+func New(size uint64) *Pool {
+	size = (size + LineSize - 1) &^ uint64(LineSize-1)
+	p := &Pool{
+		base:     DefaultBase,
+		volatile: make([]byte, size),
+		persist:  make([]byte, size),
+		pending:  make([]byte, size),
+		state:    make([]lineState, size/LineSize),
+		names:    map[string]intervals.Range{},
+	}
+	p.alloc.init(p.base, size)
+	return p
+}
+
+// Size returns the pool size in bytes.
+func (p *Pool) Size() uint64 { return uint64(len(p.volatile)) }
+
+// Base returns the pool's base address.
+func (p *Pool) Base() uint64 { return p.base }
+
+// Range returns the pool's full address range.
+func (p *Pool) Range() intervals.Range { return intervals.R(p.base, p.Size()) }
+
+// Attach registers a handler to receive the pool's instruction stream and
+// immediately emits a Register event covering the whole pool, mirroring
+// Register_pmem embedded in mmap (§6). Handlers attached later miss earlier
+// events; attach before running the workload.
+func (p *Pool) Attach(h trace.Handler) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.handlers = append(p.handlers, h)
+	p.emitLocked(trace.Event{
+		Kind: trace.KindRegister,
+		Addr: p.base,
+		Size: p.Size(),
+	})
+}
+
+// Detach removes a previously attached handler.
+func (p *Pool) Detach(h trace.Handler) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, cur := range p.handlers {
+		if cur == h {
+			p.handlers = append(p.handlers[:i], p.handlers[i+1:]...)
+			return
+		}
+	}
+}
+
+// CrashTrap is the panic value raised when a crash trap fires; crash-test
+// harnesses recover it and take the pool's crash image. Every pool
+// operation releases its locks via defer, so the pool remains usable after
+// the unwind.
+type CrashTrap struct {
+	// Seq is the sequence number of the event the crash lands on.
+	Seq uint64
+}
+
+// SetCrashTrap arranges for the pool to panic with CrashTrap when the n-th
+// event is emitted (0 disables). The trapped event is still delivered to
+// handlers first: the instruction executed, then the power failed.
+func (p *Pool) SetCrashTrap(n uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.trapAfter = n
+}
+
+// emitLocked assigns a sequence number and fans the event out. Callers hold
+// p.mu.
+func (p *Pool) emitLocked(ev trace.Event) {
+	p.seq++
+	ev.Seq = p.seq
+	p.handlers.HandleEvent(ev)
+	if p.trapAfter != 0 && p.seq >= p.trapAfter {
+		p.trapAfter = 0
+		panic(CrashTrap{Seq: ev.Seq})
+	}
+}
+
+// EventCount returns the number of events emitted so far.
+func (p *Pool) EventCount() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.seq
+}
+
+// checkRange panics when [addr, addr+size) escapes the pool: out-of-pool
+// accesses are bugs in the workload harness, not in the program under test.
+func (p *Pool) checkRange(addr, size uint64) {
+	if addr < p.base || addr+size > p.base+p.Size() || addr+size < addr {
+		panic(fmt.Sprintf("pmem: access [%#x,+%d) outside pool [%#x,+%d)",
+			addr, size, p.base, p.Size()))
+	}
+}
+
+// off converts a pool address to an image offset.
+func (p *Pool) off(addr uint64) uint64 { return addr - p.base }
+
+// storeLocked writes data at addr in the volatile image, updates line
+// states, and emits a Store event.
+func (p *Pool) storeLocked(addr uint64, data []byte, strand, thread int32, site trace.SiteID) {
+	size := uint64(len(data))
+	p.checkRange(addr, size)
+	p.stats.Stores++
+	p.stats.BytesStored += size
+	copy(p.volatile[p.off(addr):], data)
+	first := p.off(addr) / LineSize
+	last := p.off(addr+size-1) / LineSize
+	for l := first; l <= last; l++ {
+		switch p.state[l] {
+		case lineClean:
+			p.state[l] = lineDirty
+		case linePending:
+			p.state[l] = lineDirtyPending
+		}
+	}
+	p.emitLocked(trace.Event{
+		Kind: trace.KindStore, Addr: addr, Size: size,
+		Strand: strand, Thread: thread, Site: site,
+	})
+}
+
+// flushLocked stages the cache lines covering [addr, addr+size) and emits a
+// Flush event for the line-aligned span. Following the hardware, a CLWB of
+// any byte writes back the whole line.
+func (p *Pool) flushLocked(addr, size uint64, kind trace.FlushKind, strand, thread int32, site trace.SiteID) {
+	p.checkRange(addr, size)
+	p.stats.Flushes++
+	span := intervals.SpanLines(intervals.R(addr, size))
+	first := p.off(span.Addr) / LineSize
+	last := p.off(span.End()-1) / LineSize
+	for l := first; l <= last; l++ {
+		switch p.state[l] {
+		case lineDirty:
+			copy(p.pending[l*LineSize:(l+1)*LineSize], p.volatile[l*LineSize:(l+1)*LineSize])
+			p.state[l] = linePending
+			p.pendingLines = append(p.pendingLines, l)
+		case lineDirtyPending:
+			// Already on the pending list; refresh the staged snapshot.
+			copy(p.pending[l*LineSize:(l+1)*LineSize], p.volatile[l*LineSize:(l+1)*LineSize])
+			p.state[l] = linePending
+		}
+	}
+	p.emitLocked(trace.Event{
+		Kind: trace.KindFlush, Flush: kind,
+		Addr: span.Addr, Size: span.Size,
+		Strand: strand, Thread: thread, Site: site,
+	})
+}
+
+// fenceLocked commits all staged lines to the persistent image and emits a
+// Fence event.
+func (p *Pool) fenceLocked(strand, thread int32) {
+	p.stats.Fences++
+	for _, l := range p.pendingLines {
+		switch p.state[l] {
+		case linePending:
+			copy(p.persist[l*LineSize:(l+1)*LineSize], p.pending[l*LineSize:(l+1)*LineSize])
+			p.state[l] = lineClean
+			p.stats.LinesCommitted++
+		case lineDirtyPending:
+			copy(p.persist[l*LineSize:(l+1)*LineSize], p.pending[l*LineSize:(l+1)*LineSize])
+			p.state[l] = lineDirty
+			p.stats.LinesCommitted++
+		}
+	}
+	p.pendingLines = p.pendingLines[:0]
+	p.emitLocked(trace.Event{Kind: trace.KindFence, Strand: strand, Thread: thread})
+}
+
+// RegisterNamed names an address range so bug rules (the order-guarantee
+// configuration file, §4.5) can refer to program variables symbolically. The
+// name is interned as the Register event's site.
+func (p *Pool) RegisterNamed(name string, addr, size uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.checkRange(addr, size)
+	p.names[name] = intervals.R(addr, size)
+	p.emitLocked(trace.Event{
+		Kind: trace.KindRegister, Addr: addr, Size: size,
+		Site: trace.RegisterSite(name),
+	})
+}
+
+// RegisterRegion registers an address range for debugging without naming
+// it (the plain Register_pmem call of §6).
+func (p *Pool) RegisterRegion(addr, size uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.checkRange(addr, size)
+	p.emitLocked(trace.Event{Kind: trace.KindRegister, Addr: addr, Size: size})
+}
+
+// UnregisterRegion removes an address range from debugging.
+func (p *Pool) UnregisterRegion(addr, size uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.checkRange(addr, size)
+	p.emitLocked(trace.Event{Kind: trace.KindUnregister, Addr: addr, Size: size})
+}
+
+// NamedRange resolves a name registered with RegisterNamed.
+func (p *Pool) NamedRange(name string) (intervals.Range, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	r, ok := p.names[name]
+	return r, ok
+}
+
+// End signals the end of the program under test. Detectors run their final
+// checks (no-durability rule) on this event.
+func (p *Pool) End() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.emitLocked(trace.Event{Kind: trace.KindEnd})
+}
+
+// Load copies size bytes at addr from the volatile image.
+func (p *Pool) Load(addr, size uint64) []byte {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.checkRange(addr, size)
+	out := make([]byte, size)
+	copy(out, p.volatile[p.off(addr):])
+	return out
+}
+
+// LoadInto copies len(dst) bytes at addr into dst without allocating.
+func (p *Pool) LoadInto(addr uint64, dst []byte) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.checkRange(addr, uint64(len(dst)))
+	copy(dst, p.volatile[p.off(addr):])
+}

@@ -1,0 +1,27 @@
+package pmem
+
+// Stats are cumulative pool-level statistics: what the simulated hardware
+// observed, independent of any detector. They give workload runs a quick
+// sanity summary (pmdebug prints them) and tests a ground truth for event
+// volumes.
+type Stats struct {
+	// Stores, Flushes, Fences count the three fundamental operations.
+	Stores  uint64
+	Flushes uint64
+	Fences  uint64
+	// BytesStored is the total store payload volume.
+	BytesStored uint64
+	// LinesCommitted counts cache-line commits to the persistence domain
+	// (lines made durable by fences).
+	LinesCommitted uint64
+}
+
+// Stats returns a snapshot of the pool's counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// note: the counters are updated inside the store/flush/fence paths under
+// p.mu; see pool.go.

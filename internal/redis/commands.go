@@ -1,0 +1,107 @@
+package redis
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Additional commands of the PM-aware Redis port beyond SET/GET/DEL:
+// INCR (an in-place transactional read-modify-write), APPEND (copy-on-write
+// value growth) and EXPIRE/TTL (volatile expiry with lazy deletion, as
+// Redis's passive expiration).
+
+// Incr atomically increments the integer value of key by delta and returns
+// the new value. A missing key starts from zero. Integer values are stored
+// as 8 little-endian bytes; INCR on a value of any other width fails, like
+// Redis's "value is not an integer" error.
+func (s *Server) Incr(key string, delta uint64) (uint64, error) {
+	s.clock++
+	if e, ok := s.index[key]; ok {
+		kl := s.p.Ctx().Load32(e + 8)
+		vl := s.p.Ctx().Load32(e + 12)
+		if vl != 8 {
+			return 0, fmt.Errorf("redis: value of %q is not an integer", key)
+		}
+		// In-place transactional read-modify-write: the 8 value bytes are
+		// undo-logged, updated and persisted by the commit.
+		valAddr := e + rdEntryHdr + uint64(kl)
+		old := s.p.Ctx().Load64(valAddr)
+		tx := s.p.Begin()
+		tx.Set(valAddr, old+delta)
+		tx.Commit()
+		s.lru[key] = s.clock
+		return old + delta, nil
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], delta)
+	if err := s.Set(key, buf[:]); err != nil {
+		return 0, err
+	}
+	return delta, nil
+}
+
+// IntValue reads an integer-encoded value.
+func (s *Server) IntValue(key string) (uint64, bool) {
+	v, ok := s.Get(key)
+	if !ok || len(v) != 8 {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(v), true
+}
+
+// Append appends suffix to key's value and returns the new length. Entries
+// are immutable-sized, so APPEND is a copy-on-write replace, like the
+// transactional Set path.
+func (s *Server) Append(key string, suffix []byte) (int, error) {
+	old, _ := s.Get(key)
+	combined := make([]byte, 0, len(old)+len(suffix))
+	combined = append(combined, old...)
+	combined = append(combined, suffix...)
+	if err := s.Set(key, combined); err != nil {
+		return 0, err
+	}
+	return len(combined), nil
+}
+
+// Expire marks key to expire after ttl logical ticks (one tick per
+// command). It reports whether the key exists.
+func (s *Server) Expire(key string, ttl uint64) bool {
+	if _, ok := s.index[key]; !ok {
+		return false
+	}
+	if s.expiry == nil {
+		s.expiry = map[string]uint64{}
+	}
+	s.expiry[key] = s.clock + ttl
+	return true
+}
+
+// TTL returns the remaining ticks before expiry, or ok=false when the key
+// has no expiry or does not exist.
+func (s *Server) TTL(key string) (uint64, bool) {
+	dl, ok := s.expiry[key]
+	if !ok {
+		return 0, false
+	}
+	if dl <= s.clock {
+		return 0, true
+	}
+	return dl - s.clock, true
+}
+
+// expireIfDue lazily deletes an expired key, returning true when it was
+// removed.
+func (s *Server) expireIfDue(key string) bool {
+	dl, ok := s.expiry[key]
+	if !ok || dl > s.clock {
+		return false
+	}
+	delete(s.expiry, key)
+	if _, err := s.Del(key); err == nil {
+		s.expirations++
+	}
+	return true
+}
+
+// Expirations returns the number of lazily expired keys.
+func (s *Server) Expirations() uint64 { return s.expirations }

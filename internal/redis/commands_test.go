@@ -1,0 +1,143 @@
+package redis
+
+import (
+	"bytes"
+	"testing"
+
+	"pmdebugger/internal/core"
+	"pmdebugger/internal/pmem"
+	"pmdebugger/internal/rules"
+)
+
+func newServer(t *testing.T) *Server {
+	t.Helper()
+	s, err := New(Config{PoolSize: 1 << 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestIncr(t *testing.T) {
+	s := newServer(t)
+	v, err := s.Incr("n", 5)
+	if err != nil || v != 5 {
+		t.Fatalf("first Incr = %d, %v", v, err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := s.Incr("n", 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, ok := s.IntValue("n")
+	if !ok || v != 15 {
+		t.Fatalf("IntValue = %d, %v", v, ok)
+	}
+	// INCR on a non-integer value fails.
+	s.Set("str", []byte("hello"))
+	if _, err := s.Incr("str", 1); err == nil {
+		t.Fatal("Incr on string value succeeded")
+	}
+}
+
+func TestIncrCrashAtomicity(t *testing.T) {
+	s := newServer(t)
+	s.Incr("n", 41)
+	// A crash mid-increment must roll back to the committed value.
+	e := s.index["n"]
+	kl := s.p.Ctx().Load32(e + 8)
+	valAddr := e + rdEntryHdr + uint64(kl)
+	tx := s.p.Begin()
+	tx.Set(valAddr, 999)
+	crashed := s.PM().Crash(pmem.CrashApplyPending, 0)
+	s2, err := Reopen(crashed, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := s2.IntValue("n")
+	if !ok || v != 41 {
+		t.Fatalf("recovered value = %d, %v; want 41", v, ok)
+	}
+}
+
+func TestAppend(t *testing.T) {
+	s := newServer(t)
+	n, err := s.Append("k", []byte("hello"))
+	if err != nil || n != 5 {
+		t.Fatalf("Append = %d, %v", n, err)
+	}
+	n, err = s.Append("k", []byte(" world"))
+	if err != nil || n != 11 {
+		t.Fatalf("Append = %d, %v", n, err)
+	}
+	v, ok := s.Get("k")
+	if !ok || !bytes.Equal(v, []byte("hello world")) {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+}
+
+func TestExpireAndTTL(t *testing.T) {
+	s := newServer(t)
+	s.Set("k", []byte("v"))
+	if s.Expire("absent", 5) {
+		t.Fatal("Expire on absent key succeeded")
+	}
+	if !s.Expire("k", 3) {
+		t.Fatal("Expire failed")
+	}
+	ttl, ok := s.TTL("k")
+	if !ok || ttl != 3 {
+		t.Fatalf("TTL = %d, %v", ttl, ok)
+	}
+	if _, ok := s.TTL("absent"); ok {
+		t.Fatal("TTL on absent key succeeded")
+	}
+	// Burn ticks until expiry.
+	for i := 0; i < 5; i++ {
+		s.Get("other")
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("expired key served")
+	}
+	if s.Expirations() != 1 {
+		t.Fatalf("expirations = %d", s.Expirations())
+	}
+	if s.Count() != 0 {
+		t.Fatalf("count = %d after expiry", s.Count())
+	}
+}
+
+func TestSetClearsTTL(t *testing.T) {
+	s := newServer(t)
+	s.Set("k", []byte("v1"))
+	s.Expire("k", 2)
+	s.Set("k", []byte("v2")) // SET clears the TTL
+	for i := 0; i < 5; i++ {
+		s.Get("other")
+	}
+	if _, ok := s.Get("k"); !ok {
+		t.Fatal("key expired despite SET clearing the TTL")
+	}
+}
+
+func TestCommandsCleanUnderPMDebugger(t *testing.T) {
+	s := newServer(t)
+	det := core.New(core.Config{Model: rules.Epoch})
+	s.PM().Attach(det)
+	for i := 0; i < 50; i++ {
+		if _, err := s.Incr("counter", 1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Append("log", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Expire("log", 10)
+	for i := 0; i < 20; i++ {
+		s.Get("counter")
+	}
+	s.PM().End()
+	if rep := det.Report(); rep.Len() != 0 {
+		t.Fatalf("command mix flagged:\n%s", rep.Summary())
+	}
+}

@@ -1,0 +1,152 @@
+package redis
+
+import (
+	"fmt"
+	"testing"
+
+	"pmdebugger/internal/core"
+	"pmdebugger/internal/pmem"
+	"pmdebugger/internal/rules"
+)
+
+func TestSetGetDel(t *testing.T) {
+	s, err := New(Config{PoolSize: 1 << 22, Buckets: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set("k1", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := s.Get("k1")
+	if !ok || string(v) != "v1" {
+		t.Fatalf("Get = %q %v", v, ok)
+	}
+	if _, ok := s.Get("absent"); ok {
+		t.Fatal("absent key found")
+	}
+	if err := s.Set("k1", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = s.Get("k1")
+	if string(v) != "v2" {
+		t.Fatalf("replace failed: %q", v)
+	}
+	if s.Count() != 1 {
+		t.Fatalf("count = %d", s.Count())
+	}
+	ok, err = s.Del("k1")
+	if !ok || err != nil {
+		t.Fatalf("Del = %v %v", ok, err)
+	}
+	if s.Count() != 0 {
+		t.Fatalf("count after del = %d", s.Count())
+	}
+	if ok, _ := s.Del("k1"); ok {
+		t.Fatal("double del succeeded")
+	}
+}
+
+func TestManyKeysAndChains(t *testing.T) {
+	s, err := New(Config{PoolSize: 1 << 23, Buckets: 16}) // force chains
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if err := s.Set(fmt.Sprintf("key:%d", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 500; i++ {
+		v, ok := s.Get(fmt.Sprintf("key:%d", i))
+		if !ok || v[0] != byte(i) {
+			t.Fatalf("key %d = %v %v", i, v, ok)
+		}
+	}
+	// Delete every third key.
+	for i := 0; i < 500; i += 3 {
+		if ok, err := s.Del(fmt.Sprintf("key:%d", i)); !ok || err != nil {
+			t.Fatalf("del %d: %v %v", i, ok, err)
+		}
+	}
+	for i := 0; i < 500; i++ {
+		_, ok := s.Get(fmt.Sprintf("key:%d", i))
+		if (i%3 == 0) == ok {
+			t.Fatalf("key %d presence wrong after deletes", i)
+		}
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	s, err := New(Config{PoolSize: 1 << 23, MaxKeys: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunLRUTest(1000, 2); err != nil {
+		t.Fatal(err)
+	}
+	if s.Count() > 100 {
+		t.Fatalf("keyspace exceeded cap: %d", s.Count())
+	}
+	_, _, ev := s.Stats()
+	if ev < 800 {
+		t.Fatalf("evictions = %d, want ~900", ev)
+	}
+}
+
+func TestRebuildMatchesIndex(t *testing.T) {
+	s, err := New(Config{PoolSize: 1 << 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		s.Set(fmt.Sprintf("k%d", i), []byte("v"))
+	}
+	if err := s.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, ok := s.Get(fmt.Sprintf("k%d", i)); !ok {
+			t.Fatalf("key %d lost after rebuild", i)
+		}
+	}
+}
+
+func TestCrashRecovery(t *testing.T) {
+	s, err := New(Config{PoolSize: 1 << 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		s.Set(fmt.Sprintf("k%d", i), []byte{byte(i)})
+	}
+	crashed := s.PM().Crash(pmem.CrashDropPending, 0)
+	s2, err := Reopen(crashed, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Count() != 50 {
+		t.Fatalf("count after crash = %d", s2.Count())
+	}
+	for i := 0; i < 50; i++ {
+		v, ok := s2.Get(fmt.Sprintf("k%d", i))
+		if !ok || v[0] != byte(i) {
+			t.Fatalf("key %d lost: %v %v", i, v, ok)
+		}
+	}
+}
+
+func TestRedisCleanUnderPMDebugger(t *testing.T) {
+	s, err := New(Config{PoolSize: 1 << 23, MaxKeys: 64, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := core.New(core.Config{Model: rules.Epoch})
+	s.PM().Attach(det)
+	if err := s.RunLRUTest(500, 4); err != nil {
+		t.Fatal(err)
+	}
+	s.PM().End()
+	if rep := det.Report(); rep.Len() != 0 {
+		t.Fatalf("redis flagged:\n%s", rep.Summary())
+	}
+}

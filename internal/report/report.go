@@ -1,0 +1,249 @@
+// Package report defines bug records and detection reports shared by every
+// detector: the ten bug types of the paper (Table 6), per-bug provenance,
+// deduplication, and the bookkeeping counters the evaluation quantifies
+// (tree size per fence interval, reorganizations — §7.5).
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pmdebugger/internal/trace"
+)
+
+// BugType enumerates the ten crash-consistency bug types of Table 6. The
+// first five are common to all persistency models (§4.5); the next four are
+// specific to the relaxed models (§5.2); the last is the cross-failure
+// semantic bug of XFDetector that PMDebugger detects via a manually invoked
+// recovery pass (§7.3).
+type BugType uint8
+
+// The ten bug types.
+const (
+	// NoDurability: a persistent memory location is not persisted after the
+	// last write to it (missing CLF or missing fence).
+	NoDurability BugType = iota
+	// MultipleOverwrites: the same location is written multiple times before
+	// its durability is guaranteed (strict model only).
+	MultipleOverwrites
+	// NoOrderGuarantee: a programmer-specified persist order X-before-Y is
+	// violated.
+	NoOrderGuarantee
+	// RedundantFlush: a store's cache line is flushed more than once before
+	// the nearest fence (performance bug).
+	RedundantFlush
+	// FlushNothing: a CLF persists no prior store.
+	FlushNothing
+	// RedundantLogging: a data object is updated once but logged multiple
+	// times in a logging-based transaction (performance bug).
+	RedundantLogging
+	// LackDurabilityInEpoch: at epoch end, stores from the epoch are not yet
+	// durable.
+	LackDurabilityInEpoch
+	// RedundantEpochFence: more than one fence inside an epoch section
+	// (performance bug).
+	RedundantEpochFence
+	// LackOrderingInStrands: persists across strands violate a required
+	// cross-strand order.
+	LackOrderingInStrands
+	// CrossFailureSemantic: post-failure execution reads semantically
+	// inconsistent data.
+	CrossFailureSemantic
+
+	// NumBugTypes is the number of defined bug types.
+	NumBugTypes = int(CrossFailureSemantic) + 1
+)
+
+// String returns the paper's name for the bug type.
+func (b BugType) String() string {
+	switch b {
+	case NoDurability:
+		return "no durability guarantee"
+	case MultipleOverwrites:
+		return "multiple overwrites"
+	case NoOrderGuarantee:
+		return "no order guarantee"
+	case RedundantFlush:
+		return "redundant flushes"
+	case FlushNothing:
+		return "flush nothing"
+	case RedundantLogging:
+		return "redundant logging"
+	case LackDurabilityInEpoch:
+		return "lack durability in epoch"
+	case RedundantEpochFence:
+		return "redundant epoch fence"
+	case LackOrderingInStrands:
+		return "lack ordering in strands"
+	case CrossFailureSemantic:
+		return "cross-failure semantic"
+	default:
+		return fmt.Sprintf("bugtype(%d)", uint8(b))
+	}
+}
+
+// AllBugTypes lists every bug type in Table 6 column order.
+func AllBugTypes() []BugType {
+	out := make([]BugType, NumBugTypes)
+	for i := range out {
+		out[i] = BugType(i)
+	}
+	return out
+}
+
+// Performance reports whether the bug type is a performance bug (does not
+// break crash consistency, only wastes cycles), following the convention of
+// §4.5.
+func (b BugType) Performance() bool {
+	switch b {
+	case RedundantFlush, RedundantLogging, RedundantEpochFence:
+		return true
+	}
+	return false
+}
+
+// Bug is one detected bug instance.
+type Bug struct {
+	Type    BugType
+	Addr    uint64
+	Size    uint64
+	Seq     uint64       // sequence number of the offending instruction
+	Site    trace.SiteID // source site of the store that created the record
+	Strand  int32
+	Message string
+}
+
+// String formats the bug for the report output.
+func (b Bug) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "[%s]", b.Type)
+	if b.Size > 0 {
+		fmt.Fprintf(&sb, " addr=%#x size=%d", b.Addr, b.Size)
+	}
+	if b.Site != 0 {
+		fmt.Fprintf(&sb, " site=%s", b.Site)
+	}
+	if b.Strand != 0 {
+		fmt.Fprintf(&sb, " strand=%d", b.Strand)
+	}
+	if b.Message != "" {
+		fmt.Fprintf(&sb, ": %s", b.Message)
+	}
+	return sb.String()
+}
+
+// Counters records the bookkeeping statistics the evaluation quantifies.
+type Counters struct {
+	Stores  uint64
+	Flushes uint64
+	Fences  uint64
+
+	// TreeNodeSamples accumulates the tree size observed at each fence so
+	// the average number of tree nodes per fence interval (Fig. 11) can be
+	// derived: TreeNodeSamples / Fences.
+	TreeNodeSamples uint64
+	// TreeReorgs counts expensive tree reorganizations (§7.5).
+	TreeReorgs uint64
+	// ArrayAppends counts stores absorbed by the memory-location array.
+	ArrayAppends uint64
+	// ArraySpills counts stores that overflowed the array into the tree.
+	ArraySpills uint64
+	// Redistributions counts array entries moved to the tree at fences.
+	Redistributions uint64
+}
+
+// AvgTreeNodes returns the average tree size per fence interval (Fig. 11).
+func (c Counters) AvgTreeNodes() float64 {
+	if c.Fences == 0 {
+		return 0
+	}
+	return float64(c.TreeNodeSamples) / float64(c.Fences)
+}
+
+// Report is a detector's final output: the deduplicated bug list plus
+// counters.
+type Report struct {
+	Detector string
+	Bugs     []Bug
+	Counters Counters
+
+	seen map[bugKey]bool
+}
+
+type bugKey struct {
+	typ  BugType
+	addr uint64
+	size uint64
+	site trace.SiteID
+}
+
+// New returns an empty report for the named detector.
+func New(detector string) *Report {
+	return &Report{Detector: detector, seen: map[bugKey]bool{}}
+}
+
+// Add records a bug, deduplicating by (type, addr, size, site): a buggy
+// store site executed a million times is one bug, as in the paper's counting
+// of application bugs.
+func (r *Report) Add(b Bug) {
+	k := bugKey{typ: b.Type, addr: b.Addr, size: b.Size, site: b.Site}
+	if b.Site != 0 {
+		// When a site is known, dedup by site alone within the type: the
+		// same buggy line touches many addresses across iterations.
+		k.addr, k.size = 0, 0
+	}
+	if r.seen[k] {
+		return
+	}
+	r.seen[k] = true
+	r.Bugs = append(r.Bugs, b)
+}
+
+// CountByType returns how many distinct bugs of each type were found.
+func (r *Report) CountByType() map[BugType]int {
+	out := map[BugType]int{}
+	for _, b := range r.Bugs {
+		out[b.Type]++
+	}
+	return out
+}
+
+// Has reports whether at least one bug of the given type was found.
+func (r *Report) Has(t BugType) bool {
+	for _, b := range r.Bugs {
+		if b.Type == t {
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of distinct bugs.
+func (r *Report) Len() int { return len(r.Bugs) }
+
+// Summary renders the report in the style of the tool's end-of-run output.
+func (r *Report) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "=== %s report ===\n", r.Detector)
+	fmt.Fprintf(&sb, "instructions: %d stores, %d writebacks, %d fences\n",
+		r.Counters.Stores, r.Counters.Flushes, r.Counters.Fences)
+	if len(r.Bugs) == 0 {
+		sb.WriteString("no bugs detected\n")
+		return sb.String()
+	}
+	byType := r.CountByType()
+	types := make([]BugType, 0, len(byType))
+	for t := range byType {
+		types = append(types, t)
+	}
+	sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+	fmt.Fprintf(&sb, "%d bug(s) detected:\n", len(r.Bugs))
+	for _, t := range types {
+		fmt.Fprintf(&sb, "  %-28s %d\n", t.String()+":", byType[t])
+	}
+	for _, b := range r.Bugs {
+		fmt.Fprintf(&sb, "  %s\n", b)
+	}
+	return sb.String()
+}

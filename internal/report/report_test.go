@@ -1,0 +1,102 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"pmdebugger/internal/trace"
+)
+
+func TestBugTypeStrings(t *testing.T) {
+	if len(AllBugTypes()) != NumBugTypes || NumBugTypes != 10 {
+		t.Fatalf("bug type count = %d", NumBugTypes)
+	}
+	seen := map[string]bool{}
+	for _, bt := range AllBugTypes() {
+		s := bt.String()
+		if s == "" || strings.HasPrefix(s, "bugtype(") {
+			t.Errorf("type %d has no name", bt)
+		}
+		if seen[s] {
+			t.Errorf("duplicate name %q", s)
+		}
+		seen[s] = true
+	}
+	if BugType(99).String() != "bugtype(99)" {
+		t.Errorf("unknown type name wrong")
+	}
+}
+
+func TestPerformanceClassification(t *testing.T) {
+	perf := map[BugType]bool{
+		RedundantFlush: true, RedundantLogging: true, RedundantEpochFence: true,
+	}
+	for _, bt := range AllBugTypes() {
+		if bt.Performance() != perf[bt] {
+			t.Errorf("%s Performance() = %v", bt, bt.Performance())
+		}
+	}
+}
+
+func TestAddDedup(t *testing.T) {
+	r := New("test")
+	site := trace.RegisterSite("dedup-site")
+	// Same site, different addresses: one bug.
+	r.Add(Bug{Type: NoDurability, Addr: 1, Size: 8, Site: site})
+	r.Add(Bug{Type: NoDurability, Addr: 2, Size: 8, Site: site})
+	if r.Len() != 1 {
+		t.Fatalf("site dedup failed: %d", r.Len())
+	}
+	// Same site, different type: separate bug.
+	r.Add(Bug{Type: RedundantFlush, Addr: 1, Size: 8, Site: site})
+	if r.Len() != 2 {
+		t.Fatalf("type separation failed: %d", r.Len())
+	}
+	// No site: dedup by address.
+	r.Add(Bug{Type: NoDurability, Addr: 5, Size: 8})
+	r.Add(Bug{Type: NoDurability, Addr: 5, Size: 8})
+	r.Add(Bug{Type: NoDurability, Addr: 6, Size: 8})
+	if r.Len() != 4 {
+		t.Fatalf("addr dedup failed: %d", r.Len())
+	}
+	if !r.Has(RedundantFlush) || r.Has(FlushNothing) {
+		t.Fatalf("Has() wrong")
+	}
+	byType := r.CountByType()
+	if byType[NoDurability] != 3 || byType[RedundantFlush] != 1 {
+		t.Fatalf("CountByType = %v", byType)
+	}
+}
+
+func TestSummaryAndCounters(t *testing.T) {
+	r := New("demo")
+	r.Counters.Stores = 10
+	r.Counters.Fences = 5
+	r.Counters.TreeNodeSamples = 50
+	if r.Counters.AvgTreeNodes() != 10 {
+		t.Fatalf("AvgTreeNodes = %v", r.Counters.AvgTreeNodes())
+	}
+	if got := (Counters{}).AvgTreeNodes(); got != 0 {
+		t.Fatalf("zero-fence avg = %v", got)
+	}
+	s := r.Summary()
+	if !strings.Contains(s, "demo") || !strings.Contains(s, "no bugs detected") {
+		t.Fatalf("empty summary = %q", s)
+	}
+	r.Add(Bug{Type: NoDurability, Addr: 0x10, Size: 8, Message: "missing CLF"})
+	s = r.Summary()
+	if !strings.Contains(s, "no durability guarantee") || !strings.Contains(s, "missing CLF") {
+		t.Fatalf("summary = %q", s)
+	}
+}
+
+func TestBugString(t *testing.T) {
+	b := Bug{Type: RedundantFlush, Addr: 0x40, Size: 8, Strand: 2,
+		Site: trace.RegisterSite("bug-site"), Message: "again"}
+	s := b.String()
+	for _, want := range []string{"redundant flushes", "0x40", "bug-site", "strand=2", "again"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Bug.String() = %q missing %q", s, want)
+		}
+	}
+}

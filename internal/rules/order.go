@@ -1,0 +1,75 @@
+package rules
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// OrderSpec is one programmer-supplied persist-order requirement: the
+// variable named Before must become durable strictly before the variable
+// named After. Names refer to ranges registered with pmem.RegisterNamed
+// (the paper maps variables to addresses via symbol tables or intercepted
+// allocations, §4.5).
+//
+// Scope optionally restricts the requirement to a region of the program:
+// when non-empty, the requirement is only checked between markers
+// "scope:<name>:begin" and "scope:<name>:end" registered by the program.
+// This models the paper's "at which application function" qualifier.
+type OrderSpec struct {
+	Before string
+	After  string
+	Scope  string
+}
+
+// String renders the spec in configuration-file syntax.
+func (o OrderSpec) String() string {
+	if o.Scope != "" {
+		return fmt.Sprintf("order %s before %s in %s", o.Before, o.After, o.Scope)
+	}
+	return fmt.Sprintf("order %s before %s", o.Before, o.After)
+}
+
+// ParseOrderConfig reads the debugger configuration file of §4.5: one
+// requirement per line,
+//
+//	order <X> before <Y> [in <function>]
+//
+// with '#' comments and blank lines ignored.
+func ParseOrderConfig(r io.Reader) ([]OrderSpec, error) {
+	var specs []OrderSpec
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch {
+		case len(fields) == 4 && fields[0] == "order" && fields[2] == "before":
+			specs = append(specs, OrderSpec{Before: fields[1], After: fields[3]})
+		case len(fields) == 6 && fields[0] == "order" && fields[2] == "before" && fields[4] == "in":
+			specs = append(specs, OrderSpec{Before: fields[1], After: fields[3], Scope: fields[5]})
+		default:
+			return nil, fmt.Errorf("order config line %d: cannot parse %q", lineNo, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("order config: %w", err)
+	}
+	return specs, nil
+}
+
+// FormatOrderConfig renders specs back into configuration-file syntax.
+func FormatOrderConfig(specs []OrderSpec) string {
+	var sb strings.Builder
+	sb.WriteString("# persist-order requirements (X must be durable before Y)\n")
+	for _, s := range specs {
+		sb.WriteString(s.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

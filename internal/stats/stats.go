@@ -1,0 +1,201 @@
+// Package stats implements the PM-program characterization study of §3
+// (Fig. 2): the distribution of store-to-guaranteeing-fence distances, the
+// classification of CLF intervals into collective vs. dispersed writebacks,
+// and the instruction mix of the three fundamental operations. It plays the
+// role of the Valgrind characterization tool the paper built to motivate
+// PMDebugger's design.
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"pmdebugger/internal/intervals"
+	"pmdebugger/internal/trace"
+)
+
+// MaxDistance is the largest individually bucketed distance; greater
+// distances land in the ">MaxDistance" bucket, as in Fig. 2a.
+const MaxDistance = 5
+
+// Characterizer consumes an instruction stream and accumulates the §3
+// metrics. It implements trace.Handler.
+type Characterizer struct {
+	// open stores not yet guaranteed durable.
+	open []openStore
+	// current CLF interval state.
+	curStores []intervals.Range
+	fences    uint64
+
+	result Result
+}
+
+type openStore struct {
+	rng     intervals.Range
+	atFence uint64
+	flushed bool
+}
+
+// Result holds the accumulated characterization.
+type Result struct {
+	// Stores, Flushes, Fences are the instruction counts (Fig. 2c).
+	Stores, Flushes, Fences uint64
+	// DistanceBuckets[d-1] counts stores with distance d (1..MaxDistance);
+	// DistanceOver counts distances > MaxDistance. Stores never guaranteed
+	// durable are counted in NeverGuaranteed.
+	DistanceBuckets [MaxDistance]uint64
+	DistanceOver    uint64
+	NeverGuaranteed uint64
+	// Collective and Dispersed count CLF intervals by writeback class
+	// (Fig. 2b); empty intervals are not counted.
+	Collective, Dispersed uint64
+}
+
+// New returns an empty characterizer.
+func New() *Characterizer { return &Characterizer{} }
+
+// HandleEvent consumes one instruction.
+func (c *Characterizer) HandleEvent(ev trace.Event) {
+	switch ev.Kind {
+	case trace.KindStore:
+		c.result.Stores++
+		r := intervals.R(ev.Addr, ev.Size)
+		c.open = append(c.open, openStore{rng: r, atFence: c.fences})
+		c.curStores = append(c.curStores, r)
+
+	case trace.KindFlush:
+		c.result.Flushes++
+		fr := intervals.R(ev.Addr, ev.Size)
+		for i := range c.open {
+			if !c.open[i].flushed && c.open[i].rng.Overlaps(fr) {
+				c.open[i].flushed = true
+			}
+		}
+		// Close the current CLF interval: collective when this single
+		// writeback covers every location updated in the interval.
+		if len(c.curStores) > 0 {
+			covered := true
+			for _, r := range c.curStores {
+				if !fr.Contains(r) {
+					covered = false
+					break
+				}
+			}
+			if covered {
+				c.result.Collective++
+			} else {
+				c.result.Dispersed++
+			}
+			c.curStores = c.curStores[:0]
+		}
+
+	case trace.KindFence:
+		c.result.Fences++
+		c.fences++
+		kept := c.open[:0]
+		for _, s := range c.open {
+			if s.flushed {
+				d := c.fences - s.atFence
+				if d >= 1 && d <= MaxDistance {
+					c.result.DistanceBuckets[d-1]++
+				} else {
+					c.result.DistanceOver++
+				}
+				continue
+			}
+			kept = append(kept, s)
+		}
+		c.open = kept
+
+	case trace.KindEnd:
+		c.result.NeverGuaranteed += uint64(len(c.open))
+		c.open = c.open[:0]
+	}
+}
+
+// Result returns the accumulated metrics.
+func (c *Characterizer) Result() Result {
+	r := c.result
+	r.NeverGuaranteed += uint64(len(c.open))
+	return r
+}
+
+// guaranteed returns the number of stores whose durability was guaranteed.
+func (r Result) guaranteed() uint64 {
+	total := r.DistanceOver
+	for _, n := range r.DistanceBuckets {
+		total += n
+	}
+	return total
+}
+
+// DistancePercent returns the percentage of guaranteed stores with the
+// given distance (1..MaxDistance) or, for d > MaxDistance, the overflow
+// bucket.
+func (r Result) DistancePercent(d int) float64 {
+	g := r.guaranteed()
+	if g == 0 {
+		return 0
+	}
+	var n uint64
+	if d >= 1 && d <= MaxDistance {
+		n = r.DistanceBuckets[d-1]
+	} else {
+		n = r.DistanceOver
+	}
+	return 100 * float64(n) / float64(g)
+}
+
+// DistanceLE returns the percentage of guaranteed stores with distance <= d.
+func (r Result) DistanceLE(d int) float64 {
+	g := r.guaranteed()
+	if g == 0 {
+		return 0
+	}
+	var n uint64
+	for i := 0; i < d && i < MaxDistance; i++ {
+		n += r.DistanceBuckets[i]
+	}
+	return 100 * float64(n) / float64(g)
+}
+
+// CollectivePercent returns the Fig. 2b collective-writeback share.
+func (r Result) CollectivePercent() float64 {
+	total := r.Collective + r.Dispersed
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(r.Collective) / float64(total)
+}
+
+// MixPercent returns the Fig. 2c shares of stores, writebacks and fences.
+func (r Result) MixPercent() (store, flush, fence float64) {
+	total := r.Stores + r.Flushes + r.Fences
+	if total == 0 {
+		return 0, 0, 0
+	}
+	return 100 * float64(r.Stores) / float64(total),
+		100 * float64(r.Flushes) / float64(total),
+		100 * float64(r.Fences) / float64(total)
+}
+
+// Row formats the benchmark's characterization as one table row.
+func (r Result) Row(name string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-14s", name)
+	for d := 1; d <= MaxDistance; d++ {
+		fmt.Fprintf(&sb, " %6.1f", r.DistancePercent(d))
+	}
+	fmt.Fprintf(&sb, " %6.1f", r.DistancePercent(MaxDistance+1))
+	fmt.Fprintf(&sb, " | %9.1f", r.CollectivePercent())
+	s, f, fe := r.MixPercent()
+	fmt.Fprintf(&sb, " | %6.1f %6.1f %6.1f", s, f, fe)
+	return sb.String()
+}
+
+// Header returns the column header matching Row.
+func Header() string {
+	return fmt.Sprintf("%-14s %6s %6s %6s %6s %6s %6s | %9s | %6s %6s %6s",
+		"benchmark", "d=1", "d=2", "d=3", "d=4", "d=5", "d>5",
+		"collect.%", "store%", "clf%", "fence%")
+}

@@ -1,0 +1,152 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"pmdebugger/internal/pmem"
+	"pmdebugger/internal/trace"
+)
+
+func ev(kind trace.Kind, addr, size uint64) trace.Event {
+	return trace.Event{Kind: kind, Addr: addr, Size: size}
+}
+
+func TestDistanceOne(t *testing.T) {
+	c := New()
+	c.HandleEvent(ev(trace.KindStore, 0x100, 8))
+	c.HandleEvent(ev(trace.KindFlush, 0x100, 64))
+	c.HandleEvent(ev(trace.KindFence, 0, 0))
+	c.HandleEvent(ev(trace.KindEnd, 0, 0))
+	r := c.Result()
+	if r.DistanceBuckets[0] != 1 {
+		t.Fatalf("distance buckets = %v", r.DistanceBuckets)
+	}
+	if r.DistancePercent(1) != 100 {
+		t.Fatalf("d=1 percent = %v", r.DistancePercent(1))
+	}
+}
+
+func TestDistanceTwoFigure3(t *testing.T) {
+	// Fig. 3: store to B[1]; fence; write back B later; fence → distance 2.
+	c := New()
+	c.HandleEvent(ev(trace.KindStore, 0x100, 8)) // B[1]
+	c.HandleEvent(ev(trace.KindFence, 0, 0))     // nearest fence: no CLF yet
+	c.HandleEvent(ev(trace.KindFlush, 0x100, 64))
+	c.HandleEvent(ev(trace.KindFence, 0, 0))
+	r := c.Result()
+	if r.DistanceBuckets[1] != 1 {
+		t.Fatalf("distance buckets = %v", r.DistanceBuckets)
+	}
+}
+
+func TestDistanceOverflowAndNeverGuaranteed(t *testing.T) {
+	c := New()
+	c.HandleEvent(ev(trace.KindStore, 0x100, 8))
+	for i := 0; i < 7; i++ {
+		c.HandleEvent(ev(trace.KindFence, 0, 0))
+	}
+	c.HandleEvent(ev(trace.KindFlush, 0x100, 64))
+	c.HandleEvent(ev(trace.KindFence, 0, 0)) // distance 8 > 5
+	c.HandleEvent(ev(trace.KindStore, 0x200, 8))
+	c.HandleEvent(ev(trace.KindEnd, 0, 0)) // never guaranteed
+	r := c.Result()
+	if r.DistanceOver != 1 || r.NeverGuaranteed != 1 {
+		t.Fatalf("over=%d never=%d", r.DistanceOver, r.NeverGuaranteed)
+	}
+}
+
+func TestCollectiveVsDispersed(t *testing.T) {
+	c := New()
+	// Collective: two stores in one line, one covering flush.
+	c.HandleEvent(ev(trace.KindStore, 0x100, 8))
+	c.HandleEvent(ev(trace.KindStore, 0x108, 8))
+	c.HandleEvent(ev(trace.KindFlush, 0x100, 64))
+	// Dispersed: stores to two lines, flush covers only one.
+	c.HandleEvent(ev(trace.KindStore, 0x200, 8))
+	c.HandleEvent(ev(trace.KindStore, 0x400, 8))
+	c.HandleEvent(ev(trace.KindFlush, 0x200, 64))
+	c.HandleEvent(ev(trace.KindFlush, 0x400, 64)) // closes an empty interval: not counted
+	c.HandleEvent(ev(trace.KindFence, 0, 0))
+	r := c.Result()
+	if r.Collective != 1 || r.Dispersed != 1 {
+		t.Fatalf("collective=%d dispersed=%d", r.Collective, r.Dispersed)
+	}
+	if got := r.CollectivePercent(); got != 50 {
+		t.Fatalf("collective%% = %v", got)
+	}
+}
+
+func TestMixPercent(t *testing.T) {
+	c := New()
+	for i := 0; i < 7; i++ {
+		c.HandleEvent(ev(trace.KindStore, uint64(0x100+i*8), 8))
+	}
+	c.HandleEvent(ev(trace.KindFlush, 0x100, 64))
+	c.HandleEvent(ev(trace.KindFlush, 0x100, 64))
+	c.HandleEvent(ev(trace.KindFence, 0, 0))
+	s, f, fe := c.Result().MixPercent()
+	if s != 70 || f != 20 || fe != 10 {
+		t.Fatalf("mix = %v %v %v", s, f, fe)
+	}
+}
+
+func TestDistanceLE(t *testing.T) {
+	c := New()
+	for i := 0; i < 4; i++ {
+		c.HandleEvent(ev(trace.KindStore, uint64(0x100+64*i), 8))
+		c.HandleEvent(ev(trace.KindFlush, uint64(0x100+64*i), 64))
+		c.HandleEvent(ev(trace.KindFence, 0, 0))
+	}
+	// one distance-2 store
+	c.HandleEvent(ev(trace.KindStore, 0x800, 8))
+	c.HandleEvent(ev(trace.KindFence, 0, 0))
+	c.HandleEvent(ev(trace.KindFlush, 0x800, 64))
+	c.HandleEvent(ev(trace.KindFence, 0, 0))
+	r := c.Result()
+	if got := r.DistanceLE(1); got != 80 {
+		t.Fatalf("LE(1) = %v", got)
+	}
+	if got := r.DistanceLE(3); got != 100 {
+		t.Fatalf("LE(3) = %v", got)
+	}
+}
+
+func TestRowAndHeaderRender(t *testing.T) {
+	c := New()
+	c.HandleEvent(ev(trace.KindStore, 0x100, 8))
+	c.HandleEvent(ev(trace.KindFlush, 0x100, 64))
+	c.HandleEvent(ev(trace.KindFence, 0, 0))
+	row := c.Result().Row("b_tree")
+	if !strings.Contains(row, "b_tree") {
+		t.Fatalf("row = %q", row)
+	}
+	if len(Header()) == 0 {
+		t.Fatal("empty header")
+	}
+}
+
+func TestAgainstRealWorkload(t *testing.T) {
+	// A persist-per-store loop is pure pattern 1 / collective.
+	pm := pmem.New(1 << 16)
+	c := New()
+	pm.Attach(c)
+	ctx := pm.Ctx()
+	base := pm.Base()
+	for i := 0; i < 100; i++ {
+		a := base + uint64(i)*64
+		ctx.Store64(a, uint64(i))
+		ctx.Persist(a, 8)
+	}
+	pm.End()
+	r := c.Result()
+	if r.DistancePercent(1) != 100 {
+		t.Fatalf("d=1 = %v", r.DistancePercent(1))
+	}
+	if r.CollectivePercent() != 100 {
+		t.Fatalf("collective = %v", r.CollectivePercent())
+	}
+	if r.NeverGuaranteed != 0 {
+		t.Fatalf("never = %d", r.NeverGuaranteed)
+	}
+}

@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Trace file format: a 8-byte magic header followed by fixed-width
+// little-endian records. Site names are not serialized; site IDs are
+// preserved verbatim, so decoded traces report numeric sites unless the same
+// process registered the names. This matches the role traces play here:
+// shuttling an instruction stream between the cmd/ tools in one session.
+
+var traceMagic = [8]byte{'P', 'M', 'T', 'R', 'A', 'C', 'E', '1'}
+
+const recordSize = 8 + 8 + 8 + 1 + 1 + 4 + 4 + 4 // Seq Addr Size Kind Flush Strand Thread Site
+
+func putEvent(buf []byte, ev Event) {
+	binary.LittleEndian.PutUint64(buf[0:], ev.Seq)
+	binary.LittleEndian.PutUint64(buf[8:], ev.Addr)
+	binary.LittleEndian.PutUint64(buf[16:], ev.Size)
+	buf[24] = byte(ev.Kind)
+	buf[25] = byte(ev.Flush)
+	binary.LittleEndian.PutUint32(buf[26:], uint32(ev.Strand))
+	binary.LittleEndian.PutUint32(buf[30:], uint32(ev.Thread))
+	binary.LittleEndian.PutUint32(buf[34:], uint32(ev.Site))
+}
+
+func getEvent(buf []byte) Event {
+	return Event{
+		Seq:    binary.LittleEndian.Uint64(buf[0:]),
+		Addr:   binary.LittleEndian.Uint64(buf[8:]),
+		Size:   binary.LittleEndian.Uint64(buf[16:]),
+		Kind:   Kind(buf[24]),
+		Flush:  FlushKind(buf[25]),
+		Strand: int32(binary.LittleEndian.Uint32(buf[26:])),
+		Thread: int32(binary.LittleEndian.Uint32(buf[30:])),
+		Site:   SiteID(binary.LittleEndian.Uint32(buf[34:])),
+	}
+}
+
+// WriteTrace serializes events to w in the trace file format.
+func WriteTrace(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(traceMagic[:]); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	var rec [recordSize]byte
+	for _, ev := range events {
+		putEvent(rec[:], ev)
+		if _, err := bw.Write(rec[:]); err != nil {
+			return fmt.Errorf("trace: write record: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace deserializes a trace previously written by WriteTrace.
+func ReadTrace(r io.Reader) ([]Event, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: read header: %w", err)
+	}
+	if magic != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic[:])
+	}
+	var events []Event
+	var rec [recordSize]byte
+	for {
+		_, err := io.ReadFull(br, rec[:])
+		if err == io.EOF {
+			return events, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: read record: %w", err)
+		}
+		events = append(events, getEvent(rec[:]))
+	}
+}

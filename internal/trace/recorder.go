@@ -1,0 +1,60 @@
+package trace
+
+// Recorder captures an event stream so it can be replayed to several
+// detectors. Replaying one recorded trace to every detector is how the
+// benchmark harness guarantees each tool sees the identical instruction
+// stream (the paper achieves the same by running the identical binary under
+// each Valgrind tool).
+type Recorder struct {
+	Events []Event
+}
+
+// NewRecorder returns a Recorder with capacity for n events.
+func NewRecorder(n int) *Recorder {
+	return &Recorder{Events: make([]Event, 0, n)}
+}
+
+// HandleEvent appends ev to the recording.
+func (r *Recorder) HandleEvent(ev Event) {
+	r.Events = append(r.Events, ev)
+}
+
+// Replay delivers the recorded events, in order, to h.
+func (r *Recorder) Replay(h Handler) {
+	for _, ev := range r.Events {
+		h.HandleEvent(ev)
+	}
+}
+
+// Reset discards all recorded events but keeps the backing storage.
+func (r *Recorder) Reset() { r.Events = r.Events[:0] }
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int { return len(r.Events) }
+
+// Count returns how many recorded events have the given kind.
+func (r *Recorder) Count(k Kind) int {
+	n := 0
+	for _, ev := range r.Events {
+		if ev.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// Counts returns per-kind totals for the three fundamental operations the
+// paper characterizes: stores, cache writebacks and fences.
+func (r *Recorder) Counts() (stores, flushes, fences int) {
+	for _, ev := range r.Events {
+		switch ev.Kind {
+		case KindStore:
+			stores++
+		case KindFlush:
+			flushes++
+		case KindFence:
+			fences++
+		}
+	}
+	return
+}

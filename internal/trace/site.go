@@ -1,0 +1,60 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+)
+
+// SiteID identifies a source site (a store/flush location in the PM program)
+// for bug reports. Sites are interned in a global registry so Events stay
+// small and cheap to copy; the zero SiteID means "unknown site".
+type SiteID uint32
+
+// siteRegistry interns site names. The registry is global because site names
+// come from package-level instrumentation in workloads; collisions are
+// harmless (identical names share an ID).
+type siteRegistry struct {
+	mu    sync.RWMutex
+	names []string
+	ids   map[string]SiteID
+}
+
+var sites = &siteRegistry{
+	names: []string{"?"}, // SiteID 0 is the unknown site
+	ids:   map[string]SiteID{"?": 0},
+}
+
+// RegisterSite interns name and returns its SiteID. Registering the same
+// name twice returns the same ID.
+func RegisterSite(name string) SiteID {
+	sites.mu.RLock()
+	id, ok := sites.ids[name]
+	sites.mu.RUnlock()
+	if ok {
+		return id
+	}
+	sites.mu.Lock()
+	defer sites.mu.Unlock()
+	if id, ok := sites.ids[name]; ok {
+		return id
+	}
+	id = SiteID(len(sites.names))
+	sites.names = append(sites.names, name)
+	sites.ids[name] = id
+	return id
+}
+
+// SiteName returns the interned name for id, or "site(N)" if id was never
+// registered (which indicates a bug in the emitter, not in the program under
+// test).
+func SiteName(id SiteID) string {
+	sites.mu.RLock()
+	defer sites.mu.RUnlock()
+	if int(id) < len(sites.names) {
+		return sites.names[id]
+	}
+	return fmt.Sprintf("site(%d)", uint32(id))
+}
+
+// String implements fmt.Stringer.
+func (id SiteID) String() string { return SiteName(id) }

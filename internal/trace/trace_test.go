@@ -1,0 +1,253 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindStore:       "store",
+		KindFlush:       "clf",
+		KindFence:       "fence",
+		KindEpochBegin:  "epoch-begin",
+		KindEpochEnd:    "epoch-end",
+		KindStrandBegin: "strand-begin",
+		KindStrandEnd:   "strand-end",
+		KindJoinStrand:  "join-strand",
+		KindRegister:    "register",
+		KindUnregister:  "unregister",
+		KindTxLogAdd:    "tx-log-add",
+		KindEnd:         "end",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+	if got := Kind(200).String(); got != "kind(200)" {
+		t.Errorf("unknown kind = %q", got)
+	}
+}
+
+func TestFlushKindString(t *testing.T) {
+	cases := map[FlushKind]string{CLWB: "clwb", CLFLUSH: "clflush", CLFLUSHOPT: "clflushopt"}
+	for f, want := range cases {
+		if got := f.String(); got != want {
+			t.Errorf("FlushKind(%d).String() = %q, want %q", f, got, want)
+		}
+	}
+	if got := FlushKind(9).String(); got != "flush(9)" {
+		t.Errorf("unknown flush kind = %q", got)
+	}
+}
+
+func TestEventEndAndOverlaps(t *testing.T) {
+	ev := Event{Addr: 100, Size: 8}
+	if ev.End() != 108 {
+		t.Fatalf("End() = %d, want 108", ev.End())
+	}
+	tests := []struct {
+		addr, size uint64
+		want       bool
+	}{
+		{100, 8, true},
+		{107, 1, true},
+		{108, 8, false},
+		{92, 8, false},
+		{92, 9, true},
+		{0, 1000, true},
+	}
+	for _, tc := range tests {
+		if got := ev.Overlaps(tc.addr, tc.size); got != tc.want {
+			t.Errorf("Overlaps(%d,%d) = %v, want %v", tc.addr, tc.size, got, tc.want)
+		}
+	}
+}
+
+func TestEventString(t *testing.T) {
+	s := RegisterSite("test.go:1")
+	store := Event{Seq: 3, Kind: KindStore, Addr: 0x40, Size: 8, Site: s}
+	if !strings.Contains(store.String(), "store") || !strings.Contains(store.String(), "test.go:1") {
+		t.Errorf("store string = %q", store)
+	}
+	flush := Event{Seq: 4, Kind: KindFlush, Flush: CLWB, Addr: 0x40, Size: 64}
+	if !strings.Contains(flush.String(), "clwb") {
+		t.Errorf("flush string = %q", flush)
+	}
+	fence := Event{Seq: 5, Kind: KindFence}
+	if !strings.Contains(fence.String(), "fence") {
+		t.Errorf("fence string = %q", fence)
+	}
+}
+
+func TestRegisterSiteInterning(t *testing.T) {
+	a := RegisterSite("siteA")
+	b := RegisterSite("siteB")
+	a2 := RegisterSite("siteA")
+	if a != a2 {
+		t.Errorf("same name interned to different ids: %d vs %d", a, a2)
+	}
+	if a == b {
+		t.Errorf("different names interned to same id %d", a)
+	}
+	if SiteName(a) != "siteA" || SiteName(b) != "siteB" {
+		t.Errorf("SiteName round trip failed: %q %q", SiteName(a), SiteName(b))
+	}
+	if SiteName(0) != "?" {
+		t.Errorf("zero site = %q, want ?", SiteName(0))
+	}
+	if got := SiteName(1 << 30); !strings.HasPrefix(got, "site(") {
+		t.Errorf("unknown site = %q", got)
+	}
+}
+
+func TestRegisterSiteConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	ids := make([]SiteID, 64)
+	for i := range ids {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ids[i] = RegisterSite(fmt.Sprintf("conc-%d", i%8))
+		}(i)
+	}
+	wg.Wait()
+	for i := range ids {
+		for j := range ids {
+			same := i%8 == j%8
+			if (ids[i] == ids[j]) != same {
+				t.Fatalf("interning mismatch: ids[%d]=%d ids[%d]=%d", i, ids[i], j, ids[j])
+			}
+		}
+	}
+}
+
+func TestHandlerFuncAndMultiHandler(t *testing.T) {
+	var got []uint64
+	h1 := HandlerFunc(func(ev Event) { got = append(got, ev.Seq) })
+	h2 := HandlerFunc(func(ev Event) { got = append(got, ev.Seq*10) })
+	m := MultiHandler{h1, h2}
+	m.HandleEvent(Event{Seq: 7})
+	if !reflect.DeepEqual(got, []uint64{7, 70}) {
+		t.Errorf("fan-out order = %v", got)
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	r := NewRecorder(4)
+	evs := []Event{
+		{Seq: 1, Kind: KindStore, Addr: 8, Size: 8},
+		{Seq: 2, Kind: KindFlush, Addr: 0, Size: 64},
+		{Seq: 3, Kind: KindFence},
+		{Seq: 4, Kind: KindStore, Addr: 16, Size: 4},
+	}
+	for _, ev := range evs {
+		r.HandleEvent(ev)
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	stores, flushes, fences := r.Counts()
+	if stores != 2 || flushes != 1 || fences != 1 {
+		t.Errorf("Counts = %d,%d,%d", stores, flushes, fences)
+	}
+	if r.Count(KindStore) != 2 || r.Count(KindEnd) != 0 {
+		t.Errorf("Count mismatch")
+	}
+	var replayed []Event
+	r.Replay(HandlerFunc(func(ev Event) { replayed = append(replayed, ev) }))
+	if !reflect.DeepEqual(replayed, evs) {
+		t.Errorf("replay mismatch: %v vs %v", replayed, evs)
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Errorf("Reset did not clear")
+	}
+}
+
+func TestTraceEncodingRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	evs := make([]Event, 500)
+	for i := range evs {
+		evs[i] = Event{
+			Seq:    uint64(i),
+			Addr:   rng.Uint64() >> 16,
+			Size:   uint64(rng.Intn(256)),
+			Kind:   Kind(rng.Intn(int(KindEnd) + 1)),
+			Flush:  FlushKind(rng.Intn(3)),
+			Strand: int32(rng.Intn(8)),
+			Thread: int32(rng.Intn(8)),
+			Site:   SiteID(rng.Intn(100)),
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, evs); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if !reflect.DeepEqual(got, evs) {
+		t.Fatalf("round trip mismatch (%d vs %d events)", len(got), len(evs))
+	}
+}
+
+func TestTraceEncodingEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, nil); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("expected empty trace, got %d", len(got))
+	}
+}
+
+func TestTraceEncodingBadMagic(t *testing.T) {
+	if _, err := ReadTrace(bytes.NewReader([]byte("NOTATRACE"))); err == nil {
+		t.Fatal("expected error for bad magic")
+	}
+	if _, err := ReadTrace(bytes.NewReader(nil)); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+}
+
+// Property: encoding then decoding any single event is the identity.
+func TestQuickEventEncodeDecode(t *testing.T) {
+	f := func(seq, addr, size uint64, kind, flush uint8, strand, thread int32, site uint32) bool {
+		ev := Event{
+			Seq: seq, Addr: addr, Size: size,
+			Kind: Kind(kind % 12), Flush: FlushKind(flush % 3),
+			Strand: strand, Thread: thread, Site: SiteID(site),
+		}
+		var rec [recordSize]byte
+		putEvent(rec[:], ev)
+		return getEvent(rec[:]) == ev
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Overlaps is symmetric in the two ranges.
+func TestQuickOverlapsSymmetric(t *testing.T) {
+	f := func(a1, s1, a2, s2 uint32) bool {
+		e1 := Event{Addr: uint64(a1), Size: uint64(s1%1024) + 1}
+		e2 := Event{Addr: uint64(a2), Size: uint64(s2%1024) + 1}
+		return e1.Overlaps(e2.Addr, e2.Size) == e2.Overlaps(e1.Addr, e1.Size)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,136 @@
+package workloads
+
+import (
+	"errors"
+	"fmt"
+
+	"pmdebugger/internal/pmdk"
+	"pmdebugger/internal/pmem"
+	"pmdebugger/internal/rules"
+)
+
+// Echo is a persistent message service in the style of WHISPER's echo
+// benchmark (the suite the paper's characterization also draws from §3):
+// clients append messages to per-client persistent logs inside
+// transactions, and the service replays a client's history on request.
+//
+// Root layout: +0 nclients, +8.. per-client {log addr, count} pairs.
+// Message slot: +0 length u64, +8 payload (fixed slot size).
+type Echo struct {
+	p        *pmdk.Pool
+	root     uint64
+	nclients uint64
+	slotSize uint64
+	capacity uint64 // messages per client
+}
+
+// NewEcho builds an echo service with per-client logs.
+func NewEcho(p *pmdk.Pool, clients int, capacity uint64, maxMsg uint64) (*Echo, error) {
+	if clients <= 0 || capacity == 0 || maxMsg == 0 {
+		return nil, errors.New("echo: invalid configuration")
+	}
+	rootObj, size := p.Root()
+	need := uint64(8 + clients*16)
+	if size < need {
+		return nil, fmt.Errorf("echo: root object too small (%d < %d)", size, need)
+	}
+	e := &Echo{
+		p: p, root: rootObj,
+		nclients: uint64(clients),
+		slotSize: 8 + ((maxMsg + 7) &^ 7),
+		capacity: capacity,
+	}
+	tx := p.Begin()
+	tx.Add(e.root, need)
+	tx.Store64(e.root, e.nclients)
+	for i := 0; i < clients; i++ {
+		log := p.Alloc(e.slotSize * capacity)
+		tx.Store64(e.root+8+uint64(i)*16, log)
+		tx.Store64(e.root+8+uint64(i)*16+8, 0)
+	}
+	tx.Commit()
+	return e, nil
+}
+
+// Model returns the epoch model.
+func (e *Echo) Model() rules.Model { return rules.Epoch }
+
+func (e *Echo) ld(addr uint64) uint64 { return e.p.Ctx().Load64(addr) }
+
+func (e *Echo) clientSlot(client int) (logAddr, countAddr uint64, err error) {
+	if client < 0 || uint64(client) >= e.nclients {
+		return 0, 0, fmt.Errorf("echo: no client %d", client)
+	}
+	base := e.root + 8 + uint64(client)*16
+	return e.ld(base), base + 8, nil
+}
+
+// Send appends a message to the client's log transactionally.
+func (e *Echo) Send(client int, msg []byte) error {
+	if uint64(len(msg)) > e.slotSize-8 {
+		return fmt.Errorf("echo: message of %d bytes exceeds slot", len(msg))
+	}
+	log, countAddr, err := e.clientSlot(client)
+	if err != nil {
+		return err
+	}
+	count := e.ld(countAddr)
+	if count >= e.capacity {
+		return errors.New("echo: client log full")
+	}
+	slot := log + count*e.slotSize
+	tx := e.p.Begin()
+	// The slot is fresh space: plain transactional stores, no undo needed.
+	tx.Store64(slot, uint64(len(msg)))
+	if len(msg) > 0 {
+		tx.StoreBytes(slot+8, msg)
+	}
+	tx.Set(countAddr, count+1) // the publication point is undo-logged
+	tx.Commit()
+	return nil
+}
+
+// History returns the client's messages in order.
+func (e *Echo) History(client int) ([][]byte, error) {
+	log, countAddr, err := e.clientSlot(client)
+	if err != nil {
+		return nil, err
+	}
+	count := e.ld(countAddr)
+	out := make([][]byte, 0, count)
+	c := e.p.Ctx()
+	for i := uint64(0); i < count; i++ {
+		slot := log + i*e.slotSize
+		n := c.Load64(slot)
+		out = append(out, c.LoadBytes(slot+8, n))
+	}
+	return out, nil
+}
+
+// Count returns the client's message count.
+func (e *Echo) Count(client int) (uint64, error) {
+	_, countAddr, err := e.clientSlot(client)
+	if err != nil {
+		return 0, err
+	}
+	return e.ld(countAddr), nil
+}
+
+// ReopenEcho attaches to an existing echo pool after crash recovery.
+func ReopenEcho(pm *pmem.Pool, capacity uint64, maxMsg uint64) (*Echo, error) {
+	p, err := pmdk.Open(pm)
+	if err != nil {
+		return nil, err
+	}
+	rootObj, _ := p.Root()
+	e := &Echo{
+		p: p, root: rootObj,
+		slotSize: 8 + ((maxMsg + 7) &^ 7),
+		capacity: capacity,
+	}
+	e.nclients = e.ld(rootObj)
+	if e.nclients == 0 || e.nclients > 1<<20 {
+		return nil, fmt.Errorf("echo: implausible client count %d", e.nclients)
+	}
+	return e, nil
+}

@@ -1,0 +1,122 @@
+package workloads
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"pmdebugger/internal/core"
+	"pmdebugger/internal/pmdk"
+	"pmdebugger/internal/pmem"
+	"pmdebugger/internal/rules"
+)
+
+func newEcho(t *testing.T, clients int) (*Echo, *pmem.Pool) {
+	t.Helper()
+	pm := pmem.New(1 << 22)
+	p, err := pmdk.Create(pm, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEcho(p, clients, 128, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, pm
+}
+
+func TestEchoSendHistory(t *testing.T) {
+	e, _ := newEcho(t, 3)
+	for c := 0; c < 3; c++ {
+		for i := 0; i < 5; i++ {
+			msg := fmt.Appendf(nil, "client-%d message-%d", c, i)
+			if err := e.Send(c, msg); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for c := 0; c < 3; c++ {
+		hist, err := e.History(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(hist) != 5 {
+			t.Fatalf("client %d history = %d", c, len(hist))
+		}
+		for i, msg := range hist {
+			want := fmt.Appendf(nil, "client-%d message-%d", c, i)
+			if !bytes.Equal(msg, want) {
+				t.Fatalf("client %d msg %d = %q", c, i, msg)
+			}
+		}
+	}
+	if _, err := e.History(99); err == nil {
+		t.Fatal("unknown client accepted")
+	}
+	if err := e.Send(0, make([]byte, 1000)); err == nil {
+		t.Fatal("oversized message accepted")
+	}
+}
+
+func TestEchoCrashRecovery(t *testing.T) {
+	e, pm := newEcho(t, 2)
+	for i := 0; i < 4; i++ {
+		if err := e.Send(0, []byte("durable")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A fifth send crashes before commit: the count publication must roll
+	// back so recovery never sees a half-written message.
+	log, countAddr, _ := e.clientSlot(0)
+	tx := e.p.Begin()
+	tx.Store64(log+4*e.slotSize, 7) // slot write without commit
+	tx.Set(countAddr, 5)
+	crashed := pm.Crash(pmem.CrashApplyPending, 0)
+
+	e2, err := ReopenEcho(crashed, 128, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := e2.Count(0)
+	if err != nil || n != 4 {
+		t.Fatalf("recovered count = %d, %v", n, err)
+	}
+	hist, err := e2.History(0)
+	if err != nil || len(hist) != 4 {
+		t.Fatalf("recovered history = %d, %v", len(hist), err)
+	}
+}
+
+func TestEchoCleanUnderPMDebugger(t *testing.T) {
+	pm := pmem.New(1 << 22)
+	det := core.New(core.Config{Model: rules.Epoch})
+	pm.Attach(det)
+	p, err := pmdk.Create(pm, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEcho(p, 4, 64, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := e.Send(i%4, []byte("hello persistent world")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pm.End()
+	if rep := det.Report(); rep.Len() != 0 {
+		t.Fatalf("clean echo flagged:\n%s", rep.Summary())
+	}
+}
+
+func TestEchoValidation(t *testing.T) {
+	pm := pmem.New(1 << 20)
+	p, _ := pmdk.Create(pm, 64)
+	if _, err := NewEcho(p, 0, 8, 8); err == nil {
+		t.Fatal("zero clients accepted")
+	}
+	if _, err := NewEcho(p, 100, 8, 8); err == nil {
+		t.Fatal("oversized client table accepted")
+	}
+}

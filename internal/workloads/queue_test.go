@@ -1,0 +1,141 @@
+package workloads
+
+import (
+	"testing"
+
+	"pmdebugger/internal/core"
+	"pmdebugger/internal/pmdk"
+	"pmdebugger/internal/pmem"
+	"pmdebugger/internal/rules"
+)
+
+func newQueue(t *testing.T, capacity uint64) (*Queue, *pmem.Pool) {
+	t.Helper()
+	pm := pmem.New(1 << 20)
+	p, err := pmdk.Create(pm, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := NewQueue(p, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q, pm
+}
+
+func TestQueueFIFO(t *testing.T) {
+	q, _ := newQueue(t, 8)
+	for i := uint64(0); i < 8; i++ {
+		if err := q.Enqueue(i * 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := q.Enqueue(99); err == nil {
+		t.Fatal("enqueue into full queue succeeded")
+	}
+	if v, ok := q.Peek(); !ok || v != 0 {
+		t.Fatalf("Peek = %d %v", v, ok)
+	}
+	for i := uint64(0); i < 8; i++ {
+		v, err := q.Dequeue()
+		if err != nil || v != i*10 {
+			t.Fatalf("Dequeue %d = %d, %v", i, v, err)
+		}
+	}
+	if _, err := q.Dequeue(); err == nil {
+		t.Fatal("dequeue from empty queue succeeded")
+	}
+	if _, ok := q.Peek(); ok {
+		t.Fatal("peek on empty queue succeeded")
+	}
+}
+
+func TestQueueWrapAround(t *testing.T) {
+	q, _ := newQueue(t, 4)
+	// Interleave so head wraps several times.
+	next := uint64(0)
+	expect := uint64(0)
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 3; i++ {
+			if err := q.Enqueue(next); err != nil {
+				t.Fatal(err)
+			}
+			next++
+		}
+		for i := 0; i < 3; i++ {
+			v, err := q.Dequeue()
+			if err != nil || v != expect {
+				t.Fatalf("round %d: got %d want %d (%v)", round, v, expect, err)
+			}
+			expect++
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+}
+
+func TestQueueCrashConsistency(t *testing.T) {
+	q, pm := newQueue(t, 16)
+	for i := uint64(0); i < 10; i++ {
+		if err := q.Enqueue(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.Dequeue()
+	q.Dequeue()
+	crashed := pm.Crash(pmem.CrashDropPending, 0)
+	p2, err := pmdk.Open(crashed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2 := &Queue{p: p2, root: q.root}
+	if q2.Len() != 8 {
+		t.Fatalf("recovered len = %d", q2.Len())
+	}
+	for i := uint64(2); i < 10; i++ {
+		v, err := q2.Dequeue()
+		if err != nil || v != i {
+			t.Fatalf("recovered dequeue = %d, %v; want %d", v, err, i)
+		}
+	}
+}
+
+func TestQueueCleanUnderPMDebugger(t *testing.T) {
+	pm := pmem.New(1 << 20)
+	det := core.New(core.Config{Model: rules.Epoch})
+	pm.Attach(det)
+	p, err := pmdk.Create(pm, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := NewQueue(p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 50; i++ {
+		if err := q.Enqueue(i); err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 1 {
+			if _, err := q.Dequeue(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := q.Dequeue(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	pm.End()
+	if rep := det.Report(); rep.Len() != 0 {
+		t.Fatalf("clean queue flagged:\n%s", rep.Summary())
+	}
+}
+
+func TestQueueValidation(t *testing.T) {
+	pm := pmem.New(1 << 20)
+	p, _ := pmdk.Create(pm, 4096)
+	if _, err := NewQueue(p, 0); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+}

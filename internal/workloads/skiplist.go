@@ -1,0 +1,166 @@
+package workloads
+
+import (
+	"errors"
+
+	"pmdebugger/internal/pmdk"
+	"pmdebugger/internal/rules"
+)
+
+// SkipList is a persistent skip list, the Go counterpart of PMDK's
+// skiplist_map example (4 levels, as the original). Node levels are derived
+// deterministically from the key hash so repeated runs produce identical
+// instruction streams — a requirement for systematic crash testing.
+//
+// Node layout: +0 key, +8 value, +16 next[slMaxLevel].
+// Root layout: head node address at +0.
+type SkipList struct {
+	p    *pmdk.Pool
+	root uint64
+	head uint64
+}
+
+const (
+	slMaxLevel = 4
+	slFNext    = 16
+	slNodeSize = slFNext + 8*slMaxLevel
+)
+
+// NewSkipList builds an empty skip list rooted in the pool's root object.
+func NewSkipList(p *pmdk.Pool) (*SkipList, error) {
+	rootObj, size := p.Root()
+	if size < 8 {
+		return nil, errors.New("skiplist: root object too small")
+	}
+	s := &SkipList{p: p, root: rootObj}
+	tx := p.Begin()
+	s.head = p.Alloc(slNodeSize)
+	tx.Add(s.head, slNodeSize)
+	tx.StoreBytes(s.head, make([]byte, slNodeSize))
+	tx.Set(s.root, s.head)
+	tx.Commit()
+	return s, nil
+}
+
+// ReattachSkipList binds to an existing skip list after crash recovery.
+func ReattachSkipList(p *pmdk.Pool, rootCell uint64) *SkipList {
+	return &SkipList{p: p, root: rootCell, head: p.Ctx().Load64(rootCell)}
+}
+
+// Name returns "skiplist".
+func (s *SkipList) Name() string { return "skiplist" }
+
+// Model returns the epoch model.
+func (s *SkipList) Model() rules.Model { return rules.Epoch }
+
+func (s *SkipList) ld(addr uint64) uint64 { return s.p.Ctx().Load64(addr) }
+
+func (s *SkipList) next(node uint64, lvl int) uint64 {
+	return s.ld(node + slFNext + uint64(lvl)*8)
+}
+
+// levelOf derives a node's level (1..slMaxLevel) from its key: a ~1/2
+// promotion rate, deterministic per key.
+func levelOf(key uint64) int {
+	h := key
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	lvl := 1
+	for lvl < slMaxLevel && h&1 == 1 {
+		lvl++
+		h >>= 1
+	}
+	return lvl
+}
+
+// findPreds fills preds with the rightmost node before key at each level.
+func (s *SkipList) findPreds(key uint64, preds *[slMaxLevel]uint64) {
+	cur := s.head
+	for lvl := slMaxLevel - 1; lvl >= 0; lvl-- {
+		for {
+			nxt := s.next(cur, lvl)
+			if nxt == 0 || s.ld(nxt) >= key {
+				break
+			}
+			cur = nxt
+		}
+		preds[lvl] = cur
+	}
+}
+
+// Get looks up key.
+func (s *SkipList) Get(key uint64) (uint64, bool) {
+	var preds [slMaxLevel]uint64
+	s.findPreds(key, &preds)
+	cand := s.next(preds[0], 0)
+	if cand != 0 && s.ld(cand) == key {
+		return s.ld(cand + 8), true
+	}
+	return 0, false
+}
+
+// Insert adds or updates key transactionally.
+func (s *SkipList) Insert(key, value uint64) error {
+	var preds [slMaxLevel]uint64
+	s.findPreds(key, &preds)
+
+	tx := s.p.Begin()
+	if cand := s.next(preds[0], 0); cand != 0 && s.ld(cand) == key {
+		tx.Set(cand+8, value)
+		tx.Commit()
+		return nil
+	}
+	lvl := levelOf(key)
+	node := s.p.Alloc(slNodeSize)
+	tx.Add(node, slNodeSize)
+	tx.StoreBytes(node, make([]byte, slNodeSize))
+	tx.Store64(node, key)
+	tx.Store64(node+8, value)
+	for l := 0; l < lvl; l++ {
+		tx.Store64(node+slFNext+uint64(l)*8, s.next(preds[l], l))
+		tx.Set(preds[l]+slFNext+uint64(l)*8, node)
+	}
+	tx.Commit()
+	return nil
+}
+
+// Remove deletes key transactionally.
+func (s *SkipList) Remove(key uint64) (bool, error) {
+	var preds [slMaxLevel]uint64
+	s.findPreds(key, &preds)
+	node := s.next(preds[0], 0)
+	if node == 0 || s.ld(node) != key {
+		return false, nil
+	}
+	tx := s.p.Begin()
+	for l := 0; l < slMaxLevel; l++ {
+		if s.next(preds[l], l) == node {
+			tx.Set(preds[l]+slFNext+uint64(l)*8, s.next(node, l))
+		}
+	}
+	tx.Commit()
+	s.p.Free(node, slNodeSize)
+	return true, nil
+}
+
+// Len walks the bottom level and returns the element count.
+func (s *SkipList) Len() int {
+	n := 0
+	for cur := s.next(s.head, 0); cur != 0; cur = s.next(cur, 0) {
+		n++
+	}
+	return n
+}
+
+// Keys returns all keys in order (bottom-level walk).
+func (s *SkipList) Keys() []uint64 {
+	var out []uint64
+	for cur := s.next(s.head, 0); cur != 0; cur = s.next(cur, 0) {
+		out = append(out, s.ld(cur))
+	}
+	return out
+}
+
+// Close is a no-op: every transaction left the list durable.
+func (s *SkipList) Close() error { return nil }

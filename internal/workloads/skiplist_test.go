@@ -1,0 +1,164 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"pmdebugger/internal/core"
+	"pmdebugger/internal/crashtest"
+	"pmdebugger/internal/pmdk"
+	"pmdebugger/internal/pmem"
+	"pmdebugger/internal/rules"
+)
+
+func newSkipList(t *testing.T) (*SkipList, *pmem.Pool) {
+	t.Helper()
+	pm := pmem.New(1 << 22)
+	p, err := pmdk.Create(pm, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSkipList(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, pm
+}
+
+func TestSkipListAgainstReference(t *testing.T) {
+	s, _ := newSkipList(t)
+	ref := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 3000; i++ {
+		k := uint64(rng.Intn(400))
+		switch rng.Intn(3) {
+		case 0, 1:
+			v := uint64(i + 1)
+			if err := s.Insert(k, v); err != nil {
+				t.Fatal(err)
+			}
+			ref[k] = v
+		case 2:
+			removed, err := s.Remove(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, inRef := ref[k]; removed != inRef {
+				t.Fatalf("Remove(%d) = %v, ref %v", k, removed, inRef)
+			}
+			delete(ref, k)
+		}
+	}
+	if s.Len() != len(ref) {
+		t.Fatalf("Len = %d, ref %d", s.Len(), len(ref))
+	}
+	for k, v := range ref {
+		got, ok := s.Get(k)
+		if !ok || got != v {
+			t.Fatalf("Get(%d) = %d,%v want %d", k, got, ok, v)
+		}
+	}
+	// Bottom level must be sorted.
+	keys := s.Keys()
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		t.Fatalf("keys unsorted: %v", keys)
+	}
+}
+
+func TestSkipListLevelsDeterministic(t *testing.T) {
+	counts := map[int]int{}
+	for k := uint64(0); k < 4096; k++ {
+		lvl := levelOf(k)
+		if lvl < 1 || lvl > slMaxLevel {
+			t.Fatalf("level %d out of range", lvl)
+		}
+		if lvl != levelOf(k) {
+			t.Fatalf("level not deterministic for %d", k)
+		}
+		counts[lvl]++
+	}
+	// ~1/2 promotion: level 2 should hold roughly half of level 1.
+	if counts[1] < counts[2] || counts[2] < counts[3] {
+		t.Fatalf("level distribution not geometric: %v", counts)
+	}
+}
+
+func TestSkipListCleanUnderPMDebugger(t *testing.T) {
+	pm := pmem.New(1 << 22)
+	det := core.New(core.Config{Model: rules.Epoch})
+	pm.Attach(det)
+	p, _ := pmdk.Create(pm, 4096)
+	s, err := NewSkipList(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 300; i++ {
+		if err := s.Insert(i, i); err != nil {
+			t.Fatal(err)
+		}
+		if i%3 == 2 {
+			if _, err := s.Remove(i - 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	pm.End()
+	if rep := det.Report(); rep.Len() != 0 {
+		t.Fatalf("clean skiplist flagged:\n%s", rep.Summary())
+	}
+}
+
+func TestSkipListCrashPrefixConsistency(t *testing.T) {
+	const n = 16
+	var rootCell uint64
+	prog := func(pm *pmem.Pool) error {
+		p, err := pmdk.Create(pm, 4096)
+		if err != nil {
+			return err
+		}
+		s, err := NewSkipList(p)
+		if err != nil {
+			return err
+		}
+		rootCell, _ = p.Root()
+		for k := uint64(0); k < n; k++ {
+			if err := s.Insert(k, k*7); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	check := func(img *pmem.Pool) error {
+		p, err := pmdk.Open(img)
+		if err != nil {
+			if strings.Contains(err.Error(), "bad pool magic") {
+				return nil
+			}
+			return err
+		}
+		if p.Ctx().Load64(rootCell) == 0 {
+			return nil
+		}
+		s := ReattachSkipList(p, rootCell)
+		keys := s.Keys()
+		for i, k := range keys {
+			if k != uint64(i) {
+				return fmt.Errorf("non-prefix recovery: keys %v", keys)
+			}
+			if v, ok := s.Get(k); !ok || v != k*7 {
+				return fmt.Errorf("key %d value %d,%v", k, v, ok)
+			}
+		}
+		return nil
+	}
+	res, err := crashtest.Run(prog, check, crashtest.Config{PoolSize: 1 << 20, Stride: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failures) != 0 {
+		t.Fatalf("%d inconsistent recoveries, first: %s", len(res.Failures), res.Failures[0])
+	}
+}

@@ -1,0 +1,412 @@
+package workloads
+
+import (
+	"math/rand"
+	"testing"
+
+	"pmdebugger/internal/core"
+	"pmdebugger/internal/pmdk"
+	"pmdebugger/internal/pmem"
+)
+
+// forEachApp runs fn against every registered workload.
+func forEachApp(t *testing.T, n int, fn func(t *testing.T, f Factory)) {
+	t.Helper()
+	for _, f := range Registry() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) { fn(t, f) })
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"b_tree", "c_tree", "r_tree", "rb_tree",
+		"hashmap_tx", "hashmap_atomic", "synth_strand"}
+	reg := Registry()
+	if len(reg) != len(want) {
+		t.Fatalf("registry has %d entries", len(reg))
+	}
+	for i, f := range reg {
+		if f.Name != want[i] {
+			t.Errorf("registry[%d] = %s, want %s", i, f.Name, want[i])
+		}
+		if _, err := Lookup(f.Name); err != nil {
+			t.Errorf("Lookup(%s): %v", f.Name, err)
+		}
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Error("Lookup of unknown workload succeeded")
+	}
+}
+
+func TestInsertGetAgainstReference(t *testing.T) {
+	forEachApp(t, 0, func(t *testing.T, f Factory) {
+		app, _, err := Build(f, 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := map[uint64]uint64{}
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < 2000; i++ {
+			k := uint64(rng.Intn(600))
+			v := uint64(i)
+			if err := app.Insert(k, v); err != nil {
+				t.Fatalf("insert %d: %v", k, err)
+			}
+			ref[k] = v
+		}
+		for k, v := range ref {
+			got, ok := app.Get(k)
+			if !ok || got != v {
+				t.Fatalf("%s: Get(%d) = %d,%v; want %d", f.Name, k, got, ok, v)
+			}
+		}
+		if _, ok := app.Get(1 << 40); ok {
+			t.Fatalf("%s: absent key found", f.Name)
+		}
+		if err := app.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestRemoveAgainstReference(t *testing.T) {
+	forEachApp(t, 0, func(t *testing.T, f Factory) {
+		app, _, err := Build(f, 3000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := map[uint64]uint64{}
+		rng := rand.New(rand.NewSource(2))
+		for i := 0; i < 3000; i++ {
+			k := uint64(rng.Intn(300))
+			switch rng.Intn(3) {
+			case 0, 1:
+				v := uint64(i + 1)
+				if err := app.Insert(k, v); err != nil {
+					t.Fatal(err)
+				}
+				ref[k] = v
+			case 2:
+				removed, err := app.Remove(k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				_, inRef := ref[k]
+				if removed != inRef {
+					t.Fatalf("%s: Remove(%d) = %v, ref has %v (op %d)", f.Name, k, removed, inRef, i)
+				}
+				delete(ref, k)
+			}
+		}
+		for k, v := range ref {
+			got, ok := app.Get(k)
+			if !ok || got != v {
+				t.Fatalf("%s: Get(%d) = %d,%v; want %d", f.Name, k, got, ok, v)
+			}
+		}
+		for k := uint64(0); k < 300; k++ {
+			if _, inRef := ref[k]; inRef {
+				continue
+			}
+			if _, ok := app.Get(k); ok {
+				t.Fatalf("%s: deleted key %d still present", f.Name, k)
+			}
+		}
+	})
+}
+
+func TestWorkloadsCleanUnderPMDebugger(t *testing.T) {
+	// Every workload run end-to-end must produce a bug-free report: the
+	// workloads are the "correct" programs of the evaluation.
+	forEachApp(t, 0, func(t *testing.T, f Factory) {
+		pm := pmem.New(f.PoolSize(800))
+		det := core.New(core.Config{Model: f.Model})
+		pm.Attach(det)
+		p, err := pmdk.Create(pm, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		app, err := f.New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := RunMixed(app, 800, 3); err != nil {
+			t.Fatal(err)
+		}
+		if err := app.Close(); err != nil {
+			t.Fatal(err)
+		}
+		pm.End()
+		rep := det.Report()
+		if rep.Len() != 0 {
+			t.Fatalf("%s flagged as buggy:\n%s", f.Name, rep.Summary())
+		}
+	})
+}
+
+func TestRunInsertsDriver(t *testing.T) {
+	f, _ := Lookup("b_tree")
+	app, _, err := Build(f, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RunInserts(app, 500, 7); err != nil {
+		t.Fatal(err)
+	}
+	// The driver inserts mostly sequential keys.
+	hits := 0
+	for k := uint64(0); k < 500; k++ {
+		if _, ok := app.Get(k); ok {
+			hits++
+		}
+	}
+	if hits < 400 {
+		t.Fatalf("only %d keys present after RunInserts", hits)
+	}
+}
+
+func TestBTreeCrashRecovery(t *testing.T) {
+	pm := pmem.New(1 << 22)
+	p, err := pmdk.Create(pm, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt, err := NewBTree(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 200; k++ {
+		if err := bt.Insert(k, k+1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash at an arbitrary point; committed inserts must survive.
+	crashed := pm.Crash(pmem.CrashDropPending, 0)
+	p2, err := pmdk.Open(crashed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt2 := &BTree{p: p2, root: bt.root}
+	for k := uint64(0); k < 200; k++ {
+		if v, ok := bt2.Get(k); !ok || v != k+1000 {
+			t.Fatalf("key %d lost or wrong after crash: %d %v", k, v, ok)
+		}
+	}
+}
+
+func TestHashmapTXCrashMidTransactionRollsBack(t *testing.T) {
+	pm := pmem.New(1 << 22)
+	p, _ := pmdk.Create(pm, 4096)
+	h, err := NewHashmapTX(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 100; k++ {
+		if err := h.Insert(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.flushStats()
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	// Open a transaction manually and crash inside it: the update must
+	// roll back.
+	tx := p.Begin()
+	tx.Set(h.root+hmFCount, 999999)
+	crashed := pm.Crash(pmem.CrashApplyPending, 0)
+	p2, err := pmdk.Open(crashed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2 := &HashmapTX{p: p2, root: h.root}
+	if h2.Count() != 100 {
+		t.Fatalf("count after rollback = %d, want 100", h2.Count())
+	}
+	for k := uint64(0); k < 100; k++ {
+		if v, ok := h2.Get(k); !ok || v != k {
+			t.Fatalf("key %d lost after recovery", k)
+		}
+	}
+}
+
+func TestHashmapAtomicDirtyCountRecovery(t *testing.T) {
+	pm := pmem.New(1 << 22)
+	p, _ := pmdk.Create(pm, 4096)
+	h, err := NewHashmapAtomic(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 50; k++ {
+		if err := h.Insert(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Simulate a crash between dirty=1 and count update.
+	c := p.Ctx()
+	c.Store64(h.root+haFDirty, 1)
+	p.Persist(h.root+haFDirty, 8)
+	crashed := pm.Crash(pmem.CrashDropPending, 0)
+	p2, err := pmdk.Open(crashed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2 := &HashmapAtomic{p: p2, root: h.root}
+	if _, err := h2.Count(); err == nil {
+		t.Fatal("dirty count did not error")
+	}
+	if err := h2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := h2.Count()
+	if err != nil || n != 50 {
+		t.Fatalf("recovered count = %d, %v", n, err)
+	}
+}
+
+func TestRBTreeInvariants(t *testing.T) {
+	pm := pmem.New(1 << 24)
+	p, _ := pmdk.Create(pm, 4096)
+	rt, err := NewRBTree(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	present := map[uint64]bool{}
+	for i := 0; i < 2000; i++ {
+		k := uint64(rng.Intn(500))
+		if rng.Intn(3) == 0 {
+			if _, err := rt.Remove(k); err != nil {
+				t.Fatal(err)
+			}
+			delete(present, k)
+		} else {
+			if err := rt.Insert(k, k); err != nil {
+				t.Fatal(err)
+			}
+			present[k] = true
+		}
+		if i%200 == 0 {
+			if err := rt.checkInvariants(); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+		}
+	}
+	if err := rt.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for k := range present {
+		if _, ok := rt.Get(k); !ok {
+			t.Fatalf("key %d lost", k)
+		}
+	}
+}
+
+func TestRTreePrunesFreedSpace(t *testing.T) {
+	pm := pmem.New(1 << 24)
+	p, _ := pmdk.Create(pm, 4096)
+	rt, err := NewRTree(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := pm.FreeBytes()
+	for k := uint64(0); k < 64; k++ {
+		if err := rt.Insert(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mid := pm.FreeBytes()
+	if mid >= before {
+		t.Fatal("inserts did not allocate")
+	}
+	for k := uint64(0); k < 64; k++ {
+		if ok, err := rt.Remove(k); !ok || err != nil {
+			t.Fatalf("remove %d: %v %v", k, ok, err)
+		}
+	}
+	after := pm.FreeBytes()
+	if after != before {
+		t.Fatalf("pruning leaked: before %d after %d", before, after)
+	}
+}
+
+func TestSynthStrandUsesStrands(t *testing.T) {
+	f, _ := Lookup("synth_strand")
+	pm := pmem.New(f.PoolSize(100))
+	p, _ := pmdk.Create(pm, 4096)
+	det := core.New(core.Config{Model: f.Model})
+	pm.Attach(det)
+	app, err := f.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 100; k++ {
+		if err := app.Insert(k, k*3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	app.Close()
+	pm.End()
+	if rep := det.Report(); rep.Len() != 0 {
+		t.Fatalf("synth_strand flagged:\n%s", rep.Summary())
+	}
+	for k := uint64(0); k < 100; k++ {
+		if v, ok := app.Get(k); !ok || v != k*3 {
+			t.Fatalf("Get(%d) = %d,%v", k, v, ok)
+		}
+	}
+}
+
+func TestHashmapTXDeferredStatsVisibleInTree(t *testing.T) {
+	// The deferred statistics must populate PMDebugger's AVL tree (the
+	// Fig. 11 effect) without being a bug.
+	f, _ := Lookup("hashmap_tx")
+	pm := pmem.New(f.PoolSize(400))
+	det := core.New(core.Config{Model: f.Model})
+	pm.Attach(det)
+	p, _ := pmdk.Create(pm, 4096)
+	app, err := f.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 400; k++ {
+		if err := app.Insert(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if det.TreeLen(0) < 50 {
+		t.Fatalf("deferred stats not in tree: len = %d", det.TreeLen(0))
+	}
+	app.Close()
+	pm.End()
+	if rep := det.Report(); rep.Len() != 0 {
+		t.Fatalf("hashmap_tx flagged:\n%s", rep.Summary())
+	}
+}
+
+func TestRehashPreservesData(t *testing.T) {
+	pm := pmem.New(1 << 24)
+	p, _ := pmdk.Create(pm, 4096)
+	h, err := NewHashmapTX(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 64 buckets * load 4 = 256 triggers the first rehash; go well past.
+	const n = 2000
+	for k := uint64(0); k < n; k++ {
+		if err := h.Insert(k, k^0x5555); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Count() != n {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if nb := h.ld(h.root + hmFNBuckets); nb <= hmInitialBuckets {
+		t.Fatalf("rehash never happened: nbuckets = %d", nb)
+	}
+	for k := uint64(0); k < n; k++ {
+		if v, ok := h.Get(k); !ok || v != k^0x5555 {
+			t.Fatalf("Get(%d) = %d,%v", k, v, ok)
+		}
+	}
+}

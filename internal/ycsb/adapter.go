@@ -1,0 +1,40 @@
+package ycsb
+
+import "pmdebugger/internal/memcached"
+
+// MemcachedStore adapts a memcached cache to the YCSB Store interface,
+// matching the paper's setup of running YCSB loads A–F against memcached.
+type MemcachedStore struct {
+	Cache  *memcached.Cache
+	Thread int32
+}
+
+var _ Store = (*MemcachedStore)(nil)
+
+// Read issues a get.
+func (m *MemcachedStore) Read(key string) bool {
+	_, _, ok := m.Cache.Get(m.Thread, key)
+	return ok
+}
+
+// Update issues a set over the existing key.
+func (m *MemcachedStore) Update(key string, value []byte) error {
+	return m.Cache.Set(m.Thread, key, value, 0, 0)
+}
+
+// Insert issues a set of a fresh key.
+func (m *MemcachedStore) Insert(key string, value []byte) error {
+	return m.Cache.Set(m.Thread, key, value, 0, 0)
+}
+
+// Scan approximates a range scan with repeated gets: memcached has no
+// ordered iteration, and YCSB drivers over KV caches do the same.
+func (m *MemcachedStore) Scan(startKey string, count int) int {
+	hits := 0
+	for i := 0; i < count; i++ {
+		if m.Read(startKey) {
+			hits++
+		}
+	}
+	return hits
+}

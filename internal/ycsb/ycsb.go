@@ -1,0 +1,181 @@
+// Package ycsb implements the YCSB core workloads A–F (Cooper et al.) used
+// by the characterization study (§3): operation mixes over a keyed store
+// with zipfian, uniform and latest request distributions.
+package ycsb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Store is the system under test: the adapter interface YCSB drives.
+type Store interface {
+	Read(key string) bool
+	Update(key string, value []byte) error
+	Insert(key string, value []byte) error
+	Scan(startKey string, count int) int
+}
+
+// Workload identifies one of the six core workloads.
+type Workload byte
+
+// The six core workloads.
+const (
+	A Workload = 'A' // 50% read, 50% update, zipfian
+	B Workload = 'B' // 95% read, 5% update, zipfian
+	C Workload = 'C' // 100% read, zipfian
+	D Workload = 'D' // 95% read, 5% insert, latest
+	E Workload = 'E' // 95% scan, 5% insert, zipfian
+	F Workload = 'F' // 50% read, 50% read-modify-write, zipfian
+)
+
+// All lists the workloads in paper order (loads A-F).
+func All() []Workload { return []Workload{A, B, C, D, E, F} }
+
+// String returns e.g. "a_YCSB", the paper's label.
+func (w Workload) String() string {
+	return fmt.Sprintf("%c_YCSB", w+('a'-'A'))
+}
+
+// Config parameterizes a run.
+type Config struct {
+	// Records is the number of preloaded records.
+	Records int
+	// Ops is the number of operations to run.
+	Ops int
+	// ValueSize is the value payload size (default 100, YCSB's field size).
+	ValueSize int
+	// ScanLen is the maximum scan length for workload E (default 16).
+	ScanLen int
+	// Seed seeds the generators.
+	Seed int64
+}
+
+// Run preloads Records records and executes Ops operations of the given
+// workload against the store.
+func Run(w Workload, s Store, cfg Config) error {
+	if cfg.Records <= 0 {
+		cfg.Records = 1000
+	}
+	if cfg.ValueSize == 0 {
+		cfg.ValueSize = 100
+	}
+	if cfg.ScanLen == 0 {
+		cfg.ScanLen = 16
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	value := make([]byte, cfg.ValueSize)
+	rng.Read(value)
+
+	for i := 0; i < cfg.Records; i++ {
+		if err := s.Insert(Key(i), value); err != nil {
+			return fmt.Errorf("ycsb load: %w", err)
+		}
+	}
+
+	zipf := NewZipfian(uint64(cfg.Records), 0.99, rng)
+	inserted := cfg.Records
+	for op := 0; op < cfg.Ops; op++ {
+		switch w {
+		case A:
+			if rng.Float64() < 0.5 {
+				s.Read(Key(int(zipf.Next())))
+			} else {
+				if err := s.Update(Key(int(zipf.Next())), value); err != nil {
+					return err
+				}
+			}
+		case B:
+			if rng.Float64() < 0.95 {
+				s.Read(Key(int(zipf.Next())))
+			} else {
+				if err := s.Update(Key(int(zipf.Next())), value); err != nil {
+					return err
+				}
+			}
+		case C:
+			s.Read(Key(int(zipf.Next())))
+		case D:
+			if rng.Float64() < 0.95 {
+				// Latest distribution: skew toward recently inserted keys.
+				back := int(zipf.Next())
+				k := inserted - 1 - back
+				if k < 0 {
+					k = 0
+				}
+				s.Read(Key(k))
+			} else {
+				if err := s.Insert(Key(inserted), value); err != nil {
+					return err
+				}
+				inserted++
+			}
+		case E:
+			if rng.Float64() < 0.95 {
+				s.Scan(Key(int(zipf.Next())), 1+rng.Intn(cfg.ScanLen))
+			} else {
+				if err := s.Insert(Key(inserted), value); err != nil {
+					return err
+				}
+				inserted++
+			}
+		case F:
+			k := Key(int(zipf.Next()))
+			s.Read(k)
+			if rng.Float64() < 0.5 {
+				if err := s.Update(k, value); err != nil {
+					return err
+				}
+			}
+		default:
+			return fmt.Errorf("ycsb: unknown workload %q", string(w))
+		}
+	}
+	return nil
+}
+
+// Key formats record i as a YCSB user key.
+func Key(i int) string { return fmt.Sprintf("user%012d", i) }
+
+// Zipfian generates zipf-distributed values in [0, n) using the
+// Gray et al. rejection-free method YCSB uses.
+type Zipfian struct {
+	n     uint64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	rng   *rand.Rand
+}
+
+// NewZipfian returns a generator over [0, n) with the given skew
+// (YCSB default 0.99).
+func NewZipfian(n uint64, theta float64, rng *rand.Rand) *Zipfian {
+	z := &Zipfian{n: n, theta: theta, rng: rng}
+	z.zetan = zeta(n, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta(2, theta)/z.zetan)
+	return z
+}
+
+func zeta(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next returns the next zipf-distributed value.
+func (z *Zipfian) Next() uint64 {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}

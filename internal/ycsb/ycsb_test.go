@@ -1,0 +1,131 @@
+package ycsb
+
+import (
+	"math/rand"
+	"testing"
+
+	"pmdebugger/internal/memcached"
+)
+
+// recordingStore counts operation kinds for mix assertions.
+type recordingStore struct {
+	reads, updates, inserts, scans int
+	keys                           map[string]bool
+}
+
+func newRecordingStore() *recordingStore {
+	return &recordingStore{keys: map[string]bool{}}
+}
+
+func (r *recordingStore) Read(key string) bool { r.reads++; return r.keys[key] }
+func (r *recordingStore) Update(key string, value []byte) error {
+	r.updates++
+	r.keys[key] = true
+	return nil
+}
+func (r *recordingStore) Insert(key string, value []byte) error {
+	r.inserts++
+	r.keys[key] = true
+	return nil
+}
+func (r *recordingStore) Scan(startKey string, count int) int { r.scans++; return 0 }
+
+func TestWorkloadMixes(t *testing.T) {
+	const records, ops = 200, 4000
+	type want struct {
+		reads, updates, inserts, scans float64 // expected fraction of ops
+	}
+	wants := map[Workload]want{
+		A: {reads: 0.5, updates: 0.5},
+		B: {reads: 0.95, updates: 0.05},
+		C: {reads: 1.0},
+		D: {reads: 0.95, inserts: 0.05},
+		E: {scans: 0.95, inserts: 0.05},
+		F: {reads: 1.0, updates: 0.5}, // F reads every op, updates half
+	}
+	for _, w := range All() {
+		rs := newRecordingStore()
+		if err := Run(w, rs, Config{Records: records, Ops: ops, Seed: 5}); err != nil {
+			t.Fatalf("%s: %v", w, err)
+		}
+		exp := wants[w]
+		check := func(name string, got int, frac float64) {
+			t.Helper()
+			want := frac * ops
+			if frac > 0 && (float64(got) < want*0.85 || float64(got) > want*1.15) {
+				t.Errorf("%s: %s = %d, want ~%.0f", w, name, got, want)
+			}
+			if frac == 0 && got > 0 {
+				t.Errorf("%s: unexpected %s = %d", w, name, got)
+			}
+		}
+		check("reads", rs.reads, exp.reads)
+		check("updates", rs.updates, exp.updates)
+		check("inserts", rs.inserts-records, exp.inserts) // preload uses Insert
+		check("scans", rs.scans, exp.scans)
+	}
+}
+
+func TestWorkloadNames(t *testing.T) {
+	if A.String() != "a_YCSB" || F.String() != "f_YCSB" {
+		t.Fatalf("names: %s %s", A, F)
+	}
+	if len(All()) != 6 {
+		t.Fatalf("All() = %d", len(All()))
+	}
+}
+
+func TestUnknownWorkload(t *testing.T) {
+	if err := Run(Workload('Z'), newRecordingStore(), Config{Records: 1, Ops: 1}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestZipfianDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	z := NewZipfian(1000, 0.99, rng)
+	counts := make([]int, 1000)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		v := z.Next()
+		if v >= 1000 {
+			t.Fatalf("draw %d out of range", v)
+		}
+		counts[v]++
+	}
+	// Rank 0 must dominate and the head must hold most of the mass.
+	if counts[0] < draws/20 {
+		t.Errorf("rank 0 drawn %d times, want > %d", counts[0], draws/20)
+	}
+	head := 0
+	for i := 0; i < 100; i++ {
+		head += counts[i]
+	}
+	if float64(head) < 0.5*draws {
+		t.Errorf("head mass = %d/%d, want majority", head, draws)
+	}
+	if counts[0] <= counts[500] {
+		t.Errorf("distribution not skewed: %d vs %d", counts[0], counts[500])
+	}
+}
+
+func TestMemcachedAdapter(t *testing.T) {
+	cache, err := memcached.New(memcached.Config{PoolSize: 1 << 23, HashBuckets: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &MemcachedStore{Cache: cache}
+	if err := Run(A, st, Config{Records: 200, Ops: 500, Seed: 11}); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Read(Key(0)) {
+		t.Fatal("preloaded key missing")
+	}
+	if st.Scan(Key(0), 3) != 3 {
+		t.Fatal("scan hits wrong")
+	}
+	hits, _ := cache.Stat("get_hits")
+	if hits == 0 {
+		t.Fatal("adapter did not reach the cache")
+	}
+}
