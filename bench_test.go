@@ -11,7 +11,9 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
+	"time"
 
 	"pmdebugger/internal/baselines"
 	"pmdebugger/internal/bugsuite"
@@ -288,6 +290,76 @@ func BenchmarkReorganizations(b *testing.B) {
 			n = det.Report().Counters.TreeReorgs
 		}
 		b.ReportMetric(float64(n), "reorgs")
+	})
+}
+
+// BenchmarkParallelReplay measures the sharded parallel trace-replay
+// pipeline on the synthetic strand benchmark: the trace partitions along
+// strand boundaries onto a GOMAXPROCS worker pool and the merged report is
+// identical to sequential replay. The parallel sub-benchmark reports its
+// speedup over the per-event sequential baseline (measured inline) as
+// speedup-x; with 4+ cores the shards replay concurrently and the speedup
+// scales with the core count, while on a single core it stays near 1x.
+func BenchmarkParallelReplay(b *testing.B) {
+	rec := recordTrace(b, "synth_strand", 20000)
+	cfg := core.Config{Model: rules.Strand}
+	workers := runtime.GOMAXPROCS(0)
+
+	// Sanity: the merged parallel report must match sequential exactly.
+	seqDet := core.New(cfg)
+	rec.Replay(seqDet)
+	if want, got := seqDet.Report().Summary(), core.ReplayParallel(rec.Events, cfg, workers).Summary(); want != got {
+		b.Fatalf("parallel report differs from sequential:\n--- sequential ---\n%s--- parallel ---\n%s", want, got)
+	}
+
+	sequential := func() {
+		det := core.New(cfg)
+		rec.Replay(det)
+		det.Report()
+	}
+	// A fixed-iteration baseline measured outside the timed loops, so the
+	// batched and parallel sub-benchmarks can report speedup-x against it.
+	baseline := func() time.Duration {
+		const runs = 3
+		best := time.Duration(0)
+		for i := 0; i < runs; i++ {
+			start := time.Now()
+			sequential()
+			if d := time.Since(start); best == 0 || d < best {
+				best = d
+			}
+		}
+		return best
+	}()
+
+	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sequential()
+		}
+		b.ReportMetric(float64(rec.Len()), "events/run")
+	})
+	b.Run("batched", func(b *testing.B) {
+		b.ReportAllocs()
+		var elapsed time.Duration
+		for i := 0; i < b.N; i++ {
+			start := time.Now()
+			det := core.New(cfg)
+			trace.ReplayEvents(rec.Events, det)
+			det.Report()
+			elapsed += time.Since(start)
+		}
+		b.ReportMetric(float64(baseline)/(float64(elapsed)/float64(b.N)), "speedup-x")
+	})
+	b.Run(fmt.Sprintf("parallel-%d", workers), func(b *testing.B) {
+		b.ReportAllocs()
+		var elapsed time.Duration
+		for i := 0; i < b.N; i++ {
+			start := time.Now()
+			core.ReplayParallel(rec.Events, cfg, workers)
+			elapsed += time.Since(start)
+		}
+		b.ReportMetric(float64(baseline)/(float64(elapsed)/float64(b.N)), "speedup-x")
 	})
 }
 

@@ -9,6 +9,7 @@
 //	pmbench -experiment fig10         # memcached thread scalability
 //	pmbench -experiment fig11         # average AVL tree nodes per fence interval
 //	pmbench -experiment reorg         # §7.5 tree reorganization counts
+//	pmbench -experiment parallel      # sharded strand-trace replay speedup
 //	pmbench -experiment all
 //
 // -scale shrinks or grows every operation count (default 1.0); absolute
@@ -19,13 +20,19 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
+	"pmdebugger/internal/core"
 	"pmdebugger/internal/harness"
+	"pmdebugger/internal/rules"
+	"pmdebugger/internal/trace"
+	"pmdebugger/internal/workloads"
 )
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "table1, fig8, table5, sota, fig10, fig11, reorg, or all")
+		experiment = flag.String("experiment", "all", "table1, fig8, table5, sota, fig10, fig11, reorg, parallel, or all")
 		inserts    = flag.Int("n", 10000, "micro-benchmark insert count (paper: 1K/10K/100K)")
 		memOps     = flag.Int("memops", 10000, "memcached operation count (paper: 10K-100K)")
 		redisKeys  = flag.Int("rediskeys", 10000, "redis LRU-test key count")
@@ -55,6 +62,8 @@ func run(experiment string, inserts, memOps, redisKeys int) error {
 		return fig11(inserts, memOps, redisKeys)
 	case "reorg":
 		return reorg(inserts)
+	case "parallel":
+		return parallelReplay(inserts)
 	case "all":
 		for _, fn := range []func() error{
 			table1,
@@ -64,6 +73,7 @@ func run(experiment string, inserts, memOps, redisKeys int) error {
 			func() error { return fig10(memOps) },
 			func() error { return fig11(inserts, memOps, redisKeys) },
 			func() error { return reorg(inserts) },
+			func() error { return parallelReplay(inserts) },
 		} {
 			if err := fn(); err != nil {
 				return err
@@ -192,6 +202,85 @@ func fig11(inserts, memOps, redisKeys int) error {
 		return err
 	}
 	fmt.Print(harness.FormatFig11(rows))
+	return nil
+}
+
+// parallelReplay records a synth_strand trace and replays it three ways —
+// per-event, batched, and sharded-parallel — printing replay throughput and
+// the speedup of each mode over the per-event baseline. The parallel report
+// is checked against the sequential one before timing anything.
+func parallelReplay(inserts int) error {
+	fmt.Println("\n=== Sharded parallel replay: synth_strand trace ===")
+	f, err := workloads.Lookup("synth_strand")
+	if err != nil {
+		return err
+	}
+	app, pm, err := workloads.Build(f, inserts)
+	if err != nil {
+		return err
+	}
+	rec := trace.NewRecorder(inserts * 16)
+	pm.Attach(rec)
+	if err := workloads.RunInserts(app, inserts, 42); err != nil {
+		return err
+	}
+	if err := app.Close(); err != nil {
+		return err
+	}
+	pm.End()
+
+	cfg := core.Config{Model: rules.Strand}
+	workers := runtime.GOMAXPROCS(0)
+
+	seqDet := core.New(cfg)
+	rec.Replay(seqDet)
+	want := seqDet.Report()
+	got := core.ReplayParallel(rec.Events, cfg, workers)
+	if want.Summary() != got.Summary() {
+		return fmt.Errorf("parallel report differs from sequential:\n--- sequential ---\n%s--- parallel ---\n%s",
+			want.Summary(), got.Summary())
+	}
+
+	modes := []struct {
+		name string
+		run  func()
+	}{
+		{"per-event", func() {
+			d := core.New(cfg)
+			for _, ev := range rec.Events {
+				d.HandleEvent(ev)
+			}
+			d.Report()
+		}},
+		{"batched", func() {
+			d := core.New(cfg)
+			trace.ReplayEvents(rec.Events, d)
+			d.Report()
+		}},
+		{fmt.Sprintf("parallel(%d)", workers), func() {
+			core.ReplayParallel(rec.Events, cfg, workers)
+		}},
+	}
+	fmt.Printf("trace: %d events (%d inserts), %d workers, reports identical\n",
+		rec.Len(), inserts, workers)
+	fmt.Printf("%-14s %12s %14s %10s\n", "mode", "time", "events/s", "speedup")
+	var base time.Duration
+	for _, m := range modes {
+		best := time.Duration(0)
+		for r := 0; r < harness.Repeats; r++ {
+			start := time.Now()
+			m.run()
+			if d := time.Since(start); best == 0 || d < best {
+				best = d
+			}
+		}
+		if base == 0 {
+			base = best
+		}
+		rate := float64(rec.Len()) / best.Seconds()
+		fmt.Printf("%-14s %12s %14.0f %9.2fx\n", m.name, best.Round(time.Microsecond), rate,
+			float64(base)/float64(best))
+	}
 	return nil
 }
 

@@ -4,17 +4,26 @@
 // to several detectors — the same methodology the benchmark harness uses
 // internally for fair comparisons.
 //
+// Replay is streaming end to end: traces are decoded in pooled batches and
+// never materialized, so multi-GB captures replay in constant memory. With
+// -parallel, strand-model traces are additionally partitioned along strand
+// boundaries and replayed on a shard-per-core worker pool; the merged
+// report is identical to the sequential one.
+//
 // Usage:
 //
 //	pmtrace -record b_tree -n 10000 -o btree.pmtrace
 //	pmtrace -info btree.pmtrace
 //	pmtrace -replay btree.pmtrace -detector pmdebugger -model epoch
+//	pmtrace -replay strand.pmtrace -model strand -parallel -workers 8
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 
 	"pmdebugger/internal/baselines"
 	"pmdebugger/internal/core"
@@ -34,15 +43,17 @@ func main() {
 		replay   = flag.String("replay", "", "trace file to replay")
 		detector = flag.String("detector", "pmdebugger", "detector for -replay")
 		model    = flag.String("model", "strict", "persistency model for -replay: strict, epoch, strand")
+		parallel = flag.Bool("parallel", false, "replay strand-model traces on a sharded worker pool (pmdebugger only)")
+		workers  = flag.Int("workers", 0, "worker count for -parallel (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
-	if err := run(*record, *n, *out, *info, *dump, *limit, *replay, *detector, *model); err != nil {
+	if err := run(*record, *n, *out, *info, *dump, *limit, *replay, *detector, *model, *parallel, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "pmtrace:", err)
 		os.Exit(1)
 	}
 }
 
-func run(record string, n int, out, info, dump string, limit int, replay, detector, model string) error {
+func run(record string, n int, out, info, dump string, limit int, replay, detector, model string, parallel bool, workers int) error {
 	switch {
 	case record != "":
 		return doRecord(record, n, out)
@@ -51,23 +62,44 @@ func run(record string, n int, out, info, dump string, limit int, replay, detect
 	case dump != "":
 		return doDump(dump, limit)
 	case replay != "":
-		return doReplay(replay, detector, model)
+		return doReplay(replay, detector, model, parallel, workers)
 	default:
 		return fmt.Errorf("one of -record, -info, -dump or -replay is required")
 	}
 }
 
 func doDump(path string, limit int) error {
-	events, err := readTraceFile(path)
+	file, err := os.Open(path)
 	if err != nil {
 		return err
 	}
-	for i, ev := range events {
-		if limit > 0 && i >= limit {
-			fmt.Printf("... %d more events\n", len(events)-i)
+	defer file.Close()
+	tr, err := trace.NewReader(file)
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+	batch := make([]trace.Event, trace.StreamBatchSize)
+	printed, skipped := 0, 0
+	for {
+		n, rerr := tr.ReadBatch(batch)
+		for _, ev := range batch[:n] {
+			if limit > 0 && printed >= limit {
+				skipped++
+				continue
+			}
+			fmt.Println(ev)
+			printed++
+		}
+		if rerr == io.EOF {
 			break
 		}
-		fmt.Println(ev)
+		if rerr != nil {
+			return rerr
+		}
+	}
+	if skipped > 0 {
+		fmt.Printf("... %d more events\n", skipped)
 	}
 	return nil
 }
@@ -81,8 +113,30 @@ func doRecord(name string, n int, out string) error {
 	if err != nil {
 		return err
 	}
-	rec := trace.NewRecorder(n * 16)
-	pm.Attach(rec)
+	file, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer file.Close()
+	// Record straight to disk: the trace writer is itself a streaming batch
+	// handler, so the capture never materializes the event stream either.
+	tw, err := trace.NewWriter(file)
+	if err != nil {
+		return err
+	}
+	var stores, flushes, fences, total uint64
+	counter := trace.HandlerFunc(func(ev trace.Event) {
+		total++
+		switch ev.Kind {
+		case trace.KindStore:
+			stores++
+		case trace.KindFlush:
+			flushes++
+		case trace.KindFence:
+			fences++
+		}
+	})
+	pm.Attach(trace.MultiHandler{tw, counter})
 	if err := workloads.RunInserts(app, n, 42); err != nil {
 		return err
 	}
@@ -90,31 +144,28 @@ func doRecord(name string, n int, out string) error {
 		return err
 	}
 	pm.End()
-
-	file, err := os.Create(out)
-	if err != nil {
+	if err := tw.Flush(); err != nil {
 		return err
 	}
-	defer file.Close()
-	if err := trace.WriteTrace(file, rec.Events); err != nil {
-		return err
-	}
-	stores, flushes, fences := rec.Counts()
 	fmt.Printf("recorded %d events (%d stores, %d writebacks, %d fences) to %s\n",
-		rec.Len(), stores, flushes, fences, out)
+		total, stores, flushes, fences, out)
 	return nil
 }
 
 func doInfo(path string) error {
-	events, err := readTraceFile(path)
+	file, err := os.Open(path)
 	if err != nil {
 		return err
 	}
+	defer file.Close()
 	counts := map[trace.Kind]int{}
-	for _, ev := range events {
+	total, err := trace.StreamTrace(file, trace.HandlerFunc(func(ev trace.Event) {
 		counts[ev.Kind]++
+	}))
+	if err != nil {
+		return err
 	}
-	fmt.Printf("%s: %d events\n", path, len(events))
+	fmt.Printf("%s: %d events\n", path, total)
 	for k := trace.KindStore; k <= trace.KindEnd; k++ {
 		if counts[k] > 0 {
 			fmt.Printf("  %-14s %d\n", k, counts[k])
@@ -123,11 +174,7 @@ func doInfo(path string) error {
 	return nil
 }
 
-func doReplay(path, detector, modelName string) error {
-	events, err := readTraceFile(path)
-	if err != nil {
-		return err
-	}
+func doReplay(path, detector, modelName string, parallel bool, workers int) error {
 	var model rules.Model
 	switch modelName {
 	case "strict":
@@ -139,6 +186,27 @@ func doReplay(path, detector, modelName string) error {
 	default:
 		return fmt.Errorf("unknown model %q", modelName)
 	}
+	if parallel {
+		if detector != "pmdebugger" {
+			return fmt.Errorf("-parallel supports only the pmdebugger detector (got %q)", detector)
+		}
+		cfg := core.Config{Model: model}
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		if !core.Parallelizable(cfg) {
+			fmt.Fprintf(os.Stderr, "pmtrace: model %s replays sequentially (only strand traces partition)\n", model)
+		}
+		rep, err := core.ReplayParallelStream(func() (io.ReadCloser, error) {
+			return os.Open(path)
+		}, cfg, workers)
+		if err != nil {
+			return err
+		}
+		fmt.Print(rep.Summary())
+		return nil
+	}
+
 	var det baselines.Detector
 	switch detector {
 	case "pmdebugger":
@@ -156,18 +224,15 @@ func doReplay(path, detector, modelName string) error {
 	default:
 		return fmt.Errorf("unknown detector %q", detector)
 	}
-	for _, ev := range events {
-		det.HandleEvent(ev)
+	file, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer file.Close()
+	// Stream in pooled batches; detectors with a batch fast path use it.
+	if _, err := trace.StreamTrace(file, baselines.WithBatch(det)); err != nil {
+		return err
 	}
 	fmt.Print(det.Report().Summary())
 	return nil
-}
-
-func readTraceFile(path string) ([]trace.Event, error) {
-	file, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer file.Close()
-	return trace.ReadTrace(file)
 }

@@ -7,40 +7,59 @@ import (
 
 func TestRecordInfoDumpReplay(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "t.pmtrace")
-	if err := run("c_tree", 200, out, "", "", 0, "", "", ""); err != nil {
+	if err := run("c_tree", 200, out, "", "", 0, "", "", "", false, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", 0, "", out, "", 0, "", "", ""); err != nil {
+	if err := run("", 0, "", out, "", 0, "", "", "", false, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", 0, "", "", out, 10, "", "", ""); err != nil {
+	if err := run("", 0, "", "", out, 10, "", "", "", false, 0); err != nil {
 		t.Fatal(err)
 	}
 	for _, det := range []string{"pmdebugger", "pmemcheck", "persistence-inspector"} {
-		if err := run("", 0, "", "", "", 0, out, det, "epoch"); err != nil {
+		if err := run("", 0, "", "", "", 0, out, det, "epoch", false, 0); err != nil {
 			t.Errorf("%s: %v", det, err)
 		}
 	}
 }
 
+func TestParallelReplayFlag(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "s.pmtrace")
+	if err := run("synth_strand", 500, out, "", "", 0, "", "", "", false, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Strand trace on the sharded path.
+	if err := run("", 0, "", "", "", 0, out, "pmdebugger", "strand", true, 4); err != nil {
+		t.Fatal(err)
+	}
+	// Non-strand model still works via the sequential fallback.
+	if err := run("", 0, "", "", "", 0, out, "pmdebugger", "epoch", true, 4); err != nil {
+		t.Fatal(err)
+	}
+	// -parallel refuses baseline detectors.
+	if err := run("", 0, "", "", "", 0, out, "pmemcheck", "strand", true, 4); err == nil {
+		t.Error("-parallel with a baseline detector accepted")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run("", 0, "", "", "", 0, "", "", ""); err == nil {
+	if err := run("", 0, "", "", "", 0, "", "", "", false, 0); err == nil {
 		t.Error("no-op invocation accepted")
 	}
-	if err := run("nope", 10, "/tmp/x.pmtrace", "", "", 0, "", "", ""); err == nil {
+	if err := run("nope", 10, "/tmp/x.pmtrace", "", "", 0, "", "", "", false, 0); err == nil {
 		t.Error("unknown workload accepted")
 	}
-	if err := run("", 0, "", "/nonexistent", "", 0, "", "", ""); err == nil {
+	if err := run("", 0, "", "/nonexistent", "", 0, "", "", "", false, 0); err == nil {
 		t.Error("missing info file accepted")
 	}
 	out := "/tmp/pmtrace_errtest.pmtrace"
-	if err := run("c_tree", 50, out, "", "", 0, "", "", ""); err != nil {
+	if err := run("c_tree", 50, out, "", "", 0, "", "", "", false, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", 0, "", "", "", 0, out, "nope", "epoch"); err == nil {
+	if err := run("", 0, "", "", "", 0, out, "nope", "epoch", false, 0); err == nil {
 		t.Error("unknown detector accepted")
 	}
-	if err := run("", 0, "", "", "", 0, out, "pmdebugger", "nope"); err == nil {
+	if err := run("", 0, "", "", "", 0, out, "pmdebugger", "nope", false, 0); err == nil {
 		t.Error("unknown model accepted")
 	}
 }

@@ -53,3 +53,50 @@ func (n *Nulgrind) HandleEvent(ev trace.Event) {
 
 // Report returns an empty report with instruction counters.
 func (n *Nulgrind) Report() *report.Report { return n.rep }
+
+// HandleBatch implements trace.BatchHandler: the no-op tool only counts, so
+// the whole batch reduces to three counter additions.
+func (n *Nulgrind) HandleBatch(evs []trace.Event) {
+	var stores, flushes, fences uint64
+	for i := range evs {
+		switch evs[i].Kind {
+		case trace.KindStore:
+			stores++
+		case trace.KindFlush:
+			flushes++
+		case trace.KindFence:
+			fences++
+		}
+	}
+	n.rep.Counters.Stores += stores
+	n.rep.Counters.Flushes += flushes
+	n.rep.Counters.Fences += fences
+}
+
+var _ trace.BatchHandler = (*Nulgrind)(nil)
+
+// Batched adapts any detector to the batch replay interface with a
+// sequential shim: detectors whose bookkeeping has no batch fast path of
+// their own (the baseline reimplementations) still plug into batched and
+// streamed replay pipelines uniformly.
+type Batched struct {
+	Detector
+}
+
+// WithBatch wraps det so it implements trace.BatchHandler. A detector that
+// already has a native batch path is returned unchanged.
+func WithBatch(det Detector) Detector {
+	if _, ok := det.(trace.BatchHandler); ok {
+		return det
+	}
+	return Batched{Detector: det}
+}
+
+// HandleBatch delivers the batch one event at a time.
+func (b Batched) HandleBatch(evs []trace.Event) {
+	for i := range evs {
+		b.Detector.HandleEvent(evs[i])
+	}
+}
+
+var _ trace.BatchHandler = Batched{}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+
+	"pmdebugger/internal/rules"
+	"pmdebugger/internal/trace"
+)
+
+func TestHandleBatchMatchesHandleEvent(t *testing.T) {
+	rec := recordStrandTrace(t, 50)
+	for _, cfg := range []Config{
+		{Model: rules.Strand},
+		{Model: rules.Epoch},
+		{Model: rules.Strict},
+		{Model: rules.Strand, ArrayCapacity: 4}, // force array spills inside store runs
+	} {
+		seq := sequentialReport(rec.Events, cfg)
+		d := New(cfg)
+		trace.ReplayEvents(rec.Events, d) // takes the HandleBatch fast path
+		assertSameReport(t, seq, d.Report(), "batch/"+cfg.Model.String())
+	}
+}
+
+func TestHandleBatchRequireRegistration(t *testing.T) {
+	// With selective registration the per-event filter is not loop-invariant
+	// and the batch path must defer to HandleEvent.
+	var evs []trace.Event
+	seq := uint64(0)
+	emit := func(k trace.Kind, addr, size uint64) {
+		seq++
+		evs = append(evs, trace.Event{Seq: seq, Kind: k, Addr: addr, Size: size})
+	}
+	emit(trace.KindRegister, 0x1000, 0x100)
+	emit(trace.KindStore, 0x1000, 8) // tracked, never persisted
+	emit(trace.KindStore, 0x9000, 8) // outside every registered region
+	emit(trace.KindEnd, 0, 0)
+
+	cfg := Config{Model: rules.Strict, RequireRegistration: true}
+	want := sequentialReport(evs, cfg)
+	d := New(cfg)
+	d.HandleBatch(evs)
+	assertSameReport(t, want, d.Report(), "require-registration")
+	if got := d.Report().Len(); got != 1 {
+		t.Fatalf("got %d bugs, want 1 (only the registered store)", got)
+	}
+}
+
+// eventTally counts every event it observes.
+type eventTally struct{ events int }
+
+func (r *eventTally) Name() string                    { return "event-tally" }
+func (r *eventTally) OnEvent(ev trace.Event, q Query) { r.events++ }
+
+func TestHandleBatchRunsUserRules(t *testing.T) {
+	rec := recordStrandTrace(t, 10)
+	d := New(Config{Model: rules.Strand})
+	rule := &eventTally{}
+	d.AddRule(rule)
+	trace.ReplayEvents(rec.Events, d)
+	if rule.events != rec.Len() {
+		t.Fatalf("user rule saw %d events, want %d", rule.events, rec.Len())
+	}
+}

@@ -13,6 +13,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"pmdebugger/internal/avl"
 	"pmdebugger/internal/intervals"
@@ -159,6 +160,19 @@ func (d *Detector) spaceFor(strand int32) *space {
 	return s
 }
 
+// lookupSpace is the read-only counterpart of spaceFor: it applies the same
+// model fold (every non-strand model bookkeeps in space 0 regardless of the
+// event's strand id) without materializing a space that does not exist yet.
+// All bookkeeping queries go through it so user rules observe exactly the
+// space an event was bookkept in.
+func (d *Detector) lookupSpace(strand int32) (*space, bool) {
+	if d.cfg.Model != rules.Strand || strand == 0 {
+		return d.space0, true
+	}
+	s, ok := d.spaces[strand]
+	return s, ok
+}
+
 // currentEpoch returns the id of the active epoch section, or -1.
 func (d *Detector) currentEpoch() int32 {
 	if d.epochActive {
@@ -297,6 +311,7 @@ func (d *Detector) finishEpoch(ev trace.Event) {
 				}
 			})
 		}
+		sortItemsBySeq(undurable)
 		for _, it := range undurable {
 			d.rep.Add(report.Bug{
 				Type: report.LackDurabilityInEpoch,
@@ -314,9 +329,12 @@ func (d *Detector) finishEpoch(ev trace.Event) {
 
 // txLogAdd runs the redundant-logging rule (§5.2): log writes are treated
 // as stores to the logged object's address, and an "overwrite" — logging a
-// range that was already logged in this transaction — is the bug.
+// range that was already logged in this transaction — is the bug. A log add
+// outside any transaction is ignored: the rule is scoped to a single
+// transaction, and recording a stray add would pollute the next epoch's
+// shadow and misreport its first legitimate log write as redundant.
 func (d *Detector) txLogAdd(ev trace.Event) {
-	if !d.cfg.Rules.Has(rules.RuleRedundantLogging) {
+	if !d.cfg.Rules.Has(rules.RuleRedundantLogging) || !d.epochActive {
 		return
 	}
 	r := intervals.R(ev.Addr, ev.Size)
@@ -344,21 +362,41 @@ func (d *Detector) finish() {
 	d.ended = true
 
 	if d.cfg.Rules.Has(rules.RuleNoDurability) {
+		// Collect, then report in sequence-number order: d.spaces is a map,
+		// and a map-ordered sweep would make the report's bug order (and
+		// therefore which duplicate wins deduplication) vary run to run under
+		// the strand model. Deterministic order is also what lets a
+		// partitioned parallel replay merge shard reports back into the exact
+		// sequential report.
+		type remaining struct {
+			it      avl.Item
+			flushed bool
+		}
+		var left []remaining
 		for _, s := range d.spaces {
 			s.visitRemaining(func(it avl.Item, flushed bool) {
-				if it.Reported {
-					return
+				if !it.Reported {
+					left = append(left, remaining{it, flushed})
 				}
-				msg := "location never flushed: missing CLF"
-				if flushed {
-					msg = "location flushed but not fenced: missing fence"
-				}
-				d.rep.Add(report.Bug{
-					Type: report.NoDurability,
-					Addr: it.Addr, Size: it.Size, Seq: it.Seq,
-					Site: it.Site, Strand: it.Strand,
-					Message: msg,
-				})
+			})
+		}
+		sort.Slice(left, func(i, j int) bool {
+			if left[i].it.Seq != left[j].it.Seq {
+				return left[i].it.Seq < left[j].it.Seq
+			}
+			return left[i].it.Addr < left[j].it.Addr
+		})
+		for _, rem := range left {
+			it := rem.it
+			msg := "location never flushed: missing CLF"
+			if rem.flushed {
+				msg = "location flushed but not fenced: missing fence"
+			}
+			d.rep.Add(report.Bug{
+				Type: report.NoDurability,
+				Addr: it.Addr, Size: it.Size, Seq: it.Seq,
+				Site: it.Site, Strand: it.Strand,
+				Message: msg,
 			})
 		}
 	}
@@ -372,6 +410,18 @@ func (d *Detector) finish() {
 			})
 		}
 	}
+}
+
+// sortItemsBySeq orders bookkeeping records by store sequence number with
+// address as the tie-breaker (records sharing a Seq can only come from one
+// store split by partial persists).
+func sortItemsBySeq(items []avl.Item) {
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].Seq != items[j].Seq {
+			return items[i].Seq < items[j].Seq
+		}
+		return items[i].Addr < items[j].Addr
+	})
 }
 
 // Report finalizes (if no KindEnd event arrived) and returns the bug report.
@@ -416,7 +466,7 @@ func (d *Detector) unregister(r intervals.Range) {
 // (strand 0 outside the strand model). Exposed for the Fig. 11 analysis and
 // for user rules.
 func (d *Detector) TreeLen(strand int32) int {
-	if s, ok := d.spaces[strand]; ok {
+	if s, ok := d.lookupSpace(strand); ok {
 		return s.tree.Len()
 	}
 	return 0
@@ -425,7 +475,7 @@ func (d *Detector) TreeLen(strand int32) int {
 // ArrayLen returns the current memory-location-array length of the given
 // strand's space.
 func (d *Detector) ArrayLen(strand int32) int {
-	if s, ok := d.spaces[strand]; ok {
+	if s, ok := d.lookupSpace(strand); ok {
 		return len(s.arr)
 	}
 	return 0
@@ -434,7 +484,7 @@ func (d *Detector) ArrayLen(strand int32) int {
 // TreeStats returns the AVL maintenance counters of the given strand's
 // space.
 func (d *Detector) TreeStats(strand int32) avl.Stats {
-	if s, ok := d.spaces[strand]; ok {
+	if s, ok := d.lookupSpace(strand); ok {
 		return s.tree.Stats()
 	}
 	return avl.Stats{}
@@ -453,7 +503,7 @@ type TrackStatus struct {
 // Tracked reports whether addr is currently tracked in strand's bookkeeping
 // space and, if so, its status. Part of the flexibility API for user rules.
 func (d *Detector) Tracked(strand int32, addr uint64) (TrackStatus, bool) {
-	s, ok := d.spaces[strand]
+	s, ok := d.lookupSpace(strand)
 	if !ok {
 		return TrackStatus{}, false
 	}

@@ -1,0 +1,63 @@
+package report
+
+import (
+	"testing"
+
+	"pmdebugger/internal/trace"
+)
+
+func TestMergeOrdersAndDeduplicates(t *testing.T) {
+	site := trace.RegisterSite("merge_test.go:dup")
+
+	a := New("pmdebugger")
+	a.Add(Bug{Type: RedundantFlush, Seq: 30, Addr: 0x30, Size: 8, Site: site})
+	a.Add(Bug{Type: NoDurability, Seq: 5, Addr: 0x50, Size: 8}) // end-of-program, early seq
+	a.Counters = Counters{Stores: 10, Flushes: 4, Fences: 2, ArrayAppends: 10}
+
+	b := New("pmdebugger")
+	// Same site as shard a's bug but earlier in the stream: the merged
+	// report must keep this one, as a sequential replay would have.
+	b.Add(Bug{Type: RedundantFlush, Seq: 10, Addr: 0x10, Size: 8, Site: site})
+	b.Add(Bug{Type: FlushNothing, Seq: 20, Addr: 0x20, Size: 8})
+	b.Counters = Counters{Stores: 7, Flushes: 3, Fences: 1, ArrayAppends: 7}
+
+	m := Merge("pmdebugger", []*Report{a, nil, b})
+	if m.Detector != "pmdebugger" {
+		t.Fatalf("detector name %q", m.Detector)
+	}
+	want := []struct {
+		typ BugType
+		seq uint64
+	}{
+		{RedundantFlush, 10}, // dedup kept the earlier occurrence
+		{FlushNothing, 20},
+		{NoDurability, 5}, // end-of-program bugs sort after stream bugs
+	}
+	if len(m.Bugs) != len(want) {
+		t.Fatalf("got %d bugs, want %d:\n%s", len(m.Bugs), len(want), m.Summary())
+	}
+	for i, w := range want {
+		if m.Bugs[i].Type != w.typ || m.Bugs[i].Seq != w.seq {
+			t.Errorf("bug[%d] = %v, want type %s seq %d", i, m.Bugs[i], w.typ, w.seq)
+		}
+	}
+	if m.Counters.Stores != 17 || m.Counters.Flushes != 7 || m.Counters.Fences != 3 ||
+		m.Counters.ArrayAppends != 17 {
+		t.Errorf("counters not summed: %+v", m.Counters)
+	}
+	// The merged report keeps deduplicating: re-adding the site bug is a
+	// no-op.
+	m.Add(Bug{Type: RedundantFlush, Seq: 99, Addr: 0x99, Size: 8, Site: site})
+	if len(m.Bugs) != len(want) {
+		t.Error("merged report lost dedup state")
+	}
+}
+
+func TestEndOfProgramClassification(t *testing.T) {
+	for _, typ := range AllBugTypes() {
+		want := typ == NoDurability || typ == CrossFailureSemantic
+		if typ.EndOfProgram() != want {
+			t.Errorf("%s: EndOfProgram() = %v, want %v", typ, typ.EndOfProgram(), want)
+		}
+	}
+}

@@ -103,6 +103,15 @@ func (b BugType) Performance() bool {
 	return false
 }
 
+// EndOfProgram reports whether bugs of this type are emitted by the
+// end-of-program finalization (the §4.5 no-durability sweep and the
+// cross-failure recovery check) rather than at the offending instruction.
+// Merge uses this to keep finalization bugs after stream bugs, matching the
+// order a sequential replay produces.
+func (b BugType) EndOfProgram() bool {
+	return b == NoDurability || b == CrossFailureSemantic
+}
+
 // Bug is one detected bug instance.
 type Bug struct {
 	Type    BugType
@@ -153,6 +162,20 @@ type Counters struct {
 	Redistributions uint64
 }
 
+// Merge accumulates another counter set into c (used when combining shard
+// reports: shards see disjoint event subsequences, so sums reproduce the
+// sequential totals).
+func (c *Counters) Merge(o Counters) {
+	c.Stores += o.Stores
+	c.Flushes += o.Flushes
+	c.Fences += o.Fences
+	c.TreeNodeSamples += o.TreeNodeSamples
+	c.TreeReorgs += o.TreeReorgs
+	c.ArrayAppends += o.ArrayAppends
+	c.ArraySpills += o.ArraySpills
+	c.Redistributions += o.Redistributions
+}
+
 // AvgTreeNodes returns the average tree size per fence interval (Fig. 11).
 func (c Counters) AvgTreeNodes() float64 {
 	if c.Fences == 0 {
@@ -198,6 +221,40 @@ func (r *Report) Add(b Bug) {
 	}
 	r.seen[k] = true
 	r.Bugs = append(r.Bugs, b)
+}
+
+// Merge combines shard reports produced by a partitioned replay into one
+// deterministic report. Bugs are re-deduplicated in global stream order —
+// stream-phase bugs by the sequence number of the offending instruction,
+// then end-of-program bugs by the sequence number of the unpersisted store
+// (ties broken by address, which only split records can produce) — so the
+// merged report is identical, bug for bug and in the same order, to the one
+// a sequential replay of the unpartitioned stream produces. Counters are
+// summed.
+func Merge(detector string, shards []*Report) *Report {
+	out := New(detector)
+	var bugs []Bug
+	for _, sh := range shards {
+		if sh == nil {
+			continue
+		}
+		bugs = append(bugs, sh.Bugs...)
+		out.Counters.Merge(sh.Counters)
+	}
+	sort.SliceStable(bugs, func(i, j int) bool {
+		bi, bj := bugs[i], bugs[j]
+		if pi, pj := bi.Type.EndOfProgram(), bj.Type.EndOfProgram(); pi != pj {
+			return !pi
+		}
+		if bi.Seq != bj.Seq {
+			return bi.Seq < bj.Seq
+		}
+		return bi.Addr < bj.Addr
+	})
+	for _, b := range bugs {
+		out.Add(b)
+	}
+	return out
 }
 
 // CountByType returns how many distinct bugs of each type were found.

@@ -1,0 +1,44 @@
+package trace
+
+// BatchHandler is the optional batch fast path of the replay pipeline: a
+// Handler that can consume a contiguous slice of events in one call. Replay
+// through HandleEvent pays one dynamic dispatch per instruction; for traces
+// in the hundred-million-event range that dispatch — not the bookkeeping —
+// becomes a measurable fraction of replay time. Handlers that implement
+// HandleBatch receive DefaultBatchSize-sized slices instead and can hoist
+// loop-invariant work (registration checks, counter updates, space lookups)
+// out of the per-event path.
+//
+// HandleBatch(evs) must be semantically identical to calling HandleEvent for
+// each event of evs in order. The slice is only valid for the duration of
+// the call; implementations must not retain it.
+type BatchHandler interface {
+	Handler
+	HandleBatch(evs []Event)
+}
+
+// DefaultBatchSize is the slice size used by the batched replay paths. It is
+// sized so a batch of 40-byte events stays comfortably inside the L2 cache
+// while amortizing the per-batch overhead to noise.
+const DefaultBatchSize = 4096
+
+// ReplayEvents delivers events to h in order, using the batch fast path in
+// DefaultBatchSize chunks when h implements BatchHandler and falling back to
+// one HandleEvent call per event otherwise.
+func ReplayEvents(events []Event, h Handler) {
+	bh, ok := h.(BatchHandler)
+	if !ok {
+		for _, ev := range events {
+			h.HandleEvent(ev)
+		}
+		return
+	}
+	for len(events) > 0 {
+		n := len(events)
+		if n > DefaultBatchSize {
+			n = DefaultBatchSize
+		}
+		bh.HandleBatch(events[:n])
+		events = events[n:]
+	}
+}

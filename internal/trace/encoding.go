@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Trace file format: a 8-byte magic header followed by fixed-width
@@ -12,10 +13,25 @@ import (
 // preserved verbatim, so decoded traces report numeric sites unless the same
 // process registered the names. This matches the role traces play here:
 // shuttling an instruction stream between the cmd/ tools in one session.
+//
+// Encoding and decoding are streaming: Writer and Reader move
+// StreamBatchSize-record slabs through a shared buffer pool, so multi-GB
+// traces flow between disk and the replay pipeline in constant memory.
 
 var traceMagic = [8]byte{'P', 'M', 'T', 'R', 'A', 'C', 'E', '1'}
 
 const recordSize = 8 + 8 + 8 + 1 + 1 + 4 + 4 + 4 // Seq Addr Size Kind Flush Strand Thread Site
+
+// StreamBatchSize is the number of records moved per I/O slab by the
+// streaming encoder/decoder and the batch size StreamTrace delivers.
+const StreamBatchSize = DefaultBatchSize
+
+// slabPool recycles the byte slabs used to stage encoded records, so
+// concurrent streams (e.g. several shard writers) do not each hold a
+// freshly allocated buffer per batch.
+var slabPool = sync.Pool{
+	New: func() any { return make([]byte, StreamBatchSize*recordSize) },
+}
 
 func putEvent(buf []byte, ev Event) {
 	binary.LittleEndian.PutUint64(buf[0:], ev.Seq)
@@ -41,24 +57,85 @@ func getEvent(buf []byte) Event {
 	}
 }
 
-// WriteTrace serializes events to w in the trace file format.
-func WriteTrace(w io.Writer, events []Event) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(traceMagic[:]); err != nil {
-		return fmt.Errorf("trace: write header: %w", err)
-	}
-	var rec [recordSize]byte
-	for _, ev := range events {
-		putEvent(rec[:], ev)
-		if _, err := bw.Write(rec[:]); err != nil {
-			return fmt.Errorf("trace: write record: %w", err)
-		}
-	}
-	return bw.Flush()
+// Writer streams events to an underlying io.Writer in the trace file
+// format. Events are staged in pooled slabs and written StreamBatchSize
+// records at a time; call Flush once at the end.
+type Writer struct {
+	bw   *bufio.Writer
+	slab []byte
+	n    int // staged records in slab
 }
 
-// ReadTrace deserializes a trace previously written by WriteTrace.
-func ReadTrace(r io.Reader) ([]Event, error) {
+// NewWriter writes the trace header and returns a streaming encoder.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(traceMagic[:]); err != nil {
+		return nil, fmt.Errorf("trace: write header: %w", err)
+	}
+	return &Writer{bw: bw, slab: slabPool.Get().([]byte)}, nil
+}
+
+// WriteEvent appends one event to the stream.
+func (tw *Writer) WriteEvent(ev Event) error {
+	putEvent(tw.slab[tw.n*recordSize:], ev)
+	tw.n++
+	if tw.n == StreamBatchSize {
+		return tw.flushSlab()
+	}
+	return nil
+}
+
+// WriteBatch appends a slice of events to the stream.
+func (tw *Writer) WriteBatch(evs []Event) error {
+	for _, ev := range evs {
+		if err := tw.WriteEvent(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HandleEvent implements Handler, so a Writer can be attached directly to an
+// instrumented pool to record straight to disk. Errors are surfaced by
+// Flush.
+func (tw *Writer) HandleEvent(ev Event) { _ = tw.WriteEvent(ev) }
+
+// HandleBatch implements BatchHandler.
+func (tw *Writer) HandleBatch(evs []Event) { _ = tw.WriteBatch(evs) }
+
+func (tw *Writer) flushSlab() error {
+	if tw.n == 0 {
+		return nil
+	}
+	if _, err := tw.bw.Write(tw.slab[:tw.n*recordSize]); err != nil {
+		return fmt.Errorf("trace: write records: %w", err)
+	}
+	tw.n = 0
+	return nil
+}
+
+// Flush drains staged records and the underlying buffer, and returns the
+// pooled slab. The Writer must not be used afterwards.
+func (tw *Writer) Flush() error {
+	if err := tw.flushSlab(); err != nil {
+		return err
+	}
+	if tw.slab != nil {
+		slabPool.Put(tw.slab)
+		tw.slab = nil
+	}
+	return tw.bw.Flush()
+}
+
+// Reader streams events from an underlying io.Reader.
+type Reader struct {
+	br   *bufio.Reader
+	slab []byte
+	buf  []byte // unconsumed decoded bytes within slab
+}
+
+// NewReader validates the trace header and returns a streaming decoder.
+func NewReader(r io.Reader) (*Reader, error) {
 	br := bufio.NewReader(r)
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
@@ -67,16 +144,118 @@ func ReadTrace(r io.Reader) ([]Event, error) {
 	if magic != traceMagic {
 		return nil, fmt.Errorf("trace: bad magic %q", magic[:])
 	}
-	var events []Event
-	var rec [recordSize]byte
+	return &Reader{br: br, slab: slabPool.Get().([]byte)}, nil
+}
+
+// ReadBatch fills dst with decoded events and returns how many were read.
+// It returns 0, io.EOF at a clean end of stream and an error for a
+// truncated or corrupt trace.
+func (tr *Reader) ReadBatch(dst []Event) (int, error) {
+	n := 0
+	for n < len(dst) {
+		if len(tr.buf) < recordSize {
+			if err := tr.fill(); err != nil {
+				if err == io.EOF && n > 0 {
+					return n, nil
+				}
+				return n, err
+			}
+		}
+		dst[n] = getEvent(tr.buf)
+		tr.buf = tr.buf[recordSize:]
+		n++
+	}
+	return n, nil
+}
+
+// fill reads the next slab of whole records from the underlying reader.
+func (tr *Reader) fill() error {
+	if tr.slab == nil {
+		return io.EOF
+	}
+	read, err := io.ReadFull(tr.br, tr.slab)
+	if err == io.ErrUnexpectedEOF || err == io.EOF {
+		if read == 0 {
+			tr.Close()
+			return io.EOF
+		}
+		if read%recordSize != 0 {
+			return fmt.Errorf("trace: truncated record (%d trailing bytes)", read%recordSize)
+		}
+		err = nil
+	}
+	if err != nil {
+		return fmt.Errorf("trace: read records: %w", err)
+	}
+	tr.buf = tr.slab[:read]
+	return nil
+}
+
+// Close returns the pooled slab. Reading past EOF closes implicitly; Close
+// is only needed when abandoning a stream early.
+func (tr *Reader) Close() {
+	if tr.slab != nil {
+		slabPool.Put(tr.slab)
+		tr.slab = nil
+		tr.buf = nil
+	}
+}
+
+// StreamTrace decodes a trace from r and delivers it to h in batches of up
+// to StreamBatchSize events without materializing the trace, using the
+// batch fast path when h implements BatchHandler. It returns the number of
+// events delivered.
+func StreamTrace(r io.Reader, h Handler) (int, error) {
+	tr, err := NewReader(r)
+	if err != nil {
+		return 0, err
+	}
+	defer tr.Close()
+	total := 0
+	batch := make([]Event, StreamBatchSize)
+	bh, batched := h.(BatchHandler)
 	for {
-		_, err := io.ReadFull(br, rec[:])
+		n, err := tr.ReadBatch(batch)
+		if n > 0 {
+			if batched {
+				bh.HandleBatch(batch[:n])
+			} else {
+				for _, ev := range batch[:n] {
+					h.HandleEvent(ev)
+				}
+			}
+			total += n
+		}
 		if err == io.EOF {
-			return events, nil
+			return total, nil
 		}
 		if err != nil {
-			return nil, fmt.Errorf("trace: read record: %w", err)
+			return total, err
 		}
-		events = append(events, getEvent(rec[:]))
 	}
+}
+
+// WriteTrace serializes events to w in the trace file format.
+func WriteTrace(w io.Writer, events []Event) error {
+	tw, err := NewWriter(w)
+	if err != nil {
+		return err
+	}
+	if err := tw.WriteBatch(events); err != nil {
+		return err
+	}
+	return tw.Flush()
+}
+
+// ReadTrace deserializes a trace previously written by WriteTrace,
+// materializing it fully. Prefer StreamTrace or Reader for large traces.
+func ReadTrace(r io.Reader) ([]Event, error) {
+	var events []Event
+	_, err := StreamTrace(r, HandlerFunc(func(ev Event) {
+		events = append(events, ev)
+	}))
+	if err != nil {
+		return nil, err
+	}
+	return events, nil
 }

@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+)
+
+func mkEncTrace(n int) []Event {
+	evs := make([]Event, n)
+	for i := range evs {
+		evs[i] = Event{
+			Seq: uint64(i + 1), Kind: Kind(i % 3), Addr: uint64(i) * 64, Size: 8,
+			Strand: int32(i % 5), Thread: int32(i % 2), Site: SiteID(i % 7),
+		}
+	}
+	return evs
+}
+
+func TestStreamingWriterReaderRoundTrip(t *testing.T) {
+	// Cross a slab boundary and leave a partial tail batch.
+	evs := mkEncTrace(StreamBatchSize*2 + 123)
+	var buf bytes.Buffer
+	tw, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mix single-event and batch writes.
+	if err := tw.WriteEvent(evs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.WriteBatch(evs[1:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	tr, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Event
+	dst := make([]Event, 1000) // deliberately not a slab multiple
+	for {
+		n, err := tr.ReadBatch(dst)
+		got = append(got, dst[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(got, evs) {
+		t.Fatalf("round trip mismatch: %d events in, %d out", len(evs), len(got))
+	}
+}
+
+func TestStreamTraceBatchedDelivery(t *testing.T) {
+	evs := mkEncTrace(StreamBatchSize + 7)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	bc := &batchCounter{}
+	n, err := StreamTrace(bytes.NewReader(buf.Bytes()), bc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(evs) {
+		t.Fatalf("StreamTrace returned %d events, want %d", n, len(evs))
+	}
+	if bc.batches != 2 {
+		t.Fatalf("got %d batches, want 2", bc.batches)
+	}
+	if !reflect.DeepEqual(bc.events, evs) {
+		t.Fatal("streamed events differ from written events")
+	}
+}
+
+func TestWriterAsHandler(t *testing.T) {
+	// A Writer attached as a Handler records straight to the stream.
+	evs := mkEncTrace(300)
+	var buf bytes.Buffer
+	tw, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h Handler = tw
+	for _, ev := range evs {
+		h.HandleEvent(ev)
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, evs) {
+		t.Fatal("handler-recorded trace mismatch")
+	}
+}
+
+func TestStreamTraceTruncatedRecord(t *testing.T) {
+	evs := mkEncTrace(10)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()[:buf.Len()-3] // chop mid-record
+	if _, err := StreamTrace(bytes.NewReader(raw), HandlerFunc(func(Event) {})); err == nil {
+		t.Fatal("truncated trace should fail")
+	}
+}

@@ -1,0 +1,204 @@
+package trace
+
+import (
+	"errors"
+	"sync"
+)
+
+// This file implements the sharded half of the replay pipeline: partitioning
+// a recorded event stream along strand boundaries and replaying the
+// partitions concurrently. Strands are the strand persistency model's
+// independent persist paths (§5.1): the detector keeps a separate
+// bookkeeping space per strand and no built-in rule other than the
+// programmer-supplied cross-strand order requirements ever correlates
+// records across strands. A trace whose events are all strand-local
+// therefore replays to the same per-space bookkeeping whether the strands
+// are interleaved in one stream or split across shards.
+
+// ErrNotPartitionable reports that a trace contains events with global
+// (cross-strand) semantics and cannot be safely partitioned by strand.
+var ErrNotPartitionable = errors.New("trace: not partitionable by strand (global events present)")
+
+// PartitionOptions configures PartitionByStrand.
+type PartitionOptions struct {
+	// Shards caps the number of partitions: strand s maps to shard
+	// uint32(s) % Shards, so many short-lived strands fold onto a bounded
+	// set of shard replayers. Shards <= 0 means one shard per distinct
+	// strand id.
+	Shards int
+	// DropJoins tolerates KindJoinStrand events by dropping them. A join
+	// establishes cross-strand persist ordering, which only the
+	// programmer-supplied order rules observe; a consumer replaying without
+	// order specs can safely discard joins. Without DropJoins a join makes
+	// the trace non-partitionable.
+	DropJoins bool
+}
+
+// Partition is one shard of a strand-partitioned trace.
+type Partition struct {
+	// Shard is the shard index (strand id modulo the shard count).
+	Shard int
+	// Events is the shard's subsequence of the original stream, in original
+	// order. Broadcast events (Register/Unregister) appear in every shard.
+	Events []Event
+}
+
+// partitionClass classifies an event kind for partitioning.
+type partitionClass uint8
+
+const (
+	classStrandLocal partitionClass = iota // routed to the strand's shard
+	classBroadcast                         // replicated into every shard
+	classTerminal                          // KindEnd: dropped, the replayer finalizes explicitly
+	classJoin                              // KindJoinStrand: droppable on request
+	classGlobal                            // cross-strand semantics: not partitionable
+)
+
+func classify(k Kind) partitionClass {
+	switch k {
+	case KindStore, KindFlush, KindFence, KindStrandBegin, KindStrandEnd:
+		return classStrandLocal
+	case KindRegister, KindUnregister:
+		// Registration affects which addresses every space tracks; purging
+		// (unregister) touches each space independently. Replicating the
+		// event into every shard reproduces the sequential behavior exactly
+		// because registration state transitions are idempotent per shard.
+		return classBroadcast
+	case KindEnd:
+		return classTerminal
+	case KindJoinStrand:
+		return classJoin
+	default:
+		return classGlobal
+	}
+}
+
+// PartitionSafe reports whether events can be partitioned by strand under
+// the given options (without building the partitions).
+func PartitionSafe(events []Event, opt PartitionOptions) bool {
+	for i := range events {
+		switch classify(events[i].Kind) {
+		case classGlobal:
+			return false
+		case classJoin:
+			if !opt.DropJoins {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func shardOf(strand int32, shards int) int {
+	if shards <= 0 {
+		return int(uint32(strand))
+	}
+	return int(uint32(strand) % uint32(shards))
+}
+
+// PartitionByStrand splits events into per-shard subsequences. Events keep
+// their original relative order within each shard; shards are returned in
+// ascending shard index with empty shards omitted. It returns
+// ErrNotPartitionable when the trace contains epoch sections, transaction
+// log events, or (without DropJoins) strand joins — those have cross-strand
+// semantics that a partitioned replay cannot reproduce.
+func PartitionByStrand(events []Event, opt PartitionOptions) ([]Partition, error) {
+	if !PartitionSafe(events, opt) {
+		return nil, ErrNotPartitionable
+	}
+	// Pass 1: count per-shard events so pass 2 fills exactly-sized slices
+	// instead of growing them (the partition pass is the serial fraction of
+	// the parallel replay; a second counting pass is cheaper than repeated
+	// slice growth on multi-hundred-MB traces).
+	counts := map[int]int{}
+	broadcast := 0
+	for i := range events {
+		switch classify(events[i].Kind) {
+		case classStrandLocal:
+			counts[shardOf(events[i].Strand, opt.Shards)]++
+		case classBroadcast:
+			broadcast++
+		}
+	}
+	if len(counts) == 0 && broadcast == 0 {
+		return nil, nil
+	}
+	shards := make(map[int]*Partition, len(counts))
+	order := make([]int, 0, len(counts))
+	for idx, n := range counts {
+		shards[idx] = &Partition{Shard: idx, Events: make([]Event, 0, n+broadcast)}
+		order = append(order, idx)
+	}
+	if len(shards) == 0 {
+		// Only broadcast events: everything lands in shard 0.
+		shards[0] = &Partition{Shard: 0, Events: make([]Event, 0, broadcast)}
+		order = append(order, 0)
+	}
+	for i := range events {
+		ev := events[i]
+		switch classify(ev.Kind) {
+		case classStrandLocal:
+			p := shards[shardOf(ev.Strand, opt.Shards)]
+			p.Events = append(p.Events, ev)
+		case classBroadcast:
+			for _, p := range shards {
+				p.Events = append(p.Events, ev)
+			}
+		}
+	}
+	sortInts(order)
+	out := make([]Partition, 0, len(order))
+	for _, idx := range order {
+		out = append(out, *shards[idx])
+	}
+	return out, nil
+}
+
+func sortInts(a []int) {
+	// Insertion sort: shard counts are bounded by GOMAXPROCS-scale values.
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// ParallelReplay partitions events by strand and replays each partition
+// concurrently on its own handler. mk is called once per partition (from the
+// calling goroutine, so it needs no synchronization) and must return the
+// shard's handler; each handler then consumes only its shard's events, from
+// a single goroutine, via the batch fast path when implemented. Handlers are
+// returned in ascending shard order once every shard has fully replayed.
+//
+// workers caps the number of concurrently replaying shards; workers <= 0
+// means no cap (one goroutine per shard).
+func ParallelReplay(events []Event, workers int, opt PartitionOptions, mk func(p Partition) Handler) ([]Handler, error) {
+	parts, err := PartitionByStrand(events, opt)
+	if err != nil {
+		return nil, err
+	}
+	handlers := make([]Handler, len(parts))
+	for i, p := range parts {
+		handlers[i] = mk(p)
+	}
+	if workers <= 0 || workers > len(parts) {
+		workers = len(parts)
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				ReplayEvents(parts[i].Events, handlers[i])
+			}
+		}()
+	}
+	for i := range parts {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return handlers, nil
+}

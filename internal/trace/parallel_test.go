@@ -1,0 +1,191 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+)
+
+// mkStrandTrace builds a partitionable strand trace: nStrands strands, each
+// with a begin/store/flush/fence/end section, interleaved round-robin.
+func mkStrandTrace(nStrands int, withJoins bool) []Event {
+	var evs []Event
+	seq := uint64(0)
+	emit := func(k Kind, strand int32, addr, size uint64) {
+		seq++
+		evs = append(evs, Event{Seq: seq, Kind: k, Strand: strand, Addr: addr, Size: size})
+	}
+	emit(KindRegister, 0, 0x1000, 0x10000)
+	for round := 0; round < 3; round++ {
+		for s := 1; s <= nStrands; s++ {
+			strand := int32(s)
+			addr := 0x1000 + uint64(s)*256 + uint64(round)*64
+			emit(KindStrandBegin, strand, 0, 0)
+			emit(KindStore, strand, addr, 8)
+			emit(KindFlush, strand, addr, 64)
+			emit(KindFence, strand, 0, 0)
+			emit(KindStrandEnd, strand, 0, 0)
+		}
+		if withJoins {
+			emit(KindJoinStrand, 0, 0, 0)
+		}
+	}
+	emit(KindEnd, 0, 0, 0)
+	return evs
+}
+
+func TestPartitionByStrandRouting(t *testing.T) {
+	evs := mkStrandTrace(8, true)
+	parts, err := PartitionByStrand(evs, PartitionOptions{Shards: 3, DropJoins: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 3 {
+		t.Fatalf("got %d partitions, want 3", len(parts))
+	}
+	total := 0
+	for _, p := range parts {
+		var lastSeq uint64
+		for _, ev := range p.Events {
+			if ev.Seq <= lastSeq {
+				t.Fatalf("shard %d: events out of order (%d after %d)", p.Shard, ev.Seq, lastSeq)
+			}
+			lastSeq = ev.Seq
+			switch ev.Kind {
+			case KindRegister, KindUnregister:
+				continue // broadcast: appears in every shard
+			case KindJoinStrand, KindEnd:
+				t.Fatalf("shard %d: kind %s should have been dropped", p.Shard, ev.Kind)
+			}
+			if got := int(uint32(ev.Strand) % 3); got != p.Shard {
+				t.Fatalf("strand %d event landed in shard %d", ev.Strand, p.Shard)
+			}
+			total++
+		}
+		if p.Events[0].Kind != KindRegister {
+			t.Fatalf("shard %d: register event not broadcast first", p.Shard)
+		}
+	}
+	// All strand-local events accounted for exactly once.
+	want := 0
+	for _, ev := range evs {
+		switch ev.Kind {
+		case KindStore, KindFlush, KindFence, KindStrandBegin, KindStrandEnd:
+			want++
+		}
+	}
+	if total != want {
+		t.Fatalf("routed %d strand-local events, want %d", total, want)
+	}
+}
+
+func TestPartitionByStrandRejectsGlobalKinds(t *testing.T) {
+	base := mkStrandTrace(2, false)
+	for _, k := range []Kind{KindEpochBegin, KindEpochEnd, KindTxLogAdd} {
+		evs := append(append([]Event{}, base...), Event{Seq: 9999, Kind: k})
+		if _, err := PartitionByStrand(evs, PartitionOptions{Shards: 2, DropJoins: true}); err == nil {
+			t.Errorf("kind %s: partitioning should fail", k)
+		}
+	}
+	// Joins are rejected unless explicitly dropped.
+	joined := mkStrandTrace(2, true)
+	if _, err := PartitionByStrand(joined, PartitionOptions{Shards: 2}); err == nil {
+		t.Error("joins without DropJoins: partitioning should fail")
+	}
+	if !PartitionSafe(joined, PartitionOptions{DropJoins: true}) {
+		t.Error("joins with DropJoins: trace should be partition-safe")
+	}
+}
+
+func TestPartitionByStrandOneShardPerStrand(t *testing.T) {
+	evs := mkStrandTrace(4, false)
+	parts, err := PartitionByStrand(evs, PartitionOptions{Shards: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 4 {
+		t.Fatalf("got %d partitions, want 4 (one per strand)", len(parts))
+	}
+	for i := 1; i < len(parts); i++ {
+		if parts[i-1].Shard >= parts[i].Shard {
+			t.Fatalf("partitions not in ascending shard order: %d then %d",
+				parts[i-1].Shard, parts[i].Shard)
+		}
+	}
+}
+
+func TestParallelReplayDeliversEveryEvent(t *testing.T) {
+	evs := mkStrandTrace(16, true)
+	handlers, err := ParallelReplay(evs, 4, PartitionOptions{Shards: 4, DropJoins: true},
+		func(p Partition) Handler { return NewRecorder(len(p.Events)) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-merging the shard recordings by Seq must reproduce the original
+	// strand-local subsequence.
+	var merged []Event
+	for _, h := range handlers {
+		rec := h.(*Recorder)
+		merged = append(merged, rec.Events...)
+	}
+	seen := map[uint64]int{}
+	for _, ev := range merged {
+		seen[ev.Seq]++
+	}
+	for _, ev := range evs {
+		switch ev.Kind {
+		case KindStore, KindFlush, KindFence, KindStrandBegin, KindStrandEnd:
+			if seen[ev.Seq] != 1 {
+				t.Fatalf("event %v delivered %d times, want 1", ev, seen[ev.Seq])
+			}
+		case KindRegister:
+			if seen[ev.Seq] != len(handlers) {
+				t.Fatalf("register event broadcast to %d shards, want %d", seen[ev.Seq], len(handlers))
+			}
+		}
+	}
+}
+
+// batchCounter records batch boundaries to verify the batched path is used.
+type batchCounter struct {
+	events  []Event
+	batches int
+}
+
+func (b *batchCounter) HandleEvent(ev Event) { b.events = append(b.events, ev) }
+func (b *batchCounter) HandleBatch(evs []Event) {
+	b.batches++
+	b.events = append(b.events, evs...)
+}
+
+func TestReplayBatched(t *testing.T) {
+	rec := NewRecorder(0)
+	for i := 0; i < DefaultBatchSize*2+17; i++ {
+		rec.HandleEvent(Event{Seq: uint64(i + 1), Kind: KindStore, Addr: uint64(i), Size: 1})
+	}
+	bc := &batchCounter{}
+	rec.ReplayBatched(bc)
+	if bc.batches != 3 {
+		t.Fatalf("got %d batches, want 3", bc.batches)
+	}
+	if !reflect.DeepEqual(bc.events, rec.Events) {
+		t.Fatal("batched replay did not deliver the identical stream")
+	}
+	// Non-batch handlers fall back to per-event delivery.
+	var plain []Event
+	rec.ReplayBatched(HandlerFunc(func(ev Event) { plain = append(plain, ev) }))
+	if !reflect.DeepEqual(plain, rec.Events) {
+		t.Fatal("fallback replay did not deliver the identical stream")
+	}
+}
+
+func TestRecorderHandleBatch(t *testing.T) {
+	src := NewRecorder(0)
+	for i := 0; i < 100; i++ {
+		src.HandleEvent(Event{Seq: uint64(i + 1), Kind: KindFlush})
+	}
+	dst := NewRecorder(0)
+	src.ReplayBatched(dst)
+	if !reflect.DeepEqual(dst.Events, src.Events) {
+		t.Fatal("recorder-to-recorder batched replay mismatch")
+	}
+}
