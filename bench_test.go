@@ -469,3 +469,65 @@ func BenchmarkAblationCollectiveMetadata(b *testing.B) {
 		})
 	})
 }
+
+// BenchmarkHotPath measures the detector's per-event hot loop on the three
+// synthetic traces of harness.HotPathTrace, with the cache-line index + MRU
+// probe (indexed) and with the reference interval scan (scan,
+// Config.DisableIndex). Both modes first replay once and must produce
+// byte-identical reports; the indexed sub-benchmarks report their speedup
+// over an inline-measured scan baseline as speedup-x.
+func BenchmarkHotPath(b *testing.B) {
+	for _, kind := range harness.HotPathKinds() {
+		rec, err := harness.HotPathTrace(kind, 24)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfgIdx := core.Config{Model: rules.Strict}
+		cfgScan := core.Config{Model: rules.Strict, DisableIndex: true}
+		replay := func(cfg core.Config) {
+			det := core.New(cfg)
+			rec.Replay(det)
+			det.Report()
+		}
+
+		// Sanity: the two paths must agree bug for bug.
+		di, ds := core.New(cfgIdx), core.New(cfgScan)
+		rec.Replay(di)
+		rec.Replay(ds)
+		if want, got := ds.Report().Summary(), di.Report().Summary(); want != got {
+			b.Fatalf("%s: indexed and scan reports differ:\n--- scan ---\n%s--- indexed ---\n%s",
+				kind, want, got)
+		}
+
+		baseline := func() time.Duration {
+			best := time.Duration(0)
+			for i := 0; i < 3; i++ {
+				start := time.Now()
+				replay(cfgScan)
+				if d := time.Since(start); best == 0 || d < best {
+					best = d
+				}
+			}
+			return best
+		}()
+
+		b.Run(kind+"/scan", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				replay(cfgScan)
+			}
+			b.ReportMetric(float64(rec.Len()), "events/run")
+		})
+		b.Run(kind+"/indexed", func(b *testing.B) {
+			b.ReportAllocs()
+			var elapsed time.Duration
+			for i := 0; i < b.N; i++ {
+				start := time.Now()
+				replay(cfgIdx)
+				elapsed += time.Since(start)
+			}
+			b.ReportMetric(float64(rec.Len()), "events/run")
+			b.ReportMetric(float64(baseline)/(float64(elapsed)/float64(b.N)), "speedup-x")
+		})
+	}
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"pmdebugger/internal/harness"
+)
+
+// hotpathArtifact is the BENCH_hotpath.json schema: one entry per
+// (trace, mode) measurement plus the aggregate speedup, so successive CI
+// runs form a perf trajectory for the detector's per-event hot loop.
+type hotpathArtifact struct {
+	Experiment     string                  `json:"experiment"`
+	Timestamp      string                  `json:"timestamp"`
+	Rounds         int                     `json:"rounds"`
+	Repeats        int                     `json:"repeats"`
+	Results        []harness.HotPathResult `json:"results"`
+	Speedups       map[string]float64      `json:"speedups"`
+	GeomeanSpeedup float64                 `json:"geomean_speedup"`
+}
+
+// hotpath runs the cache-line-index microbenchmarks: each synthetic trace is
+// replayed with the indexed engine and the DisableIndex scan fallback
+// (reports verified byte-identical first), the per-mode throughput is
+// printed, and optionally the JSON artifact is written and the minimum
+// speedup gate enforced.
+func hotpath(opts hotpathOpts) error {
+	fmt.Println("\n=== Hot path: cache-line index + MRU probe vs interval scan ===")
+	fmt.Printf("%-16s %-8s %10s %12s %14s %10s\n",
+		"trace", "mode", "events", "time", "events/s", "speedup")
+
+	art := hotpathArtifact{
+		Experiment: "hotpath",
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Rounds:     opts.rounds,
+		Repeats:    harness.Repeats,
+		Speedups:   map[string]float64{},
+	}
+	logSum := 0.0
+	for _, kind := range harness.HotPathKinds() {
+		pair, err := harness.MeasureHotPath(kind, opts.rounds)
+		if err != nil {
+			return err
+		}
+		indexed, scan := pair[0], pair[1]
+		speedup := scan.EventsPerSec
+		if indexed.EventsPerSec > 0 {
+			speedup = float64(scan.Nanos) / float64(indexed.Nanos)
+		}
+		art.Results = append(art.Results, indexed, scan)
+		art.Speedups[kind] = speedup
+		logSum += math.Log(speedup)
+		for _, r := range pair {
+			mark := ""
+			if r.Mode == "indexed" {
+				mark = fmt.Sprintf("%9.2fx", speedup)
+			}
+			fmt.Printf("%-16s %-8s %10d %12s %14.0f %10s\n",
+				r.Kind, r.Mode, r.Events,
+				time.Duration(r.Nanos).Round(time.Microsecond), r.EventsPerSec, mark)
+		}
+	}
+	art.GeomeanSpeedup = math.Exp(logSum / float64(len(harness.HotPathKinds())))
+	fmt.Printf("geomean speedup (indexed over scan): %.2fx\n", art.GeomeanSpeedup)
+
+	if opts.json {
+		data, err := json.MarshalIndent(art, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(opts.out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", opts.out)
+	}
+	if opts.minSpeedup > 0 && art.GeomeanSpeedup < opts.minSpeedup {
+		return fmt.Errorf("hotpath: indexed engine geomean speedup %.2fx below required %.2fx",
+			art.GeomeanSpeedup, opts.minSpeedup)
+	}
+	return nil
+}

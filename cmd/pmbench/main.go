@@ -10,10 +10,16 @@
 //	pmbench -experiment fig11         # average AVL tree nodes per fence interval
 //	pmbench -experiment reorg         # §7.5 tree reorganization counts
 //	pmbench -experiment parallel      # sharded strand-trace replay speedup
+//	pmbench -experiment hotpath       # cache-line index vs interval-scan hot loop
 //	pmbench -experiment all
 //
 // -scale shrinks or grows every operation count (default 1.0); absolute
 // numbers depend on the host, the paper's shape does not.
+//
+// `-experiment hotpath` additionally honors -json (write a
+// BENCH_hotpath.json perf-trajectory artifact), -out (artifact path) and
+// -minspeedup (exit non-zero when the indexed engine's geometric-mean
+// speedup over the scan fallback falls below the bound — the CI smoke gate).
 package main
 
 import (
@@ -30,23 +36,36 @@ import (
 	"pmdebugger/internal/workloads"
 )
 
+// hotpathOpts carries the hotpath experiment's artifact/gate flags.
+type hotpathOpts struct {
+	json       bool
+	out        string
+	minSpeedup float64
+	rounds     int
+}
+
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "table1, fig8, table5, sota, fig10, fig11, reorg, parallel, or all")
+		experiment = flag.String("experiment", "all", "table1, fig8, table5, sota, fig10, fig11, reorg, parallel, hotpath, or all")
 		inserts    = flag.Int("n", 10000, "micro-benchmark insert count (paper: 1K/10K/100K)")
 		memOps     = flag.Int("memops", 10000, "memcached operation count (paper: 10K-100K)")
 		redisKeys  = flag.Int("rediskeys", 10000, "redis LRU-test key count")
 		repeats    = flag.Int("repeats", 3, "runs per (benchmark, tool); the minimum time is kept")
+		jsonOut    = flag.Bool("json", false, "hotpath: also write the JSON artifact")
+		outPath    = flag.String("out", "BENCH_hotpath.json", "hotpath: JSON artifact path")
+		minSpeed   = flag.Float64("minspeedup", 0, "hotpath: fail unless indexed/scan geomean speedup >= this")
+		rounds     = flag.Int("rounds", 24, "hotpath: fence rounds per synthetic trace")
 	)
 	flag.Parse()
 	harness.Repeats = *repeats
-	if err := run(*experiment, *inserts, *memOps, *redisKeys); err != nil {
+	hp := hotpathOpts{json: *jsonOut, out: *outPath, minSpeedup: *minSpeed, rounds: *rounds}
+	if err := run(*experiment, *inserts, *memOps, *redisKeys, hp); err != nil {
 		fmt.Fprintln(os.Stderr, "pmbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, inserts, memOps, redisKeys int) error {
+func run(experiment string, inserts, memOps, redisKeys int, hp hotpathOpts) error {
 	switch experiment {
 	case "table1":
 		return table1()
@@ -64,6 +83,8 @@ func run(experiment string, inserts, memOps, redisKeys int) error {
 		return reorg(inserts)
 	case "parallel":
 		return parallelReplay(inserts)
+	case "hotpath":
+		return hotpath(hp)
 	case "all":
 		for _, fn := range []func() error{
 			table1,
@@ -74,6 +95,7 @@ func run(experiment string, inserts, memOps, redisKeys int) error {
 			func() error { return fig11(inserts, memOps, redisKeys) },
 			func() error { return reorg(inserts) },
 			func() error { return parallelReplay(inserts) },
+			func() error { return hotpath(hp) },
 		} {
 			if err := fn(); err != nil {
 				return err

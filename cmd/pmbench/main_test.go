@@ -1,14 +1,38 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunExperiments(t *testing.T) {
+	hp := hotpathOpts{rounds: 2}
 	for _, exp := range []string{"table1", "table5", "fig11", "reorg"} {
-		if err := run(exp, 200, 200, 200); err != nil {
+		if err := run(exp, 200, 200, 200, hp); err != nil {
 			t.Errorf("%s: %v", exp, err)
 		}
 	}
-	if err := run("nope", 10, 10, 10); err == nil {
+	if err := run("nope", 10, 10, 10, hp); err == nil {
 		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestHotpathArtifact(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_hotpath.json")
+	if err := run("hotpath", 0, 0, 0, hotpathOpts{json: true, out: out, rounds: 2}); err != nil {
+		t.Fatalf("hotpath: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("artifact not written: %v", err)
+	}
+	var art hotpathArtifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if len(art.Results) != 2*len(art.Speedups) || art.GeomeanSpeedup <= 0 {
+		t.Fatalf("artifact incomplete: %+v", art)
 	}
 }

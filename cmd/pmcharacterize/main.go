@@ -37,16 +37,18 @@ func run(inserts, records, ops int) error {
 	fmt.Print(harness.FormatCharacterization(rows))
 
 	// Summarize the three patterns the design builds on.
-	var le3Sum, collSum, storeSum float64
+	var le3Sum, collSum, storeSum, mruSum float64
 	for _, r := range rows {
 		le3Sum += r.Result.DistanceLE(3)
 		collSum += r.Result.CollectivePercent()
 		s, _, _ := r.Result.MixPercent()
 		storeSum += s
+		mruSum += r.Result.MRULocalPercent()
 	}
 	n := float64(len(rows))
 	fmt.Printf("\nPattern 1: %.1f%% of stores guaranteed within distance 3 (paper: 84.5%%)\n", le3Sum/n)
 	fmt.Printf("Pattern 2: %.1f%% of CLF intervals collective (paper: >71%%)\n", collSum/n)
 	fmt.Printf("Pattern 3: stores are %.1f%% of the three instructions (paper: >=40.2%%)\n", storeSum/n)
+	fmt.Printf("MRU locality: %.1f%% of effective writebacks answerable from the 2 most recent CLF intervals\n", mruSum/n)
 	return nil
 }

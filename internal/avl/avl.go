@@ -13,6 +13,8 @@
 package avl
 
 import (
+	"sort"
+
 	"pmdebugger/internal/intervals"
 	"pmdebugger/internal/trace"
 )
@@ -176,6 +178,66 @@ func (t *Tree) Insert(it Item) {
 		}
 	}
 	t.root = t.insertRaw(t.root, it)
+}
+
+// InsertAll adds a batch of records with the same semantics as calling
+// Insert for each item in order (a later item supersedes earlier bookkeeping
+// for the bytes it covers, including earlier items of the same batch). Large
+// batches whose records are pairwise disjoint and disjoint from the existing
+// tree take a bulk build-from-sorted path that pays tree maintenance once —
+// no per-item rebalancing — which is the common shape of fence-time array
+// redistribution (§4.4). Conflicting or small batches fall back to per-item
+// insertion.
+func (t *Tree) InsertAll(items []Item) {
+	const bulkMin = 16
+	if len(items) >= bulkMin && len(items)*8 >= t.size {
+		if merged, ok := t.disjointUnion(items); ok {
+			t.stats.Inserts += uint64(len(merged) - t.size)
+			t.rebuild(merged)
+			return
+		}
+	}
+	for _, it := range items {
+		t.Insert(it)
+	}
+}
+
+// disjointUnion returns the address-sorted union of the tree's records and
+// the non-empty items, or ok=false when any two records overlap (the bulk
+// path does not apply and the caller must fold items in one at a time).
+func (t *Tree) disjointUnion(items []Item) ([]Item, bool) {
+	batch := make([]Item, 0, len(items))
+	for _, it := range items {
+		if it.Size > 0 {
+			batch = append(batch, it)
+		}
+	}
+	sort.Slice(batch, func(i, j int) bool { return batch[i].Addr < batch[j].Addr })
+	for i := 1; i < len(batch); i++ {
+		if batch[i].Addr < batch[i-1].End() {
+			return nil, false
+		}
+	}
+	existing := t.Items()
+	merged := make([]Item, 0, len(existing)+len(batch))
+	i, j := 0, 0
+	for i < len(existing) && j < len(batch) {
+		if existing[i].Addr < batch[j].Addr {
+			merged = append(merged, existing[i])
+			i++
+		} else {
+			merged = append(merged, batch[j])
+			j++
+		}
+	}
+	merged = append(merged, existing[i:]...)
+	merged = append(merged, batch[j:]...)
+	for k := 1; k < len(merged); k++ {
+		if merged[k].Addr < merged[k-1].End() {
+			return nil, false
+		}
+	}
+	return merged, true
 }
 
 // InsertDisjoint adds a record the caller guarantees does not overlap any

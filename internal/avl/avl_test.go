@@ -402,3 +402,113 @@ func BenchmarkLookup(b *testing.B) {
 		tr.Lookup(uint64(i%(1<<16)) * 8)
 	}
 }
+
+// insertAllItems compares an InsertAll call against the reference semantics
+// of inserting each item sequentially, checking both final contents and tree
+// invariants.
+func insertAllMatchesSequential(t *testing.T, pre, batch []Item) {
+	t.Helper()
+	bulk, seq := New(), New()
+	for _, it := range pre {
+		bulk.Insert(it)
+		seq.Insert(it)
+	}
+	bulk.InsertAll(batch)
+	for _, it := range batch {
+		seq.Insert(it)
+	}
+	checkInvariants(t, bulk)
+	got, want := bulk.Items(), seq.Items()
+	if len(got) != len(want) {
+		t.Fatalf("InsertAll: %d items, sequential: %d\nbulk: %v\nseq:  %v", len(got), len(want), got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("item %d differs: bulk %+v vs seq %+v", i, got[i], want[i])
+		}
+	}
+	if bs, ss := bulk.Stats(), seq.Stats(); bs.Inserts != ss.Inserts && disjointFixture(pre, batch) {
+		t.Fatalf("disjoint batch insert count diverged: bulk %d vs seq %d", bs.Inserts, ss.Inserts)
+	}
+}
+
+// disjointFixture reports whether all records across pre and batch are
+// pairwise disjoint and non-empty (the bulk fast path's precondition).
+func disjointFixture(pre, batch []Item) bool {
+	var all []Item
+	for _, it := range append(append([]Item{}, pre...), batch...) {
+		if it.Size == 0 {
+			return false
+		}
+		all = append(all, it)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Addr < all[j].Addr })
+	for i := 1; i < len(all); i++ {
+		if all[i].Addr < all[i-1].End() {
+			return false
+		}
+	}
+	return true
+}
+
+func TestInsertAllDisjointBulk(t *testing.T) {
+	// Large disjoint batch into an empty tree: the bulk build path.
+	batch := make([]Item, 0, 64)
+	for i := 63; i >= 0; i-- { // deliberately unsorted input
+		batch = append(batch, Item{Addr: uint64(i * 32), Size: 16, Seq: uint64(i)})
+	}
+	insertAllMatchesSequential(t, nil, batch)
+
+	tr := New()
+	tr.InsertAll(batch)
+	if tr.Len() != 64 {
+		t.Fatalf("len %d after bulk insert, want 64", tr.Len())
+	}
+	if rot := tr.Stats().Rotations; rot != 0 {
+		t.Fatalf("bulk build performed %d rotations, want 0", rot)
+	}
+	if h, max := tr.Height(), 7; h > max {
+		t.Fatalf("bulk-built tree height %d exceeds %d for 64 items", h, max)
+	}
+}
+
+func TestInsertAllDisjointFromExisting(t *testing.T) {
+	pre := []Item{{Addr: 0x10, Size: 8}, {Addr: 0x100, Size: 8}, {Addr: 0x1000, Size: 8}}
+	batch := make([]Item, 0, 32)
+	for i := 0; i < 32; i++ {
+		batch = append(batch, Item{Addr: 0x2000 + uint64(i*16), Size: 8, Seq: uint64(i)})
+	}
+	insertAllMatchesSequential(t, pre, batch)
+}
+
+func TestInsertAllOverlappingFallback(t *testing.T) {
+	// Batch overlapping both itself and the tree: must fall back to the
+	// sequential supersede semantics (later item wins the overlapped bytes).
+	pre := []Item{{Addr: 0x100, Size: 64, Seq: 1}}
+	batch := make([]Item, 0, 24)
+	for i := 0; i < 24; i++ {
+		batch = append(batch, Item{Addr: 0x100 + uint64(i*8), Size: 24, Seq: uint64(10 + i)})
+	}
+	insertAllMatchesSequential(t, pre, batch)
+}
+
+func TestInsertAllSmallAndEmpty(t *testing.T) {
+	insertAllMatchesSequential(t, nil, nil)
+	insertAllMatchesSequential(t, nil, []Item{{Addr: 8, Size: 8}})
+	// Zero-size items are ignored on both paths.
+	insertAllMatchesSequential(t, nil, []Item{{Addr: 8, Size: 8}, {Addr: 64, Size: 0}, {Addr: 128, Size: 8}})
+}
+
+func TestInsertAllRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		var pre, batch []Item
+		for i := 0; i < rng.Intn(8); i++ {
+			pre = append(pre, Item{Addr: uint64(rng.Intn(1024)), Size: uint64(rng.Intn(48) + 1), Seq: uint64(i)})
+		}
+		for i := 0; i < rng.Intn(40); i++ {
+			batch = append(batch, Item{Addr: uint64(rng.Intn(1024)), Size: uint64(rng.Intn(48)), Seq: uint64(100 + i)})
+		}
+		insertAllMatchesSequential(t, pre, batch)
+	}
+}

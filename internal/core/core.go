@@ -57,6 +57,12 @@ type Config struct {
 	// first, then array) for the A3 ablation benchmark: processing the
 	// array first inserts into a larger tree.
 	ArrayFirstFence bool
+	// DisableIndex turns off the per-space cache-line index and MRU
+	// interval probe (index.go) and falls back to the reference
+	// interval-scan hot path. The two paths are behaviorally identical —
+	// differential-tested in index_test.go and fuzz_test.go — so this
+	// exists for that comparison and for the hotpath benchmarks.
+	DisableIndex bool
 	// RequireRegistration restricts tracking to regions registered with
 	// Register_pmem (§6): stores and writebacks outside every registered
 	// region are ignored. The pmem substrate auto-registers the whole pool
@@ -152,6 +158,10 @@ func (d *Detector) spaceFor(strand int32) *space {
 			s.arr = s.arr[:0]
 			s.meta = s.meta[:0]
 			s.meta = append(s.meta, clfMeta{minAddr: ^uint64(0)})
+			// A retired space is empty, and every index mutation accompanies
+			// an array append, so its index is already clear — reset anyway
+			// so a recycled space never inherits stale line lists.
+			s.resetIndex()
 		} else {
 			s = newSpace(d, strand)
 		}

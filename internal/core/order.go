@@ -156,18 +156,19 @@ func (ot *orderTracker) fenceDone(ev trace.Event) {
 		if before.committed && before.commitAt < after.commitAt {
 			continue // X durable strictly earlier: order satisfied
 		}
-		msg := fmt.Sprintf("%q became durable at fence %d but %q is not durable yet",
-			sp.After, ot.fenceNo, sp.Before)
-		if before.committed {
-			msg = fmt.Sprintf("%q and %q became durable at the same fence %d: order not established",
-				sp.After, sp.Before, ot.fenceNo)
-		}
-		ot.d.rep.Add(report.Bug{
+		fenceNo, tied := ot.fenceNo, before.committed
+		ot.d.rep.AddLazy(report.Bug{
 			Type: report.NoOrderGuarantee,
 			Addr: after.rng.Addr, Size: after.rng.Size,
 			Seq: ev.Seq, Strand: ev.Strand,
-			Site:    trace.RegisterSite("order:" + sp.Before + "<" + sp.After),
-			Message: msg,
+			Site: trace.RegisterSite("order:" + sp.Before + "<" + sp.After),
+		}, func() string {
+			if tied {
+				return fmt.Sprintf("%q and %q became durable at the same fence %d: order not established",
+					sp.After, sp.Before, fenceNo)
+			}
+			return fmt.Sprintf("%q became durable at fence %d but %q is not durable yet",
+				sp.After, fenceNo, sp.Before)
 		})
 	}
 }
@@ -196,14 +197,16 @@ func (ot *orderTracker) noteFlush(ev trace.Event) {
 			continue
 		}
 		if before.lastStrand != ev.Strand && ot.strandLive[before.lastStrand] {
-			ot.d.rep.Add(report.Bug{
+			lastStrand := before.lastStrand
+			ot.d.rep.AddLazy(report.Bug{
 				Type: report.LackOrderingInStrands,
 				Addr: after.rng.Addr, Size: after.rng.Size,
 				Seq: ev.Seq, Strand: ev.Strand,
 				Site: trace.RegisterSite("strand-order:" + sp.Before + "<" + sp.After),
-				Message: fmt.Sprintf(
+			}, func() string {
+				return fmt.Sprintf(
 					"strand %d persists %q while %q written by running strand %d is not durable",
-					ev.Strand, sp.After, sp.Before, before.lastStrand),
+					ev.Strand, sp.After, sp.Before, lastStrand)
 			})
 		}
 	}

@@ -53,6 +53,18 @@ type space struct {
 	arr    []avl.Item
 	meta   []clfMeta
 	tree   *avl.Tree
+
+	// Cache-line index state (see index.go). idx is nil when
+	// Config.DisableIndex selects the reference scan path. entryIv maps each
+	// array entry to the CLF interval that owns it; oldBounds summarizes the
+	// address ranges of every interval older than the previous one (the MRU
+	// probe's negative filter). candScratch and redist are reusable scratch
+	// buffers for candidate gathering and fence-time redistribution.
+	idx         *lineIndex
+	entryIv     []int32
+	oldBounds   intervals.Range
+	candScratch []int32
+	redist      []avl.Item
 }
 
 func newSpace(d *Detector, strand int32) *space {
@@ -64,6 +76,9 @@ func newSpace(d *Detector, strand int32) *space {
 		arr:    make([]avl.Item, 0, 256),
 		tree:   avl.New(),
 	}
+	if !d.cfg.DisableIndex {
+		s.idx = newLineIndex()
+	}
 	s.meta = append(s.meta, clfMeta{minAddr: ^uint64(0)})
 	return s
 }
@@ -74,10 +89,38 @@ func (s *space) empty() bool { return len(s.arr) == 0 && s.tree.Len() == 0 }
 func (s *space) cur() *clfMeta { return &s.meta[len(s.meta)-1] }
 
 // trackedOverlap reports whether any record in the bookkeeping space
-// overlaps r. It prefilters CLF intervals by their collective address range
-// so most intervals are skipped without touching entries (Pattern 2).
+// overlaps r. The array is consulted first — via the MRU probe or the
+// cache-line index when enabled, or the reference interval scan — then the
+// AVL tree.
 func (s *space) trackedOverlap(r intervals.Range) (avl.Item, bool) {
-	for mi := range s.meta {
+	var hit avl.Item
+	var found bool
+	switch {
+	case s.idx == nil:
+		hit, found = s.overlapScanFrom(r, 0)
+	case s.mruOnly(r):
+		s.d.rep.Counters.MRUProbeHits++
+		hit, found = s.overlapScanFrom(r, s.mruFirst())
+	default:
+		hit, found = s.overlapIndexed(r)
+	}
+	if found {
+		return hit, true
+	}
+	s.tree.VisitOverlapping(r, func(it avl.Item) {
+		if !found {
+			hit, found = it, true
+		}
+	})
+	return hit, found
+}
+
+// overlapScanFrom is the reference array lookup: scan CLF intervals starting
+// at meta index from, prefiltering each by its collective address range so
+// most intervals are skipped without touching entries (Pattern 2), and
+// return the first overlapping entry in array order.
+func (s *space) overlapScanFrom(r intervals.Range, from int) (avl.Item, bool) {
+	for mi := from; mi < len(s.meta); mi++ {
 		m := &s.meta[mi]
 		if m.empty() || !r.Overlaps(m.rng()) {
 			continue
@@ -88,14 +131,24 @@ func (s *space) trackedOverlap(r intervals.Range) (avl.Item, bool) {
 			}
 		}
 	}
-	var hit avl.Item
-	found := false
-	s.tree.VisitOverlapping(r, func(it avl.Item) {
-		if !found {
-			hit, found = it, true
+	return avl.Item{}, false
+}
+
+// overlapIndexed resolves the lookup through the cache-line index. The
+// candidates are ascending and a superset of every overlapping entry, and
+// each is re-checked against the scan path's interval prefilter, so the
+// first candidate that passes is exactly the entry the scan returns.
+func (s *space) overlapIndexed(r intervals.Range) (avl.Item, bool) {
+	for _, id := range s.candidates(r) {
+		m := &s.meta[s.entryIv[id]]
+		if !r.Overlaps(m.rng()) {
+			continue
 		}
-	})
-	return hit, found
+		if s.arr[id].Range().Overlaps(r) {
+			return s.arr[id], true
+		}
+	}
+	return avl.Item{}, false
 }
 
 // store processes a memory store instruction (§4.2): append to the array
@@ -106,12 +159,14 @@ func (s *space) store(ev trace.Event, epochID int32) {
 	r := intervals.R(ev.Addr, ev.Size)
 	if s.d.cfg.Rules.Has(rules.RuleMultipleOverwrites) {
 		if prev, ok := s.trackedOverlap(r); ok {
-			s.d.rep.Add(report.Bug{
+			prevSeq := prev.Seq
+			s.d.rep.AddLazy(report.Bug{
 				Type: report.MultipleOverwrites,
 				Addr: ev.Addr, Size: ev.Size, Seq: ev.Seq,
 				Site: ev.Site, Strand: ev.Strand,
-				Message: "location written again before its durability is guaranteed (previous store at seq " +
-					usay(prev.Seq) + ")",
+			}, func() string {
+				return "location written again before its durability is guaranteed (previous store at seq " +
+					usay(prevSeq) + ")"
 			})
 		}
 	}
@@ -132,6 +187,10 @@ func (s *space) store(ev trace.Event, epochID int32) {
 			m.maxAddr = ev.End()
 		}
 		s.d.rep.Counters.ArrayAppends++
+		if s.idx != nil {
+			s.idx.add(int32(len(s.arr)-1), r)
+			s.entryIv = append(s.entryIv, int32(len(s.meta)-1))
+		}
 	} else {
 		// Rare overflow (§4.1): new locations go straight to the AVL tree.
 		s.tree.Insert(it)
@@ -149,91 +208,36 @@ func (s *space) store(ev trace.Event, epochID int32) {
 // (the covered part stays in the array, the remainder moves to the tree).
 // Afterwards the tree is updated and a fresh CLF interval is opened.
 //
+// With the index enabled, the traversal visits only the MRU intervals (when
+// the probe proves older ones unreachable) or the intervals owning the
+// flush's cache-line candidates; both restrictions visit every interval the
+// reference scan would touch.
+//
 // It returns whether the flush hit any not-yet-flushed record and whether it
 // hit any already-flushed record, which drive the redundant-flush and
 // flush-nothing rules.
 func (s *space) flush(ev trace.Event) (anyNew, anyOld bool) {
 	fr := intervals.R(ev.Addr, ev.Size)
-	for mi := range s.meta {
-		m := &s.meta[mi]
-		if m.empty() {
-			continue
+	switch {
+	case s.idx == nil:
+		for mi := range s.meta {
+			n, o := s.flushOne(&s.meta[mi], fr, nil)
+			anyNew = anyNew || n
+			anyOld = anyOld || o
 		}
-		ir := m.rng()
-		if !fr.Overlaps(ir) {
-			continue
+	case s.mruOnly(fr):
+		s.d.rep.Counters.MRUProbeHits++
+		for mi := s.mruFirst(); mi < len(s.meta); mi++ {
+			n, o := s.flushOne(&s.meta[mi], fr, nil)
+			anyNew = anyNew || n
+			anyOld = anyOld || o
 		}
-		if fr.Contains(ir) {
-			// Collective update: the whole interval is covered (Pattern 2).
-			switch m.state {
-			case allFlushed:
-				anyOld = true
-			case notFlushed:
-				m.state = allFlushed
-				m.flushed = m.count()
-				anyNew = true
-			case partiallyFlushed:
-				if m.flushed > 0 {
-					anyOld = true
-				}
-				if m.flushed < m.count() {
-					anyNew = true
-				}
-				for i := m.start; i < m.end; i++ {
-					s.arr[i].Flushed = true
-				}
-				m.state = allFlushed
-				m.flushed = m.count()
-			}
-			continue
-		}
-		// Partial overlap: examine entries individually.
-		if m.state == allFlushed {
-			// Every entry is already flushed; this is a re-flush only if
-			// the range hits an actual entry rather than a gap between the
-			// interval's min and max addresses.
-			for i := m.start; i < m.end; i++ {
-				if fr.Overlaps(s.arr[i].Range()) {
-					anyOld = true
-					break
-				}
-			}
-			continue
-		}
-		for i := m.start; i < m.end; i++ {
-			e := &s.arr[i]
-			er := e.Range()
-			if !fr.Overlaps(er) {
-				continue
-			}
-			if e.Flushed {
-				anyOld = true
-				continue
-			}
-			if fr.Contains(er) {
-				e.Flushed = true
-				m.flushed++
-				anyNew = true
-				continue
-			}
-			// Split: covered sub-range stays (flushed); remainders move to
-			// the tree, still unflushed (§4.3).
-			covered := er.Intersect(fr)
-			for _, rem := range er.Subtract(covered) {
-				keep := *e
-				keep.Addr, keep.Size = rem.Addr, rem.Size
-				s.tree.Insert(keep)
-			}
-			e.Addr, e.Size = covered.Addr, covered.Size
-			e.Flushed = true
-			m.flushed++
-			anyNew = true
-		}
-		if m.flushed == m.count() {
-			m.state = allFlushed
-		} else if m.flushed > 0 {
-			m.state = partiallyFlushed
-		}
+	default:
+		s.forEachCandidateInterval(s.candidates(fr), func(iv int32, ids []int32) {
+			n, o := s.flushOne(&s.meta[iv], fr, ids)
+			anyNew = anyNew || n
+			anyOld = anyOld || o
+		})
 	}
 
 	// Then the AVL tree (§4.3): the array absorbs most updates, so this
@@ -242,11 +246,123 @@ func (s *space) flush(ev trace.Event) (anyNew, anyOld bool) {
 	anyNew = anyNew || newly > 0
 	anyOld = anyOld || already > 0
 
-	// Start a new CLF interval.
+	// Start a new CLF interval. The interval that stops being the previous
+	// one can no longer grow, so its range is folded into the MRU probe's
+	// old-interval summary first.
 	if !s.cur().empty() {
+		s.foldOldBounds()
 		s.meta = append(s.meta, clfMeta{start: len(s.arr), end: len(s.arr), minAddr: ^uint64(0)})
 	}
 	return anyNew, anyOld
+}
+
+// flushOne applies a CLF to one CLF interval. ids, when non-nil, restricts
+// the per-entry passes to those array entries (ascending); the restriction
+// is exact because every entry overlapping fr is among its cache-line
+// candidates. The collective branches never iterate per candidate: a whole
+// interval covered by fr transitions by metadata update alone (Pattern 2).
+func (s *space) flushOne(m *clfMeta, fr intervals.Range, ids []int32) (anyNew, anyOld bool) {
+	if m.empty() {
+		return false, false
+	}
+	ir := m.rng()
+	if !fr.Overlaps(ir) {
+		return false, false
+	}
+	if fr.Contains(ir) {
+		// Collective update: the whole interval is covered (Pattern 2).
+		switch m.state {
+		case allFlushed:
+			anyOld = true
+		case notFlushed:
+			m.state = allFlushed
+			m.flushed = m.count()
+			anyNew = true
+		case partiallyFlushed:
+			if m.flushed > 0 {
+				anyOld = true
+			}
+			if m.flushed < m.count() {
+				anyNew = true
+			}
+			for i := m.start; i < m.end; i++ {
+				s.arr[i].Flushed = true
+			}
+			m.state = allFlushed
+			m.flushed = m.count()
+		}
+		return anyNew, anyOld
+	}
+	// Partial overlap: examine entries individually.
+	if m.state == allFlushed {
+		// Every entry is already flushed; this is a re-flush only if the
+		// range hits an actual entry rather than a gap between the
+		// interval's min and max addresses.
+		if ids != nil {
+			for _, id := range ids {
+				if fr.Overlaps(s.arr[id].Range()) {
+					anyOld = true
+					break
+				}
+			}
+		} else {
+			for i := m.start; i < m.end; i++ {
+				if fr.Overlaps(s.arr[i].Range()) {
+					anyOld = true
+					break
+				}
+			}
+		}
+		return anyNew, anyOld
+	}
+	if ids != nil {
+		for _, id := range ids {
+			n, o := s.flushEntry(m, fr, int(id))
+			anyNew = anyNew || n
+			anyOld = anyOld || o
+		}
+	} else {
+		for i := m.start; i < m.end; i++ {
+			n, o := s.flushEntry(m, fr, i)
+			anyNew = anyNew || n
+			anyOld = anyOld || o
+		}
+	}
+	if m.flushed == m.count() {
+		m.state = allFlushed
+	} else if m.flushed > 0 {
+		m.state = partiallyFlushed
+	}
+	return anyNew, anyOld
+}
+
+// flushEntry applies a partial-interval CLF to one array entry.
+func (s *space) flushEntry(m *clfMeta, fr intervals.Range, i int) (anyNew, anyOld bool) {
+	e := &s.arr[i]
+	er := e.Range()
+	if !fr.Overlaps(er) {
+		return false, false
+	}
+	if e.Flushed {
+		return false, true
+	}
+	if fr.Contains(er) {
+		e.Flushed = true
+		m.flushed++
+		return true, false
+	}
+	// Split: covered sub-range stays (flushed); remainders move to the
+	// tree, still unflushed (§4.3).
+	covered := er.Intersect(fr)
+	for _, rem := range er.Subtract(covered) {
+		keep := *e
+		keep.Addr, keep.Size = rem.Addr, rem.Size
+		s.tree.Insert(keep)
+	}
+	e.Addr, e.Size = covered.Addr, covered.Size
+	e.Flushed = true
+	m.flushed++
+	return true, false
 }
 
 // fence processes a fence instruction (§4.4): records whose durability the
@@ -283,6 +399,7 @@ func (s *space) fence(ev trace.Event) {
 	s.arr = s.arr[:0]
 	s.meta = s.meta[:0]
 	s.meta = append(s.meta, clfMeta{minAddr: ^uint64(0)})
+	s.resetIndex()
 
 	if ot != nil {
 		ot.fenceDone(ev)
@@ -300,8 +417,11 @@ func (s *space) fenceTree(ot *orderTracker) {
 }
 
 // fenceArray drops or re-distributes the memory location array via its CLF
-// interval metadata.
+// interval metadata. Unflushed entries are gathered across all intervals and
+// moved to the tree in one InsertAll, so a redistribution-heavy fence pays
+// tree maintenance once instead of one rebalance per entry.
 func (s *space) fenceArray(ot *orderTracker) {
+	redist := s.redist[:0]
 	for mi := range s.meta {
 		m := &s.meta[mi]
 		if m.empty() {
@@ -317,10 +437,7 @@ func (s *space) fenceArray(ot *orderTracker) {
 				}
 			}
 		case notFlushed:
-			for i := m.start; i < m.end; i++ {
-				s.tree.Insert(s.arr[i])
-				s.d.rep.Counters.Redistributions++
-			}
+			redist = append(redist, s.arr[m.start:m.end]...)
 		case partiallyFlushed:
 			for i := m.start; i < m.end; i++ {
 				if s.arr[i].Flushed {
@@ -329,11 +446,15 @@ func (s *space) fenceArray(ot *orderTracker) {
 					}
 					continue
 				}
-				s.tree.Insert(s.arr[i])
-				s.d.rep.Counters.Redistributions++
+				redist = append(redist, s.arr[i])
 			}
 		}
 	}
+	if len(redist) > 0 {
+		s.tree.InsertAll(redist)
+		s.d.rep.Counters.Redistributions += uint64(len(redist))
+	}
+	s.redist = redist[:0]
 }
 
 // visitRemaining calls fn for every record still tracked (used by the
@@ -356,29 +477,14 @@ func (s *space) visitRemaining(fn func(it avl.Item, flushed bool)) {
 // array entries shrink to their non-overlapping remainders (a zero-size
 // entry is inert everywhere), tree records are removed or truncated.
 func (s *space) purge(r intervals.Range) {
-	for mi := range s.meta {
-		m := &s.meta[mi]
-		if m.empty() || !r.Overlaps(m.rng()) {
-			continue
+	if s.idx == nil {
+		for mi := range s.meta {
+			s.purgeOne(&s.meta[mi], r, nil)
 		}
-		for i := m.start; i < m.end; i++ {
-			e := &s.arr[i]
-			if !e.Range().Overlaps(r) {
-				continue
-			}
-			rem := e.Range().Subtract(r)
-			if len(rem) == 0 {
-				e.Size = 0
-				continue
-			}
-			// Keep the first remainder in place; extras go to the tree.
-			e.Addr, e.Size = rem[0].Addr, rem[0].Size
-			for _, extra := range rem[1:] {
-				keep := *e
-				keep.Addr, keep.Size = extra.Addr, extra.Size
-				s.tree.Insert(keep)
-			}
-		}
+	} else {
+		s.forEachCandidateInterval(s.candidates(r), func(iv int32, ids []int32) {
+			s.purgeOne(&s.meta[iv], r, ids)
+		})
 	}
 	for _, old := range s.tree.CollectOverlapping(r) {
 		s.tree.Delete(old.Addr)
@@ -390,19 +496,83 @@ func (s *space) purge(r intervals.Range) {
 	}
 }
 
+// purgeOne purges one CLF interval. ids, when non-nil, restricts the entry
+// pass to the purge range's cache-line candidates (exact: a purged entry
+// always shares a line with r). Intervals whose entries actually shrank get
+// their collective bounds recomputed so the range prefilter stops visiting
+// intervals whose live entries no longer overlap anything.
+func (s *space) purgeOne(m *clfMeta, r intervals.Range, ids []int32) {
+	if m.empty() || !r.Overlaps(m.rng()) {
+		return
+	}
+	changed := false
+	if ids != nil {
+		for _, id := range ids {
+			changed = s.purgeEntry(r, int(id)) || changed
+		}
+	} else {
+		for i := m.start; i < m.end; i++ {
+			changed = s.purgeEntry(r, i) || changed
+		}
+	}
+	if changed {
+		s.tightenBounds(m)
+	}
+}
+
+// purgeEntry shrinks one array entry to its remainder outside r, reporting
+// whether the entry was modified.
+func (s *space) purgeEntry(r intervals.Range, i int) bool {
+	e := &s.arr[i]
+	if !e.Range().Overlaps(r) {
+		return false
+	}
+	rem := e.Range().Subtract(r)
+	if len(rem) == 0 {
+		e.Size = 0
+		return true
+	}
+	// Keep the first remainder in place; extras go to the tree.
+	e.Addr, e.Size = rem[0].Addr, rem[0].Size
+	for _, extra := range rem[1:] {
+		keep := *e
+		keep.Addr, keep.Size = extra.Addr, extra.Size
+		s.tree.Insert(keep)
+	}
+	return true
+}
+
+// tightenBounds recomputes a CLF interval's collective address range from
+// its live (non-purged) entries. With no live entries left the bounds
+// become the empty sentinel, so rng() is empty and every range prefilter
+// skips the interval.
+func (s *space) tightenBounds(m *clfMeta) {
+	lo, hi := ^uint64(0), uint64(0)
+	for i := m.start; i < m.end; i++ {
+		if s.arr[i].Size == 0 {
+			continue
+		}
+		if s.arr[i].Addr < lo {
+			lo = s.arr[i].Addr
+		}
+		if s.arr[i].End() > hi {
+			hi = s.arr[i].End()
+		}
+	}
+	m.minAddr, m.maxAddr = lo, hi
+}
+
 // markReported flags tracked records overlapping r as already reported so a
 // later rule (end-of-program no-durability) does not double-report them.
 func (s *space) markReported(r intervals.Range) {
-	for mi := range s.meta {
-		m := &s.meta[mi]
-		if m.empty() || !r.Overlaps(m.rng()) {
-			continue
+	if s.idx == nil {
+		for mi := range s.meta {
+			s.markReportedOne(&s.meta[mi], r, nil)
 		}
-		for i := m.start; i < m.end; i++ {
-			if s.arr[i].Range().Overlaps(r) {
-				s.arr[i].Reported = true
-			}
-		}
+	} else {
+		s.forEachCandidateInterval(s.candidates(r), func(iv int32, ids []int32) {
+			s.markReportedOne(&s.meta[iv], r, ids)
+		})
 	}
 	// The AVL tree stores items by value; rewrite overlapping ones.
 	hit := s.tree.CollectOverlapping(r)
@@ -410,6 +580,26 @@ func (s *space) markReported(r intervals.Range) {
 		s.tree.Delete(it.Addr)
 		it.Reported = true
 		s.tree.InsertDisjoint(it)
+	}
+}
+
+// markReportedOne flags one CLF interval's entries overlapping r.
+func (s *space) markReportedOne(m *clfMeta, r intervals.Range, ids []int32) {
+	if m.empty() || !r.Overlaps(m.rng()) {
+		return
+	}
+	if ids != nil {
+		for _, id := range ids {
+			if s.arr[id].Range().Overlaps(r) {
+				s.arr[id].Reported = true
+			}
+		}
+		return
+	}
+	for i := m.start; i < m.end; i++ {
+		if s.arr[i].Range().Overlaps(r) {
+			s.arr[i].Reported = true
+		}
 	}
 }
 

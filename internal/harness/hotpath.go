@@ -1,0 +1,155 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"pmdebugger/internal/core"
+	"pmdebugger/internal/rules"
+	"pmdebugger/internal/trace"
+)
+
+// This file builds the hot-path microbenchmark traces shared by the
+// BenchmarkHotPath* benchmarks and `pmbench -experiment hotpath`. Each trace
+// stresses one per-event cost the cache-line index and MRU probe
+// (core/index.go) remove: without them, every store's overlap query and
+// every CLF walks the whole fence interval's CLF-interval list, so the
+// per-event cost grows with the number of writebacks since the last fence.
+
+// HotPathKinds lists the hot-path trace shapes.
+func HotPathKinds() []string {
+	return []string{"flush-overlap", "store-overwrite", "mru-locality"}
+}
+
+// HotPathTrace builds the named synthetic trace with the given number of
+// fence-delimited rounds.
+//
+//   - flush-overlap: overlapping stores per line, per-line flushes plus
+//     dispersed re-flushes of older lines and unflushed stragglers that
+//     redistribute at the fence — the flush/overlap-heavy shape of the
+//     acceptance microbench.
+//   - store-overwrite: a burst of line flushes builds many CLF intervals,
+//     then repeated overwrites of the same lines drive the
+//     multiple-overwrites overlap query.
+//   - mru-locality: the Fig. 2a common case — every store is flushed
+//     immediately, at CLF distance one.
+func HotPathTrace(kind string, rounds int) (*trace.Recorder, error) {
+	rec := trace.NewRecorder(1 << 16)
+	seq := uint64(0)
+	emit := func(k trace.Kind, addr, size uint64) {
+		seq++
+		rec.HandleEvent(trace.Event{Seq: seq, Kind: k, Addr: addr, Size: size})
+	}
+	const base = 0x4000_0000
+	switch kind {
+	case "flush-overlap":
+		const lines = 256
+		for r := 0; r < rounds; r++ {
+			for l := uint64(0); l < lines; l++ {
+				a := base + l*64
+				emit(trace.KindStore, a, 8)
+				emit(trace.KindStore, a+8, 8)
+				emit(trace.KindStore, a, 8) // overlaps: multiple-overwrites query
+				if l%8 != 7 {
+					emit(trace.KindFlush, a, 64)
+				}
+				if l%4 == 3 && l >= 16 {
+					// Dispersed re-flush far behind the MRU intervals.
+					emit(trace.KindFlush, base+(l-16)*64, 64)
+				}
+			}
+			emit(trace.KindFence, 0, 0)
+		}
+	case "store-overwrite":
+		const lines = 512
+		for r := 0; r < rounds; r++ {
+			for l := uint64(0); l < lines; l++ {
+				a := base + l*64
+				emit(trace.KindStore, a, 8)
+				emit(trace.KindFlush, a, 64)
+			}
+			for i := uint64(0); i < 2*lines; i++ {
+				emit(trace.KindStore, base+(i%lines)*64, 8)
+			}
+			// Collective flush over the whole window: the fence then drops
+			// every entry by metadata invalidation, so the round's cost is
+			// the overwrite overlap queries, not redistribution.
+			emit(trace.KindFlush, base, lines*64)
+			emit(trace.KindFence, 0, 0)
+		}
+	case "mru-locality":
+		const lines = 512
+		for r := 0; r < rounds; r++ {
+			for l := uint64(0); l < lines; l++ {
+				a := base + l*64
+				emit(trace.KindStore, a, 8)
+				emit(trace.KindFlush, a, 64)
+			}
+			emit(trace.KindFence, 0, 0)
+		}
+	default:
+		return nil, fmt.Errorf("unknown hot-path trace %q", kind)
+	}
+	emit(trace.KindEnd, 0, 0)
+	return rec, nil
+}
+
+// HotPathResult is one (trace, mode) measurement.
+type HotPathResult struct {
+	Kind         string  `json:"kind"`
+	Mode         string  `json:"mode"` // "indexed" or "scan"
+	Events       int     `json:"events"`
+	Nanos        int64   `json:"nanos"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	MRUProbeHits uint64  `json:"mru_probe_hits"`
+	IndexHits    uint64  `json:"index_line_hits"`
+}
+
+// MeasureHotPath replays the trace through the indexed engine and the
+// DisableIndex scan fallback, verifies their reports are byte-identical, and
+// returns the best-of-Repeats timing for each mode (indexed first).
+func MeasureHotPath(kind string, rounds int) ([2]HotPathResult, error) {
+	var out [2]HotPathResult
+	rec, err := HotPathTrace(kind, rounds)
+	if err != nil {
+		return out, err
+	}
+	cfgIdx := core.Config{Model: rules.Strict}
+	cfgScan := core.Config{Model: rules.Strict, DisableIndex: true}
+
+	replay := func(cfg core.Config) *core.Detector {
+		d := core.New(cfg)
+		rec.Replay(d)
+		return d
+	}
+	if want, got := replay(cfgIdx).Report().Summary(), replay(cfgScan).Report().Summary(); want != got {
+		return out, fmt.Errorf("hotpath %s: indexed and scan reports differ\n--- indexed ---\n%s--- scan ---\n%s",
+			kind, want, got)
+	}
+
+	for i, m := range []struct {
+		mode string
+		cfg  core.Config
+	}{{"indexed", cfgIdx}, {"scan", cfgScan}} {
+		best := time.Duration(0)
+		var counters = replay(m.cfg).Counters()
+		for r := 0; r < Repeats; r++ {
+			start := time.Now()
+			d := replay(m.cfg)
+			d.Report()
+			if el := time.Since(start); best == 0 || el < best {
+				best = el
+			}
+		}
+		out[i] = HotPathResult{
+			Kind:         kind,
+			Mode:         m.mode,
+			Events:       rec.Len(),
+			Nanos:        best.Nanoseconds(),
+			EventsPerSec: float64(rec.Len()) / best.Seconds(),
+			MRUProbeHits: counters.MRUProbeHits,
+			IndexHits:    counters.IndexLineHits,
+		}
+	}
+	return out, nil
+}

@@ -160,6 +160,16 @@ type Counters struct {
 	ArraySpills uint64
 	// Redistributions counts array entries moved to the tree at fences.
 	Redistributions uint64
+
+	// IndexLineHits and IndexLineMisses count cache-line index lookups on
+	// the detector hot path that found / did not find candidate records.
+	// Both stay zero when the index is disabled (core.Config.DisableIndex).
+	IndexLineHits   uint64
+	IndexLineMisses uint64
+	// MRUProbeHits counts store and CLF events answered entirely by the
+	// most-recent CLF intervals (the Fig. 2a locality fast path), skipping
+	// both the index lookup and the full interval scan.
+	MRUProbeHits uint64
 }
 
 // Merge accumulates another counter set into c (used when combining shard
@@ -174,6 +184,9 @@ func (c *Counters) Merge(o Counters) {
 	c.ArrayAppends += o.ArrayAppends
 	c.ArraySpills += o.ArraySpills
 	c.Redistributions += o.Redistributions
+	c.IndexLineHits += o.IndexLineHits
+	c.IndexLineMisses += o.IndexLineMisses
+	c.MRUProbeHits += o.MRUProbeHits
 }
 
 // AvgTreeNodes returns the average tree size per fence interval (Fig. 11).
@@ -206,20 +219,41 @@ func New(detector string) *Report {
 	return &Report{Detector: detector, seen: map[bugKey]bool{}}
 }
 
-// Add records a bug, deduplicating by (type, addr, size, site): a buggy
-// store site executed a million times is one bug, as in the paper's counting
-// of application bugs.
-func (r *Report) Add(b Bug) {
+func keyOf(b Bug) bugKey {
 	k := bugKey{typ: b.Type, addr: b.Addr, size: b.Size, site: b.Site}
 	if b.Site != 0 {
 		// When a site is known, dedup by site alone within the type: the
 		// same buggy line touches many addresses across iterations.
 		k.addr, k.size = 0, 0
 	}
+	return k
+}
+
+// Add records a bug, deduplicating by (type, addr, size, site): a buggy
+// store site executed a million times is one bug, as in the paper's counting
+// of application bugs.
+func (r *Report) Add(b Bug) {
+	k := keyOf(b)
 	if r.seen[k] {
 		return
 	}
 	r.seen[k] = true
+	r.Bugs = append(r.Bugs, b)
+}
+
+// AddLazy records a bug like Add but defers building its message: msg runs
+// only when the bug survives deduplication, so hot-path rule sites do not
+// format (or allocate) a string for the millionth duplicate of a
+// known bug. b.Message is ignored; a nil msg leaves the message empty.
+func (r *Report) AddLazy(b Bug, msg func() string) {
+	k := keyOf(b)
+	if r.seen[k] {
+		return
+	}
+	r.seen[k] = true
+	if msg != nil {
+		b.Message = msg()
+	}
 	r.Bugs = append(r.Bugs, b)
 }
 

@@ -100,3 +100,49 @@ func TestBugString(t *testing.T) {
 		}
 	}
 }
+
+func TestAddLazyBuildsMessageOnce(t *testing.T) {
+	r := New("t")
+	calls := 0
+	b := Bug{Type: MultipleOverwrites, Addr: 0x100, Size: 8, Seq: 7}
+	r.AddLazy(b, func() string { calls++; return "built" })
+	if calls != 1 {
+		t.Fatalf("builder called %d times for a fresh bug, want 1", calls)
+	}
+	if len(r.Bugs) != 1 || r.Bugs[0].Message != "built" {
+		t.Fatalf("lazy message not attached: %+v", r.Bugs)
+	}
+}
+
+func TestAddLazySkipsBuilderOnDedup(t *testing.T) {
+	r := New("t")
+	b := Bug{Type: MultipleOverwrites, Addr: 0x100, Size: 8, Seq: 7}
+	r.Add(b)
+	calls := 0
+	for i := 0; i < 1000; i++ {
+		r.AddLazy(b, func() string { calls++; return "expensive" })
+	}
+	if calls != 0 {
+		t.Fatalf("builder ran %d times for deduplicated bugs, want 0", calls)
+	}
+	if len(r.Bugs) != 1 {
+		t.Fatalf("dedup broken: %d bugs", len(r.Bugs))
+	}
+}
+
+func TestAddLazyNilBuilder(t *testing.T) {
+	r := New("t")
+	r.AddLazy(Bug{Type: FlushNothing, Addr: 0x40, Size: 64}, nil)
+	if len(r.Bugs) != 1 || r.Bugs[0].Message != "" {
+		t.Fatalf("nil builder handling wrong: %+v", r.Bugs)
+	}
+}
+
+func TestAddLazySharesDedupWithAdd(t *testing.T) {
+	r := New("t")
+	r.AddLazy(Bug{Type: RedundantFlush, Addr: 0x80, Size: 64}, func() string { return "m" })
+	r.Add(Bug{Type: RedundantFlush, Addr: 0x80, Size: 64, Message: "other"})
+	if len(r.Bugs) != 1 {
+		t.Fatalf("Add and AddLazy use different dedup keys: %d bugs", len(r.Bugs))
+	}
+}

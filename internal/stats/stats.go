@@ -26,6 +26,7 @@ type Characterizer struct {
 	// current CLF interval state.
 	curStores []intervals.Range
 	fences    uint64
+	clfs      uint64 // closed CLF intervals (monotonic)
 
 	result Result
 }
@@ -33,6 +34,7 @@ type Characterizer struct {
 type openStore struct {
 	rng     intervals.Range
 	atFence uint64
+	atCLF   uint64 // CLF interval counter at store time
 	flushed bool
 }
 
@@ -49,6 +51,11 @@ type Result struct {
 	// Collective and Dispersed count CLF intervals by writeback class
 	// (Fig. 2b); empty intervals are not counted.
 	Collective, Dispersed uint64
+	// EffectiveFlushes counts writebacks that persist at least one open
+	// store; MRULocalFlushes counts those whose persisted stores all come
+	// from the current or previous CLF interval. Their ratio is the Fig. 2a
+	// locality a most-recently-used interval probe can exploit.
+	MRULocalFlushes, EffectiveFlushes uint64
 }
 
 // New returns an empty characterizer.
@@ -60,15 +67,26 @@ func (c *Characterizer) HandleEvent(ev trace.Event) {
 	case trace.KindStore:
 		c.result.Stores++
 		r := intervals.R(ev.Addr, ev.Size)
-		c.open = append(c.open, openStore{rng: r, atFence: c.fences})
+		c.open = append(c.open, openStore{rng: r, atFence: c.fences, atCLF: c.clfs})
 		c.curStores = append(c.curStores, r)
 
 	case trace.KindFlush:
 		c.result.Flushes++
 		fr := intervals.R(ev.Addr, ev.Size)
+		hitAny, mruOnly := false, true
 		for i := range c.open {
 			if !c.open[i].flushed && c.open[i].rng.Overlaps(fr) {
 				c.open[i].flushed = true
+				hitAny = true
+				if c.clfs-c.open[i].atCLF > 1 {
+					mruOnly = false
+				}
+			}
+		}
+		if hitAny {
+			c.result.EffectiveFlushes++
+			if mruOnly {
+				c.result.MRULocalFlushes++
 			}
 		}
 		// Close the current CLF interval: collective when this single
@@ -87,6 +105,7 @@ func (c *Characterizer) HandleEvent(ev trace.Event) {
 				c.result.Dispersed++
 			}
 			c.curStores = c.curStores[:0]
+			c.clfs++
 		}
 
 	case trace.KindFence:
@@ -157,6 +176,16 @@ func (r Result) DistanceLE(d int) float64 {
 		n += r.DistanceBuckets[i]
 	}
 	return 100 * float64(n) / float64(g)
+}
+
+// MRULocalPercent returns the share of effective writebacks answerable from
+// the two most recent CLF intervals — the locality exploited by the
+// detector's MRU interval probe (core/index.go).
+func (r Result) MRULocalPercent() float64 {
+	if r.EffectiveFlushes == 0 {
+		return 0
+	}
+	return 100 * float64(r.MRULocalFlushes) / float64(r.EffectiveFlushes)
 }
 
 // CollectivePercent returns the Fig. 2b collective-writeback share.

@@ -150,3 +150,43 @@ func TestAgainstRealWorkload(t *testing.T) {
 		t.Fatalf("never = %d", r.NeverGuaranteed)
 	}
 }
+
+func TestMRULocality(t *testing.T) {
+	c := New()
+	// Three CLF intervals: stores a, b, c each closed by their own flush.
+	// Each flush persists only the store of its own (current) interval, so
+	// every effective flush is MRU-local.
+	for i := 0; i < 3; i++ {
+		a := uint64(0x1000 + i*64)
+		c.HandleEvent(trace.Event{Kind: trace.KindStore, Addr: a, Size: 8})
+		c.HandleEvent(trace.Event{Kind: trace.KindFlush, Addr: a, Size: 64})
+	}
+	r := c.Result()
+	if r.EffectiveFlushes != 3 || r.MRULocalFlushes != 3 {
+		t.Fatalf("local stream: effective=%d mru=%d, want 3/3", r.EffectiveFlushes, r.MRULocalFlushes)
+	}
+	if got := r.MRULocalPercent(); got != 100 {
+		t.Fatalf("MRULocalPercent = %v, want 100", got)
+	}
+
+	// A flush reaching back three CLF intervals is effective but not local.
+	c = New()
+	c.HandleEvent(trace.Event{Kind: trace.KindStore, Addr: 0x1000, Size: 8})
+	for i := 1; i <= 3; i++ {
+		a := uint64(0x2000 + i*64)
+		c.HandleEvent(trace.Event{Kind: trace.KindStore, Addr: a, Size: 8})
+		c.HandleEvent(trace.Event{Kind: trace.KindFlush, Addr: a, Size: 64})
+	}
+	c.HandleEvent(trace.Event{Kind: trace.KindFlush, Addr: 0x1000, Size: 64})
+	r = c.Result()
+	if r.EffectiveFlushes != 4 || r.MRULocalFlushes != 3 {
+		t.Fatalf("distant stream: effective=%d mru=%d, want 4/3", r.EffectiveFlushes, r.MRULocalFlushes)
+	}
+
+	// A flush hitting nothing open is not effective.
+	c = New()
+	c.HandleEvent(trace.Event{Kind: trace.KindFlush, Addr: 0x3000, Size: 64})
+	if r := c.Result(); r.EffectiveFlushes != 0 {
+		t.Fatalf("empty flush counted as effective: %+v", r)
+	}
+}
