@@ -68,14 +68,18 @@ func hotpath(opts hotpathOpts) error {
 	fmt.Printf("geomean speedup (indexed over scan): %.2fx\n", art.GeomeanSpeedup)
 
 	if opts.json {
+		out := opts.out
+		if out == "" {
+			out = "BENCH_hotpath.json"
+		}
 		data, err := json.MarshalIndent(art, "", "  ")
 		if err != nil {
 			return err
 		}
-		if err := os.WriteFile(opts.out, append(data, '\n'), 0o644); err != nil {
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s\n", opts.out)
+		fmt.Printf("wrote %s\n", out)
 	}
 	if opts.minSpeedup > 0 && art.GeomeanSpeedup < opts.minSpeedup {
 		return fmt.Errorf("hotpath: indexed engine geomean speedup %.2fx below required %.2fx",

@@ -11,15 +11,18 @@
 //	pmbench -experiment reorg         # §7.5 tree reorganization counts
 //	pmbench -experiment parallel      # sharded strand-trace replay speedup
 //	pmbench -experiment hotpath       # cache-line index vs interval-scan hot loop
+//	pmbench -experiment pipeline      # inline vs async-pipelined live detection
 //	pmbench -experiment all
 //
 // -scale shrinks or grows every operation count (default 1.0); absolute
 // numbers depend on the host, the paper's shape does not.
 //
-// `-experiment hotpath` additionally honors -json (write a
-// BENCH_hotpath.json perf-trajectory artifact), -out (artifact path) and
-// -minspeedup (exit non-zero when the indexed engine's geometric-mean
-// speedup over the scan fallback falls below the bound — the CI smoke gate).
+// `-experiment hotpath` and `-experiment pipeline` additionally honor -json
+// (write a BENCH_hotpath.json / BENCH_pipeline.json perf-trajectory
+// artifact), -out (artifact path override) and -minspeedup (exit non-zero
+// when the geometric-mean speedup falls below the bound — the CI smoke
+// gates). `-experiment pipeline` drives the multi-threaded memcached
+// workload with -threads application threads (default 4).
 package main
 
 import (
@@ -44,28 +47,38 @@ type hotpathOpts struct {
 	rounds     int
 }
 
+// pipelineOpts carries the pipeline experiment's artifact/gate flags.
+type pipelineOpts struct {
+	json       bool
+	out        string
+	minSpeedup float64
+	threads    int
+}
+
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "table1, fig8, table5, sota, fig10, fig11, reorg, parallel, hotpath, or all")
+		experiment = flag.String("experiment", "all", "table1, fig8, table5, sota, fig10, fig11, reorg, parallel, hotpath, pipeline, or all")
 		inserts    = flag.Int("n", 10000, "micro-benchmark insert count (paper: 1K/10K/100K)")
 		memOps     = flag.Int("memops", 10000, "memcached operation count (paper: 10K-100K)")
 		redisKeys  = flag.Int("rediskeys", 10000, "redis LRU-test key count")
 		repeats    = flag.Int("repeats", 3, "runs per (benchmark, tool); the minimum time is kept")
-		jsonOut    = flag.Bool("json", false, "hotpath: also write the JSON artifact")
-		outPath    = flag.String("out", "BENCH_hotpath.json", "hotpath: JSON artifact path")
-		minSpeed   = flag.Float64("minspeedup", 0, "hotpath: fail unless indexed/scan geomean speedup >= this")
+		jsonOut    = flag.Bool("json", false, "hotpath/pipeline: also write the JSON artifact")
+		outPath    = flag.String("out", "", "hotpath/pipeline: JSON artifact path override")
+		minSpeed   = flag.Float64("minspeedup", 0, "hotpath/pipeline: fail unless the geomean speedup >= this")
 		rounds     = flag.Int("rounds", 24, "hotpath: fence rounds per synthetic trace")
+		threads    = flag.Int("threads", 4, "pipeline: memcached application threads")
 	)
 	flag.Parse()
 	harness.Repeats = *repeats
 	hp := hotpathOpts{json: *jsonOut, out: *outPath, minSpeedup: *minSpeed, rounds: *rounds}
-	if err := run(*experiment, *inserts, *memOps, *redisKeys, hp); err != nil {
+	pl := pipelineOpts{json: *jsonOut, out: *outPath, minSpeedup: *minSpeed, threads: *threads}
+	if err := run(*experiment, *inserts, *memOps, *redisKeys, hp, pl); err != nil {
 		fmt.Fprintln(os.Stderr, "pmbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, inserts, memOps, redisKeys int, hp hotpathOpts) error {
+func run(experiment string, inserts, memOps, redisKeys int, hp hotpathOpts, pl pipelineOpts) error {
 	switch experiment {
 	case "table1":
 		return table1()
@@ -85,6 +98,8 @@ func run(experiment string, inserts, memOps, redisKeys int, hp hotpathOpts) erro
 		return parallelReplay(inserts)
 	case "hotpath":
 		return hotpath(hp)
+	case "pipeline":
+		return pipelineExp(pl, memOps, redisKeys)
 	case "all":
 		for _, fn := range []func() error{
 			table1,
@@ -96,6 +111,7 @@ func run(experiment string, inserts, memOps, redisKeys int, hp hotpathOpts) erro
 			func() error { return reorg(inserts) },
 			func() error { return parallelReplay(inserts) },
 			func() error { return hotpath(hp) },
+			func() error { return pipelineExp(pl, memOps, redisKeys) },
 		} {
 			if err := fn(); err != nil {
 				return err

@@ -9,19 +9,21 @@ import (
 
 func TestRunExperiments(t *testing.T) {
 	hp := hotpathOpts{rounds: 2}
+	pl := pipelineOpts{threads: 2}
 	for _, exp := range []string{"table1", "table5", "fig11", "reorg"} {
-		if err := run(exp, 200, 200, 200, hp); err != nil {
+		if err := run(exp, 200, 200, 200, hp, pl); err != nil {
 			t.Errorf("%s: %v", exp, err)
 		}
 	}
-	if err := run("nope", 10, 10, 10, hp); err == nil {
+	if err := run("nope", 10, 10, 10, hp, pl); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
 
 func TestHotpathArtifact(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH_hotpath.json")
-	if err := run("hotpath", 0, 0, 0, hotpathOpts{json: true, out: out, rounds: 2}); err != nil {
+	hp := hotpathOpts{json: true, out: out, rounds: 2}
+	if err := run("hotpath", 0, 0, 0, hp, pipelineOpts{}); err != nil {
 		t.Fatalf("hotpath: %v", err)
 	}
 	data, err := os.ReadFile(out)
@@ -34,5 +36,32 @@ func TestHotpathArtifact(t *testing.T) {
 	}
 	if len(art.Results) != 2*len(art.Speedups) || art.GeomeanSpeedup <= 0 {
 		t.Fatalf("artifact incomplete: %+v", art)
+	}
+}
+
+func TestPipelineArtifact(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_pipeline.json")
+	pl := pipelineOpts{json: true, out: out, threads: 4}
+	if err := run("pipeline", 0, 500, 500, hotpathOpts{}, pl); err != nil {
+		t.Fatalf("pipeline: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("artifact not written: %v", err)
+	}
+	var art pipelineArtifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if len(art.Results) != 2*len(art.Speedups) || art.GeomeanSpeedup <= 0 {
+		t.Fatalf("artifact incomplete: %+v", art)
+	}
+	if art.Threads != 4 {
+		t.Fatalf("artifact threads = %d, want 4", art.Threads)
+	}
+	for _, r := range art.Results {
+		if r.Workload == "memcached" && r.Threads != 4 {
+			t.Fatalf("memcached measured with %d threads", r.Threads)
+		}
 	}
 }

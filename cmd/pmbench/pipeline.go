@@ -1,0 +1,120 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"pmdebugger/internal/harness"
+)
+
+// pipelineArtifact is the BENCH_pipeline.json schema: the phase-split
+// measurements of both delivery modes per workload plus per-workload and
+// aggregate speedups, so successive CI runs form a perf trajectory for the
+// asynchronous detection pipeline.
+//
+// Speedups compare the live phase — the workload's execution time with the
+// detector attached, the part an application's clients observe. The drain
+// phase (the pipeline's deferred analysis at Pool.End) is reported
+// alongside in every result and in total_speedups, so nothing is hidden:
+// on a machine with spare cores the drain overlaps the live phase; on this
+// single-CPU container it runs after it.
+type pipelineArtifact struct {
+	Experiment          string                   `json:"experiment"`
+	Timestamp           string                   `json:"timestamp"`
+	CPUs                int                      `json:"cpus"`
+	Threads             int                      `json:"threads"`
+	Repeats             int                      `json:"repeats"`
+	MemcachedSetRatio   float64                  `json:"memcached_set_ratio"`
+	MemcachedValueSize  int                      `json:"memcached_value_size"`
+	Results             []harness.PipelineResult `json:"results"`
+	Speedups            map[string]float64       `json:"speedups"`       // live phase
+	TotalSpeedups       map[string]float64       `json:"total_speedups"` // live + drain
+	GeomeanSpeedup      float64                  `json:"geomean_speedup"`
+	GeomeanTotalSpeedup float64                  `json:"geomean_total_speedup"`
+}
+
+// pipelineExp measures live-run throughput with PMDebugger attached inline
+// versus through trace.Pipeline on the multi-threaded memcached workload
+// and the redis LRU test. Delivery equivalence (byte-identical reports on
+// an identical recorded stream) is verified by the harness before any
+// timing. Optionally writes the JSON artifact and enforces the minimum
+// live-speedup gate.
+func pipelineExp(opts pipelineOpts, memOps, redisKeys int) error {
+	fmt.Println("\n=== Async pipeline: inline vs pipelined detection (live runs, PMDebugger) ===")
+	fmt.Printf("%-12s %-10s %8s %8s %12s %12s %12s %12s %10s\n",
+		"workload", "mode", "threads", "ops", "live", "drain", "total", "live ops/s", "speedup")
+
+	art := pipelineArtifact{
+		Experiment:         "pipeline",
+		Timestamp:          time.Now().UTC().Format(time.RFC3339),
+		CPUs:               runtime.NumCPU(),
+		Threads:            opts.threads,
+		Repeats:            harness.Repeats,
+		MemcachedSetRatio:  1.0,
+		MemcachedValueSize: 16,
+		Speedups:           map[string]float64{},
+		TotalSpeedups:      map[string]float64{},
+	}
+	rows := []struct {
+		workload string
+		ops      int
+		threads  int
+	}{
+		{"memcached", memOps, opts.threads},
+		{"redis", redisKeys, 1},
+	}
+	logSum, logSumTotal := 0.0, 0.0
+	for _, row := range rows {
+		pair, err := harness.MeasurePipeline(row.workload, row.ops, row.threads)
+		if err != nil {
+			return err
+		}
+		inline, piped := pair[0], pair[1]
+		speedup := float64(inline.LiveNanos) / float64(piped.LiveNanos)
+		totalSpeedup := float64(inline.Nanos) / float64(piped.Nanos)
+		art.Results = append(art.Results, inline, piped)
+		art.Speedups[row.workload] = speedup
+		art.TotalSpeedups[row.workload] = totalSpeedup
+		logSum += math.Log(speedup)
+		logSumTotal += math.Log(totalSpeedup)
+		for _, r := range pair {
+			mark := ""
+			if r.Mode == "pipelined" {
+				mark = fmt.Sprintf("%9.2fx", speedup)
+			}
+			fmt.Printf("%-12s %-10s %8d %8d %12s %12s %12s %12.0f %10s\n",
+				r.Workload, r.Mode, r.Threads, r.Ops,
+				time.Duration(r.LiveNanos).Round(time.Microsecond),
+				time.Duration(r.DrainNanos).Round(time.Microsecond),
+				time.Duration(r.Nanos).Round(time.Microsecond), r.OpsPerSec, mark)
+		}
+	}
+	art.GeomeanSpeedup = math.Exp(logSum / float64(len(rows)))
+	art.GeomeanTotalSpeedup = math.Exp(logSumTotal / float64(len(rows)))
+	fmt.Printf("geomean live speedup (pipelined over inline): %.2fx  (live+drain: %.2fx, cpus: %d)\n",
+		art.GeomeanSpeedup, art.GeomeanTotalSpeedup, art.CPUs)
+
+	if opts.json {
+		out := opts.out
+		if out == "" {
+			out = "BENCH_pipeline.json"
+		}
+		data, err := json.MarshalIndent(art, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+	if opts.minSpeedup > 0 && art.GeomeanSpeedup < opts.minSpeedup {
+		return fmt.Errorf("pipeline: geomean live speedup %.2fx below required %.2fx",
+			art.GeomeanSpeedup, opts.minSpeedup)
+	}
+	return nil
+}

@@ -5,8 +5,14 @@
 //
 //	pmdebug -workload b_tree -n 10000 -detector pmdebugger
 //	pmdebug -workload memcached -n 10000 -buggy -detector pmdebugger
+//	pmdebug -workload memcached -n 10000 -threads 4 -async
 //	pmdebug -workload redis -n 10000 -detector pmemcheck
 //	pmdebug -workload b_tree -n 1000 -orders orders.conf
+//
+// -async attaches the detector through the asynchronous trace.Pipeline, so
+// detection runs off the workload's critical path; reports are
+// byte-identical to inline delivery (the pool drains the pipeline at every
+// observation point).
 //
 // The -orders file uses the configuration syntax of §4.5:
 //
@@ -36,15 +42,16 @@ func main() {
 		buggy    = flag.Bool("buggy", false, "memcached only: run the faithful port with its 19 bugs")
 		threads  = flag.Int("threads", 1, "memcached only: client threads")
 		ordersF  = flag.String("orders", "", "persist-order configuration file (order X before Y)")
+		async    = flag.Bool("async", false, "attach the detector through the asynchronous pipeline")
 	)
 	flag.Parse()
-	if err := run(*workload, *n, *detector, *buggy, *threads, *ordersF); err != nil {
+	if err := run(*workload, *n, *detector, *buggy, *threads, *ordersF, *async); err != nil {
 		fmt.Fprintln(os.Stderr, "pmdebug:", err)
 		os.Exit(1)
 	}
 }
 
-func run(workload string, n int, detector string, buggy bool, threads int, ordersFile string) error {
+func run(workload string, n int, detector string, buggy bool, threads int, ordersFile string, async bool) error {
 	var orders []rules.OrderSpec
 	if ordersFile != "" {
 		f, err := os.Open(ordersFile)
@@ -82,6 +89,14 @@ func run(workload string, n int, detector string, buggy bool, threads int, order
 		poolSize = 256 << 20
 	}
 
+	attach := func(pm *pmem.Pool, det baselines.Detector) {
+		if async {
+			pm.AttachAsync(det)
+		} else {
+			pm.Attach(det)
+		}
+	}
+
 	var (
 		det    baselines.Detector
 		pmPool *pmem.Pool
@@ -98,7 +113,7 @@ func run(workload string, n int, detector string, buggy bool, threads int, order
 		if det, err = build(cache.Model()); err != nil {
 			return err
 		}
-		cache.PM().Attach(det)
+		attach(cache.PM(), det)
 		if buggy {
 			if err := memslap.ExerciseAll(cache); err != nil {
 				return err
@@ -118,7 +133,7 @@ func run(workload string, n int, detector string, buggy bool, threads int, order
 		if det, err = build(srv.Model()); err != nil {
 			return err
 		}
-		srv.PM().Attach(det)
+		attach(srv.PM(), det)
 		if err := srv.RunLRUTest(n, 42); err != nil {
 			return err
 		}
@@ -137,7 +152,7 @@ func run(workload string, n int, detector string, buggy bool, threads int, order
 		if berr != nil {
 			return berr
 		}
-		pm.Attach(det)
+		attach(pm, det)
 		if err := workloads.RunInserts(app, n, 42); err != nil {
 			return err
 		}

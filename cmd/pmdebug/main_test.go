@@ -4,34 +4,47 @@ import "testing"
 
 func TestRunWorkloads(t *testing.T) {
 	for _, w := range []string{"b_tree", "hashmap_atomic", "memcached", "redis"} {
-		if err := run(w, 200, "pmdebugger", false, 1, ""); err != nil {
+		if err := run(w, 200, "pmdebugger", false, 1, "", false); err != nil {
 			t.Errorf("%s: %v", w, err)
 		}
 	}
 }
 
 func TestRunBuggyMemcached(t *testing.T) {
-	if err := run("memcached", 200, "pmdebugger", true, 1, ""); err != nil {
+	if err := run("memcached", 200, "pmdebugger", true, 1, "", false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunAllDetectors(t *testing.T) {
 	for _, d := range []string{"pmemcheck", "pmtest", "xfdetector", "nulgrind"} {
-		if err := run("c_tree", 100, d, false, 1, ""); err != nil {
+		if err := run("c_tree", 100, d, false, 1, "", false); err != nil {
 			t.Errorf("%s: %v", d, err)
 		}
 	}
 }
 
+func TestRunAsync(t *testing.T) {
+	// Every workload path under the asynchronous pipeline, including the
+	// multi-threaded memcached case the pipeline exists for.
+	for _, w := range []string{"b_tree", "memcached", "redis"} {
+		if err := run(w, 200, "pmdebugger", false, 4, "", true); err != nil {
+			t.Errorf("%s async: %v", w, err)
+		}
+	}
+	if err := run("memcached", 200, "pmemcheck", false, 2, "", true); err != nil {
+		t.Errorf("pmemcheck async: %v", err)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run("nope", 10, "pmdebugger", false, 1, ""); err == nil {
+	if err := run("nope", 10, "pmdebugger", false, 1, "", false); err == nil {
 		t.Error("unknown workload accepted")
 	}
-	if err := run("b_tree", 10, "nope", false, 1, ""); err == nil {
+	if err := run("b_tree", 10, "nope", false, 1, "", false); err == nil {
 		t.Error("unknown detector accepted")
 	}
-	if err := run("b_tree", 10, "pmdebugger", false, 1, "/nonexistent/orders"); err == nil {
+	if err := run("b_tree", 10, "pmdebugger", false, 1, "/nonexistent/orders", false); err == nil {
 		t.Error("missing orders file accepted")
 	}
 }

@@ -1,0 +1,51 @@
+package bugsuite
+
+import (
+	"fmt"
+	"testing"
+
+	"pmdebugger/internal/report"
+)
+
+// runCaseWith is RunCase with a selectable delivery mode: inline attaches
+// the detector synchronously, async routes it through a trace.Pipeline via
+// Pool.AttachAsync. Harness.PM.End drains the pipeline, so Report is
+// complete in both modes.
+func runCaseWith(k DetectorKind, c Case, async bool) (*report.Report, error) {
+	h := NewHarness(c)
+	det := Build(k, c)
+	if async {
+		h.PM.AttachAsync(det)
+	} else {
+		h.PM.Attach(det)
+	}
+	if err := c.Run(h); err != nil {
+		return nil, fmt.Errorf("case %s: %w", c.ID, err)
+	}
+	h.PM.End()
+	return det.Report(), nil
+}
+
+// TestAsyncDeliveryByteIdenticalBugSuite runs every bug case (all 78, all
+// ten bug types) and every correct twin under PMDebugger with inline and
+// pipelined delivery, and requires byte-identical report summaries.
+func TestAsyncDeliveryByteIdenticalBugSuite(t *testing.T) {
+	cases := append(Cases(), CorrectTwins()...)
+	if len(cases) < 78 {
+		t.Fatalf("expected at least the 78 bug cases, got %d", len(cases))
+	}
+	for _, c := range cases {
+		inline, err := runCaseWith(PMDebugger, c, false)
+		if err != nil {
+			t.Fatalf("inline %s: %v", c.ID, err)
+		}
+		async, err := runCaseWith(PMDebugger, c, true)
+		if err != nil {
+			t.Fatalf("async %s: %v", c.ID, err)
+		}
+		if want, got := inline.Summary(), async.Summary(); want != got {
+			t.Errorf("%s: reports differ between delivery modes\n--- inline ---\n%s--- pipelined ---\n%s",
+				c.ID, want, got)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"pmdebugger/internal/core"
+	"pmdebugger/internal/memcached"
+	"pmdebugger/internal/memslap"
+	"pmdebugger/internal/pmem"
+	"pmdebugger/internal/redis"
+	"pmdebugger/internal/rules"
+	"pmdebugger/internal/trace"
+)
+
+// This file measures the asynchronous detection pipeline: the same live
+// workload with PMDebugger attached inline (detection under the pool lock,
+// on the application threads) versus attached through trace.Pipeline
+// (emission stages a slab entry; detection is deferred to drain points).
+// The paper's headline metric is live instrumentation slowdown, so each run
+// is split into two timed phases:
+//
+//   - live: the workload exercises the cache/server. Inline, every
+//     instrumented instruction runs the detector's bookkeeping here;
+//     pipelined, it only appends 40 bytes to a slab.
+//   - drain: Pool.End — the pipeline's deferred analysis runs to
+//     completion. Inline this is near-zero; pipelined it carries the
+//     detection work the live phase no longer pays for.
+//
+// Both phases are reported (plus their sum) so the artifact shows exactly
+// where the work went; the speedup of interest is the live phase, the part
+// the application's clients observe. The pipelined runs use the lazy drain
+// discipline with a ring deep enough to hold the whole run, so on a machine
+// without a spare core (this container pins everything to one CPU) the
+// consumer does not time-slice against the application mid-run.
+
+// PipelineModes names the two delivery modes, inline first.
+func PipelineModes() [2]string { return [2]string{"inline", "pipelined"} }
+
+// Memcached row configuration: an all-set, small-value mix. Sets are the
+// instrumented path (a get emits no events), so this maximizes the density
+// of detector bookkeeping per operation — the cost the pipeline removes
+// from the live phase.
+const (
+	pipelineSetRatio  = 1.0
+	pipelineValueSize = 16
+)
+
+// PipelineResult is one (workload, mode) live-run measurement.
+type PipelineResult struct {
+	Workload   string  `json:"workload"`
+	Mode       string  `json:"mode"` // "inline" or "pipelined"
+	Threads    int     `json:"threads"`
+	Ops        int     `json:"ops"`
+	Events     uint64  `json:"events"`
+	LiveNanos  int64   `json:"live_nanos"`  // workload execution
+	DrainNanos int64   `json:"drain_nanos"` // Pool.End: deferred analysis
+	Nanos      int64   `json:"nanos"`       // live + drain
+	OpsPerSec  float64 `json:"ops_per_sec"` // over the live phase
+}
+
+// pipelineWorkload builds a live run: live drives the workload (without
+// finalizing the pool); the harness then times Pool.End separately as the
+// drain phase.
+type pipelineWorkload struct {
+	model rules.Model
+	setup func() (*pmem.Pool, func() error, error)
+}
+
+func pipelineWorkloadFor(name string, ops, threads int) (pipelineWorkload, error) {
+	switch name {
+	case "memcached":
+		return pipelineWorkload{
+			model: rules.Strict,
+			setup: func() (*pmem.Pool, func() error, error) {
+				cache, err := memcached.New(memcached.Config{
+					PoolSize: memcachedPoolSize(ops), HashBuckets: 1 << 14, UseCAS: true,
+				})
+				if err != nil {
+					return nil, nil, err
+				}
+				return cache.PM(), func() error {
+					return memslap.Run(cache, memslap.Config{
+						Ops: ops, SetRatio: pipelineSetRatio, Threads: threads,
+						ValueSize: pipelineValueSize, Seed: 42,
+					})
+				}, nil
+			},
+		}, nil
+	case "redis":
+		return pipelineWorkload{
+			model: rules.Epoch,
+			setup: func() (*pmem.Pool, func() error, error) {
+				srv, err := redis.New(redis.Config{
+					PoolSize: memcachedPoolSize(ops), MaxKeys: ops / 2, Seed: 42,
+				})
+				if err != nil {
+					return nil, nil, err
+				}
+				return srv.PM(), func() error {
+					return srv.RunLRUTest(ops, 42)
+				}, nil
+			},
+		}, nil
+	default:
+		return pipelineWorkload{}, fmt.Errorf("pipeline: unknown workload %q", name)
+	}
+}
+
+// verifyPipelineDelivery records one live run of the workload and replays
+// the identical stream into an inline detector, an eager pipeline and a
+// lazy pipeline, requiring byte-identical reports from all three.
+// Multi-threaded runs are not deterministic across executions, so the
+// equivalence proof compares the delivery modes on one recorded stream
+// rather than across live runs. Returns the recorded event count, which
+// also sizes the measurement ring.
+func verifyPipelineDelivery(w pipelineWorkload, ops int) (uint64, error) {
+	pm, live, err := w.setup()
+	if err != nil {
+		return 0, err
+	}
+	rec := trace.NewRecorder(ops * 8)
+	pm.Attach(rec)
+	if err := live(); err != nil {
+		return 0, err
+	}
+	pm.End()
+
+	inline := core.New(core.Config{Model: w.model})
+	rec.Replay(inline)
+	want := inline.Report().Summary()
+
+	for _, lazy := range []bool{false, true} {
+		det := core.New(core.Config{Model: w.model})
+		pipe := trace.NewPipelineOpts(det, trace.PipelineOptions{Lazy: lazy})
+		for _, ev := range rec.Events {
+			pipe.HandleEvent(ev)
+		}
+		pipe.Close()
+		if got := det.Report().Summary(); got != want {
+			mode := "eager"
+			if lazy {
+				mode = "lazy"
+			}
+			return 0, fmt.Errorf("pipeline: %s delivery disagrees with inline on the identical stream\n--- inline ---\n%s--- pipelined ---\n%s",
+				mode, want, got)
+		}
+	}
+	return uint64(rec.Len()), nil
+}
+
+// MeasurePipeline measures the live workload under PMDebugger with inline
+// and pipelined delivery (best live phase of Repeats each, inline first),
+// after proving the delivery modes produce byte-identical reports on an
+// identical recorded stream.
+func MeasurePipeline(workload string, ops, threads int) ([2]PipelineResult, error) {
+	var out [2]PipelineResult
+	w, err := pipelineWorkloadFor(workload, ops, threads)
+	if err != nil {
+		return out, err
+	}
+	streamLen, err := verifyPipelineDelivery(w, ops)
+	if err != nil {
+		return out, err
+	}
+	// Ring deep enough for the whole recorded stream plus slack, so the
+	// lazy consumer never has to run mid-measurement.
+	depth := int(streamLen/trace.DefaultBatchSize) + threads + 8
+
+	var bestLive, bestDrain [2]time.Duration
+	var events [2]uint64
+	// Repeats are interleaved (inline, pipelined, inline, ...) rather than
+	// run as two contiguous blocks, so a drift in the machine's speed
+	// across the measurement lands on both modes instead of skewing their
+	// ratio.
+	for r := 0; r < Repeats; r++ {
+		for i, mode := range PipelineModes() {
+			pm, live, err := w.setup()
+			if err != nil {
+				return out, err
+			}
+			det := core.New(core.Config{Model: w.model})
+			if mode == "pipelined" {
+				pm.AttachWith(det, pmem.AttachOptions{
+					Async: true, Lazy: true, PipelineDepth: depth,
+				})
+			} else {
+				pm.Attach(det)
+			}
+			// Start every repeat from a collected heap — after the ring
+			// allocation, so GC debt from a previous run (or the
+			// verification replay) cannot land in this one's timed phases.
+			runtime.GC()
+			start := time.Now()
+			if err := live(); err != nil {
+				return out, err
+			}
+			liveElapsed := time.Since(start)
+			drainStart := time.Now()
+			pm.End()
+			drainElapsed := time.Since(drainStart)
+			if bestLive[i] == 0 || liveElapsed < bestLive[i] {
+				bestLive[i], bestDrain[i] = liveElapsed, drainElapsed
+			}
+			events[i] = pm.EventCount()
+			pm.Detach(det)
+		}
+	}
+	for i, mode := range PipelineModes() {
+		out[i] = PipelineResult{
+			Workload:   workload,
+			Mode:       mode,
+			Threads:    threads,
+			Ops:        ops,
+			Events:     events[i],
+			LiveNanos:  bestLive[i].Nanoseconds(),
+			DrainNanos: bestDrain[i].Nanoseconds(),
+			Nanos:      (bestLive[i] + bestDrain[i]).Nanoseconds(),
+			OpsPerSec:  float64(ops) / bestLive[i].Seconds(),
+		}
+	}
+	return out, nil
+}

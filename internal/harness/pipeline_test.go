@@ -1,0 +1,186 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"pmdebugger/internal/core"
+	"pmdebugger/internal/pmem"
+	"pmdebugger/internal/rules"
+	"pmdebugger/internal/workloads"
+)
+
+// differentialConfigs are the four detector configurations the differential
+// suites sweep (the same set index_test.go uses): one per persistency
+// model, plus selective registration.
+func differentialConfigs() []struct {
+	name     string
+	workload string
+	cfg      core.Config
+} {
+	return []struct {
+		name     string
+		workload string
+		cfg      core.Config
+	}{
+		{"strict", "b_tree", core.Config{Model: rules.Strict}},
+		{"strict-selective", "b_tree", core.Config{Model: rules.Strict, RequireRegistration: true}},
+		{"epoch", "hashmap_tx", core.Config{Model: rules.Epoch}},
+		{"strand", "synth_strand", core.Config{Model: rules.Strand}},
+	}
+}
+
+// attachMode attaches the detector in one of the three delivery modes.
+func attachMode(pm *pmem.Pool, det *core.Detector, mode string) {
+	switch mode {
+	case "inline":
+		pm.Attach(det)
+	case "eager":
+		pm.AttachAsync(det)
+	case "lazy":
+		pm.AttachWith(det, pmem.AttachOptions{Async: true, Lazy: true})
+	default:
+		panic("unknown attach mode " + mode)
+	}
+}
+
+// runWorkloadWith runs the deterministic workload once with the detector
+// attached in the requested mode and returns the report summary.
+func runWorkloadWith(t *testing.T, workload string, cfg core.Config, n int, mode string) string {
+	t.Helper()
+	f, err := workloads.Lookup(workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, pm, err := workloads.Build(f, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := core.New(cfg)
+	attachMode(pm, det, mode)
+	if err := workloads.RunInserts(app, n, 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Close(); err != nil {
+		t.Fatal(err)
+	}
+	pm.End()
+	return det.Report().Summary()
+}
+
+// TestPipelineDifferentialModels proves inline, eager-pipelined and
+// lazy-pipelined delivery produce byte-identical reports across all four
+// detector configurations on deterministic single-threaded workloads.
+func TestPipelineDifferentialModels(t *testing.T) {
+	const n = 800
+	for _, tc := range differentialConfigs() {
+		inline := runWorkloadWith(t, tc.workload, tc.cfg, n, "inline")
+		for _, mode := range []string{"eager", "lazy"} {
+			async := runWorkloadWith(t, tc.workload, tc.cfg, n, mode)
+			if inline != async {
+				t.Errorf("%s (%s): reports differ between delivery modes\n--- inline ---\n%s--- %s ---\n%s",
+					tc.name, tc.workload, inline, mode, async)
+			}
+		}
+	}
+}
+
+// runTrappedWorkload runs the workload with a crash trap armed and returns
+// the detector's report summary at the moment of the trap, plus whether
+// the trap fired.
+func runTrappedWorkload(t *testing.T, cfg core.Config, trap uint64, mode string) (summary string, trapped bool) {
+	t.Helper()
+	f, err := workloads.Lookup("b_tree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, pm, err := workloads.Build(f, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := core.New(cfg)
+	attachMode(pm, det, mode)
+	pm.SetCrashTrap(trap)
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(pmem.CrashTrap); !ok {
+					panic(r)
+				}
+				trapped = true
+			}
+		}()
+		if err := workloads.RunInserts(app, 200, 42); err != nil {
+			t.Fatal(err)
+		}
+		_ = app.Close()
+		pm.End()
+	}()
+	return det.Report().Summary(), trapped
+}
+
+// TestPipelineDifferentialCrashTrap fires crash traps mid-stream and
+// requires the pipelined detector to have consumed the identical prefix as
+// the inline one when the trap unwinds.
+func TestPipelineDifferentialCrashTrap(t *testing.T) {
+	cfg := core.Config{Model: rules.Strict}
+	for _, trap := range []uint64{5, 97, 1203} {
+		inline, okInline := runTrappedWorkload(t, cfg, trap, "inline")
+		if !okInline {
+			t.Fatalf("trap %d did not fire", trap)
+		}
+		for _, mode := range []string{"eager", "lazy"} {
+			async, okAsync := runTrappedWorkload(t, cfg, trap, mode)
+			if okInline != okAsync {
+				t.Fatalf("trap %d fired inline=%v %s=%v", trap, okInline, mode, okAsync)
+			}
+			if inline != async {
+				t.Errorf("trap %d: detector state differs at the trap\n--- inline ---\n%s--- %s ---\n%s",
+					trap, inline, mode, async)
+			}
+		}
+	}
+}
+
+// TestMeasurePipelineSmoke exercises the measurement path end to end on a
+// tiny multi-threaded run.
+func TestMeasurePipelineSmoke(t *testing.T) {
+	old := Repeats
+	Repeats = 1
+	defer func() { Repeats = old }()
+	for _, workload := range []string{"memcached", "redis"} {
+		threads := 4
+		if workload == "redis" {
+			threads = 1
+		}
+		pair, err := MeasurePipeline(workload, 500, threads)
+		if err != nil {
+			t.Fatalf("%s: %v", workload, err)
+		}
+		if pair[0].Mode != "inline" || pair[1].Mode != "pipelined" {
+			t.Fatalf("%s: unexpected modes %q/%q", workload, pair[0].Mode, pair[1].Mode)
+		}
+		for _, r := range pair {
+			if r.Events == 0 || r.Nanos <= 0 || r.OpsPerSec <= 0 {
+				t.Errorf("%s/%s: degenerate measurement %+v", workload, r.Mode, r)
+			}
+			if r.LiveNanos <= 0 || r.DrainNanos < 0 || r.Nanos != r.LiveNanos+r.DrainNanos {
+				t.Errorf("%s/%s: phase accounting broken %+v", workload, r.Mode, r)
+			}
+		}
+		// Multi-threaded memcached interleavings may shift event counts
+		// between runs; single-threaded redis is deterministic.
+		if workload == "redis" && pair[0].Events != pair[1].Events {
+			t.Errorf("%s: event counts differ between modes: %d vs %d",
+				workload, pair[0].Events, pair[1].Events)
+		}
+	}
+}
+
+// TestMeasurePipelineUnknownWorkload covers the error path.
+func TestMeasurePipelineUnknownWorkload(t *testing.T) {
+	if _, err := MeasurePipeline("nope", 10, 1); err == nil ||
+		!strings.Contains(err.Error(), "unknown workload") {
+		t.Fatalf("expected unknown-workload error, got %v", err)
+	}
+}

@@ -207,13 +207,13 @@ func (c *Cache) Stat(name string) (uint64, bool) {
 	return 0, false
 }
 
-// itemAddrs walks the bucket chain for key, returning the item address and
-// its predecessor's hashNext slot (0 slot means bucket head).
-func (c *Cache) find(key string) (addr uint64, prevSlot uint64, bucket int) {
+// find walks the bucket chain for key, returning the item address and its
+// predecessor's hashNext slot (0 slot means bucket head). It loads through
+// the caller's context so it participates in an open lock session.
+func (c *Cache) find(ctx *pmem.Ctx, key string) (addr uint64, prevSlot uint64, bucket int) {
 	bucket = int(hashKey(key) % uint64(len(c.buckets)))
 	addr = c.buckets[bucket]
 	prevSlot = 0
-	ctx := c.pm.Ctx()
 	for addr != 0 {
 		if c.keyEquals(ctx, addr, key) {
 			return addr, prevSlot, bucket
@@ -230,8 +230,7 @@ func (c *Cache) keyEquals(ctx *pmem.Ctx, it uint64, key string) bool {
 	if int(kl) != len(key) {
 		return false
 	}
-	kb := ctx.LoadBytes(it+itHdrSize, uint64(kl))
-	return string(kb) == key
+	return ctx.EqualBytes(it+itHdrSize, key)
 }
 
 func (c *Cache) itemValue(ctx *pmem.Ctx, it uint64) []byte {
@@ -246,10 +245,14 @@ func (c *Cache) itemValue(ctx *pmem.Ctx, it uint64) []byte {
 func (c *Cache) Set(thread int32, key string, value []byte, flags uint32, exptime uint64) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// c.mu already serializes the whole operation, so take the pool lock
+	// once for the op instead of once per instruction.
 	ctx := c.pm.ThreadCtx(thread).SetSite(c.sites.clean)
+	ctx.Begin()
+	defer ctx.End()
 
 	c.clock++
-	old, prevSlot, bucket := c.find(key)
+	old, prevSlot, bucket := c.find(ctx, key)
 
 	size := uint64(itHdrSize + len(key) + len(value))
 	it, _, err := c.slab.alloc(ctx, size)
@@ -321,8 +324,10 @@ func (c *Cache) Get(thread int32, key string) ([]byte, uint64, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	ctx := c.pm.ThreadCtx(thread).SetSite(c.sites.clean)
+	ctx.Begin()
+	defer ctx.End()
 	c.clock++
-	it, prevSlot, bucket := c.find(key)
+	it, prevSlot, bucket := c.find(ctx, key)
 	if it == 0 {
 		c.bumpStat(ctx, 3, 1) // get_misses
 		return nil, 0, false
@@ -359,7 +364,9 @@ func (c *Cache) Touch(thread int32, key string, exptime uint64) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	ctx := c.pm.ThreadCtx(thread).SetSite(c.sites.clean)
-	it, _, _ := c.find(key)
+	ctx.Begin()
+	defer ctx.End()
+	it, _, _ := c.find(ctx, key)
 	if it == 0 {
 		return false
 	}
@@ -373,7 +380,9 @@ func (c *Cache) SetFlags(thread int32, key string, flags uint32) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	ctx := c.pm.ThreadCtx(thread).SetSite(c.sites.clean)
-	it, _, _ := c.find(key)
+	ctx.Begin()
+	defer ctx.End()
+	it, _, _ := c.find(ctx, key)
 	if it == 0 {
 		return false
 	}
@@ -385,17 +394,23 @@ func (c *Cache) SetFlags(thread int32, key string, flags uint32) bool {
 func (c *Cache) CAS(thread int32, key string, value []byte, cas uint64) error {
 	c.mu.Lock()
 	ctx := c.pm.ThreadCtx(thread).SetSite(c.sites.clean)
-	it, _, _ := c.find(key)
+	// The session must close before the tail call into Set, which opens its
+	// own — hence the explicit End on every path instead of a defer.
+	ctx.Begin()
+	it, _, _ := c.find(ctx, key)
 	if it == 0 {
+		ctx.End()
 		c.mu.Unlock()
 		return errors.New("memcached: CAS on missing key")
 	}
 	if ctx.Load64(it+itFCas) != cas {
 		c.bumpStat(ctx, 8, 1) // cas_badval
+		ctx.End()
 		c.mu.Unlock()
 		return errors.New("memcached: CAS mismatch")
 	}
 	c.bumpStat(ctx, 7, 1) // cas_hits
+	ctx.End()
 	c.mu.Unlock()
 	return c.Set(thread, key, value, 0, 0)
 }
@@ -422,7 +437,9 @@ func (c *Cache) Delete(thread int32, key string) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	ctx := c.pm.ThreadCtx(thread).SetSite(c.sites.clean)
-	it, prevSlot, bucket := c.find(key)
+	ctx.Begin()
+	defer ctx.End()
+	it, prevSlot, bucket := c.find(ctx, key)
 	if it == 0 {
 		c.bumpStat(ctx, 6, 1) // delete_misses
 		return false
@@ -446,6 +463,8 @@ func (c *Cache) FlushAll(thread int32, now uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	ctx := c.pm.ThreadCtx(thread).SetSite(c.sites.clean)
+	ctx.Begin()
+	defer ctx.End()
 	ctx.At(c.sites.oldestLive).Store64(c.stats.oldestLive(), now)
 	ctx.Persist(c.stats.oldestLive(), 8)
 	for i := range c.buckets {
@@ -477,6 +496,8 @@ func (c *Cache) Check() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	ctx := c.pm.Ctx()
+	ctx.Begin()
+	defer ctx.End()
 	for i := range c.buckets {
 		for it := c.buckets[i]; it != 0; it = ctx.Load64(it + itFHashNext) {
 			lens := ctx.Load64(it + itFLens)

@@ -2,6 +2,7 @@ package memcached
 
 import (
 	"bytes"
+	"fmt"
 	"sync"
 	"testing"
 
@@ -143,7 +144,9 @@ func TestConcurrentClients(t *testing.T) {
 		go func(th int) {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
-				k := key(th*1000 + i)
+				// key() keeps three digits, so th*1000+i would collide
+				// across threads; the keyspaces must stay disjoint.
+				k := fmt.Sprintf("t%d-%03d", th, i)
 				c.Set(int32(th), k, []byte{byte(th)}, 0, 0)
 				if v, _, ok := c.Get(int32(th), k); !ok || v[0] != byte(th) {
 					t.Errorf("thread %d lost key %s", th, k)

@@ -153,7 +153,7 @@ func (c *Cache) reattachItem(ctx *pmem.Ctx, it uint64) bool {
 	key := string(ctx.LoadBytes(it+itHdrSize, uint64(kl)))
 	// Drop duplicates (an older version may survive if a crash hit a
 	// replace between publish and release): keep the one already linked.
-	if existing, _, _ := c.find(key); existing != 0 {
+	if existing, _, _ := c.find(ctx, key); existing != 0 {
 		return false
 	}
 	bucket := int(hashKey(key) % uint64(len(c.buckets)))

@@ -20,6 +20,10 @@ type slabAllocator struct {
 	// cache backs page registration in the persistent superblock so a warm
 	// restart can rediscover every carved page.
 	cache *Cache
+	// last is the page the previous pageOf resolved: consecutive chunk
+	// operations cluster on one page, so this skips the binary search on
+	// the alloc/free hot path.
+	last *pageInfo
 }
 
 type slabClass struct {
@@ -86,7 +90,7 @@ func (s *slabAllocator) alloc(ctx *pmem.Ctx, size uint64) (addr uint64, class in
 // durably registers it in the superblock.
 func (s *slabAllocator) carvePage(ctx *pmem.Ctx, cl *slabClass) error {
 	pageSize := slabPageSize(cl.size)
-	page, ok := s.pm.TryAlloc(pageSize)
+	page, ok := ctx.TryAlloc(pageSize)
 	if !ok {
 		return errSlabFull
 	}
@@ -94,7 +98,7 @@ func (s *slabAllocator) carvePage(ctx *pmem.Ctx, cl *slabClass) error {
 	if s.cache != nil {
 		idx, err := s.cache.registerPage(ctx, page, cl.size)
 		if err != nil {
-			s.pm.Free(page, pageSize)
+			ctx.Free(page, pageSize)
 			return err
 		}
 		regIndex = idx
@@ -119,6 +123,9 @@ func (s *slabAllocator) insertPage(p *pageInfo) {
 
 // pageOf resolves the page containing a chunk address.
 func (s *slabAllocator) pageOf(addr uint64) *pageInfo {
+	if p := s.last; p != nil && addr >= p.addr && addr < p.addr+p.size {
+		return p
+	}
 	i := sort.Search(len(s.pages), func(i int) bool { return s.pages[i].addr > addr })
 	if i == 0 {
 		return nil
@@ -127,6 +134,7 @@ func (s *slabAllocator) pageOf(addr uint64) *pageInfo {
 	if addr >= p.addr+p.size {
 		return nil
 	}
+	s.last = p
 	return p
 }
 
@@ -145,10 +153,13 @@ func (s *slabAllocator) reclaim(ctx *pmem.Ctx, p *pageInfo) {
 	cl.free = kept
 	i := sort.Search(len(s.pages), func(i int) bool { return s.pages[i].addr >= p.addr })
 	s.pages = append(s.pages[:i], s.pages[i+1:]...)
+	if s.last == p {
+		s.last = nil
+	}
 	if s.cache != nil {
 		s.cache.tombstonePage(ctx, p.regIndex)
 	}
-	s.pm.Free(p.addr, p.size)
+	ctx.Free(p.addr, p.size)
 }
 
 // free returns an item chunk to its class free list, reclaiming the whole

@@ -55,29 +55,58 @@ func Run(cache *memcached.Cache, cfg Config) error {
 		value[i] = byte('a' + i%26)
 	}
 
+	// Pre-generate the workload's key strings, as memaslap builds its
+	// key/value windows before the timed run, so key formatting is not
+	// charged to the operations.
+	keys := make([]string, cfg.KeySpace)
+	for i := range keys {
+		keys[i] = key(i)
+	}
+
 	// Warm a slice of the key space (counted against Ops).
 	warm := cfg.KeySpace / 4
 	if warm > cfg.Ops {
 		warm = cfg.Ops
 	}
 	for i := 0; i < warm; i++ {
-		if err := cache.Set(0, key(i), value, 0, 0); err != nil {
+		if err := cache.Set(0, keys[i], value, 0, 0); err != nil {
 			return fmt.Errorf("memslap warm: %w", err)
 		}
 	}
 
 	remaining := cfg.Ops - warm
 	perThread := remaining / cfg.Threads
+
+	// Pre-roll each thread's operation schedule (key choice and set/get
+	// decision), as memaslap generates its command sequence up front; the
+	// run loop then only executes cache operations and client-side
+	// checksum work.
+	type op struct {
+		key   uint32
+		isSet bool
+	}
+	schedules := make([][]op, cfg.Threads)
+	for th := range schedules {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(th)))
+		sched := make([]op, perThread)
+		for i := range sched {
+			sched[i] = op{
+				key:   uint32(rng.Intn(cfg.KeySpace)),
+				isSet: rng.Float64() < cfg.SetRatio,
+			}
+		}
+		schedules[th] = sched
+	}
+
 	var wg sync.WaitGroup
 	errs := make([]error, cfg.Threads)
 	for th := 0; th < cfg.Threads; th++ {
 		wg.Add(1)
 		go func(th int) {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(th)))
-			for i := 0; i < perThread; i++ {
-				k := key(rng.Intn(cfg.KeySpace))
-				if rng.Float64() < cfg.SetRatio {
+			for _, o := range schedules[th] {
+				k := keys[o.key]
+				if o.isSet {
 					// Clients checksum outgoing payloads (memslap's data
 					// verification mode); this is the per-operation CPU
 					// work that parallelizes across client threads.

@@ -31,6 +31,11 @@ func (p *Pool) Crash(policy CrashPolicy, seed int64) *Pool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 
+	// Drain asynchronous handlers first: a crash image must never be
+	// observed by a detector that is still behind on the stream that
+	// produced it.
+	p.syncLocked()
+
 	n := New(p.Size())
 	copy(n.persist, p.persist)
 	var rng *rand.Rand

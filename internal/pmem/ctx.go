@@ -14,11 +14,22 @@ import (
 // create one Ctx per goroutine; the pool serializes the resulting event
 // stream. Strand sections (§5) are entered with StrandBegin, which returns a
 // derived Ctx bound to a fresh strand id.
+// A context whose caller already serializes a whole application operation
+// (memcached holds its cache mutex across each Set, for example) can wrap
+// the operation in Begin/End: the pool mutex is then taken once per
+// operation instead of once per instruction, which removes dozens of mutex
+// round-trips from every op. The emitted event stream is unchanged — the
+// caller's own serialization already prevented interleaving within the op.
 type Ctx struct {
 	pool   *Pool
 	strand int32
 	thread int32
 	site   trace.SiteID
+	// locked marks an open Begin/End lock session: the pool mutex is held
+	// by this context and per-operation methods must not re-acquire it.
+	// Derived contexts (At, StrandBegin) share the session's scope and must
+	// not outlive it.
+	locked bool
 }
 
 // Ctx returns the pool's default context: thread 0, the implicit strand 0.
@@ -44,10 +55,49 @@ func (c *Ctx) SetSite(site trace.SiteID) *Ctx {
 }
 
 // At returns a derived context with the given site, leaving c unchanged.
+// The derived context shares any open lock session.
 func (c *Ctx) At(site trace.SiteID) *Ctx {
 	d := *c
 	d.site = site
 	return &d
+}
+
+// Begin opens an op-scoped lock session: the pool mutex is acquired once
+// and held until End, and every operation issued through this context (and
+// contexts derived from it) runs under that single acquisition. Use it when
+// an outer lock already serializes the whole operation. Sessions do not
+// nest, and the pool's pipelines cannot be drained while one is open (the
+// usual drain points — crash traps, End — run inside the same mutex and
+// still work).
+func (c *Ctx) Begin() {
+	if c.locked {
+		panic("pmem: Ctx.Begin inside an open lock session")
+	}
+	c.pool.mu.Lock()
+	c.locked = true
+}
+
+// End closes the lock session opened by Begin.
+func (c *Ctx) End() {
+	if !c.locked {
+		panic("pmem: Ctx.End without Begin")
+	}
+	c.locked = false
+	c.pool.mu.Unlock()
+}
+
+// lock acquires the pool mutex unless an open session already holds it.
+func (c *Ctx) lock() {
+	if !c.locked {
+		c.pool.mu.Lock()
+	}
+}
+
+// unlock releases the pool mutex unless an open session still owns it.
+func (c *Ctx) unlock() {
+	if !c.locked {
+		c.pool.mu.Unlock()
+	}
 }
 
 // StoreBytes writes data to PM at addr (a store instruction).
@@ -55,68 +105,143 @@ func (c *Ctx) StoreBytes(addr uint64, data []byte) {
 	if len(data) == 0 {
 		return
 	}
-	c.pool.mu.Lock()
-	defer c.pool.mu.Unlock()
+	c.lock()
+	defer c.unlock()
 	c.pool.storeLocked(addr, data, c.strand, c.thread, c.site)
 }
 
+// The scalar stores write the volatile image directly (binary.LittleEndian
+// compiles to a single store) rather than routing a stack buffer through the
+// byte-slice path — like the scalar loads, they sit on the workload hot path
+// (item headers, chain links, statistics counters). The emitted event is
+// identical to the equivalent StoreBytes.
+
 // Store8 writes one byte.
 func (c *Ctx) Store8(addr uint64, v uint8) {
-	c.StoreBytes(addr, []byte{v})
+	c.lock()
+	defer c.unlock()
+	p := c.pool
+	p.checkRange(addr, 1)
+	p.volatile[p.off(addr)] = v
+	p.storeTailLocked(addr, 1, c.strand, c.thread, c.site)
 }
 
 // Store16 writes a little-endian 16-bit value.
 func (c *Ctx) Store16(addr uint64, v uint16) {
-	var b [2]byte
-	binary.LittleEndian.PutUint16(b[:], v)
-	c.StoreBytes(addr, b[:])
+	c.lock()
+	defer c.unlock()
+	p := c.pool
+	p.checkRange(addr, 2)
+	binary.LittleEndian.PutUint16(p.volatile[p.off(addr):], v)
+	p.storeTailLocked(addr, 2, c.strand, c.thread, c.site)
 }
 
 // Store32 writes a little-endian 32-bit value.
 func (c *Ctx) Store32(addr uint64, v uint32) {
-	var b [4]byte
-	binary.LittleEndian.PutUint32(b[:], v)
-	c.StoreBytes(addr, b[:])
+	c.lock()
+	defer c.unlock()
+	p := c.pool
+	p.checkRange(addr, 4)
+	binary.LittleEndian.PutUint32(p.volatile[p.off(addr):], v)
+	p.storeTailLocked(addr, 4, c.strand, c.thread, c.site)
 }
 
 // Store64 writes a little-endian 64-bit value.
 func (c *Ctx) Store64(addr uint64, v uint64) {
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], v)
-	c.StoreBytes(addr, b[:])
+	c.lock()
+	defer c.unlock()
+	p := c.pool
+	p.checkRange(addr, 8)
+	binary.LittleEndian.PutUint64(p.volatile[p.off(addr):], v)
+	p.storeTailLocked(addr, 8, c.strand, c.thread, c.site)
 }
+
+// loadInto is LoadInto honouring an open lock session.
+func (c *Ctx) loadInto(addr uint64, dst []byte) {
+	c.lock()
+	defer c.unlock()
+	c.pool.checkRange(addr, uint64(len(dst)))
+	copy(dst, c.pool.volatile[c.pool.off(addr):])
+}
+
+// The scalar loads read the volatile image directly (binary.LittleEndian
+// compiles to a single load) rather than copying through a stack buffer —
+// they sit on the workload hot path (statistics counters, chain links).
 
 // Load8 reads one byte from the volatile image.
 func (c *Ctx) Load8(addr uint64) uint8 {
-	var b [1]byte
-	c.pool.LoadInto(addr, b[:])
-	return b[0]
+	c.lock()
+	defer c.unlock()
+	p := c.pool
+	p.checkRange(addr, 1)
+	return p.volatile[p.off(addr)]
 }
 
 // Load16 reads a little-endian 16-bit value.
 func (c *Ctx) Load16(addr uint64) uint16 {
-	var b [2]byte
-	c.pool.LoadInto(addr, b[:])
-	return binary.LittleEndian.Uint16(b[:])
+	c.lock()
+	defer c.unlock()
+	p := c.pool
+	p.checkRange(addr, 2)
+	return binary.LittleEndian.Uint16(p.volatile[p.off(addr):])
 }
 
 // Load32 reads a little-endian 32-bit value.
 func (c *Ctx) Load32(addr uint64) uint32 {
-	var b [4]byte
-	c.pool.LoadInto(addr, b[:])
-	return binary.LittleEndian.Uint32(b[:])
+	c.lock()
+	defer c.unlock()
+	p := c.pool
+	p.checkRange(addr, 4)
+	return binary.LittleEndian.Uint32(p.volatile[p.off(addr):])
 }
 
 // Load64 reads a little-endian 64-bit value.
 func (c *Ctx) Load64(addr uint64) uint64 {
-	var b [8]byte
-	c.pool.LoadInto(addr, b[:])
-	return binary.LittleEndian.Uint64(b[:])
+	c.lock()
+	defer c.unlock()
+	p := c.pool
+	p.checkRange(addr, 8)
+	return binary.LittleEndian.Uint64(p.volatile[p.off(addr):])
+}
+
+// EqualBytes reports whether PM at [addr, addr+len(s)) equals s, comparing
+// in place — the memcmp idiom key probes use, with no per-probe copy.
+func (c *Ctx) EqualBytes(addr uint64, s string) bool {
+	if len(s) == 0 {
+		return true
+	}
+	c.lock()
+	defer c.unlock()
+	p := c.pool
+	p.checkRange(addr, uint64(len(s)))
+	o := p.off(addr)
+	return string(p.volatile[o:o+uint64(len(s))]) == s
 }
 
 // LoadBytes reads size bytes from the volatile image.
 func (c *Ctx) LoadBytes(addr, size uint64) []byte {
-	return c.pool.Load(addr, size)
+	out := make([]byte, size)
+	c.loadInto(addr, out)
+	return out
+}
+
+// TryAlloc allocates size bytes from the pool's volatile allocator through
+// the context, honouring an open lock session (Pool.TryAlloc would
+// self-deadlock inside one).
+func (c *Ctx) TryAlloc(size uint64) (addr uint64, ok bool) {
+	c.lock()
+	defer c.unlock()
+	addr = c.pool.alloc.alloc(size)
+	return addr, addr != 0
+}
+
+// Free returns a block previously obtained from TryAlloc, honouring an open
+// lock session.
+func (c *Ctx) Free(addr, size uint64) {
+	c.lock()
+	defer c.unlock()
+	c.pool.checkRange(addr, size)
+	c.pool.alloc.release(addr, size)
 }
 
 // Flush issues a CLWB covering [addr, addr+size).
@@ -126,15 +251,15 @@ func (c *Ctx) Flush(addr, size uint64) {
 
 // FlushKind issues a writeback of the given instruction kind.
 func (c *Ctx) FlushKind(addr, size uint64, kind trace.FlushKind) {
-	c.pool.mu.Lock()
-	defer c.pool.mu.Unlock()
+	c.lock()
+	defer c.unlock()
 	c.pool.flushLocked(addr, size, kind, c.strand, c.thread, c.site)
 }
 
 // Fence issues an SFENCE: all prior writebacks become durable.
 func (c *Ctx) Fence() {
-	c.pool.mu.Lock()
-	defer c.pool.mu.Unlock()
+	c.lock()
+	defer c.unlock()
 	c.pool.fenceLocked(c.strand, c.thread)
 }
 
@@ -149,8 +274,8 @@ func (c *Ctx) Persist(addr, size uint64) {
 // only the outermost begin/end emit events, matching the paper's flattening
 // of nested transactions (§6).
 func (c *Ctx) EpochBegin() {
-	c.pool.mu.Lock()
-	defer c.pool.mu.Unlock()
+	c.lock()
+	defer c.unlock()
 	c.pool.epochDepth++
 	if c.pool.epochDepth > 1 {
 		return
@@ -161,8 +286,8 @@ func (c *Ctx) EpochBegin() {
 
 // EpochEnd marks the end of an epoch section (TX_END).
 func (c *Ctx) EpochEnd() {
-	c.pool.mu.Lock()
-	defer c.pool.mu.Unlock()
+	c.lock()
+	defer c.unlock()
 	if c.pool.epochDepth == 0 {
 		panic("pmem: EpochEnd without EpochBegin")
 	}
@@ -175,8 +300,8 @@ func (c *Ctx) EpochEnd() {
 
 // InEpoch reports whether an epoch section is open.
 func (c *Ctx) InEpoch() bool {
-	c.pool.mu.Lock()
-	defer c.pool.mu.Unlock()
+	c.lock()
+	defer c.unlock()
 	return c.pool.epochDepth > 0
 }
 
@@ -184,10 +309,10 @@ func (c *Ctx) InEpoch() bool {
 // Memory accesses from different strands are concurrent unless explicitly
 // ordered with JoinStrand.
 func (c *Ctx) StrandBegin() *Ctx {
-	c.pool.mu.Lock()
-	defer c.pool.mu.Unlock()
+	c.lock()
+	defer c.unlock()
 	c.pool.strandSeq++
-	s := &Ctx{pool: c.pool, strand: c.pool.strandSeq, thread: c.thread, site: c.site}
+	s := &Ctx{pool: c.pool, strand: c.pool.strandSeq, thread: c.thread, site: c.site, locked: c.locked}
 	c.pool.emitLocked(trace.Event{Kind: trace.KindStrandBegin, Strand: s.strand, Thread: c.thread})
 	return s
 }
@@ -197,16 +322,16 @@ func (c *Ctx) StrandEnd() {
 	if c.strand == 0 {
 		panic("pmem: StrandEnd on the implicit strand")
 	}
-	c.pool.mu.Lock()
-	defer c.pool.mu.Unlock()
+	c.lock()
+	defer c.unlock()
 	c.pool.emitLocked(trace.Event{Kind: trace.KindStrandEnd, Strand: c.strand, Thread: c.thread})
 }
 
 // JoinStrand establishes explicit persist ordering: all strands opened so
 // far must complete their persists before persists after the join.
 func (c *Ctx) JoinStrand() {
-	c.pool.mu.Lock()
-	defer c.pool.mu.Unlock()
+	c.lock()
+	defer c.unlock()
 	c.pool.emitLocked(trace.Event{Kind: trace.KindJoinStrand, Strand: c.strand, Thread: c.thread})
 }
 
@@ -214,8 +339,8 @@ func (c *Ctx) JoinStrand() {
 // transaction undo log. The redundant-logging rule (§5.2) treats this as a
 // store to the logged object's address.
 func (c *Ctx) TxLogAdd(addr, size uint64) {
-	c.pool.mu.Lock()
-	defer c.pool.mu.Unlock()
+	c.lock()
+	defer c.unlock()
 	c.pool.checkRange(addr, size)
 	c.pool.emitLocked(trace.Event{
 		Kind: trace.KindTxLogAdd, Addr: addr, Size: size,

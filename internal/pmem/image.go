@@ -21,6 +21,8 @@ var imageMagic = [8]byte{'P', 'M', 'I', 'M', 'A', 'G', 'E', '1'}
 func (p *Pool) WriteImage(w io.Writer) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	// Like Crash: the snapshot must not outrun asynchronous detectors.
+	p.syncLocked()
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(imageMagic[:]); err != nil {
 		return fmt.Errorf("pmem: write image header: %w", err)

@@ -17,6 +17,7 @@ package pmem
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"pmdebugger/internal/intervals"
@@ -59,6 +60,17 @@ type Pool struct {
 	pendingLines []uint64
 
 	handlers trace.MultiHandler
+	// pipelines tracks the trace.Pipelines created by asynchronous
+	// attaches (they also appear in handlers). The pool drains them at
+	// every point where handler state becomes observable: crash traps,
+	// crash images, event counts, detach and program end.
+	pipelines []*trace.Pipeline
+	// fastPipe enables the zero-copy emission path: when the only attached
+	// handler is a pipeline (the async-benchmark shape), hot-path emitters
+	// construct each event directly in the pipeline's staging slab instead
+	// of copying it through emitLocked and the handler fan-out. Nil
+	// whenever any other handler is attached or a crash trap is armed.
+	fastPipe *trace.Pipeline
 	seq      uint64
 	// trapAfter, when non-zero, makes the pool panic with CrashTrap once
 	// seq reaches it — the injection point for systematic crash testing
@@ -99,29 +111,140 @@ func (p *Pool) Base() uint64 { return p.base }
 // Range returns the pool's full address range.
 func (p *Pool) Range() intervals.Range { return intervals.R(p.base, p.Size()) }
 
+// AttachOptions configures AttachWith.
+type AttachOptions struct {
+	// Async routes the instruction stream to the handler through a
+	// trace.Pipeline: the emitting thread only stages the event into a
+	// slab, and the handler runs on the pipeline's consumer goroutine. The
+	// pool drains the pipeline before every state observation (crash
+	// traps, crash images, EventCount, Detach, program End), so reports
+	// are byte-identical to inline delivery. Synchronous delivery remains
+	// the default.
+	Async bool
+	// ReplayRegions replays synthetic Register events — the whole pool,
+	// then every named region in name order — to the newly attached
+	// handler before it joins the live stream, so a handler attached
+	// mid-run (the asynchronous consumer swap-in case) still sees a
+	// complete region map. Synthetic events carry Seq 0: they re-describe
+	// existing regions rather than extend the instruction stream.
+	ReplayRegions bool
+	// PipelineDepth overrides the pipeline's ring depth for Async
+	// attaches (0 = trace.DefaultPipelineDepth).
+	PipelineDepth int
+	// Lazy selects the pipeline's deferred drain discipline for Async
+	// attaches: slabs accumulate in the ring and analysis runs at sync
+	// points (or ring exhaustion) instead of concurrently with emission.
+	// Useful when no spare core exists to overlap detection with the
+	// workload; reports are identical in both disciplines.
+	Lazy bool
+}
+
 // Attach registers a handler to receive the pool's instruction stream and
 // immediately emits a Register event covering the whole pool, mirroring
 // Register_pmem embedded in mmap (§6). Handlers attached later miss earlier
-// events; attach before running the workload.
+// events; attach before running the workload, or use
+// AttachOptions.ReplayRegions to recover the region map.
 func (p *Pool) Attach(h trace.Handler) {
+	p.AttachWith(h, AttachOptions{})
+}
+
+// AttachAsync registers a handler behind a trace.Pipeline so detection runs
+// off the emitting thread, and returns the pipeline. Detach(h) drains and
+// stops the pipeline; Sync drains it on demand.
+func (p *Pool) AttachAsync(h trace.Handler) *trace.Pipeline {
+	return p.AttachWith(h, AttachOptions{Async: true})
+}
+
+// AttachWith registers a handler with explicit options and returns the
+// created pipeline for asynchronous attaches (nil otherwise).
+func (p *Pool) AttachWith(h trace.Handler, opts AttachOptions) *trace.Pipeline {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.handlers = append(p.handlers, h)
+	target := h
+	var pipe *trace.Pipeline
+	if opts.Async {
+		pipe = trace.NewPipelineOpts(h, trace.PipelineOptions{
+			Depth: opts.PipelineDepth,
+			Lazy:  opts.Lazy,
+		})
+		p.pipelines = append(p.pipelines, pipe)
+		target = pipe
+	}
+	if opts.ReplayRegions {
+		p.replayRegionsLocked(target)
+	}
+	p.handlers = append(p.handlers, target)
 	p.emitLocked(trace.Event{
 		Kind: trace.KindRegister,
 		Addr: p.base,
 		Size: p.Size(),
 	})
+	p.refreshFastPathLocked()
+	return pipe
 }
 
-// Detach removes a previously attached handler.
+// refreshFastPathLocked recomputes the zero-copy emission path: it is taken
+// only when the sole attached handler is a pipeline and no crash trap is
+// armed, so the generic path keeps handling fan-out and trap delivery.
+// Callers hold p.mu.
+func (p *Pool) refreshFastPathLocked() {
+	p.fastPipe = nil
+	if p.trapAfter != 0 || len(p.handlers) != 1 {
+		return
+	}
+	if pipe, ok := p.handlers[0].(*trace.Pipeline); ok {
+		p.fastPipe = pipe
+	}
+}
+
+// replayRegionsLocked delivers synthetic Register events for the pool and
+// its named regions (sorted by name for determinism) to h only. Callers
+// hold p.mu.
+func (p *Pool) replayRegionsLocked(h trace.Handler) {
+	h.HandleEvent(trace.Event{Kind: trace.KindRegister, Addr: p.base, Size: p.Size()})
+	names := make([]string, 0, len(p.names))
+	for name := range p.names {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		r := p.names[name]
+		h.HandleEvent(trace.Event{
+			Kind: trace.KindRegister, Addr: r.Addr, Size: r.Size,
+			Site: trace.RegisterSite(name),
+		})
+	}
+}
+
+// Detach removes a previously attached handler, identified either directly
+// or — for asynchronous attaches — by the handler behind the pipeline (or
+// the pipeline itself). Detaching an asynchronous handler drains its
+// pipeline and stops the consumer goroutine, so the handler has seen every
+// event emitted before the call when Detach returns.
 func (p *Pool) Detach(h trace.Handler) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	target := h
+	for _, pipe := range p.pipelines {
+		if pipe.Handler() == h {
+			target = pipe
+			break
+		}
+	}
 	for i, cur := range p.handlers {
-		if cur == h {
+		if cur == target {
 			p.handlers = append(p.handlers[:i], p.handlers[i+1:]...)
-			return
+			break
+		}
+	}
+	p.refreshFastPathLocked()
+	if pipe, ok := target.(*trace.Pipeline); ok {
+		for i, cur := range p.pipelines {
+			if cur == pipe {
+				p.pipelines = append(p.pipelines[:i], p.pipelines[i+1:]...)
+				pipe.Close()
+				return
+			}
 		}
 	}
 }
@@ -142,6 +265,7 @@ func (p *Pool) SetCrashTrap(n uint64) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.trapAfter = n
+	p.refreshFastPathLocked()
 }
 
 // emitLocked assigns a sequence number and fans the event out. Callers hold
@@ -152,14 +276,38 @@ func (p *Pool) emitLocked(ev trace.Event) {
 	p.handlers.HandleEvent(ev)
 	if p.trapAfter != 0 && p.seq >= p.trapAfter {
 		p.trapAfter = 0
+		// Drain asynchronous handlers before the unwind: the trapped
+		// event executed, then the power failed, and every detector must
+		// have seen the full stream up to and including it.
+		p.syncLocked()
 		panic(CrashTrap{Seq: ev.Seq})
 	}
 }
 
-// EventCount returns the number of events emitted so far.
+// syncLocked drains every attached pipeline so asynchronous handlers have
+// consumed all events emitted so far. Callers hold p.mu; pipeline consumers
+// never re-enter the pool, so waiting under the lock cannot deadlock.
+func (p *Pool) syncLocked() {
+	for _, pipe := range p.pipelines {
+		pipe.Sync()
+	}
+}
+
+// Sync blocks until every asynchronously attached handler has consumed all
+// events emitted before the call. It is a no-op for synchronous handlers.
+func (p *Pool) Sync() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.syncLocked()
+}
+
+// EventCount returns the number of events emitted so far. Asynchronous
+// handlers are drained first, so the count doubles as a delivery barrier:
+// after EventCount returns, every detector has seen that many events.
 func (p *Pool) EventCount() uint64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.syncLocked()
 	return p.seq
 }
 
@@ -180,9 +328,16 @@ func (p *Pool) off(addr uint64) uint64 { return addr - p.base }
 func (p *Pool) storeLocked(addr uint64, data []byte, strand, thread int32, site trace.SiteID) {
 	size := uint64(len(data))
 	p.checkRange(addr, size)
+	copy(p.volatile[p.off(addr):], data)
+	p.storeTailLocked(addr, size, strand, thread, site)
+}
+
+// storeTailLocked is the store bookkeeping shared by the byte-slice and
+// scalar store paths: statistics, cache-line dirtying, and the Store event.
+// The caller has already written the data into the volatile image.
+func (p *Pool) storeTailLocked(addr, size uint64, strand, thread int32, site trace.SiteID) {
 	p.stats.Stores++
 	p.stats.BytesStored += size
-	copy(p.volatile[p.off(addr):], data)
 	first := p.off(addr) / LineSize
 	last := p.off(addr+size-1) / LineSize
 	for l := first; l <= last; l++ {
@@ -192,6 +347,15 @@ func (p *Pool) storeLocked(addr uint64, data []byte, strand, thread int32, site 
 		case linePending:
 			p.state[l] = lineDirtyPending
 		}
+	}
+	if fp := p.fastPipe; fp != nil {
+		// Zero-copy: construct the event in the staging slab itself.
+		p.seq++
+		*fp.Slot() = trace.Event{
+			Seq: p.seq, Kind: trace.KindStore, Addr: addr, Size: size,
+			Strand: strand, Thread: thread, Site: site,
+		}
+		return
 	}
 	p.emitLocked(trace.Event{
 		Kind: trace.KindStore, Addr: addr, Size: size,
@@ -220,6 +384,15 @@ func (p *Pool) flushLocked(addr, size uint64, kind trace.FlushKind, strand, thre
 			p.state[l] = linePending
 		}
 	}
+	if fp := p.fastPipe; fp != nil {
+		p.seq++
+		*fp.Slot() = trace.Event{
+			Seq: p.seq, Kind: trace.KindFlush, Flush: kind,
+			Addr: span.Addr, Size: span.Size,
+			Strand: strand, Thread: thread, Site: site,
+		}
+		return
+	}
 	p.emitLocked(trace.Event{
 		Kind: trace.KindFlush, Flush: kind,
 		Addr: span.Addr, Size: span.Size,
@@ -244,6 +417,13 @@ func (p *Pool) fenceLocked(strand, thread int32) {
 		}
 	}
 	p.pendingLines = p.pendingLines[:0]
+	if fp := p.fastPipe; fp != nil {
+		p.seq++
+		*fp.Slot() = trace.Event{
+			Seq: p.seq, Kind: trace.KindFence, Strand: strand, Thread: thread,
+		}
+		return
+	}
 	p.emitLocked(trace.Event{Kind: trace.KindFence, Strand: strand, Thread: thread})
 }
 
@@ -287,11 +467,14 @@ func (p *Pool) NamedRange(name string) (intervals.Range, bool) {
 }
 
 // End signals the end of the program under test. Detectors run their final
-// checks (no-durability rule) on this event.
+// checks (no-durability rule) on this event. Asynchronous handlers are
+// drained before End returns, so a Report taken afterwards reflects the
+// complete stream.
 func (p *Pool) End() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.emitLocked(trace.Event{Kind: trace.KindEnd})
+	p.syncLocked()
 }
 
 // Load copies size bytes at addr from the volatile image.

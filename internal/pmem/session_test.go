@@ -1,0 +1,151 @@
+package pmem
+
+import (
+	"sync"
+	"testing"
+
+	"pmdebugger/internal/trace"
+)
+
+// driveSession emits the same program as drive but wraps each round in an
+// op-scoped lock session, the way an application with its own outer lock
+// uses Begin/End.
+func driveSession(p *Pool, rounds int) {
+	c := p.Ctx()
+	base := p.Base()
+	p.RegisterNamed("counter", base, 8)
+	for r := 0; r < rounds; r++ {
+		c.Begin()
+		a := base + uint64(r%64)*LineSize
+		c.Store64(a, uint64(r))
+		c.Store64(a+8, uint64(r)*3)
+		c.Flush(a, 16)
+		if r%4 == 3 {
+			c.Fence()
+		}
+		if r%16 == 5 {
+			c.EpochBegin()
+			c.Store64(base+4096, uint64(r))
+			c.Persist(base+4096, 8)
+			c.EpochEnd()
+		}
+		if r%16 == 9 {
+			s := c.StrandBegin()
+			s.Store64(base+8192, uint64(r))
+			s.Persist(base+8192, 8)
+			s.StrandEnd()
+		}
+		if c.Load64(a) != uint64(r) {
+			panic("session load mismatch")
+		}
+		c.End()
+	}
+	c.Begin()
+	c.Fence()
+	c.End()
+}
+
+// TestSessionIdenticalStream checks an op-scoped lock session emits exactly
+// the event stream the per-instruction locking discipline emits.
+func TestSessionIdenticalStream(t *testing.T) {
+	plain := New(1 << 20)
+	plainRec := trace.NewRecorder(1024)
+	plain.Attach(plainRec)
+	drive(plain, 200)
+	plain.End()
+
+	sess := New(1 << 20)
+	sessRec := trace.NewRecorder(1024)
+	sess.Attach(sessRec)
+	driveSession(sess, 200)
+	sess.End()
+
+	if len(plainRec.Events) != len(sessRec.Events) {
+		t.Fatalf("stream lengths differ: plain %d session %d",
+			len(plainRec.Events), len(sessRec.Events))
+	}
+	for i := range plainRec.Events {
+		if plainRec.Events[i] != sessRec.Events[i] {
+			t.Fatalf("event %d differs: plain %v session %v",
+				i, plainRec.Events[i], sessRec.Events[i])
+		}
+	}
+}
+
+// TestSessionAllocAndLoads checks the session-aware allocator wrappers and
+// loads work inside an open session (the pool-level entry points would
+// self-deadlock here).
+func TestSessionAllocAndLoads(t *testing.T) {
+	p := New(1 << 20)
+	c := p.Ctx()
+	c.Begin()
+	addr, ok := c.TryAlloc(256)
+	if !ok {
+		t.Fatal("TryAlloc failed inside session")
+	}
+	c.Store64(addr, 0xdeadbeef)
+	if got := c.Load64(addr); got != 0xdeadbeef {
+		t.Fatalf("Load64 inside session = %#x", got)
+	}
+	b := c.LoadBytes(addr, 8)
+	if b[0] != 0xef {
+		t.Fatalf("LoadBytes inside session = %x", b)
+	}
+	c.Free(addr, 256)
+	c.End()
+}
+
+// TestSessionExcludesOtherThreads checks Begin really holds the pool mutex:
+// another context's operation cannot interleave into an open session.
+func TestSessionExcludesOtherThreads(t *testing.T) {
+	p := New(1 << 20)
+	rec := trace.NewRecorder(64)
+	p.Attach(rec)
+	base := p.Base()
+
+	c := p.ThreadCtx(1)
+	c.Begin()
+	c.Store64(base, 1)
+
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		close(started)
+		p.ThreadCtx(2).Store64(base+64, 2) // must block until End
+	}()
+	<-started
+	c.Store64(base+8, 3)
+	c.End()
+	wg.Wait()
+
+	// Thread 2's store must come after both session stores.
+	var order []int32
+	for _, ev := range rec.Events {
+		if ev.Kind == trace.KindStore {
+			order = append(order, ev.Thread)
+		}
+	}
+	if len(order) != 3 || order[2] != 2 {
+		t.Fatalf("store thread order %v: session did not exclude thread 2", order)
+	}
+}
+
+// TestSessionMisuse checks the Begin/End guards.
+func TestSessionMisuse(t *testing.T) {
+	p := New(1 << 20)
+	c := p.Ctx()
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("End without Begin", func() { c.End() })
+	c.Begin()
+	mustPanic("nested Begin", func() { c.Begin() })
+	c.End()
+}

@@ -60,10 +60,16 @@ func getEvent(buf []byte) Event {
 // Writer streams events to an underlying io.Writer in the trace file
 // format. Events are staged in pooled slabs and written StreamBatchSize
 // records at a time; call Flush once at the end.
+//
+// Write errors are sticky: the first failure is retained, every subsequent
+// write becomes a no-op returning it, and Flush reports it — so a Writer
+// attached as a (Batch)Handler, whose per-event errors have nowhere to go,
+// still surfaces the failure at the end of the run.
 type Writer struct {
 	bw   *bufio.Writer
 	slab []byte
-	n    int // staged records in slab
+	n    int   // staged records in slab
+	err  error // first write error; sticky
 }
 
 // NewWriter writes the trace header and returns a streaming encoder.
@@ -75,8 +81,12 @@ func NewWriter(w io.Writer) (*Writer, error) {
 	return &Writer{bw: bw, slab: slabPool.Get().([]byte)}, nil
 }
 
-// WriteEvent appends one event to the stream.
+// WriteEvent appends one event to the stream. After a write error it is a
+// no-op returning that error.
 func (tw *Writer) WriteEvent(ev Event) error {
+	if tw.err != nil {
+		return tw.err
+	}
 	putEvent(tw.slab[tw.n*recordSize:], ev)
 	tw.n++
 	if tw.n == StreamBatchSize {
@@ -96,35 +106,46 @@ func (tw *Writer) WriteBatch(evs []Event) error {
 }
 
 // HandleEvent implements Handler, so a Writer can be attached directly to an
-// instrumented pool to record straight to disk. Errors are surfaced by
-// Flush.
+// instrumented pool to record straight to disk. Errors are sticky and
+// surfaced by Err and Flush.
 func (tw *Writer) HandleEvent(ev Event) { _ = tw.WriteEvent(ev) }
 
 // HandleBatch implements BatchHandler.
 func (tw *Writer) HandleBatch(evs []Event) { _ = tw.WriteBatch(evs) }
 
+// Err returns the sticky write error, or nil if every write so far
+// succeeded.
+func (tw *Writer) Err() error { return tw.err }
+
 func (tw *Writer) flushSlab() error {
+	if tw.err != nil {
+		return tw.err
+	}
 	if tw.n == 0 {
 		return nil
 	}
 	if _, err := tw.bw.Write(tw.slab[:tw.n*recordSize]); err != nil {
-		return fmt.Errorf("trace: write records: %w", err)
+		tw.err = fmt.Errorf("trace: write records: %w", err)
+		return tw.err
 	}
 	tw.n = 0
 	return nil
 }
 
-// Flush drains staged records and the underlying buffer, and returns the
-// pooled slab. The Writer must not be used afterwards.
+// Flush drains staged records and the underlying buffer, returns the
+// pooled slab, and reports the first write error of the Writer's lifetime.
+// The Writer must not be used afterwards.
 func (tw *Writer) Flush() error {
-	if err := tw.flushSlab(); err != nil {
-		return err
+	if err := tw.flushSlab(); err == nil {
+		if ferr := tw.bw.Flush(); ferr != nil {
+			tw.err = fmt.Errorf("trace: flush records: %w", ferr)
+		}
 	}
 	if tw.slab != nil {
 		slabPool.Put(tw.slab)
 		tw.slab = nil
 	}
-	return tw.bw.Flush()
+	return tw.err
 }
 
 // Reader streams events from an underlying io.Reader.

@@ -1,0 +1,276 @@
+package trace
+
+// Pipeline is a bounded, double-buffered batch conduit between an event
+// producer and a Handler: the producer's HandleEvent appends the 40-byte
+// event into the current staging slab — a memcpy, nothing more — and full
+// slabs are handed through a bounded ring to a single consumer goroutine
+// that drives the handler's batch fast path.
+//
+// It exists to take detection off the instrumented program's critical path
+// (§7.2's live-instrumentation slowdowns): attached inline, a detector's
+// AVL inserts, index updates and rule checks all execute under the pool's
+// global mutex on the application thread, so multi-threaded workloads fully
+// serialize behind bookkeeping. Attached through a Pipeline, the application
+// thread pays only the slab append and detection overlaps with execution on
+// the consumer goroutine.
+//
+// Correctness anchors:
+//
+//   - Ordering. Slabs travel through a FIFO channel and a single consumer
+//     delivers them, so the handler observes the exact sequence the producer
+//     appended — for a pmem.Pool that is the pool-serialized, Seq-stamped
+//     stream, and reports are byte-identical to inline delivery.
+//   - Bounded memory. The ring recycles depth slabs of DefaultBatchSize
+//     events; when the consumer falls behind, HandleEvent blocks on the next
+//     free slab (backpressure) instead of growing a queue.
+//   - Sync barrier. Sync returns only after every event appended
+//     before the call has been delivered to the handler; the pool invokes it
+//     before crash-trap panics, crash-image snapshots and final checks.
+//
+// The producer side (HandleEvent, HandleBatch, Sync, Close) must be
+// externally serialized — the emitting pool's mutex already provides this.
+// The handler runs on the consumer goroutine and must not call back into
+// the producer while it holds that serialization (the pool's detectors
+// never do).
+//
+// Two drain disciplines are available (Options.Lazy):
+//
+//   - Eager (default): the consumer drains slabs as they arrive, so
+//     detection overlaps execution on another core. The right choice when a
+//     spare core exists.
+//   - Lazy: the consumer parks and slabs accumulate in the ring; analysis
+//     runs when Sync or Close demands it, or when the ring runs out of
+//     recycled slabs. This is the tracing-then-analysis decoupling of
+//     offline-trace debuggers (WITCHER's architecture): on a machine with no
+//     spare core it keeps the consumer entirely off the CPU during the
+//     application's live phase instead of time-slicing against it. Delivery
+//     order and reports are identical in both disciplines.
+type Pipeline struct {
+	h  Handler
+	bh BatchHandler // non-nil when h implements the batch fast path
+
+	// cur is the staging slab, always full-length; n is the fill cursor.
+	// Producers write events in place at cur[n] (Slot) so an event is
+	// stored exactly once, with no intermediate copies.
+	cur  []Event
+	n    int
+	full chan slabMsg // filled slabs and sync markers, FIFO to the consumer
+	free chan []Event // recycled slabs
+	done chan struct{}
+
+	// lazy selects the deferred drain discipline; kick (buffered, capacity
+	// 1) wakes the parked consumer when a drain is required.
+	lazy bool
+	kick chan struct{}
+
+	closed bool
+}
+
+// slabMsg is one ring entry: a filled slab, a sync marker, or both.
+type slabMsg struct {
+	evs  []Event       // events to deliver (nil for a pure sync marker)
+	sync chan struct{} // when non-nil, closed once all prior slabs drained
+}
+
+// DefaultPipelineDepth is the default number of slabs in the ring. With
+// DefaultBatchSize 40-byte events per slab the whole pipeline stays within a
+// couple of megabytes while giving the consumer enough runway to absorb
+// emission bursts.
+const DefaultPipelineDepth = 8
+
+// PipelineOptions configures NewPipelineOpts.
+type PipelineOptions struct {
+	// Depth is the number of slabs in the ring (0 = DefaultPipelineDepth,
+	// minimum 2: one slab staging while one drains — the double buffer).
+	Depth int
+	// Lazy selects the deferred drain discipline: the consumer parks until
+	// Sync/Close or ring exhaustion instead of draining as slabs arrive.
+	Lazy bool
+}
+
+// NewPipeline starts a pipeline delivering to h with DefaultPipelineDepth
+// slabs.
+func NewPipeline(h Handler) *Pipeline {
+	return NewPipelineOpts(h, PipelineOptions{})
+}
+
+// NewPipelineDepth starts a pipeline with the given ring depth.
+func NewPipelineDepth(h Handler, depth int) *Pipeline {
+	return NewPipelineOpts(h, PipelineOptions{Depth: depth})
+}
+
+// NewPipelineOpts starts a pipeline with explicit options.
+func NewPipelineOpts(h Handler, opts PipelineOptions) *Pipeline {
+	depth := opts.Depth
+	if depth == 0 {
+		depth = DefaultPipelineDepth
+	}
+	if depth < 2 {
+		depth = 2
+	}
+	p := &Pipeline{
+		h:    h,
+		full: make(chan slabMsg, depth),
+		free: make(chan []Event, depth),
+		done: make(chan struct{}),
+		lazy: opts.Lazy,
+		kick: make(chan struct{}, 1),
+	}
+	if bh, ok := h.(BatchHandler); ok {
+		p.bh = bh
+	}
+	for i := 0; i < depth; i++ {
+		slab := make([]Event, DefaultBatchSize)
+		// Touch every page now: a large make is backed by lazily-mapped
+		// zero pages, and without this the first-touch faults would be
+		// charged to the producer's hot path instead of setup.
+		for j := range slab {
+			slab[j].Seq = 1
+		}
+		p.free <- slab
+	}
+	p.cur = <-p.free
+	go p.consume()
+	return p
+}
+
+// Handler returns the handler the pipeline delivers to, so an owner holding
+// only the pipeline can identify (and detach by) the wrapped consumer.
+func (p *Pipeline) Handler() Handler { return p.h }
+
+// Slot hands out an in-place pointer to the next staging slot, shipping the
+// previous slab first when it is full. The caller must assign every field
+// of the returned Event before its next call into the pipeline — this is
+// the zero-copy producer path: the event is constructed directly in the
+// slab, never copied through a call chain.
+func (p *Pipeline) Slot() *Event {
+	if p.n == len(p.cur) {
+		p.handoff()
+	}
+	s := &p.cur[p.n]
+	p.n++
+	return s
+}
+
+// HandleEvent implements Handler: it stages ev in the current slab, handing
+// the slab to the consumer when it fills. It never runs the handler itself.
+func (p *Pipeline) HandleEvent(ev Event) {
+	*p.Slot() = ev
+}
+
+// HandleBatch implements BatchHandler by staging the whole slice.
+func (p *Pipeline) HandleBatch(evs []Event) {
+	for len(evs) > 0 {
+		if p.n == len(p.cur) {
+			p.handoff()
+		}
+		n := copy(p.cur[p.n:], evs)
+		p.n += n
+		evs = evs[n:]
+	}
+}
+
+// handoff ships the staging slab (if non-empty) and pulls a recycled one,
+// blocking when the consumer is behind — the constant-memory backpressure.
+// A full ring wakes a lazy consumer first, so backpressure degrades into
+// concurrent draining rather than deadlock.
+func (p *Pipeline) handoff() {
+	if p.n == 0 {
+		return
+	}
+	// Never blocks: at most depth slabs exist, one is in p.cur, so the full
+	// ring holds at most depth-1 of them (plus at most one in-flight sync
+	// marker, which occupies the slot the staged slab frees).
+	p.full <- slabMsg{evs: p.cur[:p.n]}
+	select {
+	case p.cur = <-p.free:
+	default:
+		p.wake() // no recycled slab ready: the consumer must drain now
+		p.cur = <-p.free
+	}
+	p.n = 0
+}
+
+// wake nudges a parked lazy consumer; it is a no-op when a wake is already
+// pending or the pipeline is eager (an eager consumer never parks).
+func (p *Pipeline) wake() {
+	if !p.lazy {
+		return
+	}
+	select {
+	case p.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Sync blocks until every event passed to HandleEvent/HandleBatch before
+// the call has been delivered to the handler. Events keep their original
+// order across the barrier.
+func (p *Pipeline) Sync() {
+	p.handoff()
+	c := make(chan struct{})
+	p.full <- slabMsg{sync: c}
+	p.wake()
+	<-c
+}
+
+// Close drains the pipeline and stops the consumer goroutine, returning
+// once the handler has seen every staged event. The pipeline must not be
+// used after Close.
+func (p *Pipeline) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	p.handoff()
+	close(p.full)
+	p.wake()
+	<-p.done
+}
+
+// consume is the single consumer: it drains slabs in FIFO order, drives the
+// handler's batch fast path, and recycles each slab into the free ring.
+func (p *Pipeline) consume() {
+	defer close(p.done)
+	for {
+		msg, ok := p.next()
+		if !ok {
+			return
+		}
+		if msg.evs != nil {
+			if p.bh != nil {
+				p.bh.HandleBatch(msg.evs)
+			} else {
+				for _, ev := range msg.evs {
+					p.h.HandleEvent(ev)
+				}
+			}
+			p.free <- msg.evs[:cap(msg.evs)] // restore full length for reuse
+		}
+		if msg.sync != nil {
+			close(msg.sync)
+		}
+	}
+}
+
+// next returns the consumer's next message. An eager consumer blocks on the
+// ring; a lazy one parks on the kick channel once the ring is drained, so it
+// consumes no CPU until a drain is demanded. Wakers enqueue their demand
+// (slab, marker, or channel close) before kicking, so a kick received here
+// always finds it in the ring.
+func (p *Pipeline) next() (slabMsg, bool) {
+	if !p.lazy {
+		msg, ok := <-p.full
+		return msg, ok
+	}
+	for {
+		select {
+		case msg, ok := <-p.full:
+			return msg, ok
+		default:
+			<-p.kick // drained: park until the next demand
+		}
+	}
+}
+
+var _ BatchHandler = (*Pipeline)(nil)

@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"testing"
+)
+
+// recount is the reference implementation Count replaced: a full rescan.
+func recount(r *Recorder, k Kind) int {
+	n := 0
+	for _, ev := range r.Events {
+		if ev.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+func checkCounts(t *testing.T, r *Recorder, label string) {
+	t.Helper()
+	for _, k := range []Kind{KindStore, KindFlush, KindFence, KindRegister, KindEnd} {
+		if got, want := r.Count(k), recount(r, k); got != want {
+			t.Fatalf("%s: Count(%v) = %d, rescan says %d", label, k, got, want)
+		}
+	}
+	s, f, fe := r.Counts()
+	if s != recount(r, KindStore) || f != recount(r, KindFlush) || fe != recount(r, KindFence) {
+		t.Fatalf("%s: Counts() = (%d,%d,%d) disagrees with rescan", label, s, f, fe)
+	}
+}
+
+func TestRecorderIncrementalCounts(t *testing.T) {
+	r := NewRecorder(16)
+	kinds := []Kind{KindStore, KindStore, KindFlush, KindFence, KindRegister,
+		KindStore, KindFlush, KindEnd}
+	for i, k := range kinds {
+		r.HandleEvent(Event{Seq: uint64(i + 1), Kind: k})
+	}
+	checkCounts(t, r, "after HandleEvent")
+
+	batch := make([]Event, 100)
+	for i := range batch {
+		batch[i] = Event{Kind: Kind(i % 3)} // stores, flushes, fences
+	}
+	r.HandleBatch(batch)
+	checkCounts(t, r, "after HandleBatch")
+
+	r.Reset()
+	if s, f, fe := r.Counts(); s+f+fe != 0 {
+		t.Fatalf("counts survive Reset: (%d,%d,%d)", s, f, fe)
+	}
+	r.HandleEvent(Event{Kind: KindFence})
+	checkCounts(t, r, "after Reset+HandleEvent")
+}
+
+// TestRecorderLiteralCounts checks a Recorder built by slice literal —
+// bypassing the handlers — still counts correctly via the lazy watermark.
+func TestRecorderLiteralCounts(t *testing.T) {
+	r := &Recorder{Events: []Event{
+		{Kind: KindStore}, {Kind: KindStore}, {Kind: KindFence},
+	}}
+	if got := r.Count(KindStore); got != 2 {
+		t.Fatalf("literal recorder Count(store) = %d, want 2", got)
+	}
+	// Direct appends after the fact are caught up too.
+	r.Events = append(r.Events, Event{Kind: KindFlush})
+	if got := r.Count(KindFlush); got != 1 {
+		t.Fatalf("appended event missed: Count(clf) = %d, want 1", got)
+	}
+	checkCounts(t, r, "literal")
+}

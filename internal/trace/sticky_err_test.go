@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"errors"
+	"testing"
+)
+
+// failAfterWriter accepts n bytes, then fails every write.
+type failAfterWriter struct {
+	n   int
+	err error
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, w.err
+	}
+	if len(p) > w.n {
+		n := w.n
+		w.n = 0
+		return n, w.err
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+// TestWriterStickyError drives a Writer as a Handler over a failing sink
+// and checks the error is retained and reported by Flush, despite
+// HandleEvent having nowhere to return it.
+func TestWriterStickyError(t *testing.T) {
+	sinkErr := errors.New("disk full")
+	// Enough room for the header plus one slab; the second slab write
+	// fails inside HandleEvent.
+	w := &failAfterWriter{n: 8 + StreamBatchSize*recordSize, err: sinkErr}
+	tw, err := NewWriter(w)
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	for i := 0; i < 3*StreamBatchSize; i++ {
+		tw.HandleEvent(Event{Seq: uint64(i + 1), Kind: KindStore, Addr: 0x1000, Size: 8})
+	}
+	if tw.Err() == nil {
+		t.Fatal("write error not sticky: Err() == nil after failed slab flush")
+	}
+	if err := tw.WriteEvent(Event{Seq: 1}); !errors.Is(err, sinkErr) {
+		t.Fatalf("WriteEvent after failure = %v, want sticky %v", err, sinkErr)
+	}
+	if err := tw.Flush(); !errors.Is(err, sinkErr) {
+		t.Fatalf("Flush = %v, want sticky %v", err, sinkErr)
+	}
+}
+
+// TestWriterStickyErrorOnFinalFlush checks an error that only materializes
+// while draining the bufio layer is also reported.
+func TestWriterStickyErrorOnFinalFlush(t *testing.T) {
+	sinkErr := errors.New("sink closed")
+	w := &failAfterWriter{n: 8, err: sinkErr} // header fits, records do not
+	tw, err := NewWriter(w)
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	tw.HandleEvent(Event{Seq: 1, Kind: KindStore, Addr: 0x1000, Size: 8})
+	if err := tw.Flush(); !errors.Is(err, sinkErr) {
+		t.Fatalf("Flush = %v, want %v", err, sinkErr)
+	}
+}
+
+// TestWriterBatchSticky checks HandleBatch paths share the sticky error.
+func TestWriterBatchSticky(t *testing.T) {
+	sinkErr := errors.New("short sink")
+	w := &failAfterWriter{n: 8, err: sinkErr}
+	tw, err := NewWriter(w)
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	evs := make([]Event, 2*StreamBatchSize)
+	tw.HandleBatch(evs)
+	if tw.Err() == nil {
+		t.Fatal("HandleBatch dropped the write error")
+	}
+	if err := tw.Flush(); !errors.Is(err, sinkErr) {
+		t.Fatalf("Flush = %v, want %v", err, sinkErr)
+	}
+}
