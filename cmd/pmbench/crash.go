@@ -1,0 +1,122 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"pmdebugger/internal/harness"
+)
+
+// crashOpts carries the crash experiment's flags.
+type crashOpts struct {
+	json       bool
+	out        string
+	minSpeedup float64
+	ops        int
+	stride     int
+	workers    int
+	workloads  []string
+}
+
+// crashArtifact is the BENCH_crash.json schema: per-engine wall-clock and
+// images-checked for each workload, plus per-workload and aggregate speedups
+// of the record-once engines over exhaustive re-execution, so successive CI
+// runs form a perf trajectory for the crash-space explorer.
+type crashArtifact struct {
+	Experiment             string                `json:"experiment"`
+	Timestamp              string                `json:"timestamp"`
+	CPUs                   int                   `json:"cpus"`
+	Workers                int                   `json:"workers"`
+	Repeats                int                   `json:"repeats"`
+	Ops                    int                   `json:"ops"`
+	Stride                 int                   `json:"stride"`
+	Results                []harness.CrashResult `json:"results"`
+	ParallelSpeedups       map[string]float64    `json:"parallel_speedups"`
+	ReducedSpeedups        map[string]float64    `json:"reduced_speedups"`
+	GeomeanParallelSpeedup float64               `json:"geomean_parallel_speedup"`
+	GeomeanReducedSpeedup  float64               `json:"geomean_reduced_speedup"`
+}
+
+// crashExp measures crash-space exploration three ways per workload —
+// exhaustive serial re-execution, the record-once engine with a checker
+// worker pool, and the same engine with pruning and deduplication — after
+// the harness has verified all three report the identical failure set. The
+// sanity gates are structural: the reduced engine must check strictly fewer
+// images than the exhaustive reference on every workload, and -minspeedup
+// (when set) bounds the geomean parallel speedup.
+func crashExp(opts crashOpts) error {
+	fmt.Println("\n=== Crash-space exploration: serial vs record-once parallel vs +reducers ===")
+	fmt.Printf("%-12s %-18s %8s %8s %8s %8s %8s %12s %10s\n",
+		"workload", "engine", "events", "points", "images", "pruned", "dedup", "time", "speedup")
+
+	art := crashArtifact{
+		Experiment:       "crash",
+		Timestamp:        time.Now().UTC().Format(time.RFC3339),
+		CPUs:             runtime.NumCPU(),
+		Workers:          opts.workers,
+		Repeats:          harness.Repeats,
+		Ops:              opts.ops,
+		Stride:           opts.stride,
+		ParallelSpeedups: map[string]float64{},
+		ReducedSpeedups:  map[string]float64{},
+	}
+	logPar, logRed := 0.0, 0.0
+	for _, workload := range opts.workloads {
+		rs, err := harness.MeasureCrash(workload, opts.ops, opts.stride, opts.workers)
+		if err != nil {
+			return err
+		}
+		serial, parallel, reduced := rs[0], rs[1], rs[2]
+		if reduced.ImagesChecked >= serial.ImagesChecked {
+			return fmt.Errorf("crash %s: reducers checked %d images, not below the exhaustive %d",
+				workload, reduced.ImagesChecked, serial.ImagesChecked)
+		}
+		parSpeed := float64(serial.Nanos) / float64(parallel.Nanos)
+		redSpeed := float64(serial.Nanos) / float64(reduced.Nanos)
+		art.Results = append(art.Results, rs...)
+		art.ParallelSpeedups[workload] = parSpeed
+		art.ReducedSpeedups[workload] = redSpeed
+		logPar += math.Log(parSpeed)
+		logRed += math.Log(redSpeed)
+		for _, r := range rs {
+			mark := ""
+			switch r.Engine {
+			case "parallel":
+				mark = fmt.Sprintf("%9.2fx", parSpeed)
+			case "parallel+reducers":
+				mark = fmt.Sprintf("%9.2fx", redSpeed)
+			}
+			fmt.Printf("%-12s %-18s %8d %8d %8d %8d %8d %12s %10s\n",
+				r.Workload, r.Engine, r.Events, r.Points, r.ImagesChecked,
+				r.PrunedPoints, r.DedupImages, time.Duration(r.Nanos).Round(time.Microsecond), mark)
+		}
+	}
+	art.GeomeanParallelSpeedup = math.Exp(logPar / float64(len(opts.workloads)))
+	art.GeomeanReducedSpeedup = math.Exp(logRed / float64(len(opts.workloads)))
+	fmt.Printf("geomean speedup over exhaustive: parallel %.2fx, +reducers %.2fx (cpus: %d, workers: %d)\n",
+		art.GeomeanParallelSpeedup, art.GeomeanReducedSpeedup, art.CPUs, art.Workers)
+
+	if opts.json {
+		out := opts.out
+		if out == "" {
+			out = "BENCH_crash.json"
+		}
+		data, err := json.MarshalIndent(art, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+	if opts.minSpeedup > 0 && art.GeomeanParallelSpeedup < opts.minSpeedup {
+		return fmt.Errorf("crash: geomean parallel speedup %.2fx below required %.2fx",
+			art.GeomeanParallelSpeedup, opts.minSpeedup)
+	}
+	return nil
+}

@@ -12,6 +12,7 @@
 //	pmbench -experiment parallel      # sharded strand-trace replay speedup
 //	pmbench -experiment hotpath       # cache-line index vs interval-scan hot loop
 //	pmbench -experiment pipeline      # inline vs async-pipelined live detection
+//	pmbench -experiment crash         # crash-space exploration engine comparison
 //	pmbench -experiment all
 //
 // -scale shrinks or grows every operation count (default 1.0); absolute
@@ -23,6 +24,13 @@
 // when the geometric-mean speedup falls below the bound — the CI smoke
 // gates). `-experiment pipeline` drives the multi-threaded memcached
 // workload with -threads application threads (default 4).
+//
+// `-experiment crash` honors the same -json/-out/-minspeedup flags (artifact
+// BENCH_crash.json) and is sized with -crashops, -crashstride and
+// -crashworkers; it compares exhaustive serial re-execution with the
+// record-once parallel explorer, with and without its reducers, and fails
+// when any engine's failure set diverges from the serial reference or the
+// reducers do not check strictly fewer images.
 package main
 
 import (
@@ -57,7 +65,7 @@ type pipelineOpts struct {
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "table1, fig8, table5, sota, fig10, fig11, reorg, parallel, hotpath, pipeline, or all")
+		experiment = flag.String("experiment", "all", "table1, fig8, table5, sota, fig10, fig11, reorg, parallel, hotpath, pipeline, crash, or all")
 		inserts    = flag.Int("n", 10000, "micro-benchmark insert count (paper: 1K/10K/100K)")
 		memOps     = flag.Int("memops", 10000, "memcached operation count (paper: 10K-100K)")
 		redisKeys  = flag.Int("rediskeys", 10000, "redis LRU-test key count")
@@ -67,18 +75,24 @@ func main() {
 		minSpeed   = flag.Float64("minspeedup", 0, "hotpath/pipeline: fail unless the geomean speedup >= this")
 		rounds     = flag.Int("rounds", 24, "hotpath: fence rounds per synthetic trace")
 		threads    = flag.Int("threads", 4, "pipeline: memcached application threads")
+		crashOps   = flag.Int("crashops", 20, "crash: operations per crashed program")
+		crashStr   = flag.Int("crashstride", 3, "crash: event-boundary stride")
+		crashWrk   = flag.Int("crashworkers", 4, "crash: checker workers for the record-once engine")
 	)
 	flag.Parse()
 	harness.Repeats = *repeats
 	hp := hotpathOpts{json: *jsonOut, out: *outPath, minSpeedup: *minSpeed, rounds: *rounds}
 	pl := pipelineOpts{json: *jsonOut, out: *outPath, minSpeedup: *minSpeed, threads: *threads}
-	if err := run(*experiment, *inserts, *memOps, *redisKeys, hp, pl); err != nil {
+	cr := crashOpts{json: *jsonOut, out: *outPath, minSpeedup: *minSpeed,
+		ops: *crashOps, stride: *crashStr, workers: *crashWrk,
+		workloads: []string{"b_tree", "txpair", "redis"}}
+	if err := run(*experiment, *inserts, *memOps, *redisKeys, hp, pl, cr); err != nil {
 		fmt.Fprintln(os.Stderr, "pmbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, inserts, memOps, redisKeys int, hp hotpathOpts, pl pipelineOpts) error {
+func run(experiment string, inserts, memOps, redisKeys int, hp hotpathOpts, pl pipelineOpts, cr crashOpts) error {
 	switch experiment {
 	case "table1":
 		return table1()
@@ -100,6 +114,8 @@ func run(experiment string, inserts, memOps, redisKeys int, hp hotpathOpts, pl p
 		return hotpath(hp)
 	case "pipeline":
 		return pipelineExp(pl, memOps, redisKeys)
+	case "crash":
+		return crashExp(cr)
 	case "all":
 		for _, fn := range []func() error{
 			table1,
@@ -112,6 +128,7 @@ func run(experiment string, inserts, memOps, redisKeys int, hp hotpathOpts, pl p
 			func() error { return parallelReplay(inserts) },
 			func() error { return hotpath(hp) },
 			func() error { return pipelineExp(pl, memOps, redisKeys) },
+			func() error { return crashExp(cr) },
 		} {
 			if err := fn(); err != nil {
 				return err

@@ -10,20 +10,47 @@ import (
 func TestRunExperiments(t *testing.T) {
 	hp := hotpathOpts{rounds: 2}
 	pl := pipelineOpts{threads: 2}
+	cr := crashOpts{ops: 3, stride: 5, workers: 2, workloads: []string{"txpair"}}
 	for _, exp := range []string{"table1", "table5", "fig11", "reorg"} {
-		if err := run(exp, 200, 200, 200, hp, pl); err != nil {
+		if err := run(exp, 200, 200, 200, hp, pl, cr); err != nil {
 			t.Errorf("%s: %v", exp, err)
 		}
 	}
-	if err := run("nope", 10, 10, 10, hp, pl); err == nil {
+	if err := run("nope", 10, 10, 10, hp, pl, cr); err == nil {
 		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestCrashArtifact(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_crash.json")
+	cr := crashOpts{json: true, out: out, ops: 4, stride: 5, workers: 2,
+		workloads: []string{"b_tree", "txpair"}}
+	if err := run("crash", 0, 0, 0, hotpathOpts{}, pipelineOpts{}, cr); err != nil {
+		t.Fatalf("crash: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("artifact not written: %v", err)
+	}
+	var art crashArtifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if len(art.Results) != 3*len(art.ParallelSpeedups) ||
+		art.GeomeanParallelSpeedup <= 0 || art.GeomeanReducedSpeedup <= 0 {
+		t.Fatalf("artifact incomplete: %+v", art)
+	}
+	for _, r := range art.Results {
+		if r.Engine == "parallel+reducers" && r.PrunedPoints == 0 && r.DedupImages == 0 {
+			t.Fatalf("%s reducers engine reduced nothing: %+v", r.Workload, r)
+		}
 	}
 }
 
 func TestHotpathArtifact(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH_hotpath.json")
 	hp := hotpathOpts{json: true, out: out, rounds: 2}
-	if err := run("hotpath", 0, 0, 0, hp, pipelineOpts{}); err != nil {
+	if err := run("hotpath", 0, 0, 0, hp, pipelineOpts{}, crashOpts{}); err != nil {
 		t.Fatalf("hotpath: %v", err)
 	}
 	data, err := os.ReadFile(out)
@@ -42,7 +69,7 @@ func TestHotpathArtifact(t *testing.T) {
 func TestPipelineArtifact(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH_pipeline.json")
 	pl := pipelineOpts{json: true, out: out, threads: 4}
-	if err := run("pipeline", 0, 500, 500, hotpathOpts{}, pl); err != nil {
+	if err := run("pipeline", 0, 500, 500, hotpathOpts{}, pl, crashOpts{}); err != nil {
 		t.Fatalf("pipeline: %v", err)
 	}
 	data, err := os.ReadFile(out)

@@ -1,45 +1,51 @@
 // Command pmcrash runs Yat/Agamotto-style systematic crash testing
-// (package crashtest) against the transactional workloads: it crashes the
+// (package crashtest) against the registered scenarios: it crashes the
 // program at instruction boundaries, materializes each post-crash
 // persistent image, runs recovery, and validates the recovered structure.
 //
+// By default it uses the record-once explorer (one program execution, a
+// shadow-replay pool, and a bounded checker worker pool); -parallel 0
+// selects the exhaustive re-execution reference engine.
+//
 // Usage:
 //
-//	pmcrash -workload b_tree -n 25 -stride 13
-//	pmcrash -workload queue -n 40 -policy random -seeds 5
-//	pmcrash -workload txpair -strictlog -policy random
+//	pmcrash -workload b_tree -n 25 -stride 13 -parallel 4 -prune -dedup
+//	pmcrash -workload redis -n 10 -stride 7 -policy random -seeds 5
+//	pmcrash -workload memcached -n 8 -stride 9 -parallel 2
+//	pmcrash -workload txpair -strictlog -policy random -parallel 0
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"pmdebugger/internal/crashtest"
-	"pmdebugger/internal/pmdk"
+	"pmdebugger/internal/crashtest/scenarios"
 	"pmdebugger/internal/pmem"
-	"pmdebugger/internal/workloads"
 )
 
 func main() {
 	var (
-		workload  = flag.String("workload", "b_tree", "b_tree, queue, or txpair")
+		workload  = flag.String("workload", "b_tree", "scenario: b_tree, queue, txpair, redis, or memcached")
 		n         = flag.Int("n", 25, "operations in the crashed program")
 		stride    = flag.Int("stride", 1, "test every Nth event boundary (1 = exhaustive)")
 		maxPoints = flag.Int("max", 0, "cap on crash points (0 = unlimited)")
 		policy    = flag.String("policy", "drop", "line persistence at the crash: drop, apply, random")
 		seeds     = flag.Int("seeds", 3, "seeds per crash point for -policy random")
 		strictLog = flag.Bool("strictlog", false, "use the strict (drain-per-snapshot) undo log")
+		parallel  = flag.Int("parallel", 1, "checker workers for the record-once engine (0 = serial re-execution reference)")
+		prune     = flag.Bool("prune", false, "prune persistency-irrelevant crash points (record-once engine)")
+		dedup     = flag.Bool("dedup", false, "deduplicate identical crash images by content hash (record-once engine)")
 	)
 	flag.Parse()
-	if err := run(*workload, *n, *stride, *maxPoints, *policy, *seeds, *strictLog); err != nil {
+	if err := run(*workload, *n, *stride, *maxPoints, *policy, *seeds, *strictLog, *parallel, *prune, *dedup); err != nil {
 		fmt.Fprintln(os.Stderr, "pmcrash:", err)
 		os.Exit(1)
 	}
 }
 
-func run(workload string, n, stride, maxPoints int, policyName string, nseeds int, strictLog bool) error {
+func run(workload string, n, stride, maxPoints int, policyName string, nseeds int, strictLog bool, parallel int, prune, dedup bool) error {
 	cfg := crashtest.Config{PoolSize: 1 << 21, Stride: stride, MaxPoints: maxPoints}
 	switch policyName {
 	case "drop":
@@ -55,16 +61,32 @@ func run(workload string, n, stride, maxPoints int, policyName string, nseeds in
 		return fmt.Errorf("unknown policy %q", policyName)
 	}
 
-	prog, check, err := buildScenario(workload, n, strictLog)
+	prog, check, err := scenarios.Build(workload, n, strictLog)
 	if err != nil {
 		return err
 	}
-	res, err := crashtest.Run(prog, check, cfg)
+
+	var res *crashtest.Result
+	if parallel <= 0 {
+		if prune || dedup {
+			return fmt.Errorf("-prune and -dedup require the record-once engine (-parallel >= 1)")
+		}
+		res, err = crashtest.RunSerial(prog, check, cfg)
+	} else {
+		cfg.Workers = parallel
+		cfg.Prune = prune
+		cfg.Dedup = dedup
+		res, err = crashtest.Run(prog, check, cfg)
+	}
 	if err != nil {
 		return err
 	}
 	fmt.Printf("%s: %d events, %d crash points, %d images checked\n",
 		workload, res.TotalEvents, res.Points, res.Images)
+	if res.PrunedPoints > 0 || res.DedupImages > 0 {
+		fmt.Printf("reducers: %d points pruned, %d images deduplicated\n",
+			res.PrunedPoints, res.DedupImages)
+	}
 	if len(res.Failures) == 0 {
 		fmt.Println("all recoveries consistent")
 		return nil
@@ -78,153 +100,4 @@ func run(workload string, n, stride, maxPoints int, policyName string, nseeds in
 		fmt.Printf("  %s\n", f)
 	}
 	return nil
-}
-
-func buildScenario(workload string, n int, strictLog bool) (crashtest.Program, crashtest.Checker, error) {
-	recovered := func(img *pmem.Pool) (*pmdk.Pool, bool, error) {
-		p, err := pmdk.Open(img)
-		if err != nil {
-			if strings.Contains(err.Error(), "bad pool magic") {
-				return nil, false, nil // crash before the pool existed
-			}
-			return nil, false, err
-		}
-		return p, true, nil
-	}
-
-	switch workload {
-	case "b_tree":
-		var rootCell uint64
-		prog := func(pm *pmem.Pool) error {
-			p, err := pmdk.Create(pm, 4096)
-			if err != nil {
-				return err
-			}
-			p.SetStrictLog(strictLog)
-			bt, err := workloads.NewBTree(p)
-			if err != nil {
-				return err
-			}
-			rootCell, _ = p.Root()
-			for k := uint64(0); k < uint64(n); k++ {
-				if err := bt.Insert(k, k+1000); err != nil {
-					return err
-				}
-			}
-			return nil
-		}
-		check := func(img *pmem.Pool) error {
-			p, ok, err := recovered(img)
-			if err != nil || !ok {
-				return err
-			}
-			if p.Ctx().Load64(rootCell) == 0 {
-				return nil
-			}
-			bt := workloads.ReattachBTree(p, rootCell)
-			for k := uint64(0); k < uint64(n); k++ {
-				v, present := bt.Get(k)
-				if !present {
-					for k2 := k + 1; k2 < uint64(n); k2++ {
-						if _, p2 := bt.Get(k2); p2 {
-							return fmt.Errorf("non-prefix recovery: %d missing, %d present", k, k2)
-						}
-					}
-					return nil
-				}
-				if v != k+1000 {
-					return fmt.Errorf("key %d has value %d", k, v)
-				}
-			}
-			return nil
-		}
-		return prog, check, nil
-
-	case "queue":
-		var rootCell uint64
-		prog := func(pm *pmem.Pool) error {
-			p, err := pmdk.Create(pm, 4096)
-			if err != nil {
-				return err
-			}
-			p.SetStrictLog(strictLog)
-			q, err := workloads.NewQueue(p, 16)
-			if err != nil {
-				return err
-			}
-			rootCell, _ = p.Root()
-			for i := 0; i < n; i++ {
-				if err := q.Enqueue(uint64(i)); err != nil {
-					return err
-				}
-				if i%3 == 2 {
-					if _, err := q.Dequeue(); err != nil {
-						return err
-					}
-				}
-			}
-			return nil
-		}
-		check := func(img *pmem.Pool) error {
-			p, ok, err := recovered(img)
-			if err != nil || !ok {
-				return err
-			}
-			c := p.Ctx()
-			capacity := c.Load64(rootCell + 8)
-			head := c.Load64(rootCell + 16)
-			count := c.Load64(rootCell + 24)
-			if capacity == 0 {
-				return nil // crash before initialization committed
-			}
-			if capacity != 16 || head >= capacity || count > capacity {
-				return fmt.Errorf("invalid geometry: cap=%d head=%d count=%d", capacity, head, count)
-			}
-			// FIFO contents must be consecutive integers.
-			buf := c.Load64(rootCell)
-			var prev uint64
-			for i := uint64(0); i < count; i++ {
-				v := c.Load64(buf + (head+i)%capacity*8)
-				if i > 0 && v != prev+1 {
-					return fmt.Errorf("queue not consecutive at %d: %d after %d", i, v, prev)
-				}
-				prev = v
-			}
-			return nil
-		}
-		return prog, check, nil
-
-	case "txpair":
-		var root uint64
-		prog := func(pm *pmem.Pool) error {
-			p, err := pmdk.Create(pm, 64)
-			if err != nil {
-				return err
-			}
-			p.SetStrictLog(strictLog)
-			root, _ = p.Root()
-			for i := uint64(1); i <= uint64(n); i++ {
-				tx := p.Begin()
-				tx.Set(root, i)
-				tx.Set(root+128, i)
-				tx.Commit()
-			}
-			return nil
-		}
-		check := func(img *pmem.Pool) error {
-			p, ok, err := recovered(img)
-			if err != nil || !ok {
-				return err
-			}
-			c := p.Ctx()
-			if a, b := c.Load64(root), c.Load64(root+128); a != b {
-				return fmt.Errorf("torn pair %d/%d", a, b)
-			}
-			return nil
-		}
-		return prog, check, nil
-
-	default:
-		return nil, nil, fmt.Errorf("unknown crash workload %q", workload)
-	}
 }

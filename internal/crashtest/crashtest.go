@@ -1,19 +1,35 @@
 // Package crashtest is a systematic crash-consistency testing framework in
 // the style of Yat [33] and Agamotto [43], the exhaustive-testing relatives
-// the paper compares against: it re-executes a deterministic PM program,
-// crashing it at successive instruction boundaries, materializes the
-// post-crash persistent image under a chosen line-persistence policy, and
-// runs a recovery checker on every image.
+// the paper compares against: it explores the crash-state space of a
+// deterministic PM program, materializes the post-crash persistent image at
+// successive instruction boundaries under a chosen line-persistence policy,
+// and runs a recovery checker on every image.
+//
+// Two engines share the same Config and report format:
+//
+//   - Run is the record-once explorer: the program executes a single time
+//     with a payload journal attached (pmem.Pool.RecordJournal), a shadow
+//     pool replays the journal forward event by event, and each boundary's
+//     crash image is dispatched to a bounded pool of checker workers. Total
+//     work is O(events) replay plus embarrassingly parallel checking, with
+//     two optional reducers: persistency-relevant crash-point pruning and
+//     content-hash image deduplication (see explore.go).
+//
+//   - RunSerial is the exhaustive reference: it re-executes the program from
+//     scratch for every crash point with an armed crash trap — O(events²)
+//     execution, as Yat does it — and exists as the ground truth the
+//     explorer is differentially tested against.
 //
 // Where PMDebugger reasons about the instruction stream online, crashtest
 // actually explores the crash-state space — which is why the paper calls
-// the approach "extremely" expensive and why Stride exists. The framework
-// doubles as the correctness harness for this repository's own
-// crash-consistent substrates (the pmdk undo log and the workloads).
+// the approach "extremely" expensive. The framework doubles as the
+// correctness harness for this repository's own crash-consistent substrates
+// (the pmdk undo log, the workloads, and the redis/memcached ports).
 package crashtest
 
 import (
 	"fmt"
+	"sort"
 
 	"pmdebugger/internal/pmem"
 )
@@ -21,11 +37,15 @@ import (
 // Program is a deterministic PM program: given a fresh pool it performs its
 // setup and workload. It must behave identically on every invocation (no
 // wall-clock, no global randomness) — determinism is what makes crash-point
-// enumeration meaningful.
+// enumeration meaningful for RunSerial and what makes the recorded journal
+// representative for Run.
 type Program func(pm *pmem.Pool) error
 
 // Checker validates a post-crash persistent image: it runs recovery against
 // the image and returns an error when the recovered state is inconsistent.
+// The record-once engine invokes the checker from multiple worker
+// goroutines on distinct images, so checkers must not share mutable state
+// across invocations.
 type Checker func(img *pmem.Pool) error
 
 // Config parameterizes an exploration.
@@ -44,6 +64,22 @@ type Config struct {
 	Stride int
 	// MaxPoints caps the number of crash points (0 = unlimited).
 	MaxPoints int
+
+	// Workers bounds the checker worker pool of the record-once engine
+	// (default 1). RunSerial ignores it.
+	Workers int
+	// Prune enables persistency-relevant crash-point pruning in the
+	// record-once engine: boundaries whose crash images provably equal the
+	// previous boundary's (no fence committed new bytes, and — for the
+	// pending-aware policies — no flush changed the pending set) inherit
+	// its verdicts instead of materializing and checking images. The
+	// reported failure set is identical to the exhaustive one.
+	Prune bool
+	// Dedup enables content-hash image deduplication in the record-once
+	// engine: an image whose fingerprint was already checked reuses that
+	// verdict instead of running the checker again. The reported failure
+	// set is identical to the exhaustive one.
+	Dedup bool
 }
 
 func (c *Config) fill() {
@@ -53,9 +89,20 @@ func (c *Config) fill() {
 	if c.Stride <= 0 {
 		c.Stride = 1
 	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
 	if c.Policy == pmem.CrashRandomPending && len(c.Seeds) == 0 {
 		c.Seeds = []int64{1, 2, 3}
 	}
+}
+
+// effectiveSeeds returns the per-point seed list after policy defaults.
+func (c *Config) effectiveSeeds() []int64 {
+	if c.Policy != pmem.CrashRandomPending {
+		return []int64{0}
+	}
+	return c.Seeds
 }
 
 // Failure is one crash point whose recovered state failed the checker.
@@ -77,18 +124,55 @@ func (f Failure) String() string {
 type Result struct {
 	// TotalEvents is the program's full event count.
 	TotalEvents uint64
-	// Points is the number of crash points explored.
+	// Points is the number of crash points explored — boundaries whose
+	// images were checked or (under pruning) inherited a checked verdict.
 	Points int
-	// Images is the number of (point, seed) images checked.
+	// Images is the number of checker invocations: materialized images that
+	// actually ran recovery.
 	Images int
-	// Failures lists every inconsistent recovery.
+	// PrunedPoints counts boundaries that inherited the previous boundary's
+	// verdicts because no intervening event could change the crash image
+	// (record-once engine with Prune).
+	PrunedPoints int
+	// DedupImages counts materialized images whose fingerprint had already
+	// been checked and whose verdict was reused (record-once engine with
+	// Dedup).
+	DedupImages int
+	// Failures lists every inconsistent recovery, ordered by crash point
+	// then seed position.
 	Failures []Failure
 }
 
-// Run explores the program's crash space. The program is first executed to
-// completion to count events and verify the final state passes the checker;
-// then it is re-executed once per crash point.
-func Run(prog Program, check Checker, cfg Config) (*Result, error) {
+// FailureKeys returns the failure set as sorted strings, one per failure,
+// for cross-engine set comparison (the differential suite and the CI
+// sanity gate).
+func (r *Result) FailureKeys() []string {
+	keys := make([]string, 0, len(r.Failures))
+	for _, f := range r.Failures {
+		keys = append(keys, f.String())
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// safeCheck runs the checker, converting a checker panic (a recovery pass
+// chasing a wild pointer out of the pool, say) into an error verdict so one
+// bad image aborts neither the exploration nor the process.
+func safeCheck(check Checker, img *pmem.Pool) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("checker panic: %v", r)
+		}
+	}()
+	return check(img)
+}
+
+// RunSerial explores the program's crash space exhaustively by
+// re-execution: the program is first executed to completion to count events
+// and verify the final state passes the checker, then re-executed once per
+// crash point with an armed crash trap. It is the ground-truth reference
+// the record-once engine (Run) is differentially tested against.
+func RunSerial(prog Program, check Checker, cfg Config) (*Result, error) {
 	cfg.fill()
 	res := &Result{}
 
@@ -98,32 +182,29 @@ func Run(prog Program, check Checker, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("crashtest: program failed without crashes: %w", err)
 	}
 	res.TotalEvents = full.EventCount()
-	if err := check(full.Crash(cfg.Policy, 0)); err != nil {
+	if err := safeCheck(check, full.Crash(cfg.Policy, 0)); err != nil {
 		return nil, fmt.Errorf("crashtest: checker rejects the completed program: %w", err)
 	}
 
-	seeds := cfg.Seeds
-	if cfg.Policy != pmem.CrashRandomPending {
-		seeds = []int64{0}
-	}
-
+	seeds := cfg.effectiveSeeds()
 	for point := uint64(cfg.Stride); point <= res.TotalEvents; point += uint64(cfg.Stride) {
 		if cfg.MaxPoints > 0 && res.Points >= cfg.MaxPoints {
 			break
 		}
-		res.Points++
 		pool, trapped, err := runTrapped(prog, cfg.PoolSize, point)
 		if err != nil {
 			return nil, fmt.Errorf("crashtest: program failed at point %d: %w", point, err)
 		}
 		if !trapped {
-			// The program finished before the trap (points past its end).
+			// The program finished before the trap (points past its end):
+			// no image was produced, so the point does not count.
 			break
 		}
+		res.Points++
 		for _, seed := range seeds {
 			res.Images++
 			img := pool.Crash(cfg.Policy, seed)
-			if cerr := check(img); cerr != nil {
+			if cerr := safeCheck(check, img); cerr != nil {
 				res.Failures = append(res.Failures, Failure{
 					AfterEvents: point, Seed: seed, Err: cerr,
 				})

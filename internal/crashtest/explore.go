@@ -1,0 +1,164 @@
+package crashtest
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"pmdebugger/internal/pmem"
+)
+
+// pointRef attributes one (crash point, seed) coordinate to a checked
+// image's verdict. seedIdx preserves the Config.Seeds order so failure
+// lists come out in the same order RunSerial produces them.
+type pointRef struct {
+	point   uint64
+	seedIdx int
+}
+
+// imageJob is one materialized crash image scheduled for checking, plus
+// every coordinate whose image it stands for (the dispatch coordinate, any
+// pruned boundaries that inherited it, and any deduplicated duplicates).
+// The worker writes err and drops the image; refs are appended only by the
+// dispatcher and read only after the worker pool has drained, so the two
+// sides never touch the same field concurrently.
+type imageJob struct {
+	img  *pmem.Pool
+	err  error
+	refs []pointRef
+}
+
+// Run explores the program's crash space with the record-once engine: the
+// program executes a single time filling a payload journal, a shadow pool
+// replays the journal forward, and each selected boundary's crash image is
+// dispatched to a bounded worker pool for checking. Compared with RunSerial
+// this executes the program once instead of once per crash point; the
+// reported failure set is identical (every boundary's verdict is attributed,
+// including boundaries served by the Prune and Dedup reducers).
+func Run(prog Program, check Checker, cfg Config) (*Result, error) {
+	cfg.fill()
+	res := &Result{}
+
+	// Record phase: a single full execution with the journal attached. The
+	// journal's sequence numbers match an unobserved run (RecordJournal
+	// emits no Register event), so boundary N below is exactly the state a
+	// trapped re-execution would reach with SetCrashTrap(N).
+	full := pmem.New(cfg.PoolSize)
+	journal := full.RecordJournal()
+	if err := prog(full); err != nil {
+		return nil, fmt.Errorf("crashtest: program failed without crashes: %w", err)
+	}
+	res.TotalEvents = full.EventCount()
+	if err := safeCheck(check, full.Crash(cfg.Policy, 0)); err != nil {
+		return nil, fmt.Errorf("crashtest: checker rejects the completed program: %w", err)
+	}
+	if int(res.TotalEvents) != journal.Len() {
+		return nil, fmt.Errorf("crashtest: journal recorded %d of %d events", journal.Len(), res.TotalEvents)
+	}
+
+	seeds := cfg.effectiveSeeds()
+
+	// Checker worker pool. The channel bound doubles as backpressure on the
+	// dispatcher, so at most ~2×Workers images are alive at once.
+	jobs := make(chan *imageJob, cfg.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for jb := range jobs {
+				jb.err = safeCheck(check, jb.img)
+				jb.img = nil // the verdict is all that is kept
+			}
+		}()
+	}
+
+	// Explore phase: drive the shadow pool forward and schedule images.
+	shadow := pmem.New(cfg.PoolSize)
+	var all []*imageJob          // every dispatched job, for final assembly
+	var last []*imageJob         // per seed index: the job holding the current verdict
+	var hashes map[[32]byte]*imageJob
+	if cfg.Dedup {
+		hashes = map[[32]byte]*imageJob{}
+	}
+	next := 0      // next journal event to apply
+	changed := true // image-relevant change since the last materialized boundary
+	for point := uint64(cfg.Stride); point <= res.TotalEvents; point += uint64(cfg.Stride) {
+		if cfg.MaxPoints > 0 && res.Points >= cfg.MaxPoints {
+			break
+		}
+		for next < int(point) {
+			persistCh, pendingCh := shadow.ApplyRecorded(journal.Events[next], journal.Payload(next))
+			if persistCh || (cfg.Policy != pmem.CrashDropPending && pendingCh) {
+				changed = true
+			}
+			next++
+		}
+		res.Points++
+		if cfg.Prune && !changed && last != nil {
+			// No event since the last materialized boundary could alter a
+			// crash image, so this boundary's image equals the previous
+			// one's for every seed: inherit those verdicts.
+			res.PrunedPoints++
+			for si := range seeds {
+				last[si].refs = append(last[si].refs, pointRef{point: point, seedIdx: si})
+			}
+			continue
+		}
+		changed = false
+		if last == nil {
+			last = make([]*imageJob, len(seeds))
+		}
+		for si, seed := range seeds {
+			img := shadow.Crash(cfg.Policy, seed)
+			var fp [32]byte
+			if cfg.Dedup {
+				fp = img.Fingerprint()
+				if jb, ok := hashes[fp]; ok {
+					res.DedupImages++
+					jb.refs = append(jb.refs, pointRef{point: point, seedIdx: si})
+					last[si] = jb
+					continue
+				}
+			}
+			jb := &imageJob{img: img, refs: []pointRef{{point: point, seedIdx: si}}}
+			if cfg.Dedup {
+				hashes[fp] = jb
+			}
+			res.Images++
+			all = append(all, jb)
+			last[si] = jb
+			jobs <- jb
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	// Assemble failures in (point, seed position) order — the order the
+	// serial reference reports them in.
+	type flatFailure struct {
+		ref pointRef
+		err error
+	}
+	var flat []flatFailure
+	for _, jb := range all {
+		if jb.err == nil {
+			continue
+		}
+		for _, ref := range jb.refs {
+			flat = append(flat, flatFailure{ref: ref, err: jb.err})
+		}
+	}
+	sort.Slice(flat, func(i, j int) bool {
+		if flat[i].ref.point != flat[j].ref.point {
+			return flat[i].ref.point < flat[j].ref.point
+		}
+		return flat[i].ref.seedIdx < flat[j].ref.seedIdx
+	})
+	for _, f := range flat {
+		res.Failures = append(res.Failures, Failure{
+			AfterEvents: f.ref.point, Seed: seeds[f.ref.seedIdx], Err: f.err,
+		})
+	}
+	return res, nil
+}

@@ -1,0 +1,97 @@
+package scenarios_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"pmdebugger/internal/crashtest"
+	"pmdebugger/internal/crashtest/scenarios"
+	"pmdebugger/internal/pmem"
+)
+
+// TestParallelEqualsSerial is the cross-engine differential over the real
+// scenarios: for every workload (both undo-log disciplines where the
+// scenario is transactional) the record-once engine with four workers and
+// both reducers enabled must report exactly the serial reference's failure
+// set, from a single program execution. Strides are co-prime with the
+// workloads' event periods to sample varied boundary phases while keeping
+// the O(events^2) serial reference affordable.
+func TestParallelEqualsSerial(t *testing.T) {
+	cases := []struct {
+		workload string
+		n        int
+		strict   bool
+		cfg      crashtest.Config
+		// wantReduced marks cases whose stride is dense enough for the
+		// reducers to find equal-image boundaries; sparse-stride cases only
+		// assert failure-set equality.
+		wantReduced bool
+	}{
+		{"b_tree", 6, false, crashtest.Config{Stride: 17}, true},
+		{"b_tree", 6, true, crashtest.Config{Stride: 17}, false},
+		{"queue", 8, false, crashtest.Config{Stride: 19, Policy: pmem.CrashApplyPending}, false},
+		{"queue", 8, true, crashtest.Config{Stride: 19, Policy: pmem.CrashApplyPending}, false},
+		{"txpair", 3, false, crashtest.Config{Stride: 5, Policy: pmem.CrashRandomPending, Seeds: []int64{3, 9}}, false},
+		{"txpair", 3, true, crashtest.Config{Stride: 5, Policy: pmem.CrashRandomPending, Seeds: []int64{3, 9}}, false},
+		{"redis", 4, false, crashtest.Config{Stride: 23}, true},
+		{"redis", 3, false, crashtest.Config{Stride: 3, Policy: pmem.CrashRandomPending, Seeds: []int64{7}}, true},
+		{"memcached", 3, false, crashtest.Config{Stride: 4}, true},
+		{"memcached", 2, false, crashtest.Config{Stride: 3, Policy: pmem.CrashApplyPending}, true},
+	}
+	for _, tc := range cases {
+		name := fmt.Sprintf("%s/n=%d/strict=%v/policy=%d", tc.workload, tc.n, tc.strict, tc.cfg.Policy)
+		t.Run(name, func(t *testing.T) {
+			prog, check, err := scenarios.Build(tc.workload, tc.n, tc.strict)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := tc.cfg
+			cfg.PoolSize = 1 << 21
+			ref, err := crashtest.RunSerial(prog, check, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			cfg.Workers = 4
+			cfg.Prune = true
+			cfg.Dedup = true
+			got, err := crashtest.Run(prog, check, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if got.TotalEvents != ref.TotalEvents {
+				t.Errorf("events: %d, serial %d — the recorded run diverged", got.TotalEvents, ref.TotalEvents)
+			}
+			if got.Points != ref.Points {
+				t.Errorf("points: %d, serial %d", got.Points, ref.Points)
+			}
+			if !reflect.DeepEqual(got.FailureKeys(), ref.FailureKeys()) {
+				t.Errorf("failure sets diverge\n parallel: %v\n serial:   %v", got.FailureKeys(), ref.FailureKeys())
+			}
+			if tc.wantReduced {
+				if got.PrunedPoints == 0 && got.DedupImages == 0 {
+					t.Errorf("reducers found nothing across %d points", got.Points)
+				}
+				if got.Images >= ref.Images && ref.Images > 0 {
+					t.Errorf("reduced run checked %d images, serial %d", got.Images, ref.Images)
+				}
+			}
+			t.Logf("%d events, %d points: serial checked %d images, parallel %d (%d pruned, %d deduped), %d failures",
+				got.TotalEvents, got.Points, ref.Images, got.Images, got.PrunedPoints, got.DedupImages, len(ref.Failures))
+		})
+	}
+}
+
+// TestScenarioNames pins the registry surface other packages and the CLI
+// depend on.
+func TestScenarioNames(t *testing.T) {
+	want := []string{"b_tree", "memcached", "queue", "redis", "txpair"}
+	if got := scenarios.Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	if _, _, err := scenarios.Build("nope", 1, false); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}

@@ -1,0 +1,294 @@
+package scenarios
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+
+	"pmdebugger/internal/crashtest"
+	"pmdebugger/internal/memcached"
+	"pmdebugger/internal/pmdk"
+	"pmdebugger/internal/pmem"
+	"pmdebugger/internal/redis"
+	"pmdebugger/internal/workloads"
+)
+
+// The scenario registry couples each deterministic crash-test program with
+// its recovery checker, shared between cmd/pmcrash, the differential suite
+// and the crash benchmark. The transactional workloads validate structural
+// recovery through the pmdk undo log; the redis and memcached scenarios are
+// restart-recovery checks for the two server ports — the larger workloads
+// the exhaustive engine could not previously serve as an oracle for.
+
+// Build returns a fresh program/checker pair for the named
+// scenario. n scales the operation count; strictLog selects the strict
+// (drain-per-snapshot) undo-log discipline where the scenario is
+// transactional.
+func Build(name string, n int, strictLog bool) (crashtest.Program, crashtest.Checker, error) {
+	build, ok := scenarios[name]
+	if !ok {
+		return nil, nil, fmt.Errorf("unknown crash workload %q (have %s)", name, strings.Join(Names(), ", "))
+	}
+	prog, check := build(n, strictLog)
+	return prog, check, nil
+}
+
+// Names lists the registered scenario names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(scenarios))
+	for name := range scenarios {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+var scenarios = map[string]func(n int, strictLog bool) (crashtest.Program, crashtest.Checker){
+	"b_tree":    btreeScenario,
+	"queue":     queueScenario,
+	"txpair":    txpairScenario,
+	"redis":     redisScenario,
+	"memcached": memcachedScenario,
+}
+
+// recoveredPmdk opens a pmdk pool on a crash image, treating "crash before
+// the pool was fully created" as a vacuously consistent recovery.
+func recoveredPmdk(img *pmem.Pool) (*pmdk.Pool, bool, error) {
+	p, err := pmdk.Open(img)
+	if err != nil {
+		if strings.Contains(err.Error(), "bad pool magic") {
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	return p, true, nil
+}
+
+// btreeScenario inserts n ascending keys transactionally; recovery must
+// observe a strict prefix of the insert sequence with intact values.
+func btreeScenario(n int, strictLog bool) (crashtest.Program, crashtest.Checker) {
+	var rootCell uint64
+	prog := func(pm *pmem.Pool) error {
+		p, err := pmdk.Create(pm, 4096)
+		if err != nil {
+			return err
+		}
+		p.SetStrictLog(strictLog)
+		bt, err := workloads.NewBTree(p)
+		if err != nil {
+			return err
+		}
+		rootCell, _ = p.Root()
+		for k := uint64(0); k < uint64(n); k++ {
+			if err := bt.Insert(k, k+1000); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	check := func(img *pmem.Pool) error {
+		p, ok, err := recoveredPmdk(img)
+		if err != nil || !ok {
+			return err
+		}
+		if p.Ctx().Load64(rootCell) == 0 {
+			return nil
+		}
+		bt := workloads.ReattachBTree(p, rootCell)
+		for k := uint64(0); k < uint64(n); k++ {
+			v, present := bt.Get(k)
+			if !present {
+				for k2 := k + 1; k2 < uint64(n); k2++ {
+					if _, p2 := bt.Get(k2); p2 {
+						return fmt.Errorf("non-prefix recovery: %d missing, %d present", k, k2)
+					}
+				}
+				return nil
+			}
+			if v != k+1000 {
+				return fmt.Errorf("key %d has value %d", k, v)
+			}
+		}
+		return nil
+	}
+	return prog, check
+}
+
+// queueScenario interleaves enqueues and dequeues on the persistent ring;
+// recovery must observe valid geometry and consecutive FIFO contents.
+func queueScenario(n int, strictLog bool) (crashtest.Program, crashtest.Checker) {
+	var rootCell uint64
+	prog := func(pm *pmem.Pool) error {
+		p, err := pmdk.Create(pm, 4096)
+		if err != nil {
+			return err
+		}
+		p.SetStrictLog(strictLog)
+		q, err := workloads.NewQueue(p, 16)
+		if err != nil {
+			return err
+		}
+		rootCell, _ = p.Root()
+		for i := 0; i < n; i++ {
+			if err := q.Enqueue(uint64(i)); err != nil {
+				return err
+			}
+			if i%3 == 2 {
+				if _, err := q.Dequeue(); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	check := func(img *pmem.Pool) error {
+		p, ok, err := recoveredPmdk(img)
+		if err != nil || !ok {
+			return err
+		}
+		c := p.Ctx()
+		capacity := c.Load64(rootCell + 8)
+		head := c.Load64(rootCell + 16)
+		count := c.Load64(rootCell + 24)
+		if capacity == 0 {
+			return nil // crash before initialization committed
+		}
+		if capacity != 16 || head >= capacity || count > capacity {
+			return fmt.Errorf("invalid geometry: cap=%d head=%d count=%d", capacity, head, count)
+		}
+		// FIFO contents must be consecutive integers.
+		buf := c.Load64(rootCell)
+		var prev uint64
+		for i := uint64(0); i < count; i++ {
+			v := c.Load64(buf + (head+i)%capacity*8)
+			if i > 0 && v != prev+1 {
+				return fmt.Errorf("queue not consecutive at %d: %d after %d", i, v, prev)
+			}
+			prev = v
+		}
+		return nil
+	}
+	return prog, check
+}
+
+// txpairScenario writes a two-line pair transactionally n times; recovery
+// must never observe a torn pair.
+func txpairScenario(n int, strictLog bool) (crashtest.Program, crashtest.Checker) {
+	var root uint64
+	prog := func(pm *pmem.Pool) error {
+		p, err := pmdk.Create(pm, 64)
+		if err != nil {
+			return err
+		}
+		p.SetStrictLog(strictLog)
+		root, _ = p.Root()
+		for i := uint64(1); i <= uint64(n); i++ {
+			tx := p.Begin()
+			tx.Set(root, i)
+			tx.Set(root+128, i)
+			tx.Commit()
+		}
+		return nil
+	}
+	check := func(img *pmem.Pool) error {
+		p, ok, err := recoveredPmdk(img)
+		if err != nil || !ok {
+			return err
+		}
+		c := p.Ctx()
+		if a, b := c.Load64(root), c.Load64(root+128); a != b {
+			return fmt.Errorf("torn pair %d/%d", a, b)
+		}
+		return nil
+	}
+	return prog, check
+}
+
+// redisValue is the deterministic payload written for redis key i.
+func redisValue(i int) []byte { return []byte(fmt.Sprintf("value-%04d", i)) }
+
+// redisScenario performs n transactional Sets; restart recovery (undo-log
+// replay plus volatile index rebuild) must observe a prefix of the insert
+// sequence with intact values — transactions commit in order, so nothing
+// else is an acceptable recovery.
+func redisScenario(n int, _ bool) (crashtest.Program, crashtest.Checker) {
+	cfg := redis.Config{Buckets: 64}
+	prog := func(pm *pmem.Pool) error {
+		s, err := redis.NewWith(pm, cfg)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			if err := s.Set(fmt.Sprintf("key:%d", i), redisValue(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	check := func(img *pmem.Pool) error {
+		s, err := redis.Reopen(img, cfg)
+		if err != nil {
+			if strings.Contains(err.Error(), "bad pool magic") {
+				return nil // crash before the pool existed
+			}
+			return err // recovery itself failed: dict walk vs count mismatch
+		}
+		for i := 0; i < n; i++ {
+			v, ok := s.Get(fmt.Sprintf("key:%d", i))
+			if !ok {
+				for j := i + 1; j < n; j++ {
+					if _, ok := s.Get(fmt.Sprintf("key:%d", j)); ok {
+						return fmt.Errorf("non-prefix recovery: key %d missing, %d present", i, j)
+					}
+				}
+				return nil
+			}
+			if !bytes.Equal(v, redisValue(i)) {
+				return fmt.Errorf("key %d recovered with value %q", i, v)
+			}
+		}
+		return nil
+	}
+	return prog, check
+}
+
+// memcachedValue is the deterministic payload written for memcached key i.
+func memcachedValue(i int) []byte { return []byte(fmt.Sprintf("item-payload-%04d", i)) }
+
+// memcachedScenario performs n Sets on the fixed (Bugs=false) cache port;
+// warm restart must rebuild the hash table from the slab pages, and every
+// recovered item must carry exactly the value its key was written with —
+// missing items are acceptable cache semantics, corrupt ones are not.
+func memcachedScenario(n int, _ bool) (crashtest.Program, crashtest.Checker) {
+	cfg := memcached.Config{HashBuckets: 128}
+	prog := func(pm *pmem.Pool) error {
+		c, err := memcached.NewWith(pm, cfg)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			if err := c.Set(0, fmt.Sprintf("mk:%d", i), memcachedValue(i), uint32(i), 0); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	check := func(img *pmem.Pool) error {
+		c, err := memcached.Restart(img, cfg)
+		if err != nil {
+			if strings.Contains(err.Error(), "no cache superblock") {
+				return nil // crash before the superblock was published
+			}
+			return err
+		}
+		for i := 0; i < n; i++ {
+			got, _, ok := c.Get(0, fmt.Sprintf("mk:%d", i))
+			if ok && !bytes.Equal(got, memcachedValue(i)) {
+				return fmt.Errorf("key mk:%d recovered with value %q", i, got)
+			}
+		}
+		return nil
+	}
+	return prog, check
+}

@@ -1,0 +1,118 @@
+package harness
+
+import (
+	"fmt"
+	"reflect"
+	"time"
+
+	"pmdebugger/internal/crashtest"
+	"pmdebugger/internal/crashtest/scenarios"
+)
+
+// CrashResult is one crash-space exploration measurement, JSON-shaped for
+// the BENCH_crash.json artifact.
+type CrashResult struct {
+	Workload      string  `json:"workload"`
+	Engine        string  `json:"engine"`
+	Workers       int     `json:"workers"`
+	Nanos         int64   `json:"nanos"`
+	Events        uint64  `json:"events"`
+	Points        int     `json:"points"`
+	ImagesChecked int     `json:"images_checked"`
+	PrunedPoints  int     `json:"pruned_points"`
+	DedupImages   int     `json:"dedup_images"`
+	Failures      int     `json:"failures"`
+	PointsPerSec  float64 `json:"points_per_sec"`
+}
+
+// crashEngines are the measured configurations: the exhaustive re-execution
+// reference, the record-once engine with a worker pool, and the same engine
+// with both reducers on.
+func crashEngines(workers int) []struct {
+	name string
+	cfg  func(crashtest.Config) crashtest.Config
+	run  func(crashtest.Program, crashtest.Checker, crashtest.Config) (*crashtest.Result, error)
+} {
+	return []struct {
+		name string
+		cfg  func(crashtest.Config) crashtest.Config
+		run  func(crashtest.Program, crashtest.Checker, crashtest.Config) (*crashtest.Result, error)
+	}{
+		{"serial", func(c crashtest.Config) crashtest.Config { return c }, crashtest.RunSerial},
+		{"parallel", func(c crashtest.Config) crashtest.Config {
+			c.Workers = workers
+			return c
+		}, crashtest.Run},
+		{"parallel+reducers", func(c crashtest.Config) crashtest.Config {
+			c.Workers = workers
+			c.Prune = true
+			c.Dedup = true
+			return c
+		}, crashtest.Run},
+	}
+}
+
+// MeasureCrash explores the named scenario's crash space under all three
+// engine configurations, verifying that every engine reports the identical
+// failure set before timing anything (min of Repeats runs, as the other
+// harness measurements do).
+func MeasureCrash(workload string, n, stride, workers int) ([]CrashResult, error) {
+	prog, check, err := scenarios.Build(workload, n, false)
+	if err != nil {
+		return nil, err
+	}
+	base := crashtest.Config{PoolSize: 1 << 21, Stride: stride}
+	engines := crashEngines(workers)
+
+	// Correctness before speed: every engine must report the serial
+	// reference's exact failure set.
+	results := make([]*crashtest.Result, len(engines))
+	for i, eng := range engines {
+		res, err := eng.run(prog, check, eng.cfg(base))
+		if err != nil {
+			return nil, fmt.Errorf("crash %s/%s: %w", workload, eng.name, err)
+		}
+		results[i] = res
+	}
+	for i := 1; i < len(engines); i++ {
+		if !reflect.DeepEqual(results[i].FailureKeys(), results[0].FailureKeys()) {
+			return nil, fmt.Errorf("crash %s: %s failure set diverges from serial\n %s: %v\n serial: %v",
+				workload, engines[i].name, engines[i].name, results[i].FailureKeys(), results[0].FailureKeys())
+		}
+		if results[i].Points != results[0].Points || results[i].TotalEvents != results[0].TotalEvents {
+			return nil, fmt.Errorf("crash %s: %s explored %d points of %d events, serial %d of %d",
+				workload, engines[i].name, results[i].Points, results[i].TotalEvents,
+				results[0].Points, results[0].TotalEvents)
+		}
+	}
+
+	out := make([]CrashResult, len(engines))
+	for i, eng := range engines {
+		cfg := eng.cfg(base)
+		best := time.Duration(0)
+		for r := 0; r < Repeats; r++ {
+			start := time.Now()
+			if _, err := eng.run(prog, check, cfg); err != nil {
+				return nil, err
+			}
+			if d := time.Since(start); best == 0 || d < best {
+				best = d
+			}
+		}
+		res := results[i]
+		out[i] = CrashResult{
+			Workload:      workload,
+			Engine:        eng.name,
+			Workers:       cfg.Workers,
+			Nanos:         best.Nanoseconds(),
+			Events:        res.TotalEvents,
+			Points:        res.Points,
+			ImagesChecked: res.Images,
+			PrunedPoints:  res.PrunedPoints,
+			DedupImages:   res.DedupImages,
+			Failures:      len(res.Failures),
+			PointsPerSec:  float64(res.Points) / best.Seconds(),
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,93 @@
+package memcached
+
+import (
+	"testing"
+	"time"
+
+	"pmdebugger/internal/pmem"
+)
+
+// crashOps is the operation mix driven under crash traps. It deliberately
+// includes CAS, whose lock session closes with explicit End calls rather
+// than a defer — the path where a trap unwind used to leak the pool mutex.
+func crashOps(pm *pmem.Pool) error {
+	c, err := NewWith(pm, Config{HashBuckets: 64})
+	if err != nil {
+		return err
+	}
+	if err := c.Set(0, "alpha", []byte("one"), 1, 0); err != nil {
+		return err
+	}
+	if err := c.Set(0, "beta", []byte("two"), 2, 0); err != nil {
+		return err
+	}
+	_, cas, ok := c.Get(0, "alpha")
+	if !ok {
+		panic("memcached: alpha vanished")
+	}
+	if err := c.CAS(0, "alpha", []byte("one-v2"), cas); err != nil {
+		return err
+	}
+	c.CAS(0, "beta", []byte("nope"), ^uint64(0)) // cas_badval path
+	c.CAS(0, "ghost", []byte("nope"), 0)         // missing-key path
+	c.Delete(0, "beta")
+	return nil
+}
+
+// runTrappedOps executes crashOps with a trap armed after n events,
+// reporting whether the trap fired.
+func runTrappedOps(pm *pmem.Pool, n uint64) (trapped bool, err error) {
+	pm.SetCrashTrap(n)
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(pmem.CrashTrap); ok {
+				trapped = true
+				err = nil
+				return
+			}
+			panic(r)
+		}
+	}()
+	return false, crashOps(pm)
+}
+
+// TestCrashTrapReleasesLockSession crashes the cache at every event
+// boundary and verifies the pool stays usable: a trap that unwinds through
+// an open Begin/End lock session (every memcached op holds one, and CAS
+// closes its own without a defer) must release the pool mutex, or the very
+// next pool call — taking the crash image — deadlocks.
+func TestCrashTrapReleasesLockSession(t *testing.T) {
+	const poolSize = 1 << 20
+
+	full := pmem.New(poolSize)
+	if err := crashOps(full); err != nil {
+		t.Fatal(err)
+	}
+	total := full.EventCount()
+	if total == 0 {
+		t.Fatal("no events recorded")
+	}
+
+	for n := uint64(1); n <= total; n++ {
+		pm := pmem.New(poolSize)
+		trapped, err := runTrappedOps(pm, n)
+		if err != nil {
+			t.Fatalf("trap %d: program error: %v", n, err)
+		}
+		if !trapped {
+			t.Fatalf("trap %d of %d did not fire", n, total)
+		}
+
+		// The real assertion: the pool must not be deadlocked by the unwind.
+		done := make(chan *pmem.Pool, 1)
+		go func() { done <- pm.Crash(pmem.CrashDropPending, 0) }()
+		select {
+		case img := <-done:
+			if img == nil {
+				t.Fatalf("trap %d: nil crash image", n)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("trap %d: pool deadlocked after crash-trap unwind (leaked lock session)", n)
+		}
+	}
+}

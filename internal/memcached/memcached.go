@@ -113,10 +113,18 @@ func New(cfg Config) (*Cache, error) {
 	if cfg.PoolSize == 0 {
 		cfg.PoolSize = 64 << 20
 	}
+	return NewWith(pmem.New(cfg.PoolSize), cfg)
+}
+
+// NewWith creates a cache over a caller-provided pool, which is how the
+// crash-space explorer builds the cache inside an instrumented program (the
+// pool carries the journal or crash trap the harness armed). The pool must
+// be fresh: the stats block must become its first allocation for Restart to
+// locate the superblock.
+func NewWith(pm *pmem.Pool, cfg Config) (*Cache, error) {
 	if cfg.HashBuckets == 0 {
 		cfg.HashBuckets = 1 << 16
 	}
-	pm := pmem.New(cfg.PoolSize)
 	c := &Cache{
 		cfg:     cfg,
 		pm:      pm,

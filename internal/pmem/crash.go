@@ -1,6 +1,11 @@
 package pmem
 
-import "math/rand"
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math/rand"
+	"sort"
+)
 
 // CrashPolicy decides the fate of cache lines that were flushed but not yet
 // fenced when the crash happens. On real hardware those lines may or may not
@@ -64,6 +69,38 @@ func (p *Pool) Crash(policy CrashPolicy, seed int64) *Pool {
 		n.names[name] = r
 	}
 	return n
+}
+
+// Fingerprint returns a content hash of the pool's persistent image and its
+// named-region table. Two pools with equal fingerprints recover identically
+// under any deterministic checker, which is what content-hash image
+// deduplication (internal/crashtest) relies on; the names are included
+// because checkers may resolve symbols through NamedRange.
+func (p *Pool) Fingerprint() [32]byte {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	h := sha256.New()
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:], p.base)
+	binary.LittleEndian.PutUint64(hdr[8:], p.Size())
+	h.Write(hdr[:])
+	h.Write(p.persist)
+	names := make([]string, 0, len(p.names))
+	for name := range p.names {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		r := p.names[name]
+		var rec [16]byte
+		binary.LittleEndian.PutUint64(rec[0:], r.Addr)
+		binary.LittleEndian.PutUint64(rec[8:], r.Size)
+		h.Write([]byte(name))
+		h.Write(rec[:])
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
 }
 
 // PersistedEquals reports whether the persistent image bytes at addr equal

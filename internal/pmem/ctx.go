@@ -30,6 +30,10 @@ type Ctx struct {
 	// Derived contexts (At, StrandBegin) share the session's scope and must
 	// not outlive it.
 	locked bool
+	// broken marks a session force-closed by a crash-trap unwind: the pool
+	// released the mutex itself (End never ran), so a deferred End on the
+	// unwind path must be a no-op rather than a second unlock.
+	broken bool
 }
 
 // Ctx returns the pool's default context: thread 0, the implicit strand 0.
@@ -75,14 +79,24 @@ func (c *Ctx) Begin() {
 	}
 	c.pool.mu.Lock()
 	c.locked = true
+	c.broken = false
+	c.pool.session = c
 }
 
-// End closes the lock session opened by Begin.
+// End closes the lock session opened by Begin. If a crash trap fired inside
+// the session, the pool already released the mutex on the unwind and End
+// only resets the context, so `defer ctx.End()` call sites survive the trap.
 func (c *Ctx) End() {
+	if c.broken {
+		c.broken = false
+		c.locked = false
+		return
+	}
 	if !c.locked {
 		panic("pmem: Ctx.End without Begin")
 	}
 	c.locked = false
+	c.pool.session = nil
 	c.pool.mu.Unlock()
 }
 

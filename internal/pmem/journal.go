@@ -1,0 +1,145 @@
+package pmem
+
+import (
+	"bytes"
+
+	"pmdebugger/internal/intervals"
+	"pmdebugger/internal/trace"
+)
+
+// RecordJournal attaches an internal recorder that captures the pool's full
+// event stream together with store payloads, returning the journal being
+// filled. Unlike Attach it emits no Register event, so the recorded sequence
+// numbers are identical to those of an unobserved execution — the property
+// that lets record-once crash exploration (internal/crashtest) address
+// crash points by event count and land on exactly the boundaries a trapped
+// re-execution would.
+func (p *Pool) RecordJournal() *trace.Journal {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	j := &trace.Journal{}
+	p.handlers = append(p.handlers, &journalRecorder{p: p, j: j})
+	p.refreshFastPathLocked()
+	return j
+}
+
+// journalRecorder lives in this package so it can snapshot store payloads
+// from the volatile image: it runs under the pool mutex, after the store's
+// bytes have landed, so the copy is exactly what the instruction wrote.
+type journalRecorder struct {
+	p *Pool
+	j *trace.Journal
+}
+
+func (r *journalRecorder) HandleEvent(ev trace.Event) {
+	var payload []byte
+	if ev.Kind == trace.KindStore && ev.Size > 0 {
+		payload = make([]byte, ev.Size)
+		copy(payload, r.p.volatile[r.p.off(ev.Addr):])
+	}
+	r.j.Append(ev, payload)
+}
+
+// ApplyRecorded replays one recorded event against the pool's cache-line
+// state machine without emitting anything to handlers: the pool becomes the
+// shadow of the recorded execution, advanced event by event, and Crash()
+// at any boundary materializes the same image a trapped re-execution would
+// have produced at that boundary.
+//
+// The return values tell the caller whether this event could alter a crash
+// image, which is what persistency-relevant crash-point pruning keys on:
+//
+//   - persistChanged: a fence committed at least one line whose bytes
+//     differed from the persistent image. Every crash policy sees this.
+//   - pendingChanged: the set or content of flushed-but-unfenced lines
+//     changed. Only the CrashApplyPending and CrashRandomPending policies
+//     consult pending lines, so a caller exploring under CrashDropPending
+//     may ignore it.
+//
+// Stores never change a crash image (dirty lines are invisible to Crash,
+// and a store on a pending line leaves the staged snapshot untouched), and
+// program markers carry no machine state, so both results are false for
+// them. A fence whose committed lines all equal the persistent image
+// reports no change: dropping and applying identical bytes coincide for
+// every policy and every seed.
+func (p *Pool) ApplyRecorded(ev trace.Event, payload []byte) (persistChanged, pendingChanged bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if ev.Seq > p.seq {
+		p.seq = ev.Seq
+	}
+	switch ev.Kind {
+	case trace.KindStore:
+		p.checkRange(ev.Addr, ev.Size)
+		copy(p.volatile[p.off(ev.Addr):], payload)
+		first := p.off(ev.Addr) / LineSize
+		last := p.off(ev.Addr+ev.Size-1) / LineSize
+		for l := first; l <= last; l++ {
+			switch p.state[l] {
+			case lineClean:
+				p.state[l] = lineDirty
+			case linePending:
+				p.state[l] = lineDirtyPending
+			}
+		}
+
+	case trace.KindFlush:
+		p.checkRange(ev.Addr, ev.Size)
+		span := intervals.SpanLines(intervals.R(ev.Addr, ev.Size))
+		first := p.off(span.Addr) / LineSize
+		last := p.off(span.End()-1) / LineSize
+		for l := first; l <= last; l++ {
+			switch p.state[l] {
+			case lineDirty:
+				// A newly staged line extends the pending set; even when
+				// its bytes equal the persistent image it shifts the
+				// per-line coin assignment of CrashRandomPending, so it
+				// always counts as a change.
+				copy(p.pending[l*LineSize:(l+1)*LineSize], p.volatile[l*LineSize:(l+1)*LineSize])
+				p.state[l] = linePending
+				p.pendingLines = append(p.pendingLines, l)
+				pendingChanged = true
+			case lineDirtyPending:
+				// Restaging keeps the pending set intact: only a content
+				// difference can alter an image.
+				if !bytes.Equal(p.pending[l*LineSize:(l+1)*LineSize], p.volatile[l*LineSize:(l+1)*LineSize]) {
+					pendingChanged = true
+				}
+				copy(p.pending[l*LineSize:(l+1)*LineSize], p.volatile[l*LineSize:(l+1)*LineSize])
+				p.state[l] = linePending
+			}
+		}
+
+	case trace.KindFence:
+		for _, l := range p.pendingLines {
+			st := p.state[l]
+			if st != linePending && st != lineDirtyPending {
+				continue
+			}
+			if !bytes.Equal(p.persist[l*LineSize:(l+1)*LineSize], p.pending[l*LineSize:(l+1)*LineSize]) {
+				persistChanged = true
+				pendingChanged = true
+			}
+			copy(p.persist[l*LineSize:(l+1)*LineSize], p.pending[l*LineSize:(l+1)*LineSize])
+			if st == linePending {
+				p.state[l] = lineClean
+			} else {
+				p.state[l] = lineDirty
+			}
+		}
+		p.pendingLines = p.pendingLines[:0]
+
+	case trace.KindRegister:
+		// Named regions survive into crash images (Crash copies p.names);
+		// replay them so checkers that resolve symbols keep working.
+		if ev.Site != 0 {
+			p.checkRange(ev.Addr, ev.Size)
+			p.names[trace.SiteName(ev.Site)] = intervals.R(ev.Addr, ev.Size)
+		}
+
+	default:
+		// Epoch/strand markers, unregister, tx-log adds and the end marker
+		// carry no cache-line state.
+	}
+	return persistChanged, pendingChanged
+}

@@ -1,0 +1,138 @@
+package pmem
+
+import (
+	"testing"
+
+	"pmdebugger/internal/trace"
+)
+
+// TestRecordJournalSeqParity checks RecordJournal is invisible to sequence
+// numbering: the journal of an observed run carries exactly the sequence
+// numbers an unobserved run emits, densely from 1. This is what lets the
+// record-once explorer address crash points by plain event count.
+func TestRecordJournalSeqParity(t *testing.T) {
+	plain := New(1 << 20)
+	drive(plain, 50)
+	plain.End()
+	want := plain.EventCount()
+
+	rec := New(1 << 20)
+	j := rec.RecordJournal()
+	drive(rec, 50)
+	rec.End()
+
+	if uint64(j.Len()) != want {
+		t.Fatalf("journal recorded %d events, unobserved run emits %d", j.Len(), want)
+	}
+	for i, ev := range j.Events {
+		if ev.Seq != uint64(i)+1 {
+			t.Fatalf("event %d has seq %d: recording must not shift numbering", i, ev.Seq)
+		}
+	}
+	if j.Stores() == 0 {
+		t.Fatal("no store payloads recorded")
+	}
+	for i, ev := range j.Events {
+		if ev.Kind == trace.KindStore && uint64(len(j.Payload(i))) != ev.Size {
+			t.Fatalf("store %d: payload %d bytes, event size %d", i, len(j.Payload(i)), ev.Size)
+		}
+	}
+}
+
+// TestApplyRecordedReplaysTrappedState replays a recorded journal on a
+// shadow pool and checks that, at every event boundary and under every
+// crash policy, the shadow's crash image is byte-identical to the image a
+// trapped re-execution produces at the same boundary — the core soundness
+// property of record-once exploration.
+func TestApplyRecordedReplaysTrappedState(t *testing.T) {
+	const rounds = 30
+	full := New(1 << 20)
+	j := full.RecordJournal()
+	drive(full, rounds)
+	full.End()
+	total := j.Len()
+
+	policies := []struct {
+		policy CrashPolicy
+		seed   int64
+	}{
+		{CrashDropPending, 0},
+		{CrashApplyPending, 0},
+		{CrashRandomPending, 7},
+		{CrashRandomPending, 42},
+	}
+
+	shadow := New(1 << 20)
+	next := 0
+	for point := 1; point <= total; point += 5 {
+		for next < point {
+			shadow.ApplyRecorded(j.Events[next], j.Payload(next))
+			next++
+		}
+
+		trapped := New(1 << 20)
+		trapped.SetCrashTrap(uint64(point))
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(CrashTrap); !ok {
+						panic(r)
+					}
+				}
+			}()
+			drive(trapped, rounds)
+			trapped.End()
+		}()
+
+		for _, pc := range policies {
+			got := shadow.Crash(pc.policy, pc.seed).Fingerprint()
+			want := trapped.Crash(pc.policy, pc.seed).Fingerprint()
+			if got != want {
+				t.Fatalf("boundary %d policy %v seed %d: replayed image differs from trapped image",
+					point, pc.policy, pc.seed)
+			}
+		}
+	}
+}
+
+// TestApplyRecordedChangeSignals spot-checks the pruning signals on a
+// hand-built event sequence: stores report no change, a first flush reports
+// a pending change, an identical restage reports none, and a fence reports
+// a persist change only when committed bytes differ.
+func TestApplyRecordedChangeSignals(t *testing.T) {
+	src := New(1 << 20)
+	j := src.RecordJournal()
+	c := src.Ctx()
+	base := src.Base()
+	c.Store64(base, 1) // 0: store
+	c.Flush(base, 8)   // 1: first flush: stages the line
+	c.Flush(base, 8)   // 2: restage with identical bytes
+	c.Fence()          // 3: commits new bytes
+	c.Store64(base, 1) // 4: rewrite same value
+	c.Flush(base, 8)   // 5: stage again (same content as persist)
+	c.Fence()          // 6: commits identical bytes
+	src.End()          // 7: end marker
+
+	shadow := New(1 << 20)
+	type want struct{ persist, pending bool }
+	wants := []want{
+		{false, false}, // store
+		{false, true},  // new staged line always shifts the pending set
+		{false, false}, // identical restage
+		{true, true},   // fence committing new bytes
+		{false, false}, // store
+		{false, true},  // new staged line (content equals persist, still counts)
+		{false, false}, // fence committing identical bytes
+		{false, false}, // end marker
+	}
+	if j.Len() != len(wants) {
+		t.Fatalf("recorded %d events, expected %d", j.Len(), len(wants))
+	}
+	for i := range wants {
+		persist, pending := shadow.ApplyRecorded(j.Events[i], j.Payload(i))
+		if persist != wants[i].persist || pending != wants[i].pending {
+			t.Errorf("event %d (%v): changed = (%v,%v), want (%v,%v)",
+				i, j.Events[i].Kind, persist, pending, wants[i].persist, wants[i].pending)
+		}
+	}
+}

@@ -77,6 +77,13 @@ type Pool struct {
 	// (package crashtest).
 	trapAfter uint64
 
+	// session is the context holding an open Begin/End lock session, nil
+	// otherwise. The crash-trap unwind consults it: a trap that fires inside
+	// a session must release the pool mutex itself, because the session's
+	// End — the only place the mutex is normally released — is skipped by
+	// the panic.
+	session *Ctx
+
 	alloc allocator
 	names map[string]intervals.Range
 	stats Stats
@@ -280,6 +287,18 @@ func (p *Pool) emitLocked(ev trace.Event) {
 		// event executed, then the power failed, and every detector must
 		// have seen the full stream up to and including it.
 		p.syncLocked()
+		if s := p.session; s != nil {
+			// The trap is unwinding through an open Begin/End lock
+			// session. The per-operation deferred unlocks are session
+			// no-ops and the session's End is skipped by the panic, so
+			// the mutex must be released here or the harness's next pool
+			// call (typically Crash) deadlocks. The session context is
+			// marked broken: a deferred End on the unwind path becomes a
+			// no-op instead of a double unlock.
+			p.session = nil
+			s.broken = true
+			p.mu.Unlock()
+		}
 		panic(CrashTrap{Seq: ev.Seq})
 	}
 }

@@ -1,0 +1,91 @@
+package pmem
+
+import (
+	"testing"
+	"time"
+)
+
+// trapInSession opens a lock session and stores until the armed trap fires,
+// closing the session the two ways real callers do: deferred End (Set-style
+// ops) or explicit End on every path (CAS-style ops, where the panic skips
+// it entirely).
+func trapInSession(p *Pool, deferred bool) (trapped bool) {
+	c := p.Ctx()
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(CrashTrap); ok {
+				trapped = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	base := p.Base()
+	c.Begin()
+	if deferred {
+		defer c.End()
+	}
+	for i := uint64(0); i < 64; i++ {
+		c.Store64(base+i*LineSize, i)
+		c.Persist(base+i*LineSize, 8)
+	}
+	c.End()
+	if !deferred {
+		return false
+	}
+	return false
+}
+
+// TestCrashTrapInsideSession checks that a crash trap firing inside an open
+// Begin/End lock session releases the pool mutex on the unwind: without the
+// release, the next pool call (Crash here) deadlocks forever.
+func TestCrashTrapInsideSession(t *testing.T) {
+	for _, deferred := range []bool{true, false} {
+		p := New(1 << 20)
+		p.SetCrashTrap(5)
+		if !trapInSession(p, deferred) {
+			t.Fatalf("deferred=%v: trap did not fire", deferred)
+		}
+
+		done := make(chan struct{})
+		go func() {
+			p.Crash(CrashDropPending, 0)
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("deferred=%v: pool deadlocked after trap inside session", deferred)
+		}
+	}
+}
+
+// TestBrokenSessionEndIsNoOp checks the deferred-End unwind path in detail:
+// after the trap force-closed the session, End must neither panic nor unlock
+// the pool mutex a second time, and the context must be reusable.
+func TestBrokenSessionEndIsNoOp(t *testing.T) {
+	p := New(1 << 20)
+	c := p.Ctx()
+	p.SetCrashTrap(2)
+
+	func() {
+		defer func() { recover() }()
+		c.Begin()
+		defer c.End() // runs on the unwind, after the pool already unlocked
+		c.Store64(p.Base(), 1)
+		c.Persist(p.Base(), 8)
+	}()
+
+	if c.locked || c.broken {
+		t.Fatalf("context not reset by broken-session End: locked=%v broken=%v", c.locked, c.broken)
+	}
+	// A second unlock would have corrupted the mutex; a fresh session (and a
+	// plain pool op) must work.
+	c.Begin()
+	c.Store64(p.Base(), 2)
+	c.End()
+	p.Ctx().Store64(p.Base()+64, 3)
+	if got := p.Ctx().Load64(p.Base()); got != 2 {
+		t.Fatalf("post-trap store lost: %d", got)
+	}
+}

@@ -67,13 +67,19 @@ func New(cfg Config) (*Server, error) {
 	if cfg.PoolSize == 0 {
 		cfg.PoolSize = 64 << 20
 	}
+	return NewWith(pmem.New(cfg.PoolSize), cfg)
+}
+
+// NewWith creates a server over a caller-provided pool, which is how the
+// crash-space explorer builds the server inside an instrumented program
+// (the pool carries the journal or crash trap the harness armed).
+func NewWith(pm *pmem.Pool, cfg Config) (*Server, error) {
 	if cfg.Buckets == 0 {
 		cfg.Buckets = 4096
 	}
 	if cfg.Sample == 0 {
 		cfg.Sample = 5
 	}
-	pm := pmem.New(cfg.PoolSize)
 	p, err := pmdk.Create(pm, 64)
 	if err != nil {
 		return nil, err

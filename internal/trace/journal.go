@@ -1,0 +1,49 @@
+package trace
+
+// Journal is a recorded execution of a PM program: the full event stream in
+// emission order plus, for store events, the written payload bytes. It is
+// the input of record-once crash-space exploration (internal/crashtest):
+// instead of re-executing a deterministic program once per crash point, the
+// program runs a single time filling a journal, and a shadow pool is driven
+// through the journal to reconstruct the machine state at every event
+// boundary.
+//
+// Events alone are not enough to rebuild a crash image — a Store event
+// carries its address and size but not the stored bytes — which is why the
+// journal pairs the stream with payloads. Payloads are captured by the
+// emitting substrate (pmem.Pool.RecordJournal) at emission time, under the
+// same serialization as the event itself.
+type Journal struct {
+	// Events is the recorded stream in emission order. Sequence numbers are
+	// dense (1..len) when recorded by pmem.Pool.RecordJournal, so "crash
+	// after N events" addresses Events[:N].
+	Events []Event
+
+	// payloads[i] holds the bytes written by Events[i] when it is a store,
+	// nil otherwise.
+	payloads [][]byte
+}
+
+// Append records one event and, for stores, its payload. The payload slice
+// is retained; callers must pass an unaliased copy.
+func (j *Journal) Append(ev Event, payload []byte) {
+	j.Events = append(j.Events, ev)
+	j.payloads = append(j.payloads, payload)
+}
+
+// Len returns the number of recorded events.
+func (j *Journal) Len() int { return len(j.Events) }
+
+// Payload returns the stored bytes of event i (nil for non-store events).
+func (j *Journal) Payload(i int) []byte { return j.payloads[i] }
+
+// Stores counts the store events in the journal.
+func (j *Journal) Stores() int {
+	n := 0
+	for _, ev := range j.Events {
+		if ev.Kind == KindStore {
+			n++
+		}
+	}
+	return n
+}

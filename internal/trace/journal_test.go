@@ -1,0 +1,39 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestJournalAppendAndAccess(t *testing.T) {
+	j := &Journal{}
+	if j.Len() != 0 || j.Stores() != 0 {
+		t.Fatalf("fresh journal: Len=%d Stores=%d", j.Len(), j.Stores())
+	}
+
+	j.Append(Event{Seq: 1, Kind: KindStore, Addr: 64, Size: 8}, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	j.Append(Event{Seq: 2, Kind: KindFlush, Addr: 64, Size: 8}, nil)
+	j.Append(Event{Seq: 3, Kind: KindFence}, nil)
+	j.Append(Event{Seq: 4, Kind: KindStore, Addr: 128, Size: 2}, []byte{9, 10})
+
+	if j.Len() != 4 {
+		t.Fatalf("Len = %d", j.Len())
+	}
+	if j.Stores() != 2 {
+		t.Fatalf("Stores = %d", j.Stores())
+	}
+	if !bytes.Equal(j.Payload(0), []byte{1, 2, 3, 4, 5, 6, 7, 8}) {
+		t.Fatalf("Payload(0) = %v", j.Payload(0))
+	}
+	if j.Payload(1) != nil || j.Payload(2) != nil {
+		t.Fatal("non-store events must carry nil payloads")
+	}
+	if !bytes.Equal(j.Payload(3), []byte{9, 10}) {
+		t.Fatalf("Payload(3) = %v", j.Payload(3))
+	}
+	for i, ev := range j.Events {
+		if ev.Seq != uint64(i)+1 {
+			t.Fatalf("event %d has seq %d; journal order must follow emission order", i, ev.Seq)
+		}
+	}
+}
