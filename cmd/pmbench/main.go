@@ -23,7 +23,11 @@
 // artifact), -out (artifact path override) and -minspeedup (exit non-zero
 // when the geometric-mean speedup falls below the bound — the CI smoke
 // gates). `-experiment pipeline` drives the multi-threaded memcached
-// workload with -threads application threads (default 4).
+// workload with -threads application threads (default 4), which is also
+// the detector shard count for the sharded delivery rows; -minshardscale
+// additionally gates the geomean sharded drain scaling (only meaningful on
+// multi-core hosts — report equality across delivery modes is always a
+// hard error, independent of the gates).
 //
 // `-experiment crash` honors the same -json/-out/-minspeedup flags (artifact
 // BENCH_crash.json) and is sized with -crashops, -crashstride and
@@ -60,7 +64,13 @@ type pipelineOpts struct {
 	json       bool
 	out        string
 	minSpeedup float64
-	threads    int
+	// minShardScale, when > 0, fails the experiment unless the geomean
+	// sharded drain scaling (single-consumer drain over sharded drain,
+	// genuinely sharded rows only) reaches the bound. Meaningful on
+	// multi-core hosts; on a single CPU the shards time-slice and the
+	// expected value is ~1x.
+	minShardScale float64
+	threads       int
 }
 
 func main() {
@@ -74,7 +84,8 @@ func main() {
 		outPath    = flag.String("out", "", "hotpath/pipeline: JSON artifact path override")
 		minSpeed   = flag.Float64("minspeedup", 0, "hotpath/pipeline: fail unless the geomean speedup >= this")
 		rounds     = flag.Int("rounds", 24, "hotpath: fence rounds per synthetic trace")
-		threads    = flag.Int("threads", 4, "pipeline: memcached application threads")
+		threads    = flag.Int("threads", 4, "pipeline: memcached application threads (and detector shards)")
+		minShard   = flag.Float64("minshardscale", 0, "pipeline: fail unless the geomean sharded drain scaling >= this (multi-core hosts)")
 		crashOps   = flag.Int("crashops", 20, "crash: operations per crashed program")
 		crashStr   = flag.Int("crashstride", 3, "crash: event-boundary stride")
 		crashWrk   = flag.Int("crashworkers", 4, "crash: checker workers for the record-once engine")
@@ -82,7 +93,8 @@ func main() {
 	flag.Parse()
 	harness.Repeats = *repeats
 	hp := hotpathOpts{json: *jsonOut, out: *outPath, minSpeedup: *minSpeed, rounds: *rounds}
-	pl := pipelineOpts{json: *jsonOut, out: *outPath, minSpeedup: *minSpeed, threads: *threads}
+	pl := pipelineOpts{json: *jsonOut, out: *outPath, minSpeedup: *minSpeed,
+		minShardScale: *minShard, threads: *threads}
 	cr := crashOpts{json: *jsonOut, out: *outPath, minSpeedup: *minSpeed,
 		ops: *crashOps, stride: *crashStr, workers: *crashWrk,
 		workloads: []string{"b_tree", "txpair", "redis"}}

@@ -80,8 +80,13 @@ func TestPipelineArtifact(t *testing.T) {
 	if err := json.Unmarshal(data, &art); err != nil {
 		t.Fatalf("artifact is not valid JSON: %v", err)
 	}
-	if len(art.Results) != 2*len(art.Speedups) || art.GeomeanSpeedup <= 0 {
+	// Three rows (inline, pipelined, sharded) per workload, and a sharded
+	// speedup entry alongside every pipelined one.
+	if len(art.Results) != 3*len(art.Speedups) || art.GeomeanSpeedup <= 0 {
 		t.Fatalf("artifact incomplete: %+v", art)
+	}
+	if len(art.ShardedSpeedups) != len(art.Speedups) {
+		t.Fatalf("sharded speedups missing: %+v", art.ShardedSpeedups)
 	}
 	if art.Threads != 4 {
 		t.Fatalf("artifact threads = %d, want 4", art.Threads)
@@ -90,5 +95,22 @@ func TestPipelineArtifact(t *testing.T) {
 		if r.Workload == "memcached" && r.Threads != 4 {
 			t.Fatalf("memcached measured with %d threads", r.Threads)
 		}
+	}
+	// The strand-section memcached row genuinely shards; strict memcached
+	// and epoch redis must be flagged as fallbacks with a scaling entry
+	// only for the genuine row.
+	if _, ok := art.ShardedDrainScaling["memcached-strand"]; !ok {
+		t.Fatalf("memcached-strand should carry a drain-scaling entry: %+v", art.ShardedDrainScaling)
+	}
+	for _, w := range []string{"memcached", "redis"} {
+		if _, ok := art.ShardedFallbacks[w]; !ok {
+			t.Fatalf("%s sharded row should be recorded as a fallback: %+v", w, art.ShardedFallbacks)
+		}
+		if _, ok := art.ShardedDrainScaling[w]; ok {
+			t.Fatalf("%s fell back and must not claim drain scaling", w)
+		}
+	}
+	if art.GeomeanShardScaling <= 0 {
+		t.Fatalf("geomean shard scaling missing: %+v", art.GeomeanShardScaling)
 	}
 }

@@ -6,6 +6,7 @@
 //	pmdebug -workload b_tree -n 10000 -detector pmdebugger
 //	pmdebug -workload memcached -n 10000 -buggy -detector pmdebugger
 //	pmdebug -workload memcached -n 10000 -threads 4 -async
+//	pmdebug -workload memcached -n 10000 -threads 4 -strands -async -shards 4
 //	pmdebug -workload redis -n 10000 -detector pmemcheck
 //	pmdebug -workload b_tree -n 1000 -orders orders.conf
 //
@@ -13,6 +14,13 @@
 // detection runs off the workload's critical path; reports are
 // byte-identical to inline delivery (the pool drains the pipeline at every
 // observation point).
+//
+// -shards N (pmdebugger only, implies -async) fans the pipeline out to N
+// per-strand detector shards, each with its own consumer goroutine. The
+// configuration must be shardable (strand persistency model, no order
+// specs); otherwise pmdebug falls back to the single-consumer pipeline and
+// says so on stderr. -strands runs each memcached operation in its own
+// strand section, which makes the memcached workload shardable.
 //
 // The -orders file uses the configuration syntax of §4.5:
 //
@@ -43,18 +51,36 @@ func main() {
 		threads  = flag.Int("threads", 1, "memcached only: client threads")
 		ordersF  = flag.String("orders", "", "persist-order configuration file (order X before Y)")
 		async    = flag.Bool("async", false, "attach the detector through the asynchronous pipeline")
+		shards   = flag.Int("shards", 0, "pmdebugger only: fan detection out across this many per-strand shards (implies -async)")
+		strands  = flag.Bool("strands", false, "memcached only: run each operation in its own strand section (strand model)")
 	)
 	flag.Parse()
-	if err := run(*workload, *n, *detector, *buggy, *threads, *ordersF, *async); err != nil {
+	if err := run(runOpts{
+		workload: *workload, n: *n, detector: *detector, buggy: *buggy,
+		threads: *threads, ordersFile: *ordersF, async: *async,
+		shards: *shards, strands: *strands,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "pmdebug:", err)
 		os.Exit(1)
 	}
 }
 
-func run(workload string, n int, detector string, buggy bool, threads int, ordersFile string, async bool) error {
+type runOpts struct {
+	workload   string
+	n          int
+	detector   string
+	buggy      bool
+	threads    int
+	ordersFile string
+	async      bool
+	shards     int
+	strands    bool
+}
+
+func run(o runOpts) error {
 	var orders []rules.OrderSpec
-	if ordersFile != "" {
-		f, err := os.Open(ordersFile)
+	if o.ordersFile != "" {
+		f, err := os.Open(o.ordersFile)
 		if err != nil {
 			return err
 		}
@@ -64,11 +90,30 @@ func run(workload string, n int, detector string, buggy bool, threads int, order
 			return err
 		}
 	}
+	if o.shards > 1 {
+		if o.detector != "pmdebugger" {
+			return fmt.Errorf("-shards requires -detector pmdebugger (got %q)", o.detector)
+		}
+		o.async = true
+	}
 
 	build := func(model rules.Model) (baselines.Detector, error) {
-		switch detector {
+		switch o.detector {
 		case "pmdebugger":
-			return core.New(core.Config{Model: model, Orders: orders}), nil
+			cfg := core.Config{Model: model, Orders: orders}
+			if o.shards > 1 {
+				sd := core.NewSharded(cfg, o.shards)
+				if sd.Fallback() {
+					// Never silently benchmark the wrong mode: the fallback
+					// is functionally identical but has single-consumer
+					// performance.
+					fmt.Fprintf(os.Stderr,
+						"pmdebug: -shards %d fell back to a single-consumer pipeline: %s\n",
+						o.shards, sd.FallbackReason())
+				}
+				return sd, nil
+			}
+			return core.New(cfg), nil
 		case "pmemcheck":
 			return baselines.NewPmemcheck(), nil
 		case "pmtest":
@@ -78,21 +123,24 @@ func run(workload string, n int, detector string, buggy bool, threads int, order
 		case "nulgrind":
 			return baselines.NewNulgrind(), nil
 		default:
-			return nil, fmt.Errorf("unknown detector %q", detector)
+			return nil, fmt.Errorf("unknown detector %q", o.detector)
 		}
 	}
 
 	// Size pools to the requested operation count, capped at the paper's
 	// 256 MiB real-workload pools.
-	poolSize := uint64(n)*1024 + (8 << 20)
+	poolSize := uint64(o.n)*1024 + (8 << 20)
 	if poolSize > 256<<20 {
 		poolSize = 256 << 20
 	}
 
 	attach := func(pm *pmem.Pool, det baselines.Detector) {
-		if async {
+		switch {
+		case o.shards > 1:
+			pm.AttachWith(det, pmem.AttachOptions{Async: true, Shards: o.shards})
+		case o.async:
 			pm.AttachAsync(det)
-		} else {
+		default:
 			pm.Attach(det)
 		}
 	}
@@ -102,10 +150,11 @@ func run(workload string, n int, detector string, buggy bool, threads int, order
 		pmPool *pmem.Pool
 		err    error
 	)
-	switch workload {
+	switch o.workload {
 	case "memcached":
 		cache, cerr := memcached.New(memcached.Config{
-			PoolSize: poolSize, HashBuckets: 1 << 16, UseCAS: true, Bugs: buggy,
+			PoolSize: poolSize, HashBuckets: 1 << 16, UseCAS: true, Bugs: o.buggy,
+			Strands: o.strands,
 		})
 		if cerr != nil {
 			return cerr
@@ -114,19 +163,19 @@ func run(workload string, n int, detector string, buggy bool, threads int, order
 			return err
 		}
 		attach(cache.PM(), det)
-		if buggy {
+		if o.buggy {
 			if err := memslap.ExerciseAll(cache); err != nil {
 				return err
 			}
 		}
-		if err := memslap.Run(cache, memslap.Config{Ops: n, Threads: threads, Seed: 42}); err != nil {
+		if err := memslap.Run(cache, memslap.Config{Ops: o.n, Threads: o.threads, Seed: 42}); err != nil {
 			return err
 		}
 		cache.PM().End()
 		pmPool = cache.PM()
 
 	case "redis":
-		srv, serr := redis.New(redis.Config{PoolSize: poolSize, MaxKeys: n / 2, Seed: 42})
+		srv, serr := redis.New(redis.Config{PoolSize: poolSize, MaxKeys: o.n / 2, Seed: 42})
 		if serr != nil {
 			return serr
 		}
@@ -134,26 +183,26 @@ func run(workload string, n int, detector string, buggy bool, threads int, order
 			return err
 		}
 		attach(srv.PM(), det)
-		if err := srv.RunLRUTest(n, 42); err != nil {
+		if err := srv.RunLRUTest(o.n, 42); err != nil {
 			return err
 		}
 		srv.PM().End()
 		pmPool = srv.PM()
 
 	default:
-		f, ferr := workloads.Lookup(workload)
+		f, ferr := workloads.Lookup(o.workload)
 		if ferr != nil {
 			return ferr
 		}
 		if det, err = build(f.Model); err != nil {
 			return err
 		}
-		app, pm, berr := workloads.Build(f, n)
+		app, pm, berr := workloads.Build(f, o.n)
 		if berr != nil {
 			return berr
 		}
 		attach(pm, det)
-		if err := workloads.RunInserts(app, n, 42); err != nil {
+		if err := workloads.RunInserts(app, o.n, 42); err != nil {
 			return err
 		}
 		if err := app.Close(); err != nil {
@@ -164,6 +213,14 @@ func run(workload string, n int, detector string, buggy bool, threads int, order
 	}
 
 	fmt.Print(det.Report().Summary())
+	if sd, ok := det.(*core.ShardedDetector); ok {
+		if sd.Fallback() {
+			fmt.Printf("delivery: sharded attach FELL BACK to a single consumer (%s)\n",
+				sd.FallbackReason())
+		} else {
+			fmt.Printf("delivery: sharded across %d detector shards\n", sd.Shards())
+		}
+	}
 	if pmPool != nil {
 		st := pmPool.Stats()
 		fmt.Printf("pool: %d stores (%d bytes), %d writebacks, %d fences, %d lines committed\n",

@@ -4,21 +4,21 @@ import "testing"
 
 func TestRunWorkloads(t *testing.T) {
 	for _, w := range []string{"b_tree", "hashmap_atomic", "memcached", "redis"} {
-		if err := run(w, 200, "pmdebugger", false, 1, "", false); err != nil {
+		if err := run(runOpts{workload: w, n: 200, detector: "pmdebugger", threads: 1}); err != nil {
 			t.Errorf("%s: %v", w, err)
 		}
 	}
 }
 
 func TestRunBuggyMemcached(t *testing.T) {
-	if err := run("memcached", 200, "pmdebugger", true, 1, "", false); err != nil {
+	if err := run(runOpts{workload: "memcached", n: 200, detector: "pmdebugger", buggy: true, threads: 1}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunAllDetectors(t *testing.T) {
 	for _, d := range []string{"pmemcheck", "pmtest", "xfdetector", "nulgrind"} {
-		if err := run("c_tree", 100, d, false, 1, "", false); err != nil {
+		if err := run(runOpts{workload: "c_tree", n: 100, detector: d, threads: 1}); err != nil {
 			t.Errorf("%s: %v", d, err)
 		}
 	}
@@ -28,23 +28,44 @@ func TestRunAsync(t *testing.T) {
 	// Every workload path under the asynchronous pipeline, including the
 	// multi-threaded memcached case the pipeline exists for.
 	for _, w := range []string{"b_tree", "memcached", "redis"} {
-		if err := run(w, 200, "pmdebugger", false, 4, "", true); err != nil {
+		if err := run(runOpts{workload: w, n: 200, detector: "pmdebugger", threads: 4, async: true}); err != nil {
 			t.Errorf("%s async: %v", w, err)
 		}
 	}
-	if err := run("memcached", 200, "pmemcheck", false, 2, "", true); err != nil {
+	if err := run(runOpts{workload: "memcached", n: 200, detector: "pmemcheck", threads: 2, async: true}); err != nil {
 		t.Errorf("pmemcheck async: %v", err)
 	}
 }
 
+func TestRunSharded(t *testing.T) {
+	// Genuine fan-out: strand-section memcached and the synthetic strand
+	// workload both qualify for sharding.
+	for _, o := range []runOpts{
+		{workload: "memcached", n: 200, detector: "pmdebugger", threads: 4, strands: true, shards: 4},
+		{workload: "synth_strand", n: 200, detector: "pmdebugger", threads: 1, shards: 4},
+		// Loud fallback: strict memcached is not shardable but must still run
+		// and report correctly through the single-consumer degradation.
+		{workload: "memcached", n: 200, detector: "pmdebugger", threads: 2, shards: 4},
+	} {
+		if err := run(o); err != nil {
+			t.Errorf("%+v: %v", o, err)
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run("nope", 10, "pmdebugger", false, 1, "", false); err == nil {
+	if err := run(runOpts{workload: "nope", n: 10, detector: "pmdebugger", threads: 1}); err == nil {
 		t.Error("unknown workload accepted")
 	}
-	if err := run("b_tree", 10, "nope", false, 1, "", false); err == nil {
+	if err := run(runOpts{workload: "b_tree", n: 10, detector: "nope", threads: 1}); err == nil {
 		t.Error("unknown detector accepted")
 	}
-	if err := run("b_tree", 10, "pmdebugger", false, 1, "/nonexistent/orders", false); err == nil {
+	if err := run(runOpts{workload: "b_tree", n: 10, detector: "pmdebugger", threads: 1, ordersFile: "/nonexistent/orders"}); err == nil {
 		t.Error("missing orders file accepted")
+	}
+	// -shards with a non-pmdebugger detector must be rejected, not silently
+	// ignored.
+	if err := run(runOpts{workload: "b_tree", n: 10, detector: "pmemcheck", threads: 1, shards: 4}); err == nil {
+		t.Error("-shards with pmemcheck accepted")
 	}
 }

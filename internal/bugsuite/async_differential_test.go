@@ -4,48 +4,98 @@ import (
 	"fmt"
 	"testing"
 
+	"pmdebugger/internal/core"
+	"pmdebugger/internal/pmem"
 	"pmdebugger/internal/report"
 )
 
+// deliveryMode selects how the detector is attached to the case pool.
+type deliveryMode int
+
+const (
+	deliverInline deliveryMode = iota
+	deliverAsync
+	deliverSharded
+)
+
+func (m deliveryMode) String() string {
+	switch m {
+	case deliverInline:
+		return "inline"
+	case deliverAsync:
+		return "pipelined"
+	default:
+		return "sharded"
+	}
+}
+
 // runCaseWith is RunCase with a selectable delivery mode: inline attaches
 // the detector synchronously, async routes it through a trace.Pipeline via
-// Pool.AttachAsync. Harness.PM.End drains the pipeline, so Report is
-// complete in both modes.
-func runCaseWith(k DetectorKind, c Case, async bool) (*report.Report, error) {
+// Pool.AttachAsync, and sharded attaches a core.ShardedDetector with
+// AttachOptions.Shards (which silently degrades to a single consumer for
+// configurations that are not core.Shardable — the differential covers the
+// fallback path too). Harness.PM.End drains every mode, so Report is
+// complete. The bool result reports whether delivery actually sharded.
+func runCaseWith(k DetectorKind, c Case, mode deliveryMode) (*report.Report, bool, error) {
 	h := NewHarness(c)
+	if mode == deliverSharded && k == PMDebugger {
+		cfg := core.Config{Model: c.Model, Orders: c.Orders}
+		if c.Cross != nil {
+			cfg.CrossFailureCheck = c.Cross
+		}
+		sd := core.NewSharded(cfg, 4)
+		h.PM.AttachWith(sd, pmem.AttachOptions{Async: true, Shards: 4})
+		if err := c.Run(h); err != nil {
+			return nil, false, fmt.Errorf("case %s: %w", c.ID, err)
+		}
+		h.PM.End()
+		return sd.Report(), !sd.Fallback(), nil
+	}
 	det := Build(k, c)
-	if async {
+	if mode == deliverAsync {
 		h.PM.AttachAsync(det)
 	} else {
 		h.PM.Attach(det)
 	}
 	if err := c.Run(h); err != nil {
-		return nil, fmt.Errorf("case %s: %w", c.ID, err)
+		return nil, false, fmt.Errorf("case %s: %w", c.ID, err)
 	}
 	h.PM.End()
-	return det.Report(), nil
+	return det.Report(), false, nil
 }
 
 // TestAsyncDeliveryByteIdenticalBugSuite runs every bug case (all 78, all
-// ten bug types) and every correct twin under PMDebugger with inline and
-// pipelined delivery, and requires byte-identical report summaries.
+// ten bug types) and every correct twin under PMDebugger with inline,
+// pipelined and sharded delivery, and requires byte-identical report
+// summaries across all three. At least one suite case must genuinely shard
+// (strand model, no order specs) so the sharded path is exercised for real
+// and not only through its fallback.
 func TestAsyncDeliveryByteIdenticalBugSuite(t *testing.T) {
 	cases := append(Cases(), CorrectTwins()...)
 	if len(cases) < 78 {
 		t.Fatalf("expected at least the 78 bug cases, got %d", len(cases))
 	}
+	shardedRuns := 0
 	for _, c := range cases {
-		inline, err := runCaseWith(PMDebugger, c, false)
+		inline, _, err := runCaseWith(PMDebugger, c, deliverInline)
 		if err != nil {
 			t.Fatalf("inline %s: %v", c.ID, err)
 		}
-		async, err := runCaseWith(PMDebugger, c, true)
-		if err != nil {
-			t.Fatalf("async %s: %v", c.ID, err)
+		for _, mode := range []deliveryMode{deliverAsync, deliverSharded} {
+			got, sharded, err := runCaseWith(PMDebugger, c, mode)
+			if err != nil {
+				t.Fatalf("%s %s: %v", mode, c.ID, err)
+			}
+			if sharded {
+				shardedRuns++
+			}
+			if want := inline.Summary(); want != got.Summary() {
+				t.Errorf("%s: reports differ between delivery modes\n--- inline ---\n%s--- %s ---\n%s",
+					c.ID, want, mode, got.Summary())
+			}
 		}
-		if want, got := inline.Summary(), async.Summary(); want != got {
-			t.Errorf("%s: reports differ between delivery modes\n--- inline ---\n%s--- pipelined ---\n%s",
-				c.ID, want, got)
-		}
+	}
+	if shardedRuns == 0 {
+		t.Error("no suite case exercised genuinely sharded delivery")
 	}
 }

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"pmdebugger/internal/report"
+	"pmdebugger/internal/rules"
+	"pmdebugger/internal/trace"
+)
+
+// This file is the detector side of online sharded live detection: a
+// ShardedDetector owns one engine per shard and splits itself (trace.Sharder)
+// into per-shard handlers that a trace.ShardedPipeline drives from its
+// per-shard consumer goroutines. Each shard sees exactly the subsequence a
+// strand-partitioned replay would hand it, so Report — a report.Merge of
+// the shard reports — is byte-identical to inline delivery, the same
+// equivalence ReplayParallel exploits offline.
+
+// epochRules are the rule bits whose verdicts depend on epoch sections or
+// transaction log events — the global (cross-strand) part of the stream
+// that sharded delivery sequences with barriers rather than replays
+// per-shard. Configurations with any of them enabled are not shardable.
+const epochRules = rules.RuleRedundantLogging | rules.RuleLackDurabilityInEpoch |
+	rules.RuleRedundantEpochFence
+
+// Shardable reports whether cfg permits live sharded detection: a
+// Parallelizable configuration (strand model, no cross-strand order specs,
+// no cross-failure hook) whose effective rule set contains no epoch-scoped
+// rules. rules.Default(rules.Strand) qualifies; a caller forcing epoch
+// rules onto the strand model does not, because those rules read global
+// state that per-shard delivery cannot reproduce.
+func Shardable(cfg Config) bool {
+	cfg.fill()
+	return Parallelizable(cfg) && !cfg.Rules.Has(epochRules)
+}
+
+// ShardedDetector fans detection out across per-strand shard engines. It
+// implements trace.Handler/BatchHandler (synchronous routing, for inline
+// use and differential tests) and trace.Sharder (per-shard handlers for a
+// ShardedPipeline). When the configuration is not Shardable — or fewer
+// than 2 shards are requested — it degrades to a single engine behind the
+// same interface and says so via Fallback/FallbackReason, so callers can
+// report the degradation loudly instead of benchmarking the wrong mode.
+//
+// A shard handler that panics (an engine bug) is poisoned: its remaining
+// deliveries are dropped and the panic is recorded as a report failure
+// entry, so Sync/Close/Report never deadlock and the final report carries
+// the evidence instead of the process crashing.
+type ShardedDetector struct {
+	cfg      Config
+	dets     []*Detector
+	handlers []trace.Handler // guarded per-shard wrappers, same order as dets
+	fallback string          // non-empty: why sharding was declined
+
+	mu       sync.Mutex
+	failures []string
+}
+
+// NewSharded returns a detector fanned out across the given number of
+// shards, or a single-engine fallback when shards < 2 or the configuration
+// is not Shardable.
+func NewSharded(cfg Config, shards int) *ShardedDetector {
+	sd := &ShardedDetector{cfg: cfg}
+	switch {
+	case shards < 2:
+		sd.fallback = "fewer than 2 shards requested"
+	case !Parallelizable(cfg):
+		sd.fallback = "configuration is not parallelizable (needs the strand model, no order specs, no cross-failure hook)"
+	case !Shardable(cfg):
+		sd.fallback = "epoch-scoped rules are enabled (they read cross-strand state)"
+	}
+	if sd.fallback != "" {
+		shards = 1
+	}
+	sd.dets = make([]*Detector, shards)
+	sd.handlers = make([]trace.Handler, shards)
+	for i := range sd.dets {
+		sd.dets[i] = New(cfg)
+		sd.handlers[i] = &shardHandler{sd: sd, shard: i, det: sd.dets[i]}
+	}
+	return sd
+}
+
+// Name returns "pmdebugger": the sharding is a delivery detail, not a
+// different detector.
+func (sd *ShardedDetector) Name() string { return "pmdebugger" }
+
+// Shards returns the number of shard engines (1 in fallback mode).
+func (sd *ShardedDetector) Shards() int { return len(sd.dets) }
+
+// Fallback reports whether the detector declined to shard.
+func (sd *ShardedDetector) Fallback() bool { return sd.fallback != "" }
+
+// FallbackReason returns why sharding was declined ("" when sharded).
+func (sd *ShardedDetector) FallbackReason() string { return sd.fallback }
+
+// ShardHandlers implements trace.Sharder: one guarded handler per shard.
+// In fallback mode it returns nil, which tells the attaching pool to use a
+// single-consumer pipeline around the ShardedDetector itself.
+func (sd *ShardedDetector) ShardHandlers() []trace.Handler {
+	if sd.Fallback() {
+		return nil
+	}
+	return sd.handlers
+}
+
+func (sd *ShardedDetector) shardOf(strand int32) int {
+	return int(uint32(strand) % uint32(len(sd.dets)))
+}
+
+// HandleEvent routes one event synchronously, with the same partitioning
+// rules a ShardedPipeline applies: strand-local kinds to their shard,
+// Register/Unregister to every shard, JoinStrand/End dropped (finalization
+// happens in Report), globals to every shard. In fallback mode every event
+// passes through to the single engine unchanged.
+func (sd *ShardedDetector) HandleEvent(ev trace.Event) {
+	if sd.Fallback() {
+		sd.handlers[0].HandleEvent(ev)
+		return
+	}
+	switch ev.Kind {
+	case trace.KindStore, trace.KindFlush, trace.KindFence,
+		trace.KindStrandBegin, trace.KindStrandEnd:
+		sd.handlers[sd.shardOf(ev.Strand)].HandleEvent(ev)
+	case trace.KindJoinStrand, trace.KindEnd:
+		// Dropped: joins are inert without order specs (not Shardable
+		// otherwise) and shard engines finalize at Report time.
+	default:
+		// Register/Unregister and global kinds: replicate to every shard.
+		for _, h := range sd.handlers {
+			h.HandleEvent(ev)
+		}
+	}
+}
+
+// HandleBatch implements the batch fast path by routing runs of
+// consecutive same-strand events whole.
+func (sd *ShardedDetector) HandleBatch(evs []trace.Event) {
+	if sd.Fallback() {
+		if bh, ok := sd.handlers[0].(trace.BatchHandler); ok {
+			bh.HandleBatch(evs)
+			return
+		}
+	}
+	for i := 0; i < len(evs); {
+		ev := evs[i]
+		if strandLocal(ev.Kind) {
+			j := i + 1
+			for j < len(evs) && strandLocal(evs[j].Kind) && evs[j].Strand == ev.Strand {
+				j++
+			}
+			if bh, ok := sd.handlers[sd.shardOf(ev.Strand)].(trace.BatchHandler); ok {
+				bh.HandleBatch(evs[i:j])
+			}
+			i = j
+			continue
+		}
+		sd.HandleEvent(ev)
+		i++
+	}
+}
+
+// noteFailure records a recovered shard panic.
+func (sd *ShardedDetector) noteFailure(shard int, r any) {
+	sd.mu.Lock()
+	defer sd.mu.Unlock()
+	sd.failures = append(sd.failures,
+		fmt.Sprintf("detector shard %d/%d panicked: %v (its remaining events were dropped)",
+			shard, len(sd.dets), r))
+}
+
+// Report finalizes every shard engine and merges their reports into the
+// deterministic global report (report.Merge — identical to a sequential
+// replay for shardable configurations), carrying any recorded shard
+// failures. Call it only after a delivery barrier (Pool.End, Sync or
+// Detach) when attached asynchronously.
+func (sd *ShardedDetector) Report() *report.Report {
+	var rep *report.Report
+	if len(sd.dets) == 1 {
+		// Single engine: its report is already the sequential report; a
+		// merge would only re-sort what is in order.
+		rep = sd.dets[0].Report()
+	} else {
+		reports := make([]*report.Report, len(sd.dets))
+		for i, d := range sd.dets {
+			reports[i] = d.Report()
+		}
+		rep = report.Merge("pmdebugger", reports)
+	}
+	sd.mu.Lock()
+	rep.Failures = append(rep.Failures, sd.failures...)
+	sd.mu.Unlock()
+	return rep
+}
+
+// Counters returns the summed live counters of every shard engine, without
+// finalizing them.
+func (sd *ShardedDetector) Counters() report.Counters {
+	var c report.Counters
+	for _, d := range sd.dets {
+		c.Merge(d.Counters())
+	}
+	return c
+}
+
+// shardHandler guards one shard engine: a panic in the engine poisons the
+// shard (subsequent deliveries are dropped) and is recorded as a report
+// failure, so the consumer goroutine, Sync and Close keep working. Each
+// shardHandler is driven from a single goroutine — its shard's pipeline
+// consumer (or the producer, when routed inline) — so poisoned needs no
+// synchronization.
+type shardHandler struct {
+	sd       *ShardedDetector
+	shard    int
+	det      *Detector
+	poisoned bool
+}
+
+func (h *shardHandler) HandleEvent(ev trace.Event) {
+	if h.poisoned {
+		return
+	}
+	defer h.guard()
+	h.det.HandleEvent(ev)
+}
+
+func (h *shardHandler) HandleBatch(evs []trace.Event) {
+	if h.poisoned {
+		return
+	}
+	defer h.guard()
+	h.det.HandleBatch(evs)
+}
+
+func (h *shardHandler) guard() {
+	if r := recover(); r != nil {
+		h.poisoned = true
+		h.sd.noteFailure(h.shard, r)
+	}
+}
+
+var (
+	_ trace.BatchHandler = (*ShardedDetector)(nil)
+	_ trace.Sharder      = (*ShardedDetector)(nil)
+	_ trace.BatchHandler = (*shardHandler)(nil)
+)

@@ -16,27 +16,37 @@ import (
 
 // This file measures the asynchronous detection pipeline: the same live
 // workload with PMDebugger attached inline (detection under the pool lock,
-// on the application threads) versus attached through trace.Pipeline
-// (emission stages a slab entry; detection is deferred to drain points).
-// The paper's headline metric is live instrumentation slowdown, so each run
-// is split into two timed phases:
+// on the application threads), attached through a single-consumer
+// trace.Pipeline (emission stages a slab entry; detection is deferred to
+// drain points), and attached through a trace.ShardedPipeline (the staged
+// events fan out to one detector engine per strand shard, so the deferred
+// analysis runs on several cores). The paper's headline metric is live
+// instrumentation slowdown, so each run is split into two timed phases:
 //
 //   - live: the workload exercises the cache/server. Inline, every
 //     instrumented instruction runs the detector's bookkeeping here;
-//     pipelined, it only appends 40 bytes to a slab.
-//   - drain: Pool.End — the pipeline's deferred analysis runs to
-//     completion. Inline this is near-zero; pipelined it carries the
-//     detection work the live phase no longer pays for.
+//     pipelined and sharded, it only appends 40 bytes to a slab.
+//   - drain: Pool.End — the deferred analysis runs to completion. Inline
+//     this is near-zero; pipelined it carries the detection work the live
+//     phase no longer pays for; sharded it divides that work across shard
+//     consumers (the paper-motivating scaling, visible only with spare
+//     cores — this container pins everything to one CPU, CI has more).
 //
 // Both phases are reported (plus their sum) so the artifact shows exactly
-// where the work went; the speedup of interest is the live phase, the part
-// the application's clients observe. The pipelined runs use the lazy drain
-// discipline with a ring deep enough to hold the whole run, so on a machine
-// without a spare core (this container pins everything to one CPU) the
-// consumer does not time-slice against the application mid-run.
+// where the work went. The pipelined and sharded runs use the lazy drain
+// discipline with rings deep enough to hold the whole run, so on a machine
+// without a spare core the consumers do not time-slice against the
+// application mid-run.
+//
+// Sharding requires a core.Shardable configuration. The strict-model
+// memcached row and the epoch-model redis row therefore measure the
+// fallback single-consumer path (flagged in PipelineResult.Fallback, never
+// silently); the memcached-strand row — every cache operation in its own
+// strand section, the globally-locked cache serializing them — is the
+// genuinely sharded measurement.
 
-// PipelineModes names the two delivery modes, inline first.
-func PipelineModes() [2]string { return [2]string{"inline", "pipelined"} }
+// PipelineModes names the three delivery modes, inline first.
+func PipelineModes() [3]string { return [3]string{"inline", "pipelined", "sharded"} }
 
 // Memcached row configuration: an all-set, small-value mix. Sets are the
 // instrumented path (a get emits no events), so this maximizes the density
@@ -50,7 +60,7 @@ const (
 // PipelineResult is one (workload, mode) live-run measurement.
 type PipelineResult struct {
 	Workload   string  `json:"workload"`
-	Mode       string  `json:"mode"` // "inline" or "pipelined"
+	Mode       string  `json:"mode"` // "inline", "pipelined" or "sharded"
 	Threads    int     `json:"threads"`
 	Ops        int     `json:"ops"`
 	Events     uint64  `json:"events"`
@@ -58,6 +68,15 @@ type PipelineResult struct {
 	DrainNanos int64   `json:"drain_nanos"` // Pool.End: deferred analysis
 	Nanos      int64   `json:"nanos"`       // live + drain
 	OpsPerSec  float64 `json:"ops_per_sec"` // over the live phase
+	// Shards is the number of detector engines behind the sharded mode's
+	// delivery (1 when the configuration forced the single-consumer
+	// fallback); zero for the other modes.
+	Shards int `json:"shards,omitempty"`
+	// Fallback marks a sharded-mode row that actually measured the
+	// single-consumer fallback because the workload's detector
+	// configuration is not core.Shardable. Such a row must not be read as
+	// a sharded-scaling data point.
+	Fallback bool `json:"fallback,omitempty"`
 }
 
 // pipelineWorkload builds a live run: live drives the workload (without
@@ -69,25 +88,31 @@ type pipelineWorkload struct {
 }
 
 func pipelineWorkloadFor(name string, ops, threads int) (pipelineWorkload, error) {
+	memcachedSetup := func(strands bool) func() (*pmem.Pool, func() error, error) {
+		return func() (*pmem.Pool, func() error, error) {
+			cache, err := memcached.New(memcached.Config{
+				PoolSize: memcachedPoolSize(ops), HashBuckets: 1 << 14, UseCAS: true,
+				Strands: strands,
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			return cache.PM(), func() error {
+				return memslap.Run(cache, memslap.Config{
+					Ops: ops, SetRatio: pipelineSetRatio, Threads: threads,
+					ValueSize: pipelineValueSize, Seed: 42,
+				})
+			}, nil
+		}
+	}
 	switch name {
 	case "memcached":
-		return pipelineWorkload{
-			model: rules.Strict,
-			setup: func() (*pmem.Pool, func() error, error) {
-				cache, err := memcached.New(memcached.Config{
-					PoolSize: memcachedPoolSize(ops), HashBuckets: 1 << 14, UseCAS: true,
-				})
-				if err != nil {
-					return nil, nil, err
-				}
-				return cache.PM(), func() error {
-					return memslap.Run(cache, memslap.Config{
-						Ops: ops, SetRatio: pipelineSetRatio, Threads: threads,
-						ValueSize: pipelineValueSize, Seed: 42,
-					})
-				}, nil
-			},
-		}, nil
+		return pipelineWorkload{model: rules.Strict, setup: memcachedSetup(false)}, nil
+	case "memcached-strand":
+		// Every cache operation in its own strand section: the cache's
+		// global lock serializes operations, so each op's persists form an
+		// independent persist path and the configuration is core.Shardable.
+		return pipelineWorkload{model: rules.Strand, setup: memcachedSetup(true)}, nil
 	case "redis":
 		return pipelineWorkload{
 			model: rules.Epoch,
@@ -108,14 +133,24 @@ func pipelineWorkloadFor(name string, ops, threads int) (pipelineWorkload, error
 	}
 }
 
+// pipelineShards is the shard count for a thread count: one shard per
+// application thread, minimum two (a single shard is just the pipelined
+// mode again).
+func pipelineShards(threads int) int {
+	if threads < 2 {
+		return 2
+	}
+	return threads
+}
+
 // verifyPipelineDelivery records one live run of the workload and replays
-// the identical stream into an inline detector, an eager pipeline and a
-// lazy pipeline, requiring byte-identical reports from all three.
-// Multi-threaded runs are not deterministic across executions, so the
-// equivalence proof compares the delivery modes on one recorded stream
-// rather than across live runs. Returns the recorded event count, which
-// also sizes the measurement ring.
-func verifyPipelineDelivery(w pipelineWorkload, ops int) (uint64, error) {
+// the identical stream into an inline detector, an eager pipeline, a lazy
+// pipeline and a sharded pipeline, requiring byte-identical reports from
+// all four. Multi-threaded runs are not deterministic across executions,
+// so the equivalence proof compares the delivery modes on one recorded
+// stream rather than across live runs. Returns the recorded event count,
+// which also sizes the measurement ring.
+func verifyPipelineDelivery(w pipelineWorkload, ops, shards int) (uint64, error) {
 	pm, live, err := w.setup()
 	if err != nil {
 		return 0, err
@@ -147,46 +182,86 @@ func verifyPipelineDelivery(w pipelineWorkload, ops int) (uint64, error) {
 				mode, want, got)
 		}
 	}
+
+	// Sharded delivery — through the real fan-out when the configuration
+	// shards, through the single-consumer fallback otherwise. Either way
+	// the report must match inline byte for byte.
+	sd := core.NewSharded(core.Config{Model: w.model}, shards)
+	var conduit trace.Conduit
+	if hs := sd.ShardHandlers(); len(hs) > 1 {
+		conduit = trace.NewShardedPipeline(sd, hs, trace.PipelineOptions{Lazy: true})
+	} else {
+		conduit = trace.NewPipelineOpts(sd, trace.PipelineOptions{Lazy: true})
+	}
+	for _, ev := range rec.Events {
+		conduit.HandleEvent(ev)
+	}
+	conduit.Close()
+	if err := conduit.Err(); err != nil {
+		return 0, fmt.Errorf("pipeline: sharded delivery failed: %w", err)
+	}
+	if got := sd.Report().Summary(); got != want {
+		return 0, fmt.Errorf("pipeline: sharded delivery (shards=%d, fallback=%v) disagrees with inline on the identical stream\n--- inline ---\n%s--- sharded ---\n%s",
+			sd.Shards(), sd.Fallback(), want, got)
+	}
 	return uint64(rec.Len()), nil
 }
 
-// MeasurePipeline measures the live workload under PMDebugger with inline
-// and pipelined delivery (best live phase of Repeats each, inline first),
-// after proving the delivery modes produce byte-identical reports on an
-// identical recorded stream.
-func MeasurePipeline(workload string, ops, threads int) ([2]PipelineResult, error) {
-	var out [2]PipelineResult
+// MeasurePipeline measures the live workload under PMDebugger with inline,
+// single-consumer pipelined and sharded delivery (best live phase of
+// Repeats each, inline first), after proving all delivery modes produce
+// byte-identical reports on an identical recorded stream.
+func MeasurePipeline(workload string, ops, threads int) ([]PipelineResult, error) {
 	w, err := pipelineWorkloadFor(workload, ops, threads)
 	if err != nil {
-		return out, err
+		return nil, err
 	}
-	streamLen, err := verifyPipelineDelivery(w, ops)
+	shards := pipelineShards(threads)
+	streamLen, err := verifyPipelineDelivery(w, ops, shards)
 	if err != nil {
-		return out, err
+		return nil, err
 	}
 	// Ring deep enough for the whole recorded stream plus slack, so the
-	// lazy consumer never has to run mid-measurement.
+	// lazy consumers never have to run mid-measurement. Sharded rings get
+	// the same depth each: a skewed strand distribution may fill one shard
+	// with nearly the whole stream.
 	depth := int(streamLen/trace.DefaultBatchSize) + threads + 8
 
-	var bestLive, bestDrain [2]time.Duration
-	var events [2]uint64
-	// Repeats are interleaved (inline, pipelined, inline, ...) rather than
-	// run as two contiguous blocks, so a drift in the machine's speed
-	// across the measurement lands on both modes instead of skewing their
-	// ratio.
+	modes := PipelineModes()
+	var bestLive, bestDrain [3]time.Duration
+	var events [3]uint64
+	var shardsUsed [3]int
+	var fellBack [3]bool
+	// Repeats are interleaved (inline, pipelined, sharded, inline, ...)
+	// rather than run as contiguous blocks, so a drift in the machine's
+	// speed across the measurement lands on every mode instead of skewing
+	// their ratios.
 	for r := 0; r < Repeats; r++ {
-		for i, mode := range PipelineModes() {
+		for i, mode := range modes {
 			pm, live, err := w.setup()
 			if err != nil {
-				return out, err
+				return nil, err
 			}
-			det := core.New(core.Config{Model: w.model})
-			if mode == "pipelined" {
-				pm.AttachWith(det, pmem.AttachOptions{
+			cfg := core.Config{Model: w.model}
+			var h trace.Handler
+			switch mode {
+			case "inline":
+				d := core.New(cfg)
+				pm.Attach(d)
+				h = d
+			case "pipelined":
+				d := core.New(cfg)
+				pm.AttachWith(d, pmem.AttachOptions{
 					Async: true, Lazy: true, PipelineDepth: depth,
 				})
-			} else {
-				pm.Attach(det)
+				h = d
+			case "sharded":
+				sd := core.NewSharded(cfg, shards)
+				pm.AttachWith(sd, pmem.AttachOptions{
+					Async: true, Lazy: true, PipelineDepth: depth, Shards: shards,
+				})
+				h = sd
+				shardsUsed[i], fellBack[i] = sd.Shards(), sd.Fallback()
 			}
 			// Start every repeat from a collected heap — after the ring
 			// allocation, so GC debt from a previous run (or the
@@ -194,7 +269,7 @@ func MeasurePipeline(workload string, ops, threads int) ([2]PipelineResult, erro
 			runtime.GC()
 			start := time.Now()
 			if err := live(); err != nil {
-				return out, err
+				return nil, err
 			}
 			liveElapsed := time.Since(start)
 			drainStart := time.Now()
@@ -204,10 +279,11 @@ func MeasurePipeline(workload string, ops, threads int) ([2]PipelineResult, erro
 				bestLive[i], bestDrain[i] = liveElapsed, drainElapsed
 			}
 			events[i] = pm.EventCount()
-			pm.Detach(det)
+			pm.Detach(h)
 		}
 	}
-	for i, mode := range PipelineModes() {
+	out := make([]PipelineResult, len(modes))
+	for i, mode := range modes {
 		out[i] = PipelineResult{
 			Workload:   workload,
 			Mode:       mode,
@@ -218,6 +294,8 @@ func MeasurePipeline(workload string, ops, threads int) ([2]PipelineResult, erro
 			DrainNanos: bestDrain[i].Nanoseconds(),
 			Nanos:      (bestLive[i] + bestDrain[i]).Nanoseconds(),
 			OpsPerSec:  float64(ops) / bestLive[i].Seconds(),
+			Shards:     shardsUsed[i],
+			Fallback:   fellBack[i],
 		}
 	}
 	return out, nil

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"pmdebugger/internal/baselines"
 	"pmdebugger/internal/core"
 	"pmdebugger/internal/pmem"
 	"pmdebugger/internal/rules"
@@ -30,15 +31,29 @@ func differentialConfigs() []struct {
 	}
 }
 
-// attachMode attaches the detector in one of the three delivery modes.
-func attachMode(pm *pmem.Pool, det *core.Detector, mode string) {
+// buildAttached builds the detector for a delivery mode and attaches it:
+// inline synchronously, eager/lazy through a single-consumer pipeline, and
+// sharded through AttachOptions.Shards (which degrades to a single
+// consumer when cfg is not core.Shardable — that fallback path is part of
+// the differential).
+func buildAttached(pm *pmem.Pool, cfg core.Config, mode string) baselines.Detector {
 	switch mode {
 	case "inline":
-		pm.Attach(det)
+		d := core.New(cfg)
+		pm.Attach(d)
+		return d
 	case "eager":
-		pm.AttachAsync(det)
+		d := core.New(cfg)
+		pm.AttachAsync(d)
+		return d
 	case "lazy":
-		pm.AttachWith(det, pmem.AttachOptions{Async: true, Lazy: true})
+		d := core.New(cfg)
+		pm.AttachWith(d, pmem.AttachOptions{Async: true, Lazy: true})
+		return d
+	case "sharded":
+		sd := core.NewSharded(cfg, 4)
+		pm.AttachWith(sd, pmem.AttachOptions{Async: true, Shards: 4})
+		return sd
 	default:
 		panic("unknown attach mode " + mode)
 	}
@@ -56,8 +71,7 @@ func runWorkloadWith(t *testing.T, workload string, cfg core.Config, n int, mode
 	if err != nil {
 		t.Fatal(err)
 	}
-	det := core.New(cfg)
-	attachMode(pm, det, mode)
+	det := buildAttached(pm, cfg, mode)
 	if err := workloads.RunInserts(app, n, 42); err != nil {
 		t.Fatal(err)
 	}
@@ -68,14 +82,16 @@ func runWorkloadWith(t *testing.T, workload string, cfg core.Config, n int, mode
 	return det.Report().Summary()
 }
 
-// TestPipelineDifferentialModels proves inline, eager-pipelined and
-// lazy-pipelined delivery produce byte-identical reports across all four
-// detector configurations on deterministic single-threaded workloads.
+// TestPipelineDifferentialModels proves inline, eager-pipelined,
+// lazy-pipelined and sharded delivery produce byte-identical reports
+// across all four detector configurations on deterministic single-threaded
+// workloads. The strand configuration exercises the genuine fan-out; the
+// others exercise the sharded attach's fallback.
 func TestPipelineDifferentialModels(t *testing.T) {
 	const n = 800
 	for _, tc := range differentialConfigs() {
 		inline := runWorkloadWith(t, tc.workload, tc.cfg, n, "inline")
-		for _, mode := range []string{"eager", "lazy"} {
+		for _, mode := range []string{"eager", "lazy", "sharded"} {
 			async := runWorkloadWith(t, tc.workload, tc.cfg, n, mode)
 			if inline != async {
 				t.Errorf("%s (%s): reports differ between delivery modes\n--- inline ---\n%s--- %s ---\n%s",
@@ -98,8 +114,7 @@ func runTrappedWorkload(t *testing.T, cfg core.Config, trap uint64, mode string)
 	if err != nil {
 		t.Fatal(err)
 	}
-	det := core.New(cfg)
-	attachMode(pm, det, mode)
+	det := buildAttached(pm, cfg, mode)
 	pm.SetCrashTrap(trap)
 	func() {
 		defer func() {
@@ -120,8 +135,8 @@ func runTrappedWorkload(t *testing.T, cfg core.Config, trap uint64, mode string)
 }
 
 // TestPipelineDifferentialCrashTrap fires crash traps mid-stream and
-// requires the pipelined detector to have consumed the identical prefix as
-// the inline one when the trap unwinds.
+// requires every asynchronously attached detector to have consumed the
+// identical prefix as the inline one when the trap unwinds.
 func TestPipelineDifferentialCrashTrap(t *testing.T) {
 	cfg := core.Config{Model: rules.Strict}
 	for _, trap := range []uint64{5, 97, 1203} {
@@ -129,7 +144,7 @@ func TestPipelineDifferentialCrashTrap(t *testing.T) {
 		if !okInline {
 			t.Fatalf("trap %d did not fire", trap)
 		}
-		for _, mode := range []string{"eager", "lazy"} {
+		for _, mode := range []string{"eager", "lazy", "sharded"} {
 			async, okAsync := runTrappedWorkload(t, cfg, trap, mode)
 			if okInline != okAsync {
 				t.Fatalf("trap %d fired inline=%v %s=%v", trap, okInline, mode, okAsync)
@@ -142,25 +157,86 @@ func TestPipelineDifferentialCrashTrap(t *testing.T) {
 	}
 }
 
+// TestPipelineDifferentialCrashTrapStrand repeats the crash-trap prefix
+// check on a strand workload where sharding genuinely fans out, so the
+// drain-before-trap barrier is proven across real shards, not only the
+// fallback pipeline.
+func TestPipelineDifferentialCrashTrapStrand(t *testing.T) {
+	cfg := core.Config{Model: rules.Strand}
+	runStrand := func(trap uint64, mode string) (string, bool) {
+		t.Helper()
+		f, err := workloads.Lookup("synth_strand")
+		if err != nil {
+			t.Fatal(err)
+		}
+		app, pm, err := workloads.Build(f, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		det := buildAttached(pm, cfg, mode)
+		if mode == "sharded" {
+			if sd := det.(*core.ShardedDetector); sd.Fallback() {
+				t.Fatalf("strand workload unexpectedly fell back: %s", sd.FallbackReason())
+			}
+		}
+		pm.SetCrashTrap(trap)
+		trapped := false
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(pmem.CrashTrap); !ok {
+						panic(r)
+					}
+					trapped = true
+				}
+			}()
+			if err := workloads.RunInserts(app, 200, 42); err != nil {
+				t.Fatal(err)
+			}
+			_ = app.Close()
+			pm.End()
+		}()
+		return det.Report().Summary(), trapped
+	}
+	for _, trap := range []uint64{7, 113, 997} {
+		inline, okInline := runStrand(trap, "inline")
+		if !okInline {
+			t.Fatalf("trap %d did not fire", trap)
+		}
+		sharded, okSharded := runStrand(trap, "sharded")
+		if !okSharded {
+			t.Fatalf("trap %d did not fire under sharded delivery", trap)
+		}
+		if inline != sharded {
+			t.Errorf("trap %d: detector state differs at the trap\n--- inline ---\n%s--- sharded ---\n%s",
+				trap, inline, sharded)
+		}
+	}
+}
+
 // TestMeasurePipelineSmoke exercises the measurement path end to end on a
 // tiny multi-threaded run.
 func TestMeasurePipelineSmoke(t *testing.T) {
 	old := Repeats
 	Repeats = 1
 	defer func() { Repeats = old }()
-	for _, workload := range []string{"memcached", "redis"} {
+	for _, workload := range []string{"memcached", "memcached-strand", "redis"} {
 		threads := 4
 		if workload == "redis" {
 			threads = 1
 		}
-		pair, err := MeasurePipeline(workload, 500, threads)
+		results, err := MeasurePipeline(workload, 500, threads)
 		if err != nil {
 			t.Fatalf("%s: %v", workload, err)
 		}
-		if pair[0].Mode != "inline" || pair[1].Mode != "pipelined" {
-			t.Fatalf("%s: unexpected modes %q/%q", workload, pair[0].Mode, pair[1].Mode)
+		if len(results) != 3 {
+			t.Fatalf("%s: got %d results, want 3", workload, len(results))
 		}
-		for _, r := range pair {
+		want := PipelineModes()
+		for i, r := range results {
+			if r.Mode != want[i] {
+				t.Fatalf("%s: result %d has mode %q, want %q", workload, i, r.Mode, want[i])
+			}
 			if r.Events == 0 || r.Nanos <= 0 || r.OpsPerSec <= 0 {
 				t.Errorf("%s/%s: degenerate measurement %+v", workload, r.Mode, r)
 			}
@@ -168,11 +244,25 @@ func TestMeasurePipelineSmoke(t *testing.T) {
 				t.Errorf("%s/%s: phase accounting broken %+v", workload, r.Mode, r)
 			}
 		}
+		sharded := results[2]
+		if workload == "memcached-strand" {
+			if sharded.Fallback || sharded.Shards != threads {
+				t.Errorf("%s: sharded row should genuinely shard across %d engines: %+v",
+					workload, threads, sharded)
+			}
+		} else {
+			// Strict memcached and epoch redis are not shardable: the row
+			// must say so instead of posing as a scaling measurement.
+			if !sharded.Fallback || sharded.Shards != 1 {
+				t.Errorf("%s: sharded row should be flagged as fallback: %+v", workload, sharded)
+			}
+		}
 		// Multi-threaded memcached interleavings may shift event counts
 		// between runs; single-threaded redis is deterministic.
-		if workload == "redis" && pair[0].Events != pair[1].Events {
-			t.Errorf("%s: event counts differ between modes: %d vs %d",
-				workload, pair[0].Events, pair[1].Events)
+		if workload == "redis" && (results[0].Events != results[1].Events ||
+			results[0].Events != results[2].Events) {
+			t.Errorf("%s: event counts differ between modes: %d / %d / %d",
+				workload, results[0].Events, results[1].Events, results[2].Events)
 		}
 	}
 }

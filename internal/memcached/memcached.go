@@ -35,6 +35,14 @@ type Config struct {
 	Bugs bool
 	// UseCAS enables CAS id maintenance (settings.use_cas).
 	UseCAS bool
+	// Strands runs every cache operation in its own strand section, the
+	// strand-persistency port of the cache (§5.1): the global cache lock
+	// already serializes operations, so each op's persists form an
+	// independent persist path with no cross-op ordering requirement.
+	// Model then reports rules.Strand, which makes live detection
+	// shardable by strand (core.Shardable). Detection coverage is the
+	// strand default rule set instead of the strict one.
+	Strands bool
 }
 
 // item layout in a slab chunk:
@@ -76,8 +84,32 @@ type Cache struct {
 	sites sitesTable
 }
 
-// Model returns the strict persistency model (Table 4).
-func (c *Cache) Model() rules.Model { return rules.Strict }
+// Model returns the persistency model the cache runs under: strict
+// (Table 4) by default, strand when Config.Strands wraps each operation in
+// a strand section.
+func (c *Cache) Model() rules.Model {
+	if c.cfg.Strands {
+		return rules.Strand
+	}
+	return rules.Strict
+}
+
+// opCtx opens the per-operation context: the op-scoped lock session and —
+// in strand mode — a strand section for the op. The returned done func
+// closes both; callers either defer it or call it explicitly before
+// tail-calling into another operation.
+func (c *Cache) opCtx(thread int32) (*pmem.Ctx, func()) {
+	ctx := c.pm.ThreadCtx(thread).SetSite(c.sites.clean)
+	ctx.Begin()
+	if !c.cfg.Strands {
+		return ctx, ctx.End
+	}
+	st := ctx.StrandBegin()
+	return st, func() {
+		st.StrandEnd()
+		ctx.End()
+	}
+}
 
 // sitesTable interns the instrumentation sites of the buggy stores so each
 // of the 19 bugs is attributed to its own source location.
@@ -255,9 +287,8 @@ func (c *Cache) Set(thread int32, key string, value []byte, flags uint32, exptim
 	defer c.mu.Unlock()
 	// c.mu already serializes the whole operation, so take the pool lock
 	// once for the op instead of once per instruction.
-	ctx := c.pm.ThreadCtx(thread).SetSite(c.sites.clean)
-	ctx.Begin()
-	defer ctx.End()
+	ctx, done := c.opCtx(thread)
+	defer done()
 
 	c.clock++
 	old, prevSlot, bucket := c.find(ctx, key)
@@ -331,9 +362,8 @@ func (c *Cache) Set(thread int32, key string, value []byte, flags uint32, exptim
 func (c *Cache) Get(thread int32, key string) ([]byte, uint64, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	ctx := c.pm.ThreadCtx(thread).SetSite(c.sites.clean)
-	ctx.Begin()
-	defer ctx.End()
+	ctx, done := c.opCtx(thread)
+	defer done()
 	c.clock++
 	it, prevSlot, bucket := c.find(ctx, key)
 	if it == 0 {
@@ -371,9 +401,8 @@ func (c *Cache) Get(thread int32, key string) ([]byte, uint64, bool) {
 func (c *Cache) Touch(thread int32, key string, exptime uint64) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	ctx := c.pm.ThreadCtx(thread).SetSite(c.sites.clean)
-	ctx.Begin()
-	defer ctx.End()
+	ctx, done := c.opCtx(thread)
+	defer done()
 	it, _, _ := c.find(ctx, key)
 	if it == 0 {
 		return false
@@ -387,9 +416,8 @@ func (c *Cache) Touch(thread int32, key string, exptime uint64) bool {
 func (c *Cache) SetFlags(thread int32, key string, flags uint32) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	ctx := c.pm.ThreadCtx(thread).SetSite(c.sites.clean)
-	ctx.Begin()
-	defer ctx.End()
+	ctx, done := c.opCtx(thread)
+	defer done()
 	it, _, _ := c.find(ctx, key)
 	if it == 0 {
 		return false
@@ -401,24 +429,23 @@ func (c *Cache) SetFlags(thread int32, key string, flags uint32) bool {
 // CAS stores key=value only when the caller's cas id matches.
 func (c *Cache) CAS(thread int32, key string, value []byte, cas uint64) error {
 	c.mu.Lock()
-	ctx := c.pm.ThreadCtx(thread).SetSite(c.sites.clean)
-	// The session must close before the tail call into Set, which opens its
-	// own — hence the explicit End on every path instead of a defer.
-	ctx.Begin()
+	// The op context must close before the tail call into Set, which opens
+	// its own — hence the explicit done on every path instead of a defer.
+	ctx, done := c.opCtx(thread)
 	it, _, _ := c.find(ctx, key)
 	if it == 0 {
-		ctx.End()
+		done()
 		c.mu.Unlock()
 		return errors.New("memcached: CAS on missing key")
 	}
 	if ctx.Load64(it+itFCas) != cas {
 		c.bumpStat(ctx, 8, 1) // cas_badval
-		ctx.End()
+		done()
 		c.mu.Unlock()
 		return errors.New("memcached: CAS mismatch")
 	}
 	c.bumpStat(ctx, 7, 1) // cas_hits
-	ctx.End()
+	done()
 	c.mu.Unlock()
 	return c.Set(thread, key, value, 0, 0)
 }
@@ -444,9 +471,8 @@ func (c *Cache) evictOne(ctx *pmem.Ctx) bool {
 func (c *Cache) Delete(thread int32, key string) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	ctx := c.pm.ThreadCtx(thread).SetSite(c.sites.clean)
-	ctx.Begin()
-	defer ctx.End()
+	ctx, done := c.opCtx(thread)
+	defer done()
 	it, prevSlot, bucket := c.find(ctx, key)
 	if it == 0 {
 		c.bumpStat(ctx, 6, 1) // delete_misses
@@ -470,9 +496,8 @@ func (c *Cache) Delete(thread int32, key string) bool {
 func (c *Cache) FlushAll(thread int32, now uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	ctx := c.pm.ThreadCtx(thread).SetSite(c.sites.clean)
-	ctx.Begin()
-	defer ctx.End()
+	ctx, done := c.opCtx(thread)
+	defer done()
 	ctx.At(c.sites.oldestLive).Store64(c.stats.oldestLive(), now)
 	ctx.Persist(c.stats.oldestLive(), 8)
 	for i := range c.buckets {

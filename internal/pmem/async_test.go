@@ -161,9 +161,9 @@ func TestAsyncDetachByPipeline(t *testing.T) {
 	pipe := p.AttachAsync(rec)
 	drive(p, 10)
 	p.Detach(pipe)
-	if len(p.handlers) != 0 || len(p.pipelines) != 0 {
+	if len(p.handlers) != 0 || len(p.conduits) != 0 {
 		t.Fatalf("pipeline not fully detached: %d handlers, %d pipelines",
-			len(p.handlers), len(p.pipelines))
+			len(p.handlers), len(p.conduits))
 	}
 }
 

@@ -60,18 +60,25 @@ type Pool struct {
 	pendingLines []uint64
 
 	handlers trace.MultiHandler
-	// pipelines tracks the trace.Pipelines created by asynchronous
-	// attaches (they also appear in handlers). The pool drains them at
-	// every point where handler state becomes observable: crash traps,
-	// crash images, event counts, detach and program end.
-	pipelines []*trace.Pipeline
+	// conduits tracks the asynchronous delivery conduits — single-consumer
+	// trace.Pipelines and fan-out trace.ShardedPipelines — created by
+	// asynchronous attaches (they also appear in handlers). The pool
+	// drains them at every point where handler state becomes observable:
+	// crash traps, crash images, event counts, detach and program end. For
+	// a sharded conduit the drain is a full-shard barrier, so
+	// drain-before-trap covers every shard.
+	conduits []trace.Conduit
 	// fastPipe enables the zero-copy emission path: when the only attached
 	// handler is a pipeline (the async-benchmark shape), hot-path emitters
 	// construct each event directly in the pipeline's staging slab instead
 	// of copying it through emitLocked and the handler fan-out. Nil
 	// whenever any other handler is attached or a crash trap is armed.
 	fastPipe *trace.Pipeline
-	seq      uint64
+	// fastShard is the sharded twin of fastPipe: the sole handler is a
+	// ShardedPipeline, and the strand-local hot paths stage events
+	// directly in the strand's shard slab.
+	fastShard *trace.ShardedPipeline
+	seq       uint64
 	// trapAfter, when non-zero, makes the pool panic with CrashTrap once
 	// seq reaches it — the injection point for systematic crash testing
 	// (package crashtest).
@@ -144,6 +151,16 @@ type AttachOptions struct {
 	// Useful when no spare core exists to overlap detection with the
 	// workload; reports are identical in both disciplines.
 	Lazy bool
+	// Shards, with Async, fans delivery out across per-strand detector
+	// shards: when the handler implements trace.Sharder and advertises at
+	// least 2 shard handlers, the pool builds a trace.ShardedPipeline (one
+	// consumer goroutine and one ring per shard, each ring with
+	// PipelineDepth slabs). Handlers that cannot shard — including a
+	// core.ShardedDetector whose configuration is not core.Shardable —
+	// fall back to a single-consumer pipeline, and the fallback is counted
+	// in Stats.ShardedFallbacks so it is never silent. Shards <= 1 means
+	// no fan-out.
+	Shards int
 }
 
 // Attach registers a handler to receive the pool's instruction stream and
@@ -170,12 +187,28 @@ func (p *Pool) AttachWith(h trace.Handler, opts AttachOptions) *trace.Pipeline {
 	target := h
 	var pipe *trace.Pipeline
 	if opts.Async {
-		pipe = trace.NewPipelineOpts(h, trace.PipelineOptions{
+		popts := trace.PipelineOptions{
 			Depth: opts.PipelineDepth,
 			Lazy:  opts.Lazy,
-		})
-		p.pipelines = append(p.pipelines, pipe)
-		target = pipe
+		}
+		var conduit trace.Conduit
+		if opts.Shards > 1 {
+			p.stats.ShardedAttaches++
+			if sh, ok := h.(trace.Sharder); ok {
+				if hs := sh.ShardHandlers(); len(hs) > 1 {
+					conduit = trace.NewShardedPipeline(h, hs, popts)
+				}
+			}
+			if conduit == nil {
+				p.stats.ShardedFallbacks++
+			}
+		}
+		if conduit == nil {
+			pipe = trace.NewPipelineOpts(h, popts)
+			conduit = pipe
+		}
+		p.conduits = append(p.conduits, conduit)
+		target = conduit
 	}
 	if opts.ReplayRegions {
 		p.replayRegionsLocked(target)
@@ -195,12 +228,15 @@ func (p *Pool) AttachWith(h trace.Handler, opts AttachOptions) *trace.Pipeline {
 // armed, so the generic path keeps handling fan-out and trap delivery.
 // Callers hold p.mu.
 func (p *Pool) refreshFastPathLocked() {
-	p.fastPipe = nil
+	p.fastPipe, p.fastShard = nil, nil
 	if p.trapAfter != 0 || len(p.handlers) != 1 {
 		return
 	}
-	if pipe, ok := p.handlers[0].(*trace.Pipeline); ok {
-		p.fastPipe = pipe
+	switch t := p.handlers[0].(type) {
+	case *trace.Pipeline:
+		p.fastPipe = t
+	case *trace.ShardedPipeline:
+		p.fastShard = t
 	}
 }
 
@@ -232,9 +268,9 @@ func (p *Pool) Detach(h trace.Handler) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	target := h
-	for _, pipe := range p.pipelines {
-		if pipe.Handler() == h {
-			target = pipe
+	for _, c := range p.conduits {
+		if c.Handler() == h {
+			target = c
 			break
 		}
 	}
@@ -245,11 +281,11 @@ func (p *Pool) Detach(h trace.Handler) {
 		}
 	}
 	p.refreshFastPathLocked()
-	if pipe, ok := target.(*trace.Pipeline); ok {
-		for i, cur := range p.pipelines {
-			if cur == pipe {
-				p.pipelines = append(p.pipelines[:i], p.pipelines[i+1:]...)
-				pipe.Close()
+	if conduit, ok := target.(trace.Conduit); ok {
+		for i, cur := range p.conduits {
+			if cur == conduit {
+				p.conduits = append(p.conduits[:i], p.conduits[i+1:]...)
+				conduit.Close()
 				return
 			}
 		}
@@ -303,12 +339,14 @@ func (p *Pool) emitLocked(ev trace.Event) {
 	}
 }
 
-// syncLocked drains every attached pipeline so asynchronous handlers have
-// consumed all events emitted so far. Callers hold p.mu; pipeline consumers
-// never re-enter the pool, so waiting under the lock cannot deadlock.
+// syncLocked drains every attached conduit so asynchronous handlers have
+// consumed all events emitted so far — for sharded conduits this is a
+// full-shard barrier, so crash traps and program end wait on every shard.
+// Callers hold p.mu; pipeline consumers never re-enter the pool, so
+// waiting under the lock cannot deadlock.
 func (p *Pool) syncLocked() {
-	for _, pipe := range p.pipelines {
-		pipe.Sync()
+	for _, c := range p.conduits {
+		c.Sync()
 	}
 }
 
@@ -376,6 +414,15 @@ func (p *Pool) storeTailLocked(addr, size uint64, strand, thread int32, site tra
 		}
 		return
 	}
+	if fs := p.fastShard; fs != nil {
+		// Zero-copy into the strand's shard slab: stores are strand-local.
+		p.seq++
+		*fs.StrandSlot(strand) = trace.Event{
+			Seq: p.seq, Kind: trace.KindStore, Addr: addr, Size: size,
+			Strand: strand, Thread: thread, Site: site,
+		}
+		return
+	}
 	p.emitLocked(trace.Event{
 		Kind: trace.KindStore, Addr: addr, Size: size,
 		Strand: strand, Thread: thread, Site: site,
@@ -412,6 +459,15 @@ func (p *Pool) flushLocked(addr, size uint64, kind trace.FlushKind, strand, thre
 		}
 		return
 	}
+	if fs := p.fastShard; fs != nil {
+		p.seq++
+		*fs.StrandSlot(strand) = trace.Event{
+			Seq: p.seq, Kind: trace.KindFlush, Flush: kind,
+			Addr: span.Addr, Size: span.Size,
+			Strand: strand, Thread: thread, Site: site,
+		}
+		return
+	}
 	p.emitLocked(trace.Event{
 		Kind: trace.KindFlush, Flush: kind,
 		Addr: span.Addr, Size: span.Size,
@@ -439,6 +495,13 @@ func (p *Pool) fenceLocked(strand, thread int32) {
 	if fp := p.fastPipe; fp != nil {
 		p.seq++
 		*fp.Slot() = trace.Event{
+			Seq: p.seq, Kind: trace.KindFence, Strand: strand, Thread: thread,
+		}
+		return
+	}
+	if fs := p.fastShard; fs != nil {
+		p.seq++
+		*fs.StrandSlot(strand) = trace.Event{
 			Seq: p.seq, Kind: trace.KindFence, Strand: strand, Thread: thread,
 		}
 		return

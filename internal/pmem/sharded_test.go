@@ -1,0 +1,224 @@
+package pmem
+
+import (
+	"testing"
+
+	"pmdebugger/internal/core"
+	"pmdebugger/internal/rules"
+	"pmdebugger/internal/trace"
+)
+
+// strandCfg is the shardable detector configuration used throughout these
+// tests.
+func strandCfg() core.Config { return core.Config{Model: rules.Strand} }
+
+// driveStrands runs n strand sections, each persisting one slot; every
+// third leaves its store unflushed so reports carry bugs to compare.
+func driveStrands(p *Pool, n int) {
+	c := p.Ctx()
+	base := p.Base()
+	for i := 0; i < n; i++ {
+		st := c.StrandBegin()
+		a := base + uint64(i%128)*LineSize
+		st.Store64(a, uint64(i))
+		if i%3 != 0 {
+			st.Persist(a, 8)
+		}
+		st.StrandEnd()
+	}
+}
+
+// TestShardedAttachReportEquality is the pool-level differential: a
+// ShardedDetector attached with AttachOptions.Shards — per-shard consumer
+// goroutines, zero-copy fastShard staging and all — must report exactly
+// what an inline engine reports for the same program, in both drain
+// disciplines.
+func TestShardedAttachReportEquality(t *testing.T) {
+	program := func(p *Pool) {
+		drive(p, 300) // the mixed stream: epochs, strands, registers
+		driveStrands(p, 100)
+		p.End()
+	}
+
+	pi := New(1 << 20)
+	inline := core.New(strandCfg())
+	pi.Attach(inline)
+	program(pi)
+	want := inline.Report().Summary()
+
+	for _, lazy := range []bool{false, true} {
+		p := New(1 << 20)
+		sd := core.NewSharded(strandCfg(), 4)
+		pipe := p.AttachWith(sd, AttachOptions{Async: true, Lazy: lazy, Shards: 4})
+		if pipe != nil {
+			t.Fatalf("lazy=%v: sharded attach returned a single pipeline", lazy)
+		}
+		if sd.Fallback() {
+			t.Fatalf("lazy=%v: unexpected fallback: %s", lazy, sd.FallbackReason())
+		}
+		if st := p.Stats(); st.ShardedAttaches != 1 || st.ShardedFallbacks != 0 {
+			t.Fatalf("lazy=%v: stats %+v, want 1 sharded attach, 0 fallbacks", lazy, st)
+		}
+		program(p)
+		if got := sd.Report().Summary(); got != want {
+			t.Fatalf("lazy=%v: sharded live report differs from inline\n--- inline ---\n%s--- sharded ---\n%s",
+				lazy, want, got)
+		}
+	}
+}
+
+// TestShardedAttachFallbackCounted checks both fallback shapes — a
+// non-shardable configuration and a handler that is no Sharder at all —
+// are counted in Stats.ShardedFallbacks and still deliver correctly.
+func TestShardedAttachFallbackCounted(t *testing.T) {
+	// A strict configuration: the ShardedDetector itself declines.
+	pi := New(1 << 20)
+	inline := core.New(core.Config{Model: rules.Strict})
+	pi.Attach(inline)
+	drive(pi, 200)
+	pi.End()
+
+	p := New(1 << 20)
+	sd := core.NewSharded(core.Config{Model: rules.Strict}, 4)
+	if !sd.Fallback() {
+		t.Fatal("strict config should fall back")
+	}
+	p.AttachWith(sd, AttachOptions{Async: true, Shards: 4})
+	if st := p.Stats(); st.ShardedAttaches != 1 || st.ShardedFallbacks != 1 {
+		t.Fatalf("stats %+v, want the fallback counted", st)
+	}
+	drive(p, 200)
+	p.End()
+	if got, want := sd.Report().Summary(), inline.Report().Summary(); got != want {
+		t.Fatalf("fallback report differs from inline\n--- inline ---\n%s--- fallback ---\n%s", want, got)
+	}
+
+	// A plain recorder is no trace.Sharder: same counter, plain pipeline.
+	p2 := New(1 << 20)
+	rec := trace.NewRecorder(64)
+	p2.AttachWith(rec, AttachOptions{Async: true, Shards: 4})
+	if st := p2.Stats(); st.ShardedAttaches != 1 || st.ShardedFallbacks != 1 {
+		t.Fatalf("non-sharder stats %+v, want the fallback counted", st)
+	}
+	drive(p2, 50)
+	p2.End()
+	if rec.Len() == 0 {
+		t.Fatal("fallback pipeline delivered nothing")
+	}
+}
+
+// recSharder is a test Sharder that records each shard's deliveries.
+type recSharder struct {
+	recs []*trace.Recorder
+}
+
+func newRecSharder(shards int) *recSharder {
+	s := &recSharder{recs: make([]*trace.Recorder, shards)}
+	for i := range s.recs {
+		s.recs[i] = trace.NewRecorder(0)
+	}
+	return s
+}
+
+func (s *recSharder) HandleEvent(ev trace.Event) { s.recs[0].HandleEvent(ev) }
+func (s *recSharder) ShardHandlers() []trace.Handler {
+	hs := make([]trace.Handler, len(s.recs))
+	for i, r := range s.recs {
+		hs[i] = r
+	}
+	return hs
+}
+
+// TestShardedCrashTrapDrainsAllShards arms a crash trap under a sharded
+// attach and checks the drain-before-trap barrier covers every shard: when
+// the CrashTrap panic unwinds, each shard recorder holds its complete
+// routed subsequence up to and including the trapped event.
+func TestShardedCrashTrapDrainsAllShards(t *testing.T) {
+	const shards = 3
+	for _, offset := range []uint64{2, 17, 100, 301} {
+		p := New(1 << 20)
+		s := newRecSharder(shards)
+		p.AttachWith(s, AttachOptions{Async: true, Shards: shards})
+		trap := p.EventCount() + offset
+		p.SetCrashTrap(trap)
+		func() {
+			defer func() {
+				ct, ok := recover().(CrashTrap)
+				if !ok || ct.Seq != trap {
+					t.Fatalf("trap %d: unexpected unwind value %v", trap, ct)
+				}
+				// Reconstruct expectations: the attach Register (seq 1) is
+				// broadcast to every shard; everything else in this program
+				// is strand-local and lands exactly once, on its strand's
+				// shard. No joins or End events fire before the trap.
+				total, maxSeq := 0, uint64(0)
+				for i, rec := range s.recs {
+					for j, ev := range rec.Events {
+						if ev.Seq > maxSeq {
+							maxSeq = ev.Seq
+						}
+						if j > 0 && ev.Seq <= rec.Events[j-1].Seq {
+							t.Fatalf("trap %d shard %d: out of order at %d", trap, i, j)
+						}
+						if ev.Kind != trace.KindRegister && int(uint32(ev.Strand)%shards) != i {
+							t.Fatalf("trap %d: shard %d got strand %d's event %v", trap, i, ev.Strand, ev)
+						}
+					}
+					total += rec.Len()
+				}
+				want := int(trap) - 1 + shards // trap events, Register counted shards times
+				if total != want {
+					t.Fatalf("trap %d: shards hold %d events at unwind, want %d", trap, total, want)
+				}
+				if maxSeq != trap {
+					t.Fatalf("trap %d: newest delivered event is %d", trap, maxSeq)
+				}
+			}()
+			driveStrands(p, 200)
+		}()
+	}
+}
+
+// TestShardedDetachClosesConduit checks Detach by the composite handler
+// resolves and closes the sharded conduit.
+func TestShardedDetachClosesConduit(t *testing.T) {
+	p := New(1 << 20)
+	sd := core.NewSharded(strandCfg(), 2)
+	p.AttachWith(sd, AttachOptions{Async: true, Shards: 2})
+	driveStrands(p, 50)
+	p.Detach(sd)
+	if len(p.handlers) != 0 || len(p.conduits) != 0 {
+		t.Fatalf("sharded conduit not fully detached: %d handlers, %d conduits",
+			len(p.handlers), len(p.conduits))
+	}
+	// Detach drained before closing: the detector saw the whole stream.
+	if c := sd.Counters(); c.Stores != 50 {
+		t.Fatalf("detector saw %d stores before detach, want 50", c.Stores)
+	}
+	// The pool keeps working with the conduit gone.
+	driveStrands(p, 10)
+}
+
+// TestShardedFastPathEngaged checks the zero-copy fastShard path is active
+// exactly when the sharded conduit is the sole handler and no trap is
+// armed.
+func TestShardedFastPathEngaged(t *testing.T) {
+	p := New(1 << 20)
+	sd := core.NewSharded(strandCfg(), 2)
+	p.AttachWith(sd, AttachOptions{Async: true, Shards: 2})
+	if p.fastShard == nil {
+		t.Fatal("fastShard not engaged for a sole sharded conduit")
+	}
+	p.SetCrashTrap(1 << 40)
+	if p.fastShard != nil {
+		t.Fatal("fastShard still engaged with a trap armed")
+	}
+	p.SetCrashTrap(0)
+	if p.fastShard == nil {
+		t.Fatal("fastShard not re-engaged after the trap cleared")
+	}
+	p.Attach(trace.NewRecorder(16))
+	if p.fastShard != nil {
+		t.Fatal("fastShard still engaged with a second handler attached")
+	}
+}

@@ -14,6 +14,15 @@ type Stats struct {
 	// LinesCommitted counts cache-line commits to the persistence domain
 	// (lines made durable by fences).
 	LinesCommitted uint64
+
+	// ShardedAttaches counts asynchronous attaches that requested sharded
+	// delivery (AttachOptions.Shards > 1); ShardedFallbacks counts how
+	// many of those fell back to a single-consumer pipeline because the
+	// handler could not shard (no trace.Sharder, or a configuration that
+	// is not core.Shardable). A benchmark row that believes it measured
+	// sharded delivery can check ShardedFallbacks == 0.
+	ShardedAttaches  uint64
+	ShardedFallbacks uint64
 }
 
 // Stats returns a snapshot of the pool's counters.

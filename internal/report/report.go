@@ -204,6 +204,13 @@ type Report struct {
 	Bugs     []Bug
 	Counters Counters
 
+	// Failures records detection-infrastructure failures — a shard
+	// consumer's detector panicking mid-stream, for example. They are not
+	// bugs in the program under test: a non-empty Failures means the bug
+	// list may be incomplete and the run should not be trusted as a clean
+	// pass.
+	Failures []string
+
 	seen map[bugKey]bool
 }
 
@@ -257,6 +264,11 @@ func (r *Report) AddLazy(b Bug, msg func() string) {
 	r.Bugs = append(r.Bugs, b)
 }
 
+// AddFailure records a detection-infrastructure failure (see Failures).
+func (r *Report) AddFailure(msg string) {
+	r.Failures = append(r.Failures, msg)
+}
+
 // Merge combines shard reports produced by a partitioned replay into one
 // deterministic report. Bugs are re-deduplicated in global stream order —
 // stream-phase bugs by the sequence number of the offending instruction,
@@ -274,6 +286,7 @@ func Merge(detector string, shards []*Report) *Report {
 		}
 		bugs = append(bugs, sh.Bugs...)
 		out.Counters.Merge(sh.Counters)
+		out.Failures = append(out.Failures, sh.Failures...)
 	}
 	sort.SliceStable(bugs, func(i, j int) bool {
 		bi, bj := bugs[i], bugs[j]
@@ -319,6 +332,12 @@ func (r *Report) Summary() string {
 	fmt.Fprintf(&sb, "=== %s report ===\n", r.Detector)
 	fmt.Fprintf(&sb, "instructions: %d stores, %d writebacks, %d fences\n",
 		r.Counters.Stores, r.Counters.Flushes, r.Counters.Fences)
+	if len(r.Failures) > 0 {
+		fmt.Fprintf(&sb, "%d detection failure(s) — the bug list may be incomplete:\n", len(r.Failures))
+		for _, f := range r.Failures {
+			fmt.Fprintf(&sb, "  ! %s\n", f)
+		}
+	}
 	if len(r.Bugs) == 0 {
 		sb.WriteString("no bugs detected\n")
 		return sb.String()

@@ -1,5 +1,10 @@
 package trace
 
+import (
+	"fmt"
+	"sync/atomic"
+)
+
 // Pipeline is a bounded, double-buffered batch conduit between an event
 // producer and a Handler: the producer's HandleEvent appends the 40-byte
 // event into the current staging slab — a memcpy, nothing more — and full
@@ -64,6 +69,13 @@ type Pipeline struct {
 	kick chan struct{}
 
 	closed bool
+
+	// fail records a handler panic caught on the consumer goroutine. Once
+	// set, the consumer stops delivering (the handler's internal state is
+	// unknown) but keeps recycling slabs and closing sync markers, so the
+	// producer, Sync and Close never block on a dead consumer. Written by
+	// the consumer, read by anyone via Err.
+	fail atomic.Pointer[string]
 }
 
 // slabMsg is one ring entry: a filled slab, a sync marker, or both.
@@ -144,6 +156,9 @@ func (p *Pipeline) Handler() Handler { return p.h }
 // the zero-copy producer path: the event is constructed directly in the
 // slab, never copied through a call chain.
 func (p *Pipeline) Slot() *Event {
+	if p.closed {
+		panic("trace: Pipeline used after Close")
+	}
 	if p.n == len(p.cur) {
 		p.handoff()
 	}
@@ -160,6 +175,9 @@ func (p *Pipeline) HandleEvent(ev Event) {
 
 // HandleBatch implements BatchHandler by staging the whole slice.
 func (p *Pipeline) HandleBatch(evs []Event) {
+	if p.closed {
+		panic("trace: Pipeline used after Close")
+	}
 	for len(evs) > 0 {
 		if p.n == len(p.cur) {
 			p.handoff()
@@ -205,27 +223,62 @@ func (p *Pipeline) wake() {
 
 // Sync blocks until every event passed to HandleEvent/HandleBatch before
 // the call has been delivered to the handler. Events keep their original
-// order across the barrier.
+// order across the barrier. After Close, Sync returns immediately: the
+// close already drained everything.
 func (p *Pipeline) Sync() {
-	p.handoff()
+	<-p.syncBegin()
+}
+
+// syncBegin posts the sync marker and returns the channel the consumer
+// closes once every prior event has been delivered, without waiting. A
+// fan-out owner uses it to post barriers to all its shard pipelines before
+// waiting on any, so lazy shards drain concurrently instead of one by one.
+// At most one marker may be in flight per pipeline (the producer side is
+// externally serialized, so posting the next after receiving the previous
+// preserves this).
+func (p *Pipeline) syncBegin() <-chan struct{} {
 	c := make(chan struct{})
+	if p.closed {
+		close(c)
+		return c
+	}
+	p.handoff()
 	p.full <- slabMsg{sync: c}
 	p.wake()
-	<-c
+	return c
 }
 
 // Close drains the pipeline and stops the consumer goroutine, returning
-// once the handler has seen every staged event. The pipeline must not be
-// used after Close.
+// once the handler has seen every staged event. Close is idempotent; after
+// it returns, Sync is a no-op and HandleEvent/HandleBatch/Slot panic.
 func (p *Pipeline) Close() {
-	if p.closed {
-		return
+	<-p.closeBegin()
+}
+
+// closeBegin initiates the close and returns the channel that closes when
+// the consumer has drained; the fan-out owner closes all shard pipelines
+// concurrently through it. Idempotent: a second call just returns the done
+// channel.
+func (p *Pipeline) closeBegin() <-chan struct{} {
+	if !p.closed {
+		p.closed = true
+		p.handoff()
+		close(p.full)
+		p.wake()
 	}
-	p.closed = true
-	p.handoff()
-	close(p.full)
-	p.wake()
-	<-p.done
+	return p.done
+}
+
+// Err returns the panic a handler raised on the consumer goroutine, or nil.
+// Deliveries after a handler panic are dropped (the handler's state is
+// unknown); the producer side keeps working so the owning program can reach
+// its own error handling instead of deadlocking. Call after a barrier
+// (Sync/Close) for a definitive answer.
+func (p *Pipeline) Err() error {
+	if msg := p.fail.Load(); msg != nil {
+		return fmt.Errorf("trace: pipeline handler panicked: %s", *msg)
+	}
+	return nil
 }
 
 // consume is the single consumer: it drains slabs in FIFO order, drives the
@@ -238,17 +291,33 @@ func (p *Pipeline) consume() {
 			return
 		}
 		if msg.evs != nil {
-			if p.bh != nil {
-				p.bh.HandleBatch(msg.evs)
-			} else {
-				for _, ev := range msg.evs {
-					p.h.HandleEvent(ev)
-				}
-			}
+			p.deliver(msg.evs)
 			p.free <- msg.evs[:cap(msg.evs)] // restore full length for reuse
 		}
 		if msg.sync != nil {
 			close(msg.sync)
+		}
+	}
+}
+
+// deliver runs the handler on one slab, catching handler panics so a buggy
+// detector cannot wedge the ring: the slab is still recycled and sync
+// markers still close, only delivery stops.
+func (p *Pipeline) deliver(evs []Event) {
+	if p.fail.Load() != nil {
+		return // poisoned: drop, keep the ring moving
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			msg := fmt.Sprintf("%v", r)
+			p.fail.Store(&msg)
+		}
+	}()
+	if p.bh != nil {
+		p.bh.HandleBatch(evs)
+	} else {
+		for _, ev := range evs {
+			p.h.HandleEvent(ev)
 		}
 	}
 }

@@ -1,0 +1,228 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file fans the live detection pipeline out across shards: a
+// ShardedPipeline routes the producer's event stream to one Pipeline (and
+// one consumer goroutine) per shard using the exact strand-locality rules
+// of PartitionByStrand / core.ReplayParallel, so an N-thread workload gets
+// N cores of detection instead of one. Each shard handler observes the
+// same per-shard subsequence a partitioned replay of the recorded stream
+// would hand it, which is what makes sharded live reports byte-identical
+// to inline delivery (see core.ShardedDetector for the merge).
+
+// Conduit is the asynchronous delivery surface an event producer tracks
+// for its drain points: both the single-consumer Pipeline and the fan-out
+// ShardedPipeline satisfy it. Sync is the delivery barrier (every event
+// staged before the call has reached the handler when it returns); Close
+// drains and stops the consumer goroutines.
+type Conduit interface {
+	BatchHandler
+	Handler() Handler
+	Sync()
+	Close()
+	Err() error
+}
+
+var (
+	_ Conduit = (*Pipeline)(nil)
+	_ Conduit = (*ShardedPipeline)(nil)
+)
+
+// Sharder is implemented by handlers that can split themselves into
+// independent per-shard consumers for strand-partitioned live delivery.
+// ShardHandlers returns one handler per shard; a nil (or single-element)
+// slice means the handler cannot shard — the attaching pool then falls
+// back to a single-consumer pipeline around the Sharder itself.
+type Sharder interface {
+	Handler
+	ShardHandlers() []Handler
+}
+
+// ShardedPipelineStats counts the routing decisions a ShardedPipeline made
+// that differ from plain FIFO forwarding, so tests (and curious operators)
+// can see the partitioning at work.
+type ShardedPipelineStats struct {
+	// Broadcasts counts events replicated into every shard
+	// (Register/Unregister — idempotent per shard).
+	Broadcasts uint64
+	// Barriers counts global events (epoch boundaries, transaction log
+	// adds) that were sequenced with a full-shard drain barrier before
+	// being broadcast.
+	Barriers uint64
+	// DroppedJoins counts KindJoinStrand events dropped (inert without
+	// cross-strand order specs, exactly as in partitioned replay).
+	DroppedJoins uint64
+	// DroppedEnds counts KindEnd events dropped (shard detectors finalize
+	// at Report time instead).
+	DroppedEnds uint64
+}
+
+// ShardedPipeline is the fan-out stage of the live detection pipeline: it
+// routes events to per-shard Pipelines by the partitioning rules of
+// PartitionByStrand. The producer side (HandleEvent, HandleBatch,
+// StrandSlot, Sync, Close) must be externally serialized, exactly like a
+// single Pipeline's — the emitting pool's mutex provides this.
+//
+// Routing, per event kind:
+//
+//   - Strand-local kinds (Store/Flush/Fence/StrandBegin/StrandEnd) go to
+//     shard uint32(strand) % shards, the same mapping replay uses.
+//   - Register/Unregister broadcast into every shard (idempotent region
+//     bookkeeping).
+//   - JoinStrand and End are dropped (joins are inert without order specs;
+//     finalization happens at Report time), mirroring partitioned replay.
+//   - Everything else (epoch boundaries, TxLogAdd) is global: the pipeline
+//     drains every shard to a barrier, then broadcasts the event, so each
+//     shard observes it at the same stream position a sequential consumer
+//     would. Configurations where these events influence reports are not
+//     shardable in the first place (core.Shardable); the barrier keeps the
+//     delivery order principled rather than load-bearing.
+type ShardedPipeline struct {
+	owner  Handler // the attached Sharder, for Detach-by-handler
+	pipes  []*Pipeline
+	stats  ShardedPipelineStats
+	waits  []<-chan struct{} // scratch for parallel barriers
+	closed bool
+}
+
+// NewShardedPipeline starts one Pipeline per shard handler, all with the
+// same options. owner identifies the composite handler the shards came
+// from (a Sharder); Handler returns it. len(shards) must be at least 2 —
+// a single shard is just a Pipeline.
+func NewShardedPipeline(owner Handler, shards []Handler, opts PipelineOptions) *ShardedPipeline {
+	if len(shards) < 2 {
+		panic("trace: NewShardedPipeline needs at least 2 shard handlers")
+	}
+	sp := &ShardedPipeline{
+		owner: owner,
+		pipes: make([]*Pipeline, len(shards)),
+		waits: make([]<-chan struct{}, len(shards)),
+	}
+	for i, h := range shards {
+		sp.pipes[i] = NewPipelineOpts(h, opts)
+	}
+	return sp
+}
+
+// Handler returns the composite handler the shards were derived from, so
+// an owner holding only the sharded pipeline can identify (and detach by)
+// the wrapped consumer.
+func (sp *ShardedPipeline) Handler() Handler { return sp.owner }
+
+// Shards returns the number of shards.
+func (sp *ShardedPipeline) Shards() int { return len(sp.pipes) }
+
+// Stats returns a snapshot of the routing counters.
+func (sp *ShardedPipeline) Stats() ShardedPipelineStats { return sp.stats }
+
+func (sp *ShardedPipeline) shardOf(strand int32) int {
+	return int(uint32(strand) % uint32(len(sp.pipes)))
+}
+
+// StrandSlot is the zero-copy producer path: it hands out an in-place slot
+// in the staging slab of the strand's shard. The caller must fill every
+// field and must only use it for strand-local event kinds — the routing
+// for broadcast and global kinds goes through HandleEvent.
+func (sp *ShardedPipeline) StrandSlot(strand int32) *Event {
+	return sp.pipes[sp.shardOf(strand)].Slot()
+}
+
+// HandleEvent routes one event.
+func (sp *ShardedPipeline) HandleEvent(ev Event) {
+	switch classify(ev.Kind) {
+	case classStrandLocal:
+		sp.pipes[sp.shardOf(ev.Strand)].HandleEvent(ev)
+	case classBroadcast:
+		sp.stats.Broadcasts++
+		for _, p := range sp.pipes {
+			p.HandleEvent(ev)
+		}
+	case classJoin:
+		sp.stats.DroppedJoins++
+	case classTerminal:
+		sp.stats.DroppedEnds++
+	default: // classGlobal
+		sp.stats.Barriers++
+		sp.syncAll()
+		for _, p := range sp.pipes {
+			p.HandleEvent(ev)
+		}
+	}
+}
+
+// HandleBatch routes a slice of events, forwarding runs of consecutive
+// same-strand events to their shard in one call (the same run detection as
+// core's parallel dispatchers — strand sections arrive as runs, so the
+// per-event routing cost amortizes away).
+func (sp *ShardedPipeline) HandleBatch(evs []Event) {
+	for i := 0; i < len(evs); {
+		ev := evs[i]
+		if classify(ev.Kind) == classStrandLocal {
+			j := i + 1
+			for j < len(evs) && classify(evs[j].Kind) == classStrandLocal && evs[j].Strand == ev.Strand {
+				j++
+			}
+			sp.pipes[sp.shardOf(ev.Strand)].HandleBatch(evs[i:j])
+			i = j
+			continue
+		}
+		sp.HandleEvent(ev)
+		i++
+	}
+}
+
+// Sync drains every shard: when it returns, each shard handler has
+// consumed its full subsequence of the events staged before the call. The
+// markers post to all shards before waiting on any, so lazy shards drain
+// concurrently. After Close, Sync returns immediately.
+func (sp *ShardedPipeline) Sync() {
+	if sp.closed {
+		return
+	}
+	sp.syncAll()
+}
+
+func (sp *ShardedPipeline) syncAll() {
+	for i, p := range sp.pipes {
+		sp.waits[i] = p.syncBegin()
+	}
+	for _, c := range sp.waits {
+		<-c
+	}
+}
+
+// Close drains and stops every shard's consumer goroutine, concurrently.
+// Idempotent; the pipeline must not be used after Close.
+func (sp *ShardedPipeline) Close() {
+	if sp.closed {
+		return
+	}
+	sp.closed = true
+	for i, p := range sp.pipes {
+		sp.waits[i] = p.closeBegin()
+	}
+	for _, c := range sp.waits {
+		<-c
+	}
+}
+
+// Err aggregates the shard pipelines' handler-panic errors, nil when every
+// shard is healthy. Call after a barrier for a definitive answer.
+func (sp *ShardedPipeline) Err() error {
+	var msgs []string
+	for i, p := range sp.pipes {
+		if err := p.Err(); err != nil {
+			msgs = append(msgs, fmt.Sprintf("shard %d: %v", i, err))
+		}
+	}
+	if len(msgs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("trace: %s", strings.Join(msgs, "; "))
+}
+
+var _ BatchHandler = (*ShardedPipeline)(nil)

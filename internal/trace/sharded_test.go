@@ -1,0 +1,207 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// mkStrandStream builds a deterministic mixed stream over nStrands strands:
+// per-strand store/flush/fence runs with strand begin/end markers, plus
+// region registrations, a join, and a terminal End — everything the
+// sharded router must classify.
+func mkStrandStream(nStrands, perStrand int) []Event {
+	var evs []Event
+	seq := uint64(0)
+	next := func() uint64 { seq++; return seq }
+	evs = append(evs, Event{Seq: next(), Kind: KindRegister, Addr: 0x1000, Size: 1 << 16})
+	for r := 0; r < perStrand; r++ {
+		for s := 0; s < nStrands; s++ {
+			strand := int32(s)
+			addr := 0x1000 + uint64(s)*0x100 + uint64(r)*8
+			if r == 0 {
+				evs = append(evs, Event{Seq: next(), Kind: KindStrandBegin, Strand: strand})
+			}
+			evs = append(evs, Event{Seq: next(), Kind: KindStore, Addr: addr, Size: 8, Strand: strand})
+			evs = append(evs, Event{Seq: next(), Kind: KindFlush, Addr: addr &^ 63, Size: 64, Strand: strand})
+			evs = append(evs, Event{Seq: next(), Kind: KindFence, Strand: strand})
+			if r == perStrand-1 {
+				evs = append(evs, Event{Seq: next(), Kind: KindStrandEnd, Strand: strand})
+			}
+		}
+	}
+	evs = append(evs, Event{Seq: next(), Kind: KindJoinStrand, Strand: 1})
+	evs = append(evs, Event{Seq: next(), Kind: KindEnd})
+	return evs
+}
+
+func newShardedCollectors(shards int, opts PipelineOptions) (*ShardedPipeline, []*collectHandler) {
+	hs := make([]*collectHandler, shards)
+	handlers := make([]Handler, shards)
+	for i := range hs {
+		hs[i] = &collectHandler{}
+		handlers[i] = hs[i]
+	}
+	owner := MultiHandler(handlers)
+	return NewShardedPipeline(owner, handlers, opts), hs
+}
+
+// TestShardedPipelineMatchesPartition drives a mixed stream event-by-event
+// through a ShardedPipeline and requires every shard handler to observe
+// exactly the subsequence PartitionByStrand would hand a partitioned replay
+// of the same stream — the invariant sharded live reports rest on.
+func TestShardedPipelineMatchesPartition(t *testing.T) {
+	const shards = 3
+	evs := mkStrandStream(7, 5) // 7 strands folded onto 3 shards
+	parts, err := PartitionByStrand(evs, PartitionOptions{Shards: shards, DropJoins: true})
+	if err != nil {
+		t.Fatalf("PartitionByStrand: %v", err)
+	}
+	want := make(map[int][]Event, len(parts))
+	for _, p := range parts {
+		want[p.Shard] = p.Events
+	}
+
+	for _, batched := range []bool{false, true} {
+		sp, hs := newShardedCollectors(shards, PipelineOptions{})
+		if batched {
+			sp.HandleBatch(evs)
+		} else {
+			for _, ev := range evs {
+				sp.HandleEvent(ev)
+			}
+		}
+		sp.Close()
+		for i, h := range hs {
+			w := want[i]
+			if len(h.events) != len(w) {
+				t.Fatalf("batched=%v shard %d: got %d events, partition has %d",
+					batched, i, len(h.events), len(w))
+			}
+			for j := range w {
+				if h.events[j] != w[j] {
+					t.Fatalf("batched=%v shard %d event %d: got %v, partition has %v",
+						batched, i, j, h.events[j], w[j])
+				}
+			}
+		}
+		st := sp.Stats()
+		if st.Broadcasts != 1 || st.DroppedJoins != 1 || st.DroppedEnds != 1 {
+			t.Fatalf("batched=%v stats = %+v, want 1 broadcast, 1 dropped join, 1 dropped end",
+				batched, st)
+		}
+	}
+}
+
+// TestShardedPipelineGlobalBarrier checks global events (epoch boundaries)
+// are sequenced with a full drain barrier and then broadcast, so every
+// shard observes them at the same stream position a sequential consumer
+// would.
+func TestShardedPipelineGlobalBarrier(t *testing.T) {
+	sp, hs := newShardedCollectors(2, PipelineOptions{})
+	sp.HandleEvent(Event{Seq: 1, Kind: KindStore, Addr: 0x1000, Size: 8, Strand: 0})
+	sp.HandleEvent(Event{Seq: 2, Kind: KindStore, Addr: 0x2000, Size: 8, Strand: 1})
+	sp.HandleEvent(Event{Seq: 3, Kind: KindEpochBegin})
+	// The barrier has already drained both shards by the time HandleEvent
+	// returns — each shard must hold its store before the epoch marker.
+	for i, h := range hs {
+		if len(h.events) < 1 {
+			t.Fatalf("shard %d not drained at the barrier", i)
+		}
+	}
+	sp.HandleEvent(Event{Seq: 4, Kind: KindEpochEnd})
+	sp.Close()
+	for i, h := range hs {
+		if len(h.events) != 3 {
+			t.Fatalf("shard %d: got %d events, want store + epoch pair", i, len(h.events))
+		}
+		if h.events[0].Kind != KindStore || h.events[1].Kind != KindEpochBegin || h.events[2].Kind != KindEpochEnd {
+			t.Fatalf("shard %d: wrong order: %v", i, h.events)
+		}
+	}
+	if st := sp.Stats(); st.Barriers != 2 {
+		t.Fatalf("Barriers = %d, want 2", st.Barriers)
+	}
+}
+
+// TestShardedPipelineStrandSlot exercises the zero-copy producer path.
+func TestShardedPipelineStrandSlot(t *testing.T) {
+	const shards = 4
+	sp, hs := newShardedCollectors(shards, PipelineOptions{})
+	const n = 1000
+	for i := 0; i < n; i++ {
+		strand := int32(i % 5)
+		*sp.StrandSlot(strand) = Event{
+			Seq: uint64(i + 1), Kind: KindStore, Addr: 0x1000 + uint64(i)*8, Size: 8, Strand: strand,
+		}
+	}
+	sp.Sync()
+	total := 0
+	for i, h := range hs {
+		for _, ev := range h.events {
+			if got := int(uint32(ev.Strand) % shards); got != i {
+				t.Fatalf("shard %d received event for strand %d (shard %d)", i, ev.Strand, got)
+			}
+		}
+		// Per-shard order must be the original subsequence order.
+		for j := 1; j < len(h.events); j++ {
+			if h.events[j].Seq <= h.events[j-1].Seq {
+				t.Fatalf("shard %d out of order at %d: %v after %v", i, j, h.events[j], h.events[j-1])
+			}
+		}
+		total += len(h.events)
+	}
+	if total != n {
+		t.Fatalf("shards delivered %d events, want %d", total, n)
+	}
+	sp.Close()
+}
+
+// TestShardedPipelineLifecycle: Close is idempotent, Sync after Close
+// returns, Handler() identifies the owner, and tiny shard counts panic.
+func TestShardedPipelineLifecycle(t *testing.T) {
+	sp, _ := newShardedCollectors(2, PipelineOptions{Lazy: true})
+	if sp.Shards() != 2 {
+		t.Fatalf("Shards() = %d", sp.Shards())
+	}
+	if sp.Handler() == nil {
+		t.Fatal("Handler() = nil, want the owner")
+	}
+	sp.HandleBatch(mkEvents(100))
+	sp.Close()
+	sp.Close() // idempotent
+	sp.Sync()  // defined after Close
+	if err := sp.Err(); err != nil {
+		t.Fatalf("Err() = %v on a healthy run", err)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewShardedPipeline with 1 shard did not panic")
+		}
+	}()
+	NewShardedPipeline(nil, []Handler{&collectHandler{}}, PipelineOptions{})
+}
+
+// TestShardedPipelineShardPanic: one shard's handler panicking must not
+// wedge barriers across the other shards, and Err must name the shard.
+func TestShardedPipelineShardPanic(t *testing.T) {
+	bad := &panicAfterHandler{limit: 10}
+	good := &collectHandler{}
+	sp := NewShardedPipeline(nil, []Handler{good, bad}, PipelineOptions{Depth: 2})
+	for i := 0; i < 4*DefaultBatchSize; i++ {
+		strand := int32(i % 2)
+		*sp.StrandSlot(strand) = Event{
+			Seq: uint64(i + 1), Kind: KindStore, Addr: 0x1000, Size: 8, Strand: strand,
+		}
+	}
+	sp.Sync() // must not hang on the poisoned shard
+	err := sp.Err()
+	if err == nil || !strings.Contains(err.Error(), "shard 1") ||
+		!strings.Contains(err.Error(), "detector exploded") {
+		t.Fatalf("Err() = %v, want shard 1's recovered panic", err)
+	}
+	if len(good.events) != 2*DefaultBatchSize {
+		t.Fatalf("healthy shard got %d events, want %d", len(good.events), 2*DefaultBatchSize)
+	}
+	sp.Close()
+}
