@@ -16,10 +16,20 @@ type crashOpts struct {
 	json       bool
 	out        string
 	minSpeedup float64
-	ops        int
-	stride     int
-	workers    int
-	workloads  []string
+	// minCowScale, when > 0, fails the experiment unless the geomean
+	// speedup of copy-on-write over deep-copy image materialization at the
+	// largest sweep size reaches the bound (the crash_image_scaling gate;
+	// CI runs it as a soft gate).
+	minCowScale float64
+	ops         int
+	stride      int
+	workers     int
+	// sweepSizesMiB are the pool sizes of the crash-image scaling sweep;
+	// sweepPoints caps crash points per sweep cell so the op count, not the
+	// point count, stays fixed across sizes.
+	sweepSizesMiB []int
+	sweepPoints   int
+	workloads     []string
 }
 
 // crashArtifact is the BENCH_crash.json schema: per-engine wall-clock and
@@ -39,6 +49,25 @@ type crashArtifact struct {
 	ReducedSpeedups        map[string]float64    `json:"reduced_speedups"`
 	GeomeanParallelSpeedup float64               `json:"geomean_parallel_speedup"`
 	GeomeanReducedSpeedup  float64               `json:"geomean_reduced_speedup"`
+	Scaling                *crashScaling         `json:"crash_image_scaling,omitempty"`
+}
+
+// crashScaling is the pool-size sweep section of the artifact: COW vs
+// deep-copy image materialization at growing pool sizes with the op count
+// fixed, plus the per-size and largest-size speedup summaries the
+// crash_image_scaling CI gate reads.
+type crashScaling struct {
+	SizesMiB  []int                       `json:"sizes_mib"`
+	MaxPoints int                         `json:"max_points"`
+	Results   []harness.CrashScalingPoint `json:"results"`
+	// CowSpeedups maps "workload/<size>MiB" to deep-copy time over COW time.
+	CowSpeedups map[string]float64 `json:"cow_speedups"`
+	// GeomeanCowSpeedupLargest aggregates the largest-size speedups across
+	// workloads — the number -mincowscale bounds.
+	GeomeanCowSpeedupLargest float64 `json:"geomean_cow_speedup_largest"`
+	// CowFlatness maps workload to COW points/sec at the largest size over
+	// points/sec at the smallest: 1.0 is perfectly flat scaling.
+	CowFlatness map[string]float64 `json:"cow_flatness"`
 }
 
 // crashExp measures crash-space exploration three ways per workload —
@@ -70,13 +99,14 @@ func crashExp(opts crashOpts) error {
 		if err != nil {
 			return err
 		}
-		serial, parallel, reduced := rs[0], rs[1], rs[2]
+		serial, parallel, reduced, deepcopy := rs[0], rs[1], rs[2], rs[3]
 		if reduced.ImagesChecked >= serial.ImagesChecked {
 			return fmt.Errorf("crash %s: reducers checked %d images, not below the exhaustive %d",
 				workload, reduced.ImagesChecked, serial.ImagesChecked)
 		}
 		parSpeed := float64(serial.Nanos) / float64(parallel.Nanos)
 		redSpeed := float64(serial.Nanos) / float64(reduced.Nanos)
+		deepSpeed := float64(serial.Nanos) / float64(deepcopy.Nanos)
 		art.Results = append(art.Results, rs...)
 		art.ParallelSpeedups[workload] = parSpeed
 		art.ReducedSpeedups[workload] = redSpeed
@@ -89,6 +119,8 @@ func crashExp(opts crashOpts) error {
 				mark = fmt.Sprintf("%9.2fx", parSpeed)
 			case "parallel+reducers":
 				mark = fmt.Sprintf("%9.2fx", redSpeed)
+			case "deepcopy+reducers":
+				mark = fmt.Sprintf("%9.2fx", deepSpeed)
 			}
 			fmt.Printf("%-12s %-18s %8d %8d %8d %8d %8d %12s %10s\n",
 				r.Workload, r.Engine, r.Events, r.Points, r.ImagesChecked,
@@ -99,6 +131,18 @@ func crashExp(opts crashOpts) error {
 	art.GeomeanReducedSpeedup = math.Exp(logRed / float64(len(opts.workloads)))
 	fmt.Printf("geomean speedup over exhaustive: parallel %.2fx, +reducers %.2fx (cpus: %d, workers: %d)\n",
 		art.GeomeanParallelSpeedup, art.GeomeanReducedSpeedup, art.CPUs, art.Workers)
+
+	// Pool-size sweep: COW vs deep-copy image materialization, op count and
+	// crash-point cap fixed, only the pool size growing. COW images cost
+	// O(dirty pages), so their points/sec should be near-flat; the deep-copy
+	// baseline pays O(pool) per image and falls off.
+	if len(opts.sweepSizesMiB) > 0 {
+		sc, err := crashScalingSweep(opts)
+		if err != nil {
+			return err
+		}
+		art.Scaling = sc
+	}
 
 	if opts.json {
 		out := opts.out
@@ -118,5 +162,68 @@ func crashExp(opts crashOpts) error {
 		return fmt.Errorf("crash: geomean parallel speedup %.2fx below required %.2fx",
 			art.GeomeanParallelSpeedup, opts.minSpeedup)
 	}
+	if opts.minCowScale > 0 && art.Scaling != nil {
+		largest := opts.sweepSizesMiB[len(opts.sweepSizesMiB)-1]
+		if art.Scaling.GeomeanCowSpeedupLargest < opts.minCowScale {
+			return fmt.Errorf("crash: geomean cow speedup %.2fx at %dMiB below required %.2fx",
+				art.Scaling.GeomeanCowSpeedupLargest, largest, opts.minCowScale)
+		}
+	}
 	return nil
+}
+
+// crashScalingSweep runs and prints the pool-size sweep, returning the
+// artifact section the crash_image_scaling gate reads.
+func crashScalingSweep(opts crashOpts) (*crashScaling, error) {
+	fmt.Println("\n--- Crash-image scaling: copy-on-write vs deep-copy across pool sizes ---")
+	fmt.Printf("%-12s %8s %-10s %8s %12s %12s %14s %10s\n",
+		"workload", "pool", "engine", "images", "time", "points/s", "pages z/s/p", "cow-gain")
+	sc := &crashScaling{
+		SizesMiB:    opts.sweepSizesMiB,
+		MaxPoints:   opts.sweepPoints,
+		CowSpeedups: map[string]float64{},
+		CowFlatness: map[string]float64{},
+	}
+	logLargest := 0.0
+	for _, workload := range opts.workloads {
+		pts, err := harness.MeasureCrashScaling(workload, opts.ops, opts.stride,
+			opts.workers, opts.sweepPoints, opts.sweepSizesMiB)
+		if err != nil {
+			return nil, err
+		}
+		sc.Results = append(sc.Results, pts...)
+		// Rows come in (cow, deepcopy) pairs per size.
+		var firstCow, lastCow harness.CrashScalingPoint
+		for i := 0; i+1 < len(pts); i += 2 {
+			cow, deep := pts[i], pts[i+1]
+			speed := float64(deep.Nanos) / float64(cow.Nanos)
+			sc.CowSpeedups[fmt.Sprintf("%s/%dMiB", workload, cow.PoolMiB)] = speed
+			if i == 0 {
+				firstCow = cow
+			}
+			lastCow = cow
+			if i == len(pts)-2 {
+				logLargest += math.Log(speed)
+			}
+			for _, r := range []harness.CrashScalingPoint{cow, deep} {
+				mark := ""
+				if r.Engine == "cow" {
+					mark = fmt.Sprintf("%9.2fx", speed)
+				}
+				fmt.Printf("%-12s %5dMiB %-10s %8d %12s %12.1f %14s %10s\n",
+					r.Workload, r.PoolMiB, r.Engine, r.Images,
+					time.Duration(r.Nanos).Round(time.Microsecond), r.PointsPerSec,
+					fmt.Sprintf("%d/%d/%d", r.ZeroPages, r.SharedPages, r.PrivatePages), mark)
+			}
+		}
+		sc.CowFlatness[workload] = lastCow.PointsPerSec / firstCow.PointsPerSec
+	}
+	sc.GeomeanCowSpeedupLargest = math.Exp(logLargest / float64(len(opts.workloads)))
+	largest := opts.sweepSizesMiB[len(opts.sweepSizesMiB)-1]
+	fmt.Printf("geomean cow speedup over deep-copy at %dMiB: %.2fx\n", largest, sc.GeomeanCowSpeedupLargest)
+	for _, workload := range opts.workloads {
+		fmt.Printf("  %s cow flatness (%d->%dMiB points/sec ratio): %.2f\n",
+			workload, opts.sweepSizesMiB[0], largest, sc.CowFlatness[workload])
+	}
+	return sc, nil
 }

@@ -89,6 +89,7 @@ func main() {
 		crashOps   = flag.Int("crashops", 20, "crash: operations per crashed program")
 		crashStr   = flag.Int("crashstride", 3, "crash: event-boundary stride")
 		crashWrk   = flag.Int("crashworkers", 4, "crash: checker workers for the record-once engine")
+		minCow     = flag.Float64("mincowscale", 0, "crash: fail unless the geomean cow-over-deepcopy speedup at the largest sweep size >= this")
 	)
 	flag.Parse()
 	harness.Repeats = *repeats
@@ -96,7 +97,8 @@ func main() {
 	pl := pipelineOpts{json: *jsonOut, out: *outPath, minSpeedup: *minSpeed,
 		minShardScale: *minShard, threads: *threads}
 	cr := crashOpts{json: *jsonOut, out: *outPath, minSpeedup: *minSpeed,
-		ops: *crashOps, stride: *crashStr, workers: *crashWrk,
+		minCowScale: *minCow, ops: *crashOps, stride: *crashStr, workers: *crashWrk,
+		sweepSizesMiB: []int{16, 64, 256}, sweepPoints: 16,
 		workloads: []string{"b_tree", "txpair", "redis"}}
 	if err := run(*experiment, *inserts, *memOps, *redisKeys, hp, pl, cr); err != nil {
 		fmt.Fprintln(os.Stderr, "pmbench:", err)

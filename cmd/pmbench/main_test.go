@@ -24,7 +24,8 @@ func TestRunExperiments(t *testing.T) {
 func TestCrashArtifact(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH_crash.json")
 	cr := crashOpts{json: true, out: out, ops: 4, stride: 5, workers: 2,
-		workloads: []string{"b_tree", "txpair"}}
+		workloads: []string{"b_tree", "txpair"},
+		sweepSizesMiB: []int{1, 2}, sweepPoints: 3}
 	if err := run("crash", 0, 0, 0, hotpathOpts{}, pipelineOpts{}, cr); err != nil {
 		t.Fatalf("crash: %v", err)
 	}
@@ -36,7 +37,7 @@ func TestCrashArtifact(t *testing.T) {
 	if err := json.Unmarshal(data, &art); err != nil {
 		t.Fatalf("artifact is not valid JSON: %v", err)
 	}
-	if len(art.Results) != 3*len(art.ParallelSpeedups) ||
+	if len(art.Results) != 4*len(art.ParallelSpeedups) ||
 		art.GeomeanParallelSpeedup <= 0 || art.GeomeanReducedSpeedup <= 0 {
 		t.Fatalf("artifact incomplete: %+v", art)
 	}
@@ -44,6 +45,17 @@ func TestCrashArtifact(t *testing.T) {
 		if r.Engine == "parallel+reducers" && r.PrunedPoints == 0 && r.DedupImages == 0 {
 			t.Fatalf("%s reducers engine reduced nothing: %+v", r.Workload, r)
 		}
+	}
+	// The sweep section: (cow, deepcopy) per size per workload, with the
+	// gate's geomean populated.
+	if art.Scaling == nil {
+		t.Fatal("crash_image_scaling section missing")
+	}
+	if want := 2 * len(cr.sweepSizesMiB) * len(cr.workloads); len(art.Scaling.Results) != want {
+		t.Fatalf("scaling rows = %d, want %d", len(art.Scaling.Results), want)
+	}
+	if art.Scaling.GeomeanCowSpeedupLargest <= 0 {
+		t.Fatalf("scaling geomean missing: %+v", art.Scaling)
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"pmdebugger/internal/crashtest"
 	"pmdebugger/internal/crashtest/scenarios"
@@ -37,16 +38,17 @@ func main() {
 		parallel  = flag.Int("parallel", 1, "checker workers for the record-once engine (0 = serial re-execution reference)")
 		prune     = flag.Bool("prune", false, "prune persistency-irrelevant crash points (record-once engine)")
 		dedup     = flag.Bool("dedup", false, "deduplicate identical crash images by content hash (record-once engine)")
+		deepCopy  = flag.Bool("deepcopy", false, "materialize crash images with private pages (O(pool) baseline) instead of copy-on-write")
 	)
 	flag.Parse()
-	if err := run(*workload, *n, *stride, *maxPoints, *policy, *seeds, *strictLog, *parallel, *prune, *dedup); err != nil {
+	if err := run(*workload, *n, *stride, *maxPoints, *policy, *seeds, *strictLog, *parallel, *prune, *dedup, *deepCopy); err != nil {
 		fmt.Fprintln(os.Stderr, "pmcrash:", err)
 		os.Exit(1)
 	}
 }
 
-func run(workload string, n, stride, maxPoints int, policyName string, nseeds int, strictLog bool, parallel int, prune, dedup bool) error {
-	cfg := crashtest.Config{PoolSize: 1 << 21, Stride: stride, MaxPoints: maxPoints}
+func run(workload string, n, stride, maxPoints int, policyName string, nseeds int, strictLog bool, parallel int, prune, dedup, deepCopy bool) error {
+	cfg := crashtest.Config{PoolSize: 1 << 21, Stride: stride, MaxPoints: maxPoints, DeepCopyImages: deepCopy}
 	switch policyName {
 	case "drop":
 		cfg.Policy = pmem.CrashDropPending
@@ -67,6 +69,7 @@ func run(workload string, n, stride, maxPoints int, policyName string, nseeds in
 	}
 
 	var res *crashtest.Result
+	start := time.Now()
 	if parallel <= 0 {
 		if prune || dedup {
 			return fmt.Errorf("-prune and -dedup require the record-once engine (-parallel >= 1)")
@@ -78,14 +81,25 @@ func run(workload string, n, stride, maxPoints int, policyName string, nseeds in
 		cfg.Dedup = dedup
 		res, err = crashtest.Run(prog, check, cfg)
 	}
+	elapsed := time.Since(start)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("%s: %d events, %d crash points, %d images checked\n",
 		workload, res.TotalEvents, res.Points, res.Images)
+	fmt.Printf("%s elapsed, %.1f images/sec\n",
+		elapsed.Round(time.Microsecond), float64(res.Images)/elapsed.Seconds())
 	if res.PrunedPoints > 0 || res.DedupImages > 0 {
 		fmt.Printf("reducers: %d points pruned, %d images deduplicated\n",
 			res.PrunedPoints, res.DedupImages)
+	}
+	if total := res.ZeroPages + res.SharedPages + res.PrivatePages; total > 0 {
+		engine := "copy-on-write"
+		if deepCopy {
+			engine = "deep-copy"
+		}
+		fmt.Printf("image pages (%s): %d zero, %d shared, %d private\n",
+			engine, res.ZeroPages, res.SharedPages, res.PrivatePages)
 	}
 	if len(res.Failures) == 0 {
 		fmt.Println("all recoveries consistent")

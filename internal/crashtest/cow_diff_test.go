@@ -1,0 +1,105 @@
+package crashtest
+
+import (
+	"reflect"
+	"testing"
+
+	"pmdebugger/internal/pmem"
+)
+
+// TestCOWImagesMatchDeepCopy is the engine-level differential for the
+// copy-on-write snapshot path: two shadow pools replay the same journal, one
+// materializing COW images and one deep-copy images, and at every boundary
+// the two images must have equal fingerprints (fingerprints cover every
+// persistent byte plus the names table, so equality here is byte equality).
+// All three pending-line policies are exercised, since each takes a
+// different path through the snapshot's page duplication.
+func TestCOWImagesMatchDeepCopy(t *testing.T) {
+	full := pmem.New(1 << 20)
+	journal := full.RecordJournal()
+	if err := exploreProg(full); err != nil {
+		t.Fatal(err)
+	}
+	total := journal.Len()
+
+	policies := []struct {
+		name   string
+		policy pmem.CrashPolicy
+		seeds  []int64
+	}{
+		{"drop", pmem.CrashDropPending, []int64{0}},
+		{"apply", pmem.CrashApplyPending, []int64{0}},
+		{"random", pmem.CrashRandomPending, []int64{1, 7}},
+	}
+	for _, pc := range policies {
+		t.Run(pc.name, func(t *testing.T) {
+			cow := pmem.New(1 << 20)
+			deep := pmem.New(1 << 20)
+			deep.SetCrashDeepCopy(true)
+			for next := 0; next < total; next++ {
+				cow.ApplyRecorded(journal.Events[next], journal.Payload(next))
+				deep.ApplyRecorded(journal.Events[next], journal.Payload(next))
+				for _, seed := range pc.seeds {
+					ci := cow.Crash(pc.policy, seed)
+					di := deep.Crash(pc.policy, seed)
+					if ci.Fingerprint() != di.Fingerprint() {
+						t.Fatalf("boundary %d seed %d: COW image differs from deep-copy image", next+1, seed)
+					}
+					// The deep-copy baseline must actually be deep: no page
+					// shared with its parent.
+					if _, shared, _ := di.PageStats(); shared != 0 {
+						t.Fatalf("boundary %d: deep-copy image has %d shared pages", next+1, shared)
+					}
+					ci.Release()
+					di.Release()
+				}
+			}
+		})
+	}
+}
+
+// TestExploreDeepCopyMatchesCOW runs the full record-once engine both ways
+// (with the reducers and parallel workers on, the configuration the
+// benchmarks use) and demands identical failure sets — and that both match
+// the exhaustive serial reference.
+func TestExploreDeepCopyMatchesCOW(t *testing.T) {
+	for _, policy := range []pmem.CrashPolicy{
+		pmem.CrashDropPending, pmem.CrashApplyPending, pmem.CrashRandomPending,
+	} {
+		cfg := Config{Policy: policy, Seeds: []int64{3, 9}, Workers: 4, Prune: true, Dedup: true}
+		serial, err := RunSerial(exploreProg, exploreCheck, cfg)
+		if err != nil {
+			t.Fatalf("policy %v: serial: %v", policy, err)
+		}
+		cowRes, err := Run(exploreProg, exploreCheck, cfg)
+		if err != nil {
+			t.Fatalf("policy %v: cow: %v", policy, err)
+		}
+		dcfg := cfg
+		dcfg.DeepCopyImages = true
+		deepRes, err := Run(exploreProg, exploreCheck, dcfg)
+		if err != nil {
+			t.Fatalf("policy %v: deepcopy: %v", policy, err)
+		}
+		if !reflect.DeepEqual(cowRes.FailureKeys(), serial.FailureKeys()) {
+			t.Errorf("policy %v: COW failure set differs from serial\ncow:    %v\nserial: %v",
+				policy, cowRes.FailureKeys(), serial.FailureKeys())
+		}
+		if !reflect.DeepEqual(deepRes.FailureKeys(), serial.FailureKeys()) {
+			t.Errorf("policy %v: deep-copy failure set differs from serial\ndeep:   %v\nserial: %v",
+				policy, deepRes.FailureKeys(), serial.FailureKeys())
+		}
+		// Structural expectations for the page-composition stats: COW images
+		// of a sparse pool are dominated by zero+shared pages; the deep-copy
+		// baseline must report no sharing at all.
+		if cowRes.Images > 0 && cowRes.ZeroPages+cowRes.SharedPages == 0 {
+			t.Errorf("policy %v: COW run reports no zero or shared pages", policy)
+		}
+		if deepRes.SharedPages != 0 {
+			t.Errorf("policy %v: deep-copy run reports %d shared pages", policy, deepRes.SharedPages)
+		}
+		if deepRes.ZeroPages != 0 {
+			t.Errorf("policy %v: deep-copy run reports %d zero pages (pages must be materialized)", policy, deepRes.ZeroPages)
+		}
+	}
+}

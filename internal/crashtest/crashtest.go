@@ -80,6 +80,12 @@ type Config struct {
 	// verdict instead of running the checker again. The reported failure
 	// set is identical to the exhaustive one.
 	Dedup bool
+	// DeepCopyImages materializes every crash image with fully private
+	// pages (pmem.Pool.SetCrashDeepCopy) instead of copy-on-write page
+	// sharing — the O(pool-size) baseline engine kept reachable for
+	// benchmarks and differential tests. Images are byte-identical either
+	// way.
+	DeepCopyImages bool
 }
 
 func (c *Config) fill() {
@@ -138,6 +144,14 @@ type Result struct {
 	// been checked and whose verdict was reused (record-once engine with
 	// Dedup).
 	DedupImages int
+	// ZeroPages/SharedPages/PrivatePages aggregate pmem.Pool.PageStats
+	// over every materialized image (record-once engine): how much of the
+	// image space was never written, aliased copy-on-write from the shadow
+	// pool, or privately copied. A healthy COW run is dominated by zero
+	// and shared pages.
+	ZeroPages    uint64
+	SharedPages  uint64
+	PrivatePages uint64
 	// Failures lists every inconsistent recovery, ordered by crash point
 	// then seed position.
 	Failures []Failure
@@ -178,6 +192,7 @@ func RunSerial(prog Program, check Checker, cfg Config) (*Result, error) {
 
 	// Full run: count events, sanity-check the checker on the final image.
 	full := pmem.New(cfg.PoolSize)
+	full.SetCrashDeepCopy(cfg.DeepCopyImages)
 	if err := prog(full); err != nil {
 		return nil, fmt.Errorf("crashtest: program failed without crashes: %w", err)
 	}
@@ -191,7 +206,7 @@ func RunSerial(prog Program, check Checker, cfg Config) (*Result, error) {
 		if cfg.MaxPoints > 0 && res.Points >= cfg.MaxPoints {
 			break
 		}
-		pool, trapped, err := runTrapped(prog, cfg.PoolSize, point)
+		pool, trapped, err := runTrapped(prog, &cfg, point)
 		if err != nil {
 			return nil, fmt.Errorf("crashtest: program failed at point %d: %w", point, err)
 		}
@@ -216,8 +231,9 @@ func RunSerial(prog Program, check Checker, cfg Config) (*Result, error) {
 
 // runTrapped executes the program with a crash trap after n events,
 // reporting whether the trap fired.
-func runTrapped(prog Program, poolSize, n uint64) (pool *pmem.Pool, trapped bool, err error) {
-	pool = pmem.New(poolSize)
+func runTrapped(prog Program, cfg *Config, n uint64) (pool *pmem.Pool, trapped bool, err error) {
+	pool = pmem.New(cfg.PoolSize)
+	pool.SetCrashDeepCopy(cfg.DeepCopyImages)
 	pool.SetCrashTrap(n)
 	defer func() {
 		if r := recover(); r != nil {

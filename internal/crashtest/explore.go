@@ -49,9 +49,11 @@ func Run(prog Program, check Checker, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("crashtest: program failed without crashes: %w", err)
 	}
 	res.TotalEvents = full.EventCount()
-	if err := safeCheck(check, full.Crash(cfg.Policy, 0)); err != nil {
+	final := full.Crash(cfg.Policy, 0)
+	if err := safeCheck(check, final); err != nil {
 		return nil, fmt.Errorf("crashtest: checker rejects the completed program: %w", err)
 	}
+	final.Release()
 	if int(res.TotalEvents) != journal.Len() {
 		return nil, fmt.Errorf("crashtest: journal recorded %d of %d events", journal.Len(), res.TotalEvents)
 	}
@@ -68,13 +70,18 @@ func Run(prog Program, check Checker, cfg Config) (*Result, error) {
 			defer wg.Done()
 			for jb := range jobs {
 				jb.err = safeCheck(check, jb.img)
-				jb.img = nil // the verdict is all that is kept
+				// The verdict is all that is kept: recycle the image's pages
+				// through the shared page pools instead of leaving them to
+				// the garbage collector.
+				jb.img.Release()
+				jb.img = nil
 			}
 		}()
 	}
 
 	// Explore phase: drive the shadow pool forward and schedule images.
 	shadow := pmem.New(cfg.PoolSize)
+	shadow.SetCrashDeepCopy(cfg.DeepCopyImages)
 	var all []*imageJob          // every dispatched job, for final assembly
 	var last []*imageJob         // per seed index: the job holding the current verdict
 	var hashes map[[32]byte]*imageJob
@@ -109,6 +116,13 @@ func Run(prog Program, check Checker, cfg Config) (*Result, error) {
 		if last == nil {
 			last = make([]*imageJob, len(seeds))
 		}
+		if cfg.Dedup {
+			// Refresh the shadow's Merkle group caches so every snapshot
+			// inherits them warm: each image's Fingerprint then rehashes
+			// only the pages its pending-line policy touched, instead of
+			// every group dirtied since the exploration began.
+			shadow.Fingerprint()
+		}
 		for si, seed := range seeds {
 			img := shadow.Crash(cfg.Policy, seed)
 			var fp [32]byte
@@ -118,9 +132,16 @@ func Run(prog Program, check Checker, cfg Config) (*Result, error) {
 					res.DedupImages++
 					jb.refs = append(jb.refs, pointRef{point: point, seedIdx: si})
 					last[si] = jb
+					img.Release() // duplicate image: verdict reused, pages recycled
 					continue
 				}
 			}
+			// Page-table composition is read before the image is handed to a
+			// worker (which releases it), while the dispatcher still owns it.
+			zero, sharedPg, private := img.PageStats()
+			res.ZeroPages += uint64(zero)
+			res.SharedPages += uint64(sharedPg)
+			res.PrivatePages += uint64(private)
 			jb := &imageJob{img: img, refs: []pointRef{{point: point, seedIdx: si}}}
 			if cfg.Dedup {
 				hashes[fp] = jb

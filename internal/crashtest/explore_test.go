@@ -149,7 +149,7 @@ func TestExploreImageEqualsTrapped(t *testing.T) {
 			shadow.ApplyRecorded(journal.Events[next], journal.Payload(next))
 			next++
 		}
-		pool, trapped, err := runTrapped(exploreProg, cfg.PoolSize, uint64(point))
+		pool, trapped, err := runTrapped(exploreProg, &cfg, uint64(point))
 		if err != nil || !trapped {
 			t.Fatalf("point %d: trapped=%v err=%v", point, trapped, err)
 		}
@@ -164,7 +164,7 @@ func TestExploreImageEqualsTrapped(t *testing.T) {
 // same seed twice gives byte-identical images, and different seeds explore
 // different pending outcomes.
 func TestCrashRandomPendingDeterminism(t *testing.T) {
-	pool, trapped, err := runTrapped(exploreProg, 1<<20, 30)
+	pool, trapped, err := runTrapped(exploreProg, &Config{PoolSize: 1 << 20}, 30)
 	if err != nil || !trapped {
 		t.Fatalf("trapped=%v err=%v", trapped, err)
 	}

@@ -23,6 +23,9 @@ type CrashResult struct {
 	DedupImages   int     `json:"dedup_images"`
 	Failures      int     `json:"failures"`
 	PointsPerSec  float64 `json:"points_per_sec"`
+	ZeroPages     uint64  `json:"zero_pages"`
+	SharedPages   uint64  `json:"shared_pages"`
+	PrivatePages  uint64  `json:"private_pages"`
 }
 
 // crashEngines are the measured configurations: the exhaustive re-execution
@@ -47,6 +50,13 @@ func crashEngines(workers int) []struct {
 			c.Workers = workers
 			c.Prune = true
 			c.Dedup = true
+			return c
+		}, crashtest.Run},
+		{"deepcopy+reducers", func(c crashtest.Config) crashtest.Config {
+			c.Workers = workers
+			c.Prune = true
+			c.Dedup = true
+			c.DeepCopyImages = true
 			return c
 		}, crashtest.Run},
 	}
@@ -112,6 +122,92 @@ func MeasureCrash(workload string, n, stride, workers int) ([]CrashResult, error
 			DedupImages:   res.DedupImages,
 			Failures:      len(res.Failures),
 			PointsPerSec:  float64(res.Points) / best.Seconds(),
+			ZeroPages:     res.ZeroPages,
+			SharedPages:   res.SharedPages,
+			PrivatePages:  res.PrivatePages,
+		}
+	}
+	return out, nil
+}
+
+// CrashScalingPoint is one (pool size, engine) cell of the crash-image
+// scaling sweep: the same workload, op count and crash points explored at a
+// growing pool size, once with copy-on-write snapshots and once with the
+// deep-copy baseline. COW cost is O(dirty pages) so its points/sec should
+// stay near-flat across the sweep; the deep-copy baseline pays O(pool size)
+// per image and falls off linearly.
+type CrashScalingPoint struct {
+	Workload     string  `json:"workload"`
+	PoolMiB      int     `json:"pool_mib"`
+	Engine       string  `json:"engine"` // "cow" or "deepcopy"
+	Nanos        int64   `json:"nanos"`
+	Points       int     `json:"points"`
+	Images       int     `json:"images_checked"`
+	PointsPerSec float64 `json:"points_per_sec"`
+	ZeroPages    uint64  `json:"zero_pages"`
+	SharedPages  uint64  `json:"shared_pages"`
+	PrivatePages uint64  `json:"private_pages"`
+}
+
+// MeasureCrashScaling runs the pool-size sweep for one workload: for each
+// size it first verifies that the COW engine, the deep-copy engine and the
+// exhaustive serial reference agree on the failure set, then times both
+// record-once engines (min of Repeats, both with the reducers on — the
+// benchmark configuration). The op count and crash-point cap are fixed
+// across sizes, so the only variable is how much pool each image spans.
+func MeasureCrashScaling(workload string, n, stride, workers, maxPoints int, sizesMiB []int) ([]CrashScalingPoint, error) {
+	prog, check, err := scenarios.Build(workload, n, false)
+	if err != nil {
+		return nil, err
+	}
+	var out []CrashScalingPoint
+	for _, mib := range sizesMiB {
+		base := crashtest.Config{
+			PoolSize: uint64(mib) << 20, Stride: stride, MaxPoints: maxPoints,
+			Workers: workers, Prune: true, Dedup: true,
+		}
+		deepCfg := base
+		deepCfg.DeepCopyImages = true
+
+		serial, err := crashtest.RunSerial(prog, check, base)
+		if err != nil {
+			return nil, fmt.Errorf("crash scaling %s/%dMiB serial: %w", workload, mib, err)
+		}
+		engines := []struct {
+			name string
+			cfg  crashtest.Config
+		}{{"cow", base}, {"deepcopy", deepCfg}}
+		for _, eng := range engines {
+			res, err := crashtest.Run(prog, check, eng.cfg)
+			if err != nil {
+				return nil, fmt.Errorf("crash scaling %s/%dMiB %s: %w", workload, mib, eng.name, err)
+			}
+			if !reflect.DeepEqual(res.FailureKeys(), serial.FailureKeys()) {
+				return nil, fmt.Errorf("crash scaling %s/%dMiB: %s failure set diverges from serial\n %s: %v\n serial: %v",
+					workload, mib, eng.name, eng.name, res.FailureKeys(), serial.FailureKeys())
+			}
+			best := time.Duration(0)
+			for r := 0; r < Repeats; r++ {
+				start := time.Now()
+				if _, err := crashtest.Run(prog, check, eng.cfg); err != nil {
+					return nil, err
+				}
+				if d := time.Since(start); best == 0 || d < best {
+					best = d
+				}
+			}
+			out = append(out, CrashScalingPoint{
+				Workload:     workload,
+				PoolMiB:      mib,
+				Engine:       eng.name,
+				Nanos:        best.Nanoseconds(),
+				Points:       res.Points,
+				Images:       res.Images,
+				PointsPerSec: float64(res.Points) / best.Seconds(),
+				ZeroPages:    res.ZeroPages,
+				SharedPages:  res.SharedPages,
+				PrivatePages: res.PrivatePages,
+			})
 		}
 	}
 	return out, nil

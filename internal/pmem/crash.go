@@ -1,10 +1,14 @@
 package pmem
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/binary"
 	"math/rand"
 	"sort"
+	"sync/atomic"
+
+	"pmdebugger/internal/intervals"
 )
 
 // CrashPolicy decides the fate of cache lines that were flushed but not yet
@@ -25,13 +29,29 @@ const (
 	CrashRandomPending
 )
 
+// SetCrashDeepCopy selects the deep-copy crash-image baseline: Crash
+// materializes every page of the snapshot privately (including zero pages),
+// restoring the O(pool) cost model of the pre-COW engine, and snapshots
+// carry no inherited hash caches, so their fingerprints rehash the whole
+// image. Images are byte-identical to copy-on-write snapshots; the knob
+// exists so benchmarks and differential tests keep the baseline reachable.
+func (p *Pool) SetCrashDeepCopy(v bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.deepCopyCrash = v
+}
+
 // Crash simulates a power failure and returns a new pool whose contents are
 // the persistent image (plus pending lines according to the policy, seeded
 // by seed for CrashRandomPending). The new pool starts with no handlers, all
 // lines clean, the allocator reset to full — recovery code is expected to
 // rebuild heap metadata from persistent structures, as on real PM.
 //
-// The original pool remains usable; Crash takes a snapshot.
+// The snapshot is copy-on-write: its page tables alias the parent's
+// persistent pages, and only pages the pending-line policy touches are
+// duplicated up front, so materializing an image costs O(dirty pages), not
+// O(pool). Parent and snapshot remain independently usable — either side's
+// subsequent writes duplicate shared pages before modifying them.
 func (p *Pool) Crash(policy CrashPolicy, seed int64) *Pool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -41,34 +61,163 @@ func (p *Pool) Crash(policy CrashPolicy, seed int64) *Pool {
 	// produced it.
 	p.syncLocked()
 
-	n := New(p.Size())
+	np := len(p.persist)
+	tables := newTables(np)
+	n := &Pool{
+		base:     p.base,
+		size:     p.size,
+		volatile: tables.volatile,
+		persist:  tables.persist,
+		muts:     tables.muts,
+		names:    make(map[string]intervals.Range, len(p.names)),
+	}
 	copy(n.persist, p.persist)
-	var rng *rand.Rand
-	if policy == CrashRandomPending {
-		rng = rand.New(rand.NewSource(seed))
-	}
-	for l, st := range p.state {
-		if st != linePending && st != lineDirtyPending {
-			continue
-		}
-		apply := false
-		switch policy {
-		case CrashApplyPending:
-			apply = true
-		case CrashRandomPending:
-			apply = rng.Intn(2) == 0
-		}
-		if apply {
-			copy(n.persist[l*LineSize:(l+1)*LineSize], p.pending[l*LineSize:(l+1)*LineSize])
+	for _, pg := range n.persist {
+		if pg != nil {
+			pg.retain()
 		}
 	}
+	// Hand the fingerprint group caches down: shared pages have identical
+	// content, and the pending-line application below invalidates the
+	// groups it touches through persistWritable.
+	if p.groupOK != nil {
+		n.groupHash = append([][32]byte(nil), p.groupHash...)
+		n.groupOK = append([]bool(nil), p.groupOK...)
+	}
+
+	if policy != CrashDropPending && p.pendingLineCount > 0 {
+		// Apply staged lines in ascending line order so the per-line coin
+		// sequence of CrashRandomPending is a pure function of (state,
+		// policy, seed), independent of flush order.
+		lines := make([]uint64, 0, len(p.pendingLines))
+		for _, l := range p.pendingLines {
+			if st := p.muts[l>>lineShift].state[l&lineMask]; st == linePending || st == lineDirtyPending {
+				lines = append(lines, l)
+			}
+		}
+		sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+		var rng *rand.Rand
+		if policy == CrashRandomPending {
+			rng = rand.New(rand.NewSource(seed))
+		}
+		for _, l := range lines {
+			apply := true
+			if rng != nil {
+				apply = rng.Intn(2) == 0
+			}
+			if !apply {
+				continue
+			}
+			lo := (l & lineMask) * LineSize
+			staged := p.muts[l>>lineShift].pending[lo : lo+LineSize]
+			if bytes.Equal(n.persistLine(l), staged) {
+				continue // identical bytes: no page needs duplicating
+			}
+			pg := n.persistWritable(int(l >> lineShift))
+			copy(pg.data[lo:lo+LineSize], staged)
+		}
+	}
+
+	// The snapshot's volatile image aliases its persistent image page for
+	// page — the state of a freshly opened pool — and unshares on demand
+	// when recovery code stores to it.
 	copy(n.volatile, n.persist)
+	for _, pg := range n.volatile {
+		if pg != nil {
+			pg.retain()
+		}
+	}
+
 	// Preserve the named-variable registry: names model program symbols,
-	// which survive restart.
+	// which survive restart. The caches ride along.
 	for name, r := range p.names {
 		n.names[name] = r
 	}
+	n.sortedNames = p.sortedNames
+	n.namesHash, n.namesHashOK = p.namesHash, p.namesHashOK
+
+	n.alloc.init(n.base, n.size)
+
+	if p.deepCopyCrash {
+		n.materializeAllLocked()
+	}
 	return n
+}
+
+// materializeAllLocked turns every page of both images into a private copy
+// (zero pages included) and drops the inherited hash caches — the deep-copy
+// baseline Crash produces under SetCrashDeepCopy. Callers hold the pool's
+// mutex or exclusive ownership.
+func (p *Pool) materializeAllLocked() {
+	for _, table := range [][]*page{p.persist, p.volatile} {
+		for pi, old := range table {
+			var fresh *page
+			if old != nil {
+				fresh = newPageCopy(old)
+				old.release()
+			} else {
+				fresh = newPage()
+			}
+			table[pi] = fresh
+		}
+	}
+	p.groupHash, p.groupOK = nil, nil
+}
+
+// Release returns the pool's pages, per-page mutable state and page tables
+// to the shared recycling pools. It is the explorer's fast-path disposal for
+// checked crash images: shared pages flow back to the parent for reuse
+// instead of waiting for the garbage collector. The pool must not be used
+// afterwards (its tables are gone; accesses panic).
+func (p *Pool) Release() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.persist == nil {
+		return // already released
+	}
+	for i, pg := range p.volatile {
+		if pg != nil {
+			pg.release()
+			p.volatile[i] = nil
+		}
+	}
+	for i, pg := range p.persist {
+		if pg != nil {
+			pg.release()
+			p.persist[i] = nil
+		}
+	}
+	for i, m := range p.muts {
+		if m != nil {
+			putPageMut(m)
+			p.muts[i] = nil
+		}
+	}
+	tableSetPool.Put(&tableSet{p.volatile, p.persist, p.muts})
+	p.volatile, p.persist, p.muts = nil, nil, nil
+	p.pendingLines = nil
+	p.dirtyLineCount, p.pendingLineCount = 0, 0
+	p.groupHash, p.groupOK = nil, nil
+}
+
+// PageStats reports the persistent image's page-table composition: zero
+// pages (never written), pages shared with another pool, and private pages.
+// It is the observability hook for copy-on-write effectiveness — a healthy
+// crash image is almost entirely zero and shared pages.
+func (p *Pool) PageStats() (zero, shared, private int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, pg := range p.persist {
+		switch {
+		case pg == nil:
+			zero++
+		case atomic.LoadInt32(&pg.refs) > 1:
+			shared++
+		default:
+			private++
+		}
+	}
+	return zero, shared, private
 }
 
 // Fingerprint returns a content hash of the pool's persistent image and its
@@ -76,31 +225,71 @@ func (p *Pool) Crash(policy CrashPolicy, seed int64) *Pool {
 // under any deterministic checker, which is what content-hash image
 // deduplication (internal/crashtest) relies on; the names are included
 // because checkers may resolve symbols through NamedRange.
+//
+// The hash is a three-level Merkle rollup — per-page hashes cached on the
+// (shared) pages themselves, cached group hashes over groupPages-page spans,
+// and a top hash over the group level — so a call after k dirtied pages
+// rehashes O(k) pages rather than the whole pool.
 func (p *Pool) Fingerprint() [32]byte {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	h := sha256.New()
 	var hdr [16]byte
 	binary.LittleEndian.PutUint64(hdr[0:], p.base)
-	binary.LittleEndian.PutUint64(hdr[8:], p.Size())
+	binary.LittleEndian.PutUint64(hdr[8:], p.size)
 	h.Write(hdr[:])
-	h.Write(p.persist)
-	names := make([]string, 0, len(p.names))
-	for name := range p.names {
-		names = append(names, name)
+
+	ngroups := (len(p.persist) + groupPages - 1) / groupPages
+	if p.groupOK == nil {
+		p.groupHash = make([][32]byte, ngroups)
+		p.groupOK = make([]bool, ngroups)
 	}
-	sort.Strings(names)
-	for _, name := range names {
-		r := p.names[name]
-		var rec [16]byte
-		binary.LittleEndian.PutUint64(rec[0:], r.Addr)
-		binary.LittleEndian.PutUint64(rec[8:], r.Size)
-		h.Write([]byte(name))
-		h.Write(rec[:])
+	for g := 0; g < ngroups; g++ {
+		if !p.groupOK[g] {
+			gh := sha256.New()
+			end := (g + 1) * groupPages
+			if end > len(p.persist) {
+				end = len(p.persist)
+			}
+			for pi := g * groupPages; pi < end; pi++ {
+				var ph [32]byte
+				if pg := p.persist[pi]; pg != nil {
+					ph = pg.contentHash()
+				} else {
+					ph = zeroPageHash()
+				}
+				gh.Write(ph[:])
+			}
+			gh.Sum(p.groupHash[g][:0])
+			p.groupOK[g] = true
+		}
+		h.Write(p.groupHash[g][:])
 	}
+
+	nh := p.namesDigestLocked()
+	h.Write(nh[:])
 	var out [32]byte
 	h.Sum(out[:0])
 	return out
+}
+
+// namesDigestLocked returns the cached hash of the named-region table,
+// recomputing it after a RegisterNamed invalidation. Callers hold p.mu.
+func (p *Pool) namesDigestLocked() [32]byte {
+	if !p.namesHashOK {
+		h := sha256.New()
+		for _, name := range p.sortedNamesLocked() {
+			r := p.names[name]
+			var rec [16]byte
+			binary.LittleEndian.PutUint64(rec[0:], r.Addr)
+			binary.LittleEndian.PutUint64(rec[8:], r.Size)
+			h.Write([]byte(name))
+			h.Write(rec[:])
+		}
+		h.Sum(p.namesHash[:0])
+		p.namesHashOK = true
+	}
+	return p.namesHash
 }
 
 // PersistedEquals reports whether the persistent image bytes at addr equal
@@ -109,11 +298,24 @@ func (p *Pool) PersistedEquals(addr uint64, want []byte) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.checkRange(addr, uint64(len(want)))
-	got := p.persist[p.off(addr) : p.off(addr)+uint64(len(want))]
-	for i := range want {
-		if got[i] != want[i] {
+	off := p.off(addr)
+	for len(want) > 0 {
+		pi, po := int(off>>PageShift), off&pageMask
+		chunk := uint64(len(want))
+		if PageSize-po < chunk {
+			chunk = PageSize - po
+		}
+		var got []byte
+		if pg := p.persist[pi]; pg != nil {
+			got = pg.data[po : po+chunk]
+		} else {
+			got = zeroPage[po : po+chunk]
+		}
+		if !bytes.Equal(got, want[:chunk]) {
 			return false
 		}
+		want = want[chunk:]
+		off += chunk
 	}
 	return true
 }
@@ -124,27 +326,48 @@ func (p *Pool) PersistedBytes(addr, size uint64) []byte {
 	defer p.mu.Unlock()
 	p.checkRange(addr, size)
 	out := make([]byte, size)
-	copy(out, p.persist[p.off(addr):])
+	p.readPersist(p.off(addr), out)
 	return out
 }
 
-// DirtyLines returns the number of lines with unflushed stores, and
-// PendingLines the number flushed but not yet fenced. Tests use these to
-// assert the line state machine.
-func (p *Pool) DirtyLines() int { return p.countState(lineDirty) + p.countState(lineDirtyPending) }
-
-// PendingLines returns the number of lines staged by a flush but not yet
-// committed by a fence.
-func (p *Pool) PendingLines() int { return p.countState(linePending) + p.countState(lineDirtyPending) }
-
-func (p *Pool) countState(want lineState) int {
+// DirtyLines returns the number of lines with unflushed stores. The count is
+// maintained incrementally at every line-state transition, so the query is
+// O(1) regardless of pool size.
+func (p *Pool) DirtyLines() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	n := 0
-	for _, st := range p.state {
-		if st == want {
-			n++
+	return p.dirtyLineCount
+}
+
+// PendingLines returns the number of lines staged by a flush but not yet
+// committed by a fence, maintained incrementally like DirtyLines.
+func (p *Pool) PendingLines() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pendingLineCount
+}
+
+// scanLineCounts recomputes the dirty/pending line counts by a full scan of
+// the line state machine — the reference the incremental counters are
+// asserted against in tests.
+func (p *Pool) scanLineCounts() (dirty, pending int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, m := range p.muts {
+		if m == nil {
+			continue
+		}
+		for _, st := range m.state {
+			switch st {
+			case lineDirty:
+				dirty++
+			case linePending:
+				pending++
+			case lineDirtyPending:
+				dirty++
+				pending++
+			}
 		}
 	}
-	return n
+	return dirty, pending
 }

@@ -124,50 +124,65 @@ func (c *Ctx) StoreBytes(addr uint64, data []byte) {
 	c.pool.storeLocked(addr, data, c.strand, c.thread, c.site)
 }
 
-// The scalar stores write the volatile image directly (binary.LittleEndian
+// The scalar stores write the volatile page directly (binary.LittleEndian
 // compiles to a single store) rather than routing a stack buffer through the
 // byte-slice path — like the scalar loads, they sit on the workload hot path
-// (item headers, chain links, statistics counters). The emitted event is
-// identical to the equivalent StoreBytes.
+// (item headers, chain links, statistics counters). The rare access that
+// straddles a page boundary falls back to the byte-slice path; the emitted
+// event is identical to the equivalent StoreBytes.
+
+// storeScalar writes the size-byte little-endian value at addr and runs the
+// shared store bookkeeping. Callers hold the pool mutex via c.lock().
+func (c *Ctx) storeScalar(addr uint64, v uint64, size uint64) {
+	p := c.pool
+	p.checkRange(addr, size)
+	off := p.off(addr)
+	if po := off & pageMask; po+size <= PageSize {
+		pg := p.volatileWritable(int(off >> PageShift))
+		switch size {
+		case 1:
+			pg.data[po] = uint8(v)
+		case 2:
+			binary.LittleEndian.PutUint16(pg.data[po:], uint16(v))
+		case 4:
+			binary.LittleEndian.PutUint32(pg.data[po:], uint32(v))
+		default:
+			binary.LittleEndian.PutUint64(pg.data[po:], v)
+		}
+	} else {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		p.writeVolatile(off, b[:size])
+	}
+	p.storeTailLocked(addr, size, c.strand, c.thread, c.site)
+}
 
 // Store8 writes one byte.
 func (c *Ctx) Store8(addr uint64, v uint8) {
 	c.lock()
 	defer c.unlock()
-	p := c.pool
-	p.checkRange(addr, 1)
-	p.volatile[p.off(addr)] = v
-	p.storeTailLocked(addr, 1, c.strand, c.thread, c.site)
+	c.storeScalar(addr, uint64(v), 1)
 }
 
 // Store16 writes a little-endian 16-bit value.
 func (c *Ctx) Store16(addr uint64, v uint16) {
 	c.lock()
 	defer c.unlock()
-	p := c.pool
-	p.checkRange(addr, 2)
-	binary.LittleEndian.PutUint16(p.volatile[p.off(addr):], v)
-	p.storeTailLocked(addr, 2, c.strand, c.thread, c.site)
+	c.storeScalar(addr, uint64(v), 2)
 }
 
 // Store32 writes a little-endian 32-bit value.
 func (c *Ctx) Store32(addr uint64, v uint32) {
 	c.lock()
 	defer c.unlock()
-	p := c.pool
-	p.checkRange(addr, 4)
-	binary.LittleEndian.PutUint32(p.volatile[p.off(addr):], v)
-	p.storeTailLocked(addr, 4, c.strand, c.thread, c.site)
+	c.storeScalar(addr, uint64(v), 4)
 }
 
 // Store64 writes a little-endian 64-bit value.
 func (c *Ctx) Store64(addr uint64, v uint64) {
 	c.lock()
 	defer c.unlock()
-	p := c.pool
-	p.checkRange(addr, 8)
-	binary.LittleEndian.PutUint64(p.volatile[p.off(addr):], v)
-	p.storeTailLocked(addr, 8, c.strand, c.thread, c.site)
+	c.storeScalar(addr, v, 8)
 }
 
 // loadInto is LoadInto honouring an open lock session.
@@ -175,51 +190,71 @@ func (c *Ctx) loadInto(addr uint64, dst []byte) {
 	c.lock()
 	defer c.unlock()
 	c.pool.checkRange(addr, uint64(len(dst)))
-	copy(dst, c.pool.volatile[c.pool.off(addr):])
+	c.pool.readVolatile(c.pool.off(addr), dst)
 }
 
-// The scalar loads read the volatile image directly (binary.LittleEndian
+// The scalar loads read the volatile page directly (binary.LittleEndian
 // compiles to a single load) rather than copying through a stack buffer —
 // they sit on the workload hot path (statistics counters, chain links).
+
+// loadScalar reads the size-byte little-endian value at addr. Callers hold
+// the pool mutex via c.lock().
+func (c *Ctx) loadScalar(addr uint64, size uint64) uint64 {
+	p := c.pool
+	p.checkRange(addr, size)
+	off := p.off(addr)
+	if po := off & pageMask; po+size <= PageSize {
+		pg := p.volatile[off>>PageShift]
+		if pg == nil {
+			return 0
+		}
+		switch size {
+		case 1:
+			return uint64(pg.data[po])
+		case 2:
+			return uint64(binary.LittleEndian.Uint16(pg.data[po:]))
+		case 4:
+			return uint64(binary.LittleEndian.Uint32(pg.data[po:]))
+		default:
+			return binary.LittleEndian.Uint64(pg.data[po:])
+		}
+	}
+	var b [8]byte
+	p.readVolatile(off, b[:size])
+	return binary.LittleEndian.Uint64(b[:])
+}
 
 // Load8 reads one byte from the volatile image.
 func (c *Ctx) Load8(addr uint64) uint8 {
 	c.lock()
 	defer c.unlock()
-	p := c.pool
-	p.checkRange(addr, 1)
-	return p.volatile[p.off(addr)]
+	return uint8(c.loadScalar(addr, 1))
 }
 
 // Load16 reads a little-endian 16-bit value.
 func (c *Ctx) Load16(addr uint64) uint16 {
 	c.lock()
 	defer c.unlock()
-	p := c.pool
-	p.checkRange(addr, 2)
-	return binary.LittleEndian.Uint16(p.volatile[p.off(addr):])
+	return uint16(c.loadScalar(addr, 2))
 }
 
 // Load32 reads a little-endian 32-bit value.
 func (c *Ctx) Load32(addr uint64) uint32 {
 	c.lock()
 	defer c.unlock()
-	p := c.pool
-	p.checkRange(addr, 4)
-	return binary.LittleEndian.Uint32(p.volatile[p.off(addr):])
+	return uint32(c.loadScalar(addr, 4))
 }
 
 // Load64 reads a little-endian 64-bit value.
 func (c *Ctx) Load64(addr uint64) uint64 {
 	c.lock()
 	defer c.unlock()
-	p := c.pool
-	p.checkRange(addr, 8)
-	return binary.LittleEndian.Uint64(p.volatile[p.off(addr):])
+	return c.loadScalar(addr, 8)
 }
 
 // EqualBytes reports whether PM at [addr, addr+len(s)) equals s, comparing
-// in place — the memcmp idiom key probes use, with no per-probe copy.
+// in place page by page — the memcmp idiom key probes use, with no
+// per-probe copy.
 func (c *Ctx) EqualBytes(addr uint64, s string) bool {
 	if len(s) == 0 {
 		return true
@@ -229,7 +264,27 @@ func (c *Ctx) EqualBytes(addr uint64, s string) bool {
 	p := c.pool
 	p.checkRange(addr, uint64(len(s)))
 	o := p.off(addr)
-	return string(p.volatile[o:o+uint64(len(s))]) == s
+	for len(s) > 0 {
+		pi, po := int(o>>PageShift), o&pageMask
+		chunk := uint64(len(s))
+		if PageSize-po < chunk {
+			chunk = PageSize - po
+		}
+		if pg := p.volatile[pi]; pg != nil {
+			if string(pg.data[po:po+chunk]) != s[:chunk] {
+				return false
+			}
+		} else {
+			for i := uint64(0); i < chunk; i++ {
+				if s[i] != 0 {
+					return false
+				}
+			}
+		}
+		s = s[chunk:]
+		o += chunk
+	}
+	return true
 }
 
 // LoadBytes reads size bytes from the volatile image.

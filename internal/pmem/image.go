@@ -2,6 +2,7 @@ package pmem
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -51,8 +52,23 @@ func (p *Pool) WriteImage(w io.Writer) error {
 			return err
 		}
 	}
-	if _, err := bw.Write(p.persist); err != nil {
-		return fmt.Errorf("pmem: write image data: %w", err)
+	// The persistent image is written page by page (zero pages from the
+	// shared zero buffer), keeping the flat on-disk format of a DAX pool
+	// file while never materializing absent pages.
+	remaining := p.size
+	for _, pg := range p.persist {
+		chunk := uint64(PageSize)
+		if chunk > remaining {
+			chunk = remaining
+		}
+		src := zeroPage[:chunk]
+		if pg != nil {
+			src = pg.data[:chunk]
+		}
+		if _, err := bw.Write(src); err != nil {
+			return fmt.Errorf("pmem: write image data: %w", err)
+		}
+		remaining -= chunk
 	}
 	return bw.Flush()
 }
@@ -81,6 +97,7 @@ func ReadImage(r io.Reader) (*Pool, error) {
 	}
 	p := New(size)
 	p.base = base
+	p.alloc.init(base, size)
 
 	var cnt [4]byte
 	if _, err := io.ReadFull(br, cnt[:]); err != nil {
@@ -105,9 +122,32 @@ func ReadImage(r io.Reader) (*Pool, error) {
 			binary.LittleEndian.Uint64(rec[12:]),
 		)
 	}
-	if _, err := io.ReadFull(br, p.persist); err != nil {
-		return nil, fmt.Errorf("pmem: read image data: %w", err)
+	// Read the flat image page by page, leaving all-zero pages absent so a
+	// sparse image stays sparse in memory; the volatile image then aliases
+	// the persistent pages, as after a crash.
+	var buf [PageSize]byte
+	remaining := size
+	for pi := range p.persist {
+		chunk := uint64(PageSize)
+		if chunk > remaining {
+			chunk = remaining
+		}
+		if _, err := io.ReadFull(br, buf[:chunk]); err != nil {
+			return nil, fmt.Errorf("pmem: read image data: %w", err)
+		}
+		remaining -= chunk
+		if bytes.Equal(buf[:chunk], zeroPage[:chunk]) {
+			continue
+		}
+		pg := newPage()
+		copy(pg.data[:], buf[:chunk])
+		p.persist[pi] = pg
 	}
 	copy(p.volatile, p.persist)
+	for _, pg := range p.volatile {
+		if pg != nil {
+			pg.retain()
+		}
+	}
 	return p, nil
 }

@@ -1,8 +1,6 @@
 package pmem
 
 import (
-	"bytes"
-
 	"pmdebugger/internal/intervals"
 	"pmdebugger/internal/trace"
 )
@@ -35,7 +33,7 @@ func (r *journalRecorder) HandleEvent(ev trace.Event) {
 	var payload []byte
 	if ev.Kind == trace.KindStore && ev.Size > 0 {
 		payload = make([]byte, ev.Size)
-		copy(payload, r.p.volatile[r.p.off(ev.Addr):])
+		r.p.readVolatile(r.p.off(ev.Addr), payload)
 	}
 	r.j.Append(ev, payload)
 }
@@ -71,63 +69,17 @@ func (p *Pool) ApplyRecorded(ev trace.Event, payload []byte) (persistChanged, pe
 	switch ev.Kind {
 	case trace.KindStore:
 		p.checkRange(ev.Addr, ev.Size)
-		copy(p.volatile[p.off(ev.Addr):], payload)
-		first := p.off(ev.Addr) / LineSize
-		last := p.off(ev.Addr+ev.Size-1) / LineSize
-		for l := first; l <= last; l++ {
-			switch p.state[l] {
-			case lineClean:
-				p.state[l] = lineDirty
-			case linePending:
-				p.state[l] = lineDirtyPending
-			}
-		}
+		p.writeVolatile(p.off(ev.Addr), payload)
+		p.markStoredLines(p.off(ev.Addr)/LineSize, p.off(ev.Addr+ev.Size-1)/LineSize)
 
 	case trace.KindFlush:
 		p.checkRange(ev.Addr, ev.Size)
 		span := intervals.SpanLines(intervals.R(ev.Addr, ev.Size))
-		first := p.off(span.Addr) / LineSize
-		last := p.off(span.End()-1) / LineSize
-		for l := first; l <= last; l++ {
-			switch p.state[l] {
-			case lineDirty:
-				// A newly staged line extends the pending set; even when
-				// its bytes equal the persistent image it shifts the
-				// per-line coin assignment of CrashRandomPending, so it
-				// always counts as a change.
-				copy(p.pending[l*LineSize:(l+1)*LineSize], p.volatile[l*LineSize:(l+1)*LineSize])
-				p.state[l] = linePending
-				p.pendingLines = append(p.pendingLines, l)
-				pendingChanged = true
-			case lineDirtyPending:
-				// Restaging keeps the pending set intact: only a content
-				// difference can alter an image.
-				if !bytes.Equal(p.pending[l*LineSize:(l+1)*LineSize], p.volatile[l*LineSize:(l+1)*LineSize]) {
-					pendingChanged = true
-				}
-				copy(p.pending[l*LineSize:(l+1)*LineSize], p.volatile[l*LineSize:(l+1)*LineSize])
-				p.state[l] = linePending
-			}
-		}
+		pendingChanged = p.stageLines(p.off(span.Addr)/LineSize, p.off(span.End()-1)/LineSize)
 
 	case trace.KindFence:
-		for _, l := range p.pendingLines {
-			st := p.state[l]
-			if st != linePending && st != lineDirtyPending {
-				continue
-			}
-			if !bytes.Equal(p.persist[l*LineSize:(l+1)*LineSize], p.pending[l*LineSize:(l+1)*LineSize]) {
-				persistChanged = true
-				pendingChanged = true
-			}
-			copy(p.persist[l*LineSize:(l+1)*LineSize], p.pending[l*LineSize:(l+1)*LineSize])
-			if st == linePending {
-				p.state[l] = lineClean
-			} else {
-				p.state[l] = lineDirty
-			}
-		}
-		p.pendingLines = p.pendingLines[:0]
+		persistChanged = p.commitPending()
+		pendingChanged = persistChanged
 
 	case trace.KindRegister:
 		// Named regions survive into crash images (Crash copies p.names);
@@ -135,6 +87,7 @@ func (p *Pool) ApplyRecorded(ev trace.Event, payload []byte) (persistChanged, pe
 		if ev.Site != 0 {
 			p.checkRange(ev.Addr, ev.Size)
 			p.names[trace.SiteName(ev.Site)] = intervals.R(ev.Addr, ev.Size)
+			p.invalidateNamesLocked()
 		}
 
 	default:

@@ -1,0 +1,283 @@
+package pmem
+
+import (
+	"crypto/sha256"
+	"sync"
+	"sync/atomic"
+)
+
+// The pool's two byte images (volatile and persistent) are stored as tables
+// of fixed-size pages shared copy-on-write between pools. This is what makes
+// crash-image materialization O(dirty): Crash copies the page tables and
+// bumps refcounts, and only pages subsequently written by either side are
+// ever duplicated (see crash.go). A nil table entry stands for an all-zero
+// page, so untouched spans of a large pool cost nothing in any pool.
+//
+// Sharing discipline: a page's refcount counts the table slots (across all
+// pools, volatile and persistent tables alike) that reference it. Every
+// write goes through a copy-before-write helper that duplicates the page
+// when the refcount exceeds one, so a shared page is immutable for as long
+// as it is shared — concurrent pools may read it without locks. Refcount
+// operations are atomic because distinct pools run under distinct mutexes.
+const (
+	// PageShift is log2 of PageSize.
+	PageShift = 12
+	// PageSize is the copy-on-write sharing granularity of pool images.
+	PageSize = 1 << PageShift
+
+	pageMask     = PageSize - 1
+	linesPerPage = PageSize / LineSize
+	lineShift    = 6 // log2(linesPerPage): line index -> page index
+	lineMask     = linesPerPage - 1
+
+	// groupPages is the fan-in of the fingerprint's middle Merkle level:
+	// one cached group hash covers this many per-page hashes, so an
+	// unchanged 512 KiB span costs one 32-byte write per Fingerprint call.
+	groupPages = 128
+)
+
+// page is one copy-on-write unit of a pool image, plus its cached content
+// hash (the fingerprint's leaf level). The hash travels with the page: two
+// pools sharing a page also share the work of hashing it.
+type page struct {
+	refs int32 // atomic: table slots referencing this page
+
+	// hashMu guards hash/hashOK. Concurrent Fingerprint calls on pools
+	// sharing the page serialize here; in-place writes (which require
+	// refs==1, hence no concurrent reader) invalidate hashOK.
+	hashMu sync.Mutex
+	hashOK bool
+	hash   [32]byte
+
+	data [PageSize]byte
+}
+
+// pageMut is the lazily allocated mutable shadow of one page: the cache-line
+// state machine and the flush-staged line snapshots. Pools allocate one per
+// page actually stored to or flushed, so a mostly-clean pool (a fresh crash
+// image, say) carries no per-byte mutable state at all. Muts are never
+// shared between pools.
+type pageMut struct {
+	state   [linesPerPage]lineState
+	pending [PageSize]byte
+}
+
+var (
+	pagePool = sync.Pool{New: func() any { return new(page) }}
+	mutPool  = sync.Pool{New: func() any { return new(pageMut) }}
+
+	zeroPage [PageSize]byte // read-only zero bytes for nil-page reads
+
+	zeroPageHashOnce sync.Once
+	zeroPageHashVal  [32]byte
+)
+
+// newPage returns a zeroed page with refcount 1.
+func newPage() *page {
+	pg := pagePool.Get().(*page)
+	pg.refs = 1
+	pg.hashOK = false
+	pg.data = [PageSize]byte{}
+	return pg
+}
+
+// newPageCopy returns a private copy of src with refcount 1. The hash cache
+// is not carried over: copies exist to be written to.
+func newPageCopy(src *page) *page {
+	pg := pagePool.Get().(*page)
+	pg.refs = 1
+	pg.hashOK = false
+	pg.data = src.data
+	return pg
+}
+
+// retain adds one table-slot reference.
+func (pg *page) retain() { atomic.AddInt32(&pg.refs, 1) }
+
+// release drops one table-slot reference, recycling the page through the
+// shared page pool when the last reference goes away.
+func (pg *page) release() {
+	if atomic.AddInt32(&pg.refs, -1) == 0 {
+		pagePool.Put(pg)
+	}
+}
+
+// shared reports whether the page is referenced by more than one table slot.
+func (pg *page) shared() bool { return atomic.LoadInt32(&pg.refs) > 1 }
+
+// contentHash returns the page's SHA-256, computing and caching it on first
+// use. Safe to call from multiple pools sharing the page.
+func (pg *page) contentHash() [32]byte {
+	pg.hashMu.Lock()
+	if !pg.hashOK {
+		pg.hash = sha256.Sum256(pg.data[:])
+		pg.hashOK = true
+	}
+	h := pg.hash
+	pg.hashMu.Unlock()
+	return h
+}
+
+// invalidateHash marks the cached hash stale. Callers hold the owning
+// pool's mutex and the page privately (refs==1), so no Fingerprint can be
+// reading concurrently; the mutex is still taken to order the write against
+// a hash computed while the page was previously shared.
+func (pg *page) invalidateHash() {
+	pg.hashMu.Lock()
+	pg.hashOK = false
+	pg.hashMu.Unlock()
+}
+
+// zeroPageHash is the cached SHA-256 of an all-zero page — the leaf hash of
+// every nil table entry.
+func zeroPageHash() [32]byte {
+	zeroPageHashOnce.Do(func() { zeroPageHashVal = sha256.Sum256(zeroPage[:]) })
+	return zeroPageHashVal
+}
+
+// newPageMut returns a mut with all lines clean. The pending area is not
+// cleared: its bytes are only ever read after being staged by a flush.
+func newPageMut() *pageMut {
+	m := mutPool.Get().(*pageMut)
+	m.state = [linesPerPage]lineState{}
+	return m
+}
+
+func putPageMut(m *pageMut) { mutPool.Put(m) }
+
+// tableSet bundles the three per-pool page tables so Release can recycle
+// them as a unit: allocating three fresh np-length tables per crash image is
+// itself an O(pool) cost the snapshot path avoids by reusing released ones.
+type tableSet struct {
+	volatile, persist []*page
+	muts              []*pageMut
+}
+
+var tableSetPool sync.Pool
+
+// newTables returns three all-nil np-length tables, reusing a released set
+// when one of sufficient capacity is available (Release nils every entry, so
+// recycled tables come back clean).
+func newTables(np int) tableSet {
+	if v := tableSetPool.Get(); v != nil {
+		t := v.(*tableSet)
+		if cap(t.volatile) >= np {
+			return tableSet{t.volatile[:np], t.persist[:np], t.muts[:np]}
+		}
+	}
+	return tableSet{make([]*page, np), make([]*page, np), make([]*pageMut, np)}
+}
+
+// npagesFor returns the page-table length covering size bytes.
+func npagesFor(size uint64) int { return int((size + PageSize - 1) >> PageShift) }
+
+// --- per-pool page helpers (callers hold p.mu) ---
+
+// mutFor returns the mut chunk for page pi, allocating it on first use.
+func (p *Pool) mutFor(pi int) *pageMut {
+	m := p.muts[pi]
+	if m == nil {
+		m = newPageMut()
+		p.muts[pi] = m
+	}
+	return m
+}
+
+// volatileWritable returns a privately owned volatile page at index pi,
+// materializing a zero page or a copy-before-write duplicate as needed.
+func (p *Pool) volatileWritable(pi int) *page {
+	pg := p.volatile[pi]
+	if pg == nil {
+		pg = newPage()
+		p.volatile[pi] = pg
+		return pg
+	}
+	if pg.shared() {
+		np := newPageCopy(pg)
+		pg.release()
+		p.volatile[pi] = np
+		return np
+	}
+	return pg
+}
+
+// persistWritable is volatileWritable for the persistent table. It also
+// invalidates the page's cached hash and the covering fingerprint group:
+// persistent bytes are about to change.
+func (p *Pool) persistWritable(pi int) *page {
+	if p.groupOK != nil {
+		p.groupOK[pi/groupPages] = false
+	}
+	pg := p.persist[pi]
+	if pg == nil {
+		pg = newPage()
+		p.persist[pi] = pg
+		return pg
+	}
+	if pg.shared() {
+		np := newPageCopy(pg)
+		pg.release()
+		p.persist[pi] = np
+		return np
+	}
+	pg.invalidateHash()
+	return pg
+}
+
+// readVolatile copies [off, off+len(dst)) of the volatile image into dst.
+func (p *Pool) readVolatile(off uint64, dst []byte) {
+	for len(dst) > 0 {
+		pi, po := int(off>>PageShift), off&pageMask
+		var n int
+		if pg := p.volatile[pi]; pg != nil {
+			n = copy(dst, pg.data[po:])
+		} else {
+			n = copy(dst, zeroPage[po:])
+		}
+		dst = dst[n:]
+		off += uint64(n)
+	}
+}
+
+// writeVolatile copies src into the volatile image at off, duplicating
+// shared pages copy-before-write.
+func (p *Pool) writeVolatile(off uint64, src []byte) {
+	for len(src) > 0 {
+		pi, po := int(off>>PageShift), off&pageMask
+		n := copy(p.volatileWritable(pi).data[po:], src)
+		src = src[n:]
+		off += uint64(n)
+	}
+}
+
+// readPersist copies [off, off+len(dst)) of the persistent image into dst.
+func (p *Pool) readPersist(off uint64, dst []byte) {
+	for len(dst) > 0 {
+		pi, po := int(off>>PageShift), off&pageMask
+		var n int
+		if pg := p.persist[pi]; pg != nil {
+			n = copy(dst, pg.data[po:])
+		} else {
+			n = copy(dst, zeroPage[po:])
+		}
+		dst = dst[n:]
+		off += uint64(n)
+	}
+}
+
+// volatileLine returns the in-place bytes of cache line l. Only valid for
+// lines known to have been stored to (their volatile page exists).
+func (p *Pool) volatileLine(l uint64) []byte {
+	lo := (l & lineMask) * LineSize
+	return p.volatile[l>>lineShift].data[lo : lo+LineSize]
+}
+
+// persistLine returns the in-place (read-only) bytes of cache line l in the
+// persistent image, standing in zeros for an absent page.
+func (p *Pool) persistLine(l uint64) []byte {
+	lo := (l & lineMask) * LineSize
+	if pg := p.persist[l>>lineShift]; pg != nil {
+		return pg.data[lo : lo+LineSize]
+	}
+	return zeroPage[lo : lo+LineSize]
+}

@@ -16,6 +16,7 @@
 package pmem
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 	"sync"
@@ -47,17 +48,51 @@ const DefaultBase = 0x1000_0000
 // workloads observe a single total order of instrumented instructions — the
 // same serialization Valgrind imposes on the paper's detectors.
 type Pool struct {
-	mu       sync.Mutex
-	base     uint64
-	volatile []byte // what loads observe
-	persist  []byte // what survives a crash
-	pending  []byte // staged line snapshots (valid where state==*Pending)
-	state    []lineState
+	mu   sync.Mutex
+	base uint64
+	size uint64
+
+	// volatile and persist are the two pool images as copy-on-write page
+	// tables (see page.go): volatile is what loads observe, persist is what
+	// survives a crash. A nil entry is an all-zero page. Pages are shared
+	// between pools (Crash snapshots alias their parent's persistent pages)
+	// and every write path materializes private copies on demand.
+	volatile []*page
+	persist  []*page
+	// muts holds each page's mutable shadow — cache-line states and
+	// flush-staged line snapshots — allocated lazily on the first store or
+	// flush touching the page and never shared between pools.
+	muts []*pageMut
 
 	// pendingLines lists line indexes in state linePending or
 	// lineDirtyPending so fences commit in O(pending) rather than scanning
 	// the whole pool.
 	pendingLines []uint64
+	// dirtyLineCount and pendingLineCount are DirtyLines/PendingLines
+	// maintained incrementally at every line-state transition, replacing
+	// the full line scan the queries used to run.
+	dirtyLineCount   int
+	pendingLineCount int
+
+	// groupHash/groupOK cache the fingerprint's middle Merkle level: one
+	// hash per groupPages consecutive persistent pages, invalidated by
+	// persistWritable. Allocated on first Fingerprint; Crash hands the
+	// caches down to snapshots (shared pages have identical content).
+	groupHash [][32]byte
+	groupOK   []bool
+
+	// sortedNames and namesHash cache the named-region table's sort order
+	// and content hash for Fingerprint and region replay; RegisterNamed
+	// invalidates both.
+	sortedNames []string
+	namesHash   [32]byte
+	namesHashOK bool
+
+	// deepCopyCrash disables copy-on-write crash images: Crash materializes
+	// every page of the snapshot privately, restoring the O(pool) cost
+	// model of the pre-COW engine. Images are byte-identical either way;
+	// benchmarks keep this baseline reachable via SetCrashDeepCopy.
+	deepCopyCrash bool
 
 	handlers trace.MultiHandler
 	// conduits tracks the asynchronous delivery conduits — single-consumer
@@ -104,12 +139,13 @@ type Pool struct {
 // cache lines) based at DefaultBase.
 func New(size uint64) *Pool {
 	size = (size + LineSize - 1) &^ uint64(LineSize-1)
+	np := npagesFor(size)
 	p := &Pool{
 		base:     DefaultBase,
-		volatile: make([]byte, size),
-		persist:  make([]byte, size),
-		pending:  make([]byte, size),
-		state:    make([]lineState, size/LineSize),
+		size:     size,
+		volatile: make([]*page, np),
+		persist:  make([]*page, np),
+		muts:     make([]*pageMut, np),
 		names:    map[string]intervals.Range{},
 	}
 	p.alloc.init(p.base, size)
@@ -117,7 +153,7 @@ func New(size uint64) *Pool {
 }
 
 // Size returns the pool size in bytes.
-func (p *Pool) Size() uint64 { return uint64(len(p.volatile)) }
+func (p *Pool) Size() uint64 { return p.size }
 
 // Base returns the pool's base address.
 func (p *Pool) Base() uint64 { return p.base }
@@ -245,12 +281,7 @@ func (p *Pool) refreshFastPathLocked() {
 // hold p.mu.
 func (p *Pool) replayRegionsLocked(h trace.Handler) {
 	h.HandleEvent(trace.Event{Kind: trace.KindRegister, Addr: p.base, Size: p.Size()})
-	names := make([]string, 0, len(p.names))
-	for name := range p.names {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
+	for _, name := range p.sortedNamesLocked() {
 		r := p.names[name]
 		h.HandleEvent(trace.Event{
 			Kind: trace.KindRegister, Addr: r.Addr, Size: r.Size,
@@ -385,8 +416,93 @@ func (p *Pool) off(addr uint64) uint64 { return addr - p.base }
 func (p *Pool) storeLocked(addr uint64, data []byte, strand, thread int32, site trace.SiteID) {
 	size := uint64(len(data))
 	p.checkRange(addr, size)
-	copy(p.volatile[p.off(addr):], data)
+	p.writeVolatile(p.off(addr), data)
 	p.storeTailLocked(addr, size, strand, thread, site)
+}
+
+// markStoredLines runs the store transition of the line state machine over
+// lines [first, last], maintaining the incremental dirty/pending counters.
+func (p *Pool) markStoredLines(first, last uint64) {
+	for l := first; l <= last; l++ {
+		m := p.mutFor(int(l >> lineShift))
+		switch li := l & lineMask; m.state[li] {
+		case lineClean:
+			m.state[li] = lineDirty
+			p.dirtyLineCount++
+		case linePending:
+			m.state[li] = lineDirtyPending
+			p.dirtyLineCount++
+		}
+	}
+}
+
+// stageLines runs the flush transition over lines [first, last]: dirty lines
+// get their volatile bytes staged for the next fence. It reports whether the
+// pending set or any staged content changed — the signal
+// persistency-relevant crash-point pruning keys on (a newly staged line
+// always counts: even when its bytes equal the persistent image it shifts
+// the per-line coin assignment of CrashRandomPending).
+func (p *Pool) stageLines(first, last uint64) (changed bool) {
+	for l := first; l <= last; l++ {
+		m := p.muts[l>>lineShift]
+		if m == nil {
+			continue // whole page clean
+		}
+		li := l & lineMask
+		lo := li * LineSize
+		switch m.state[li] {
+		case lineDirty:
+			copy(m.pending[lo:lo+LineSize], p.volatileLine(l))
+			m.state[li] = linePending
+			p.pendingLines = append(p.pendingLines, l)
+			p.dirtyLineCount--
+			p.pendingLineCount++
+			changed = true
+		case lineDirtyPending:
+			// Restaging keeps the pending set intact: only a content
+			// difference can alter a crash image.
+			v := p.volatileLine(l)
+			if !bytes.Equal(m.pending[lo:lo+LineSize], v) {
+				changed = true
+				copy(m.pending[lo:lo+LineSize], v)
+			}
+			m.state[li] = linePending
+			p.dirtyLineCount--
+		}
+	}
+	return changed
+}
+
+// commitPending runs the fence transition over every staged line, copying
+// staged snapshots into the persistent image (copy-before-write on shared
+// pages). It reports whether any committed line's bytes differed from the
+// persistent image — false for a fence that re-commits identical bytes,
+// where dropping and applying coincide for every crash policy and seed.
+func (p *Pool) commitPending() (changed bool) {
+	for _, l := range p.pendingLines {
+		m := p.muts[l>>lineShift]
+		li := l & lineMask
+		st := m.state[li]
+		if st != linePending && st != lineDirtyPending {
+			continue
+		}
+		lo := li * LineSize
+		staged := m.pending[lo : lo+LineSize]
+		if !bytes.Equal(p.persistLine(l), staged) {
+			changed = true
+			pg := p.persistWritable(int(l >> lineShift))
+			copy(pg.data[lo:lo+LineSize], staged)
+		}
+		if st == linePending {
+			m.state[li] = lineClean
+		} else {
+			m.state[li] = lineDirty
+		}
+		p.pendingLineCount--
+		p.stats.LinesCommitted++
+	}
+	p.pendingLines = p.pendingLines[:0]
+	return changed
 }
 
 // storeTailLocked is the store bookkeeping shared by the byte-slice and
@@ -395,16 +511,7 @@ func (p *Pool) storeLocked(addr uint64, data []byte, strand, thread int32, site 
 func (p *Pool) storeTailLocked(addr, size uint64, strand, thread int32, site trace.SiteID) {
 	p.stats.Stores++
 	p.stats.BytesStored += size
-	first := p.off(addr) / LineSize
-	last := p.off(addr+size-1) / LineSize
-	for l := first; l <= last; l++ {
-		switch p.state[l] {
-		case lineClean:
-			p.state[l] = lineDirty
-		case linePending:
-			p.state[l] = lineDirtyPending
-		}
-	}
+	p.markStoredLines(p.off(addr)/LineSize, p.off(addr+size-1)/LineSize)
 	if fp := p.fastPipe; fp != nil {
 		// Zero-copy: construct the event in the staging slab itself.
 		p.seq++
@@ -436,20 +543,7 @@ func (p *Pool) flushLocked(addr, size uint64, kind trace.FlushKind, strand, thre
 	p.checkRange(addr, size)
 	p.stats.Flushes++
 	span := intervals.SpanLines(intervals.R(addr, size))
-	first := p.off(span.Addr) / LineSize
-	last := p.off(span.End()-1) / LineSize
-	for l := first; l <= last; l++ {
-		switch p.state[l] {
-		case lineDirty:
-			copy(p.pending[l*LineSize:(l+1)*LineSize], p.volatile[l*LineSize:(l+1)*LineSize])
-			p.state[l] = linePending
-			p.pendingLines = append(p.pendingLines, l)
-		case lineDirtyPending:
-			// Already on the pending list; refresh the staged snapshot.
-			copy(p.pending[l*LineSize:(l+1)*LineSize], p.volatile[l*LineSize:(l+1)*LineSize])
-			p.state[l] = linePending
-		}
-	}
+	p.stageLines(p.off(span.Addr)/LineSize, p.off(span.End()-1)/LineSize)
 	if fp := p.fastPipe; fp != nil {
 		p.seq++
 		*fp.Slot() = trace.Event{
@@ -479,19 +573,7 @@ func (p *Pool) flushLocked(addr, size uint64, kind trace.FlushKind, strand, thre
 // Fence event.
 func (p *Pool) fenceLocked(strand, thread int32) {
 	p.stats.Fences++
-	for _, l := range p.pendingLines {
-		switch p.state[l] {
-		case linePending:
-			copy(p.persist[l*LineSize:(l+1)*LineSize], p.pending[l*LineSize:(l+1)*LineSize])
-			p.state[l] = lineClean
-			p.stats.LinesCommitted++
-		case lineDirtyPending:
-			copy(p.persist[l*LineSize:(l+1)*LineSize], p.pending[l*LineSize:(l+1)*LineSize])
-			p.state[l] = lineDirty
-			p.stats.LinesCommitted++
-		}
-	}
-	p.pendingLines = p.pendingLines[:0]
+	p.commitPending()
 	if fp := p.fastPipe; fp != nil {
 		p.seq++
 		*fp.Slot() = trace.Event{
@@ -517,6 +599,7 @@ func (p *Pool) RegisterNamed(name string, addr, size uint64) {
 	defer p.mu.Unlock()
 	p.checkRange(addr, size)
 	p.names[name] = intervals.R(addr, size)
+	p.invalidateNamesLocked()
 	p.emitLocked(trace.Event{
 		Kind: trace.KindRegister, Addr: addr, Size: size,
 		Site: trace.RegisterSite(name),
@@ -548,6 +631,28 @@ func (p *Pool) NamedRange(name string) (intervals.Range, bool) {
 	return r, ok
 }
 
+// sortedNamesLocked returns the named-region table's names in sorted order,
+// caching the slice between RegisterNamed calls. Callers hold p.mu and must
+// not mutate the result.
+func (p *Pool) sortedNamesLocked() []string {
+	if p.sortedNames == nil {
+		names := make([]string, 0, len(p.names))
+		for name := range p.names {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		p.sortedNames = names
+	}
+	return p.sortedNames
+}
+
+// invalidateNamesLocked drops the sorted-order and hash caches after a
+// named-region change. Callers hold p.mu.
+func (p *Pool) invalidateNamesLocked() {
+	p.sortedNames = nil
+	p.namesHashOK = false
+}
+
 // End signals the end of the program under test. Detectors run their final
 // checks (no-durability rule) on this event. Asynchronous handlers are
 // drained before End returns, so a Report taken afterwards reflects the
@@ -565,7 +670,7 @@ func (p *Pool) Load(addr, size uint64) []byte {
 	defer p.mu.Unlock()
 	p.checkRange(addr, size)
 	out := make([]byte, size)
-	copy(out, p.volatile[p.off(addr):])
+	p.readVolatile(p.off(addr), out)
 	return out
 }
 
@@ -574,5 +679,5 @@ func (p *Pool) LoadInto(addr uint64, dst []byte) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.checkRange(addr, uint64(len(dst)))
-	copy(dst, p.volatile[p.off(addr):])
+	p.readVolatile(p.off(addr), dst)
 }

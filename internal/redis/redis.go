@@ -45,6 +45,13 @@ type Server struct {
 	index  map[string]uint64 // key -> entry addr (volatile)
 	lru    map[string]uint64 // key -> last access tick (volatile)
 	expiry map[string]uint64 // key -> expiry tick (volatile, like Redis TTLs before persistence)
+	// keys/keyPos mirror the index as a swap-remove slice so eviction can
+	// sample keys through the seeded rng: map iteration order is
+	// runtime-randomized and would make eviction — and with it the event
+	// stream — nondeterministic across runs, which the crash-space
+	// explorer's record/replay equivalence cannot tolerate.
+	keys   []string
+	keyPos map[string]int
 	clock  uint64
 	rng    *rand.Rand
 
@@ -86,9 +93,10 @@ func NewWith(pm *pmem.Pool, cfg Config) (*Server, error) {
 	}
 	s := &Server{
 		cfg: cfg, pm: pm, p: p,
-		index: map[string]uint64{},
-		lru:   map[string]uint64{},
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		index:  map[string]uint64{},
+		lru:    map[string]uint64{},
+		keyPos: map[string]int{},
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
 	}
 	root, _ := p.Root()
 	tx := p.Begin()
@@ -154,9 +162,29 @@ func (s *Server) Set(key string, value []byte) error {
 	tx.Set(root+rdFCount, s.ld(root+rdFCount)+1)
 	tx.Commit()
 	s.index[key] = entry
+	s.trackKey(key)
 	s.lru[key] = s.clock
 	delete(s.expiry, key) // SET clears any TTL, as in Redis
 	return nil
+}
+
+// trackKey/untrackKey maintain the swap-remove key slice eviction samples
+// from (deterministically, via the seeded rng).
+func (s *Server) trackKey(key string) {
+	s.keyPos[key] = len(s.keys)
+	s.keys = append(s.keys, key)
+}
+
+func (s *Server) untrackKey(key string) {
+	pos, ok := s.keyPos[key]
+	if !ok {
+		return
+	}
+	last := len(s.keys) - 1
+	s.keys[pos] = s.keys[last]
+	s.keyPos[s.keys[pos]] = pos
+	s.keys = s.keys[:last]
+	delete(s.keyPos, key)
 }
 
 // newEntry writes a fresh entry (no undo needed: fresh allocation).
@@ -254,6 +282,7 @@ func (s *Server) Del(key string) (bool, error) {
 	tx.Commit()
 	s.p.Free(e, s.entrySize(e))
 	delete(s.index, key)
+	s.untrackKey(key)
 	delete(s.lru, key)
 	delete(s.expiry, key)
 	return true, nil
@@ -267,17 +296,14 @@ func (s *Server) evictLRU() error {
 	}
 	var victim string
 	var victimTick uint64
-	picked := 0
-	// Map iteration order is runtime-randomized; take the first Sample
-	// keys as the sample.
-	for k := range s.index {
+	// Sample keys through the seeded rng (duplicates are fine, as in
+	// Redis's approximated sampling); never through map iteration, whose
+	// runtime-randomized order would make the event stream irreproducible.
+	for picked := 0; picked < s.cfg.Sample; picked++ {
+		k := s.keys[s.rng.Intn(len(s.keys))]
 		tick := s.lru[k]
 		if picked == 0 || tick < victimTick {
 			victim, victimTick = k, tick
-		}
-		picked++
-		if picked >= s.cfg.Sample {
-			break
 		}
 	}
 	if _, err := s.Del(victim); err != nil {
@@ -323,10 +349,12 @@ func (s *Server) Rebuild() error {
 	nb := s.ld(root + rdFNBuckets)
 	s.index = map[string]uint64{}
 	s.lru = map[string]uint64{}
+	s.keys, s.keyPos = nil, map[string]int{}
 	var walked uint64
 	for i := uint64(0); i < nb; i++ {
 		for e := s.ld(buckets + i*8); e != 0; e = s.ld(e) {
 			s.index[s.entryKey(e)] = e
+			s.trackKey(s.entryKey(e))
 			walked++
 		}
 	}
@@ -348,9 +376,10 @@ func Reopen(pm *pmem.Pool, cfg Config) (*Server, error) {
 	}
 	s := &Server{
 		cfg: cfg, pm: pm, p: p,
-		index: map[string]uint64{},
-		lru:   map[string]uint64{},
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		index:  map[string]uint64{},
+		lru:    map[string]uint64{},
+		keyPos: map[string]int{},
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
 	}
 	if err := s.Rebuild(); err != nil {
 		return nil, err
