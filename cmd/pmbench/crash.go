@@ -24,12 +24,23 @@ type crashOpts struct {
 	ops         int
 	stride      int
 	workers     int
+	// maxSnapDecay, when > 0, fails the experiment if the geomean snapshot
+	// decay — COW points/sec at the smallest sweep size over points/sec at
+	// the largest — exceeds the bound. With chunk-shared page tables the
+	// per-image cost is O(dirty) in table slots too, so points/sec should
+	// decay sublinearly with pool size (the bound is far below the size
+	// ratio); CI runs it as a soft gate.
+	maxSnapDecay float64
 	// sweepSizesMiB are the pool sizes of the crash-image scaling sweep;
 	// sweepPoints caps crash points per sweep cell so the op count, not the
-	// point count, stays fixed across sizes.
-	sweepSizesMiB []int
-	sweepPoints   int
-	workloads     []string
+	// point count, stays fixed across sizes. sweepDeepLimitMiB stops
+	// deep-copy baseline rows above that size (0 = sweep it everywhere):
+	// O(pool) images at gigabyte pools add minutes of wall clock and no
+	// information.
+	sweepSizesMiB     []int
+	sweepPoints       int
+	sweepDeepLimitMiB int
+	workloads         []string
 }
 
 // crashArtifact is the BENCH_crash.json schema: per-engine wall-clock and
@@ -57,23 +68,37 @@ type crashArtifact struct {
 // fixed, plus the per-size and largest-size speedup summaries the
 // crash_image_scaling CI gate reads.
 type crashScaling struct {
-	SizesMiB  []int                       `json:"sizes_mib"`
-	MaxPoints int                         `json:"max_points"`
-	Results   []harness.CrashScalingPoint `json:"results"`
-	// CowSpeedups maps "workload/<size>MiB" to deep-copy time over COW time.
+	SizesMiB  []int `json:"sizes_mib"`
+	MaxPoints int   `json:"max_points"`
+	// DeepCopyLimitMiB is the largest size the deep-copy baseline was swept
+	// at; COW and flat rows cover every size.
+	DeepCopyLimitMiB int                         `json:"deepcopy_limit_mib"`
+	Results          []harness.CrashScalingPoint `json:"results"`
+	// CowSpeedups maps "workload/<size>MiB" to deep-copy time over COW time
+	// (sizes within the deep-copy limit only).
 	CowSpeedups map[string]float64 `json:"cow_speedups"`
-	// GeomeanCowSpeedupLargest aggregates the largest-size speedups across
-	// workloads — the number -mincowscale bounds.
+	// ChunkSpeedups maps "workload/<size>MiB" to flat-table time over
+	// chunked COW time — the pointer-work the two-level tables remove.
+	ChunkSpeedups map[string]float64 `json:"chunk_speedups"`
+	// GeomeanCowSpeedupLargest aggregates the speedups at the largest
+	// deep-copy-swept size across workloads — the number -mincowscale
+	// bounds.
 	GeomeanCowSpeedupLargest float64 `json:"geomean_cow_speedup_largest"`
 	// CowFlatness maps workload to COW points/sec at the largest size over
 	// points/sec at the smallest: 1.0 is perfectly flat scaling.
 	CowFlatness map[string]float64 `json:"cow_flatness"`
+	// SnapDecay maps workload to the inverse of CowFlatness — points/sec at
+	// the smallest size over the largest, the number -maxsnapdecay bounds.
+	SnapDecay map[string]float64 `json:"snap_decay"`
+	// GeomeanSnapDecay aggregates SnapDecay across workloads.
+	GeomeanSnapDecay float64 `json:"geomean_snap_decay"`
 }
 
-// crashExp measures crash-space exploration three ways per workload —
+// crashExp measures crash-space exploration five ways per workload —
 // exhaustive serial re-execution, the record-once engine with a checker
-// worker pool, and the same engine with pruning and deduplication — after
-// the harness has verified all three report the identical failure set. The
+// worker pool, the same engine with pruning and deduplication, and the
+// reducer engine over the flat-table and deep-copy snapshot baselines —
+// after the harness has verified all five report the identical failure set. The
 // sanity gates are structural: the reduced engine must check strictly fewer
 // images than the exhaustive reference on every workload, and -minspeedup
 // (when set) bounds the geomean parallel speedup.
@@ -99,13 +124,14 @@ func crashExp(opts crashOpts) error {
 		if err != nil {
 			return err
 		}
-		serial, parallel, reduced, deepcopy := rs[0], rs[1], rs[2], rs[3]
+		serial, parallel, reduced, flat, deepcopy := rs[0], rs[1], rs[2], rs[3], rs[4]
 		if reduced.ImagesChecked >= serial.ImagesChecked {
 			return fmt.Errorf("crash %s: reducers checked %d images, not below the exhaustive %d",
 				workload, reduced.ImagesChecked, serial.ImagesChecked)
 		}
 		parSpeed := float64(serial.Nanos) / float64(parallel.Nanos)
 		redSpeed := float64(serial.Nanos) / float64(reduced.Nanos)
+		flatSpeed := float64(serial.Nanos) / float64(flat.Nanos)
 		deepSpeed := float64(serial.Nanos) / float64(deepcopy.Nanos)
 		art.Results = append(art.Results, rs...)
 		art.ParallelSpeedups[workload] = parSpeed
@@ -119,6 +145,8 @@ func crashExp(opts crashOpts) error {
 				mark = fmt.Sprintf("%9.2fx", parSpeed)
 			case "parallel+reducers":
 				mark = fmt.Sprintf("%9.2fx", redSpeed)
+			case "flat+reducers":
+				mark = fmt.Sprintf("%9.2fx", flatSpeed)
 			case "deepcopy+reducers":
 				mark = fmt.Sprintf("%9.2fx", deepSpeed)
 			}
@@ -163,67 +191,115 @@ func crashExp(opts crashOpts) error {
 			art.GeomeanParallelSpeedup, opts.minSpeedup)
 	}
 	if opts.minCowScale > 0 && art.Scaling != nil {
-		largest := opts.sweepSizesMiB[len(opts.sweepSizesMiB)-1]
 		if art.Scaling.GeomeanCowSpeedupLargest < opts.minCowScale {
 			return fmt.Errorf("crash: geomean cow speedup %.2fx at %dMiB below required %.2fx",
-				art.Scaling.GeomeanCowSpeedupLargest, largest, opts.minCowScale)
+				art.Scaling.GeomeanCowSpeedupLargest, art.Scaling.DeepCopyLimitMiB, opts.minCowScale)
+		}
+	}
+	if opts.maxSnapDecay > 0 && art.Scaling != nil {
+		if art.Scaling.GeomeanSnapDecay > opts.maxSnapDecay {
+			return fmt.Errorf("crash: geomean snapshot decay %.2fx across %d->%dMiB above allowed %.2fx",
+				art.Scaling.GeomeanSnapDecay, opts.sweepSizesMiB[0],
+				opts.sweepSizesMiB[len(opts.sweepSizesMiB)-1], opts.maxSnapDecay)
 		}
 	}
 	return nil
 }
 
 // crashScalingSweep runs and prints the pool-size sweep, returning the
-// artifact section the crash_image_scaling gate reads.
+// artifact section the crash_image_scaling gates read.
 func crashScalingSweep(opts crashOpts) (*crashScaling, error) {
-	fmt.Println("\n--- Crash-image scaling: copy-on-write vs deep-copy across pool sizes ---")
-	fmt.Printf("%-12s %8s %-10s %8s %12s %12s %14s %10s\n",
-		"workload", "pool", "engine", "images", "time", "points/s", "pages z/s/p", "cow-gain")
-	sc := &crashScaling{
-		SizesMiB:    opts.sweepSizesMiB,
-		MaxPoints:   opts.sweepPoints,
-		CowSpeedups: map[string]float64{},
-		CowFlatness: map[string]float64{},
+	fmt.Println("\n--- Crash-image scaling: chunked COW vs flat tables vs deep-copy across pool sizes ---")
+	fmt.Printf("%-12s %8s %-10s %8s %12s %12s %14s %10s %10s\n",
+		"workload", "pool", "engine", "images", "time", "points/s", "pages z/s/p", "cow-gain", "chunk-gain")
+	// deepLargest is the largest size the deep-copy baseline is swept at —
+	// the size the -mincowscale gate is evaluated at.
+	deepLargest := opts.sweepSizesMiB[len(opts.sweepSizesMiB)-1]
+	if opts.sweepDeepLimitMiB > 0 {
+		deepLargest = 0
+		for _, mib := range opts.sweepSizesMiB {
+			if mib <= opts.sweepDeepLimitMiB {
+				deepLargest = mib
+			}
+		}
 	}
-	logLargest := 0.0
+	sc := &crashScaling{
+		SizesMiB:         opts.sweepSizesMiB,
+		MaxPoints:        opts.sweepPoints,
+		DeepCopyLimitMiB: deepLargest,
+		CowSpeedups:      map[string]float64{},
+		ChunkSpeedups:    map[string]float64{},
+		CowFlatness:      map[string]float64{},
+		SnapDecay:        map[string]float64{},
+	}
+	logLargest, logDecay := 0.0, 0.0
 	for _, workload := range opts.workloads {
 		pts, err := harness.MeasureCrashScaling(workload, opts.ops, opts.stride,
-			opts.workers, opts.sweepPoints, opts.sweepSizesMiB)
+			opts.workers, opts.sweepPoints, opts.sweepSizesMiB, opts.sweepDeepLimitMiB)
 		if err != nil {
 			return nil, err
 		}
 		sc.Results = append(sc.Results, pts...)
-		// Rows come in (cow, deepcopy) pairs per size.
-		var firstCow, lastCow harness.CrashScalingPoint
-		for i := 0; i+1 < len(pts); i += 2 {
-			cow, deep := pts[i], pts[i+1]
-			speed := float64(deep.Nanos) / float64(cow.Nanos)
-			sc.CowSpeedups[fmt.Sprintf("%s/%dMiB", workload, cow.PoolMiB)] = speed
+		// Index the rows by (size, engine): every size has cow and flat
+		// rows, sizes within the deep-copy limit also have a deepcopy row.
+		type cell = harness.CrashScalingPoint
+		bySize := map[int]map[string]cell{}
+		for _, r := range pts {
+			if bySize[r.PoolMiB] == nil {
+				bySize[r.PoolMiB] = map[string]cell{}
+			}
+			bySize[r.PoolMiB][r.Engine] = r
+		}
+		var firstCow, lastCow cell
+		for i, mib := range opts.sweepSizesMiB {
+			row := bySize[mib]
+			cow := row["cow"]
 			if i == 0 {
 				firstCow = cow
 			}
 			lastCow = cow
-			if i == len(pts)-2 {
-				logLargest += math.Log(speed)
-			}
-			for _, r := range []harness.CrashScalingPoint{cow, deep} {
-				mark := ""
-				if r.Engine == "cow" {
-					mark = fmt.Sprintf("%9.2fx", speed)
+			key := fmt.Sprintf("%s/%dMiB", workload, mib)
+			chunkGain := float64(row["flat"].Nanos) / float64(cow.Nanos)
+			sc.ChunkSpeedups[key] = chunkGain
+			cowGain := 0.0
+			if deep, ok := row["deepcopy"]; ok {
+				cowGain = float64(deep.Nanos) / float64(cow.Nanos)
+				sc.CowSpeedups[key] = cowGain
+				if mib == deepLargest {
+					logLargest += math.Log(cowGain)
 				}
-				fmt.Printf("%-12s %5dMiB %-10s %8d %12s %12.1f %14s %10s\n",
+			}
+			for _, eng := range []string{"cow", "flat", "deepcopy"} {
+				r, ok := row[eng]
+				if !ok {
+					continue
+				}
+				mark, cmark := "", ""
+				if eng == "cow" {
+					cmark = fmt.Sprintf("%9.2fx", chunkGain)
+					if cowGain > 0 {
+						mark = fmt.Sprintf("%9.2fx", cowGain)
+					}
+				}
+				fmt.Printf("%-12s %5dMiB %-10s %8d %12s %12.1f %14s %10s %10s\n",
 					r.Workload, r.PoolMiB, r.Engine, r.Images,
 					time.Duration(r.Nanos).Round(time.Microsecond), r.PointsPerSec,
-					fmt.Sprintf("%d/%d/%d", r.ZeroPages, r.SharedPages, r.PrivatePages), mark)
+					fmt.Sprintf("%d/%d/%d", r.ZeroPages, r.SharedPages, r.PrivatePages), mark, cmark)
 			}
 		}
 		sc.CowFlatness[workload] = lastCow.PointsPerSec / firstCow.PointsPerSec
+		sc.SnapDecay[workload] = firstCow.PointsPerSec / lastCow.PointsPerSec
+		logDecay += math.Log(sc.SnapDecay[workload])
 	}
 	sc.GeomeanCowSpeedupLargest = math.Exp(logLargest / float64(len(opts.workloads)))
+	sc.GeomeanSnapDecay = math.Exp(logDecay / float64(len(opts.workloads)))
 	largest := opts.sweepSizesMiB[len(opts.sweepSizesMiB)-1]
-	fmt.Printf("geomean cow speedup over deep-copy at %dMiB: %.2fx\n", largest, sc.GeomeanCowSpeedupLargest)
+	fmt.Printf("geomean cow speedup over deep-copy at %dMiB: %.2fx\n", deepLargest, sc.GeomeanCowSpeedupLargest)
+	fmt.Printf("geomean snapshot decay %d->%dMiB: %.2fx\n", opts.sweepSizesMiB[0], largest, sc.GeomeanSnapDecay)
 	for _, workload := range opts.workloads {
-		fmt.Printf("  %s cow flatness (%d->%dMiB points/sec ratio): %.2f\n",
-			workload, opts.sweepSizesMiB[0], largest, sc.CowFlatness[workload])
+		fmt.Printf("  %s cow flatness (%d->%dMiB points/sec ratio): %.2f, chunk gain at %dMiB: %.2fx\n",
+			workload, opts.sweepSizesMiB[0], largest, sc.CowFlatness[workload],
+			largest, sc.ChunkSpeedups[fmt.Sprintf("%s/%dMiB", workload, largest)])
 	}
 	return sc, nil
 }

@@ -32,9 +32,14 @@
 // `-experiment crash` honors the same -json/-out/-minspeedup flags (artifact
 // BENCH_crash.json) and is sized with -crashops, -crashstride and
 // -crashworkers; it compares exhaustive serial re-execution with the
-// record-once parallel explorer, with and without its reducers, and fails
-// when any engine's failure set diverges from the serial reference or the
-// reducers do not check strictly fewer images.
+// record-once parallel explorer — with and without its reducers, and over
+// the flat-table and deep-copy snapshot baselines — and fails when any
+// engine's failure set diverges from the serial reference or the reducers
+// do not check strictly fewer images. The pool-size sweep (16→1024 MiB,
+// deep-copy rows capped by -sweepdeeplimit) feeds two soft gates:
+// -mincowscale bounds the geomean chunked-COW-over-deepcopy speedup from
+// below, -maxsnapdecay bounds the geomean decay of COW points/sec across
+// the sweep from above.
 package main
 
 import (
@@ -89,7 +94,9 @@ func main() {
 		crashOps   = flag.Int("crashops", 20, "crash: operations per crashed program")
 		crashStr   = flag.Int("crashstride", 3, "crash: event-boundary stride")
 		crashWrk   = flag.Int("crashworkers", 4, "crash: checker workers for the record-once engine")
-		minCow     = flag.Float64("mincowscale", 0, "crash: fail unless the geomean cow-over-deepcopy speedup at the largest sweep size >= this")
+		minCow     = flag.Float64("mincowscale", 0, "crash: fail unless the geomean cow-over-deepcopy speedup at the largest deep-copy-swept size >= this")
+		maxDecay   = flag.Float64("maxsnapdecay", 0, "crash: fail if the geomean snapshot decay (cow points/sec, smallest over largest sweep size) exceeds this")
+		deepLimit  = flag.Int("sweepdeeplimit", 256, "crash: largest pool size (MiB) the deep-copy baseline is swept at (0 = all sizes)")
 	)
 	flag.Parse()
 	harness.Repeats = *repeats
@@ -97,9 +104,11 @@ func main() {
 	pl := pipelineOpts{json: *jsonOut, out: *outPath, minSpeedup: *minSpeed,
 		minShardScale: *minShard, threads: *threads}
 	cr := crashOpts{json: *jsonOut, out: *outPath, minSpeedup: *minSpeed,
-		minCowScale: *minCow, ops: *crashOps, stride: *crashStr, workers: *crashWrk,
-		sweepSizesMiB: []int{16, 64, 256}, sweepPoints: 16,
-		workloads: []string{"b_tree", "txpair", "redis"}}
+		minCowScale: *minCow, maxSnapDecay: *maxDecay,
+		ops: *crashOps, stride: *crashStr, workers: *crashWrk,
+		sweepSizesMiB: []int{16, 64, 256, 1024}, sweepPoints: 16,
+		sweepDeepLimitMiB: *deepLimit,
+		workloads:         []string{"b_tree", "txpair", "redis"}}
 	if err := run(*experiment, *inserts, *memOps, *redisKeys, hp, pl, cr); err != nil {
 		fmt.Fprintln(os.Stderr, "pmbench:", err)
 		os.Exit(1)

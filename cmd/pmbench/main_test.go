@@ -25,7 +25,7 @@ func TestCrashArtifact(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH_crash.json")
 	cr := crashOpts{json: true, out: out, ops: 4, stride: 5, workers: 2,
 		workloads: []string{"b_tree", "txpair"},
-		sweepSizesMiB: []int{1, 2}, sweepPoints: 3}
+		sweepSizesMiB: []int{1, 2, 4}, sweepPoints: 3, sweepDeepLimitMiB: 2}
 	if err := run("crash", 0, 0, 0, hotpathOpts{}, pipelineOpts{}, cr); err != nil {
 		t.Fatalf("crash: %v", err)
 	}
@@ -37,7 +37,7 @@ func TestCrashArtifact(t *testing.T) {
 	if err := json.Unmarshal(data, &art); err != nil {
 		t.Fatalf("artifact is not valid JSON: %v", err)
 	}
-	if len(art.Results) != 4*len(art.ParallelSpeedups) ||
+	if len(art.Results) != 5*len(art.ParallelSpeedups) ||
 		art.GeomeanParallelSpeedup <= 0 || art.GeomeanReducedSpeedup <= 0 {
 		t.Fatalf("artifact incomplete: %+v", art)
 	}
@@ -46,16 +46,35 @@ func TestCrashArtifact(t *testing.T) {
 			t.Fatalf("%s reducers engine reduced nothing: %+v", r.Workload, r)
 		}
 	}
-	// The sweep section: (cow, deepcopy) per size per workload, with the
-	// gate's geomean populated.
+	// The sweep section: cow + flat rows per size per workload, deepcopy
+	// rows only at sizes within the deep-copy limit, with both gates'
+	// geomeans populated.
 	if art.Scaling == nil {
 		t.Fatal("crash_image_scaling section missing")
 	}
-	if want := 2 * len(cr.sweepSizesMiB) * len(cr.workloads); len(art.Scaling.Results) != want {
+	deepSizes := 0
+	for _, mib := range cr.sweepSizesMiB {
+		if mib <= cr.sweepDeepLimitMiB {
+			deepSizes++
+		}
+	}
+	want := (2*len(cr.sweepSizesMiB) + deepSizes) * len(cr.workloads)
+	if len(art.Scaling.Results) != want {
 		t.Fatalf("scaling rows = %d, want %d", len(art.Scaling.Results), want)
 	}
-	if art.Scaling.GeomeanCowSpeedupLargest <= 0 {
-		t.Fatalf("scaling geomean missing: %+v", art.Scaling)
+	for _, r := range art.Scaling.Results {
+		if r.Engine == "deepcopy" && r.PoolMiB > cr.sweepDeepLimitMiB {
+			t.Fatalf("deepcopy row above the sweep limit: %+v", r)
+		}
+	}
+	if art.Scaling.DeepCopyLimitMiB != 2 {
+		t.Fatalf("deepcopy limit = %d, want 2", art.Scaling.DeepCopyLimitMiB)
+	}
+	if art.Scaling.GeomeanCowSpeedupLargest <= 0 || art.Scaling.GeomeanSnapDecay <= 0 {
+		t.Fatalf("scaling geomeans missing: %+v", art.Scaling)
+	}
+	if len(art.Scaling.ChunkSpeedups) != len(cr.sweepSizesMiB)*len(cr.workloads) {
+		t.Fatalf("chunk speedups incomplete: %+v", art.Scaling.ChunkSpeedups)
 	}
 }
 

@@ -39,16 +39,18 @@ func main() {
 		prune     = flag.Bool("prune", false, "prune persistency-irrelevant crash points (record-once engine)")
 		dedup     = flag.Bool("dedup", false, "deduplicate identical crash images by content hash (record-once engine)")
 		deepCopy  = flag.Bool("deepcopy", false, "materialize crash images with private pages (O(pool) baseline) instead of copy-on-write")
+		flat      = flag.Bool("flat", false, "copy page tables at page granularity per image (O(table) baseline) instead of chunk-shared")
 	)
 	flag.Parse()
-	if err := run(*workload, *n, *stride, *maxPoints, *policy, *seeds, *strictLog, *parallel, *prune, *dedup, *deepCopy); err != nil {
+	if err := run(*workload, *n, *stride, *maxPoints, *policy, *seeds, *strictLog, *parallel, *prune, *dedup, *deepCopy, *flat); err != nil {
 		fmt.Fprintln(os.Stderr, "pmcrash:", err)
 		os.Exit(1)
 	}
 }
 
-func run(workload string, n, stride, maxPoints int, policyName string, nseeds int, strictLog bool, parallel int, prune, dedup, deepCopy bool) error {
-	cfg := crashtest.Config{PoolSize: 1 << 21, Stride: stride, MaxPoints: maxPoints, DeepCopyImages: deepCopy}
+func run(workload string, n, stride, maxPoints int, policyName string, nseeds int, strictLog bool, parallel int, prune, dedup, deepCopy, flat bool) error {
+	cfg := crashtest.Config{PoolSize: 1 << 21, Stride: stride, MaxPoints: maxPoints,
+		DeepCopyImages: deepCopy, FlatTables: flat}
 	switch policyName {
 	case "drop":
 		cfg.Policy = pmem.CrashDropPending
@@ -94,9 +96,12 @@ func run(workload string, n, stride, maxPoints int, policyName string, nseeds in
 			res.PrunedPoints, res.DedupImages)
 	}
 	if total := res.ZeroPages + res.SharedPages + res.PrivatePages; total > 0 {
-		engine := "copy-on-write"
-		if deepCopy {
+		engine := "chunked copy-on-write"
+		switch {
+		case deepCopy:
 			engine = "deep-copy"
+		case flat:
+			engine = "flat-table copy-on-write"
 		}
 		fmt.Printf("image pages (%s): %d zero, %d shared, %d private\n",
 			engine, res.ZeroPages, res.SharedPages, res.PrivatePages)

@@ -8,12 +8,14 @@ import (
 )
 
 // TestCOWImagesMatchDeepCopy is the engine-level differential for the
-// copy-on-write snapshot path: two shadow pools replay the same journal, one
-// materializing COW images and one deep-copy images, and at every boundary
-// the two images must have equal fingerprints (fingerprints cover every
-// persistent byte plus the names table, so equality here is byte equality).
-// All three pending-line policies are exercised, since each takes a
-// different path through the snapshot's page duplication.
+// snapshot path: three shadow pools replay the same journal — one
+// materializing chunk-shared COW images, one flat-table images (pages
+// shared, table pointers copied per image) and one deep-copy images — and at
+// every boundary the three images must have equal fingerprints
+// (fingerprints cover every persistent byte plus the names table, so
+// equality here is byte equality). All three pending-line policies are
+// exercised, since each takes a different path through the snapshot's
+// chunk/page duplication.
 func TestCOWImagesMatchDeepCopy(t *testing.T) {
 	full := pmem.New(1 << 20)
 	journal := full.RecordJournal()
@@ -34,16 +36,23 @@ func TestCOWImagesMatchDeepCopy(t *testing.T) {
 	for _, pc := range policies {
 		t.Run(pc.name, func(t *testing.T) {
 			cow := pmem.New(1 << 20)
+			flat := pmem.New(1 << 20)
+			flat.SetFlatTables(true)
 			deep := pmem.New(1 << 20)
 			deep.SetCrashDeepCopy(true)
 			for next := 0; next < total; next++ {
 				cow.ApplyRecorded(journal.Events[next], journal.Payload(next))
+				flat.ApplyRecorded(journal.Events[next], journal.Payload(next))
 				deep.ApplyRecorded(journal.Events[next], journal.Payload(next))
 				for _, seed := range pc.seeds {
 					ci := cow.Crash(pc.policy, seed)
+					fi := flat.Crash(pc.policy, seed)
 					di := deep.Crash(pc.policy, seed)
 					if ci.Fingerprint() != di.Fingerprint() {
 						t.Fatalf("boundary %d seed %d: COW image differs from deep-copy image", next+1, seed)
+					}
+					if fi.Fingerprint() != di.Fingerprint() {
+						t.Fatalf("boundary %d seed %d: flat-table image differs from deep-copy image", next+1, seed)
 					}
 					// The deep-copy baseline must actually be deep: no page
 					// shared with its parent.
@@ -51,6 +60,7 @@ func TestCOWImagesMatchDeepCopy(t *testing.T) {
 						t.Fatalf("boundary %d: deep-copy image has %d shared pages", next+1, shared)
 					}
 					ci.Release()
+					fi.Release()
 					di.Release()
 				}
 			}
@@ -58,10 +68,11 @@ func TestCOWImagesMatchDeepCopy(t *testing.T) {
 	}
 }
 
-// TestExploreDeepCopyMatchesCOW runs the full record-once engine both ways
+// TestExploreDeepCopyMatchesCOW runs the full record-once engine under all
+// three snapshot engines — chunk-shared COW, flat tables and deep copy
 // (with the reducers and parallel workers on, the configuration the
-// benchmarks use) and demands identical failure sets — and that both match
-// the exhaustive serial reference.
+// benchmarks use) — and demands identical failure sets, all matching the
+// exhaustive serial reference.
 func TestExploreDeepCopyMatchesCOW(t *testing.T) {
 	for _, policy := range []pmem.CrashPolicy{
 		pmem.CrashDropPending, pmem.CrashApplyPending, pmem.CrashRandomPending,
@@ -75,6 +86,12 @@ func TestExploreDeepCopyMatchesCOW(t *testing.T) {
 		if err != nil {
 			t.Fatalf("policy %v: cow: %v", policy, err)
 		}
+		fcfg := cfg
+		fcfg.FlatTables = true
+		flatRes, err := Run(exploreProg, exploreCheck, fcfg)
+		if err != nil {
+			t.Fatalf("policy %v: flat: %v", policy, err)
+		}
 		dcfg := cfg
 		dcfg.DeepCopyImages = true
 		deepRes, err := Run(exploreProg, exploreCheck, dcfg)
@@ -85,9 +102,22 @@ func TestExploreDeepCopyMatchesCOW(t *testing.T) {
 			t.Errorf("policy %v: COW failure set differs from serial\ncow:    %v\nserial: %v",
 				policy, cowRes.FailureKeys(), serial.FailureKeys())
 		}
+		if !reflect.DeepEqual(flatRes.FailureKeys(), serial.FailureKeys()) {
+			t.Errorf("policy %v: flat-table failure set differs from serial\nflat:   %v\nserial: %v",
+				policy, flatRes.FailureKeys(), serial.FailureKeys())
+		}
 		if !reflect.DeepEqual(deepRes.FailureKeys(), serial.FailureKeys()) {
 			t.Errorf("policy %v: deep-copy failure set differs from serial\ndeep:   %v\nserial: %v",
 				policy, deepRes.FailureKeys(), serial.FailureKeys())
+		}
+		// The serial reference under flat tables must agree too — the
+		// explorer equality above only covers the record-once engine.
+		flatSerial, err := RunSerial(exploreProg, exploreCheck, fcfg)
+		if err != nil {
+			t.Fatalf("policy %v: flat serial: %v", policy, err)
+		}
+		if !reflect.DeepEqual(flatSerial.FailureKeys(), serial.FailureKeys()) {
+			t.Errorf("policy %v: flat-table serial failure set differs from chunked serial", policy)
 		}
 		// Structural expectations for the page-composition stats: COW images
 		// of a sparse pool are dominated by zero+shared pages; the deep-copy

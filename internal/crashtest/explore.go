@@ -82,6 +82,7 @@ func Run(prog Program, check Checker, cfg Config) (*Result, error) {
 	// Explore phase: drive the shadow pool forward and schedule images.
 	shadow := pmem.New(cfg.PoolSize)
 	shadow.SetCrashDeepCopy(cfg.DeepCopyImages)
+	shadow.SetFlatTables(cfg.FlatTables)
 	var all []*imageJob          // every dispatched job, for final assembly
 	var last []*imageJob         // per seed index: the job holding the current verdict
 	var hashes map[[32]byte]*imageJob

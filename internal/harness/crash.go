@@ -29,8 +29,9 @@ type CrashResult struct {
 }
 
 // crashEngines are the measured configurations: the exhaustive re-execution
-// reference, the record-once engine with a worker pool, and the same engine
-// with both reducers on.
+// reference, the record-once engine with a worker pool, the same engine with
+// both reducers on, and the reducer engine over the two baseline snapshot
+// models (flat page tables and deep-copy images).
 func crashEngines(workers int) []struct {
 	name string
 	cfg  func(crashtest.Config) crashtest.Config
@@ -52,6 +53,13 @@ func crashEngines(workers int) []struct {
 			c.Dedup = true
 			return c
 		}, crashtest.Run},
+		{"flat+reducers", func(c crashtest.Config) crashtest.Config {
+			c.Workers = workers
+			c.Prune = true
+			c.Dedup = true
+			c.FlatTables = true
+			return c
+		}, crashtest.Run},
 		{"deepcopy+reducers", func(c crashtest.Config) crashtest.Config {
 			c.Workers = workers
 			c.Prune = true
@@ -62,10 +70,10 @@ func crashEngines(workers int) []struct {
 	}
 }
 
-// MeasureCrash explores the named scenario's crash space under all three
-// engine configurations, verifying that every engine reports the identical
-// failure set before timing anything (min of Repeats runs, as the other
-// harness measurements do).
+// MeasureCrash explores the named scenario's crash space under every engine
+// configuration, verifying that each reports the identical failure set
+// before timing anything (min of Repeats runs, as the other harness
+// measurements do).
 func MeasureCrash(workload string, n, stride, workers int) ([]CrashResult, error) {
 	prog, check, err := scenarios.Build(workload, n, false)
 	if err != nil {
@@ -132,14 +140,16 @@ func MeasureCrash(workload string, n, stride, workers int) ([]CrashResult, error
 
 // CrashScalingPoint is one (pool size, engine) cell of the crash-image
 // scaling sweep: the same workload, op count and crash points explored at a
-// growing pool size, once with copy-on-write snapshots and once with the
-// deep-copy baseline. COW cost is O(dirty pages) so its points/sec should
-// stay near-flat across the sweep; the deep-copy baseline pays O(pool size)
-// per image and falls off linearly.
+// growing pool size under chunk-shared copy-on-write snapshots ("cow"), the
+// flat-table baseline ("flat": pages shared but table pointers copied per
+// image, O(table length)) and the deep-copy baseline ("deepcopy", O(pool
+// size) bytes per image). COW cost is O(dirty) in both bytes and table
+// slots, so its points/sec should stay near-flat across the sweep while the
+// two baselines fall off.
 type CrashScalingPoint struct {
 	Workload     string  `json:"workload"`
 	PoolMiB      int     `json:"pool_mib"`
-	Engine       string  `json:"engine"` // "cow" or "deepcopy"
+	Engine       string  `json:"engine"` // "cow", "flat" or "deepcopy"
 	Nanos        int64   `json:"nanos"`
 	Points       int     `json:"points"`
 	Images       int     `json:"images_checked"`
@@ -150,12 +160,15 @@ type CrashScalingPoint struct {
 }
 
 // MeasureCrashScaling runs the pool-size sweep for one workload: for each
-// size it first verifies that the COW engine, the deep-copy engine and the
-// exhaustive serial reference agree on the failure set, then times both
-// record-once engines (min of Repeats, both with the reducers on — the
-// benchmark configuration). The op count and crash-point cap are fixed
-// across sizes, so the only variable is how much pool each image spans.
-func MeasureCrashScaling(workload string, n, stride, workers, maxPoints int, sizesMiB []int) ([]CrashScalingPoint, error) {
+// size it first verifies that the chunked COW engine, the flat-table engine,
+// the deep-copy engine and the exhaustive serial reference agree on the
+// failure set, then times the record-once engines (min of Repeats, all with
+// the reducers on — the benchmark configuration). The op count and
+// crash-point cap are fixed across sizes, so the only variable is how much
+// pool each image spans. Deep-copy rows stop above deepLimitMiB (0 = no
+// limit): the O(pool) baseline at gigabyte pools costs seconds per image and
+// would dominate the sweep's wall clock without adding information.
+func MeasureCrashScaling(workload string, n, stride, workers, maxPoints int, sizesMiB []int, deepLimitMiB int) ([]CrashScalingPoint, error) {
 	prog, check, err := scenarios.Build(workload, n, false)
 	if err != nil {
 		return nil, err
@@ -166,6 +179,8 @@ func MeasureCrashScaling(workload string, n, stride, workers, maxPoints int, siz
 			PoolSize: uint64(mib) << 20, Stride: stride, MaxPoints: maxPoints,
 			Workers: workers, Prune: true, Dedup: true,
 		}
+		flatCfg := base
+		flatCfg.FlatTables = true
 		deepCfg := base
 		deepCfg.DeepCopyImages = true
 
@@ -176,7 +191,13 @@ func MeasureCrashScaling(workload string, n, stride, workers, maxPoints int, siz
 		engines := []struct {
 			name string
 			cfg  crashtest.Config
-		}{{"cow", base}, {"deepcopy", deepCfg}}
+		}{{"cow", base}, {"flat", flatCfg}}
+		if deepLimitMiB <= 0 || mib <= deepLimitMiB {
+			engines = append(engines, struct {
+				name string
+				cfg  crashtest.Config
+			}{"deepcopy", deepCfg})
+		}
 		for _, eng := range engines {
 			res, err := crashtest.Run(prog, check, eng.cfg)
 			if err != nil {

@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"math/rand"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"pmdebugger/internal/intervals"
@@ -41,17 +42,34 @@ func (p *Pool) SetCrashDeepCopy(v bool) {
 	p.deepCopyCrash = v
 }
 
+// SetFlatTables selects the flat-table snapshot engine: Crash copies the
+// page tables at page granularity — a fresh private chunk per directory
+// slot with every page retained individually — instead of sharing whole
+// chunks, restoring the O(table length) per-snapshot pointer cost of the
+// page-granular engine that predates chunked tables (bytes stay O(dirty)).
+// Images are byte-identical to chunk-shared snapshots; the knob exists so
+// benchmarks and differential tests keep the baseline reachable, mirroring
+// SetCrashDeepCopy. Like deep copy, the flag is not inherited by snapshots.
+func (p *Pool) SetFlatTables(v bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.flatTables = v
+}
+
 // Crash simulates a power failure and returns a new pool whose contents are
 // the persistent image (plus pending lines according to the policy, seeded
 // by seed for CrashRandomPending). The new pool starts with no handlers, all
 // lines clean, the allocator reset to full — recovery code is expected to
 // rebuild heap metadata from persistent structures, as on real PM.
 //
-// The snapshot is copy-on-write: its page tables alias the parent's
-// persistent pages, and only pages the pending-line policy touches are
-// duplicated up front, so materializing an image costs O(dirty pages), not
-// O(pool). Parent and snapshot remain independently usable — either side's
-// subsequent writes duplicate shared pages before modifying them.
+// The snapshot is copy-on-write at both table levels: its root directory
+// aliases the parent's persistent chunks (one pointer copy and one refcount
+// bump per 2 MiB of address space), and only chunks the pending-line policy
+// touches are duplicated up front, so materializing an image costs O(dirty)
+// in bytes *and* table slots — the directory copy is O(pool/2MiB),
+// effectively constant. Parent and snapshot remain independently usable —
+// either side's subsequent writes duplicate shared chunks and pages before
+// modifying them.
 func (p *Pool) Crash(policy CrashPolicy, seed int64) *Pool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -61,28 +79,51 @@ func (p *Pool) Crash(policy CrashPolicy, seed int64) *Pool {
 	// produced it.
 	p.syncLocked()
 
-	np := len(p.persist)
-	tables := newTables(np)
+	nc := len(p.persist)
+	tables := newTables(nc)
 	n := &Pool{
 		base:     p.base,
 		size:     p.size,
 		volatile: tables.volatile,
 		persist:  tables.persist,
 		muts:     tables.muts,
+		npages:   p.npages,
 		names:    make(map[string]intervals.Range, len(p.names)),
 	}
-	copy(n.persist, p.persist)
-	for _, pg := range n.persist {
-		if pg != nil {
-			pg.retain()
+	if p.flatTables {
+		// Flat-table engine: page-granular sharing only. Every directory
+		// slot gets a fresh private chunk retaining the parent's pages one
+		// by one, so the snapshot pays the O(table length) pointer walk the
+		// chunked engine removes.
+		for ci, ch := range p.persist {
+			if ch != nil {
+				n.persist[ci] = newChunkCopy(ch)
+			}
+		}
+	} else {
+		copy(n.persist, p.persist)
+		for _, ch := range n.persist {
+			if ch != nil {
+				ch.retain()
+			}
 		}
 	}
+	// PageStats handoff: sharing the tables turns every materialized page
+	// — parent's and snapshot's alike — into a shared page; zero spans stay
+	// zero on both sides. Both counters are exact at this point.
+	n.pageZero = p.pageZero
+	n.pageShared = p.pageShared + p.pagePrivate
+	p.pageShared, p.pagePrivate = n.pageShared, 0
 	// Hand the fingerprint group caches down: shared pages have identical
 	// content, and the pending-line application below invalidates the
 	// groups it touches through persistWritable.
 	if p.groupOK != nil {
 		n.groupHash = append([][32]byte(nil), p.groupHash...)
 		n.groupOK = append([]bool(nil), p.groupOK...)
+	}
+	if p.superOK != nil {
+		n.superHash = append([][32]byte(nil), p.superHash...)
+		n.superOK = append([]bool(nil), p.superOK...)
 	}
 
 	if policy != CrashDropPending && p.pendingLineCount > 0 {
@@ -91,7 +132,7 @@ func (p *Pool) Crash(policy CrashPolicy, seed int64) *Pool {
 		// policy, seed), independent of flush order.
 		lines := make([]uint64, 0, len(p.pendingLines))
 		for _, l := range p.pendingLines {
-			if st := p.muts[l>>lineShift].state[l&lineMask]; st == linePending || st == lineDirtyPending {
+			if st := p.mutAt(int(l >> lineShift)).state[l&lineMask]; st == linePending || st == lineDirtyPending {
 				lines = append(lines, l)
 			}
 		}
@@ -109,24 +150,38 @@ func (p *Pool) Crash(policy CrashPolicy, seed int64) *Pool {
 				continue
 			}
 			lo := (l & lineMask) * LineSize
-			staged := p.muts[l>>lineShift].pending[lo : lo+LineSize]
+			staged := p.mutAt(int(l >> lineShift)).pending[lo : lo+LineSize]
 			if bytes.Equal(n.persistLine(l), staged) {
-				continue // identical bytes: no page needs duplicating
+				continue // identical bytes: no chunk needs duplicating
 			}
 			pg := n.persistWritable(int(l >> lineShift))
 			copy(pg.data[lo:lo+LineSize], staged)
 		}
 	}
 
-	// The snapshot's volatile image aliases its persistent image page for
-	// page — the state of a freshly opened pool — and unshares on demand
-	// when recovery code stores to it.
-	copy(n.volatile, n.persist)
-	for _, pg := range n.volatile {
-		if pg != nil {
-			pg.retain()
+	// The snapshot's volatile image aliases its persistent image — the
+	// state of a freshly opened pool — and unshares on demand when
+	// recovery code stores to it. Chunked sharing aliases the directories
+	// chunk for chunk; the flat engine copies them page for page.
+	if p.flatTables {
+		for ci, ch := range n.persist {
+			if ch != nil {
+				n.volatile[ci] = newChunkCopy(ch)
+			}
+		}
+	} else {
+		copy(n.volatile, n.persist)
+		for _, ch := range n.volatile {
+			if ch != nil {
+				ch.retain()
+			}
 		}
 	}
+	// Volatile aliasing re-shares whatever the pending-line application
+	// just privatized, so a fresh image's materialized pages are all
+	// shared.
+	n.pageShared += n.pagePrivate
+	n.pagePrivate = 0
 
 	// Preserve the named-variable registry: names model program symbols,
 	// which survive restart. The caches ride along.
@@ -149,72 +204,123 @@ func (p *Pool) Crash(policy CrashPolicy, seed int64) *Pool {
 // baseline Crash produces under SetCrashDeepCopy. Callers hold the pool's
 // mutex or exclusive ownership.
 func (p *Pool) materializeAllLocked() {
-	for _, table := range [][]*page{p.persist, p.volatile} {
-		for pi, old := range table {
-			var fresh *page
-			if old != nil {
-				fresh = newPageCopy(old)
-				old.release()
-			} else {
-				fresh = newPage()
+	for _, table := range [][]*pageChunk{p.persist, p.volatile} {
+		for ci := range table {
+			ch := writableChunk(table, ci)
+			lo := ci << chunkShift
+			for si := range ch.pages {
+				if lo+si >= p.npages {
+					break // tail slots beyond the pool stay nil
+				}
+				old := ch.pages[si]
+				var fresh *page
+				if old != nil {
+					if atomic.LoadInt32(&old.refs) == 1 {
+						continue // already private to this slot
+					}
+					fresh = newPageCopy(old)
+					old.release()
+				} else {
+					fresh = newPage()
+				}
+				ch.pages[si] = fresh
 			}
-			table[pi] = fresh
 		}
 	}
+	p.pageZero, p.pageShared, p.pagePrivate = 0, 0, p.npages
 	p.groupHash, p.groupOK = nil, nil
+	p.superHash, p.superOK = nil, nil
 }
 
-// Release returns the pool's pages, per-page mutable state and page tables
-// to the shared recycling pools. It is the explorer's fast-path disposal for
-// checked crash images: shared pages flow back to the parent for reuse
-// instead of waiting for the garbage collector. The pool must not be used
-// afterwards (its tables are gone; accesses panic).
+// Release returns the pool's chunks, pages, per-page mutable state and root
+// directories to the shared recycling pools. It is the explorer's fast-path
+// disposal for checked crash images: dropping a still-shared chunk is one
+// refcount decrement, so releasing a clean snapshot costs O(pool/2MiB) —
+// only chunks dying with the image pay the page-slot walk. The pool must
+// not be used afterwards (its tables are gone; accesses panic).
 func (p *Pool) Release() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.persist == nil {
 		return // already released
 	}
-	for i, pg := range p.volatile {
-		if pg != nil {
-			pg.release()
+	for i, ch := range p.volatile {
+		if ch != nil {
+			ch.release()
 			p.volatile[i] = nil
 		}
 	}
-	for i, pg := range p.persist {
-		if pg != nil {
-			pg.release()
+	for i, ch := range p.persist {
+		if ch != nil {
+			ch.release()
 			p.persist[i] = nil
 		}
 	}
-	for i, m := range p.muts {
-		if m != nil {
-			putPageMut(m)
-			p.muts[i] = nil
+	for i, mc := range p.muts {
+		if mc == nil {
+			continue
 		}
+		for si, m := range mc.muts {
+			if m != nil {
+				putPageMut(m)
+				mc.muts[si] = nil
+			}
+		}
+		mutChunkPool.Put(mc)
+		p.muts[i] = nil
 	}
 	tableSetPool.Put(&tableSet{p.volatile, p.persist, p.muts})
 	p.volatile, p.persist, p.muts = nil, nil, nil
 	p.pendingLines = nil
 	p.dirtyLineCount, p.pendingLineCount = 0, 0
+	p.pageZero, p.pageShared, p.pagePrivate = 0, 0, 0
 	p.groupHash, p.groupOK = nil, nil
+	p.superHash, p.superOK = nil, nil
 }
 
 // PageStats reports the persistent image's page-table composition: zero
 // pages (never written), pages shared with another pool, and private pages.
 // It is the observability hook for copy-on-write effectiveness — a healthy
-// crash image is almost entirely zero and shared pages.
+// crash image is almost entirely zero and shared pages. The counters are
+// maintained incrementally so the query is O(1) regardless of pool size;
+// they are exact for fresh images and under the pool's own operations, and
+// may over-report "shared" (never "private") after a related pool's writes
+// or Release drop the last remote reference to a chunk. scanPageStats is
+// the structural reference.
 func (p *Pool) PageStats() (zero, shared, private int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	for _, pg := range p.persist {
-		switch {
-		case pg == nil:
-			zero++
-		case atomic.LoadInt32(&pg.refs) > 1:
-			shared++
-		default:
-			private++
+	return p.pageZero, p.pageShared, p.pagePrivate
+}
+
+// scanPageStats recomputes the page-table composition by a full structural
+// walk — a page is zero when absent, shared when its chunk or the page
+// itself is referenced more than once, private otherwise. It is the
+// reference the incremental PageStats counters are asserted against in
+// tests.
+func (p *Pool) scanPageStats() (zero, shared, private int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for ci, ch := range p.persist {
+		lo := ci << chunkShift
+		n := chunkSlots
+		if lo+n > p.npages {
+			n = p.npages - lo
+		}
+		if ch == nil {
+			zero += n
+			continue
+		}
+		chShared := ch.shared()
+		for si := 0; si < n; si++ {
+			switch pg := ch.pages[si]; {
+			case pg == nil:
+				zero++
+			case chShared || pg.shared():
+				shared++
+			default:
+				private++
+			}
 		}
 	}
 	return zero, shared, private
@@ -226,52 +332,107 @@ func (p *Pool) PageStats() (zero, shared, private int) {
 // deduplication (internal/crashtest) relies on; the names are included
 // because checkers may resolve symbols through NamedRange.
 //
-// The hash is a three-level Merkle rollup — per-page hashes cached on the
+// The hash is a four-level Merkle rollup — per-page hashes cached on the
 // (shared) pages themselves, cached group hashes over groupPages-page spans,
-// and a top hash over the group level — so a call after k dirtied pages
-// rehashes O(k) pages rather than the whole pool.
+// cached super hashes over superGroups-group spans, and a top hash over the
+// super level — so a call after k dirtied pages rehashes O(k) pages plus
+// their groups and supers, never the whole pool. All-zero groups resolve to
+// a process-wide constant digest, so the first call on a sparse pool costs
+// O(materialized chunks), not O(pool).
 func (p *Pool) Fingerprint() [32]byte {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+
+	ngroups := (p.npages + groupPages - 1) / groupPages
+	nsupers := (ngroups + superGroups - 1) / superGroups
+	if p.groupOK == nil {
+		p.groupHash = make([][32]byte, ngroups)
+		p.groupOK = make([]bool, ngroups)
+	}
+	if p.superOK == nil {
+		p.superHash = make([][32]byte, nsupers)
+		p.superOK = make([]bool, nsupers)
+	}
+	for s := 0; s < nsupers; s++ {
+		if p.superOK[s] {
+			continue
+		}
+		glo, ghi := s*superGroups, (s+1)*superGroups
+		if ghi > ngroups {
+			ghi = ngroups
+		}
+		for g := glo; g < ghi; g++ {
+			if p.groupOK[g] {
+				continue
+			}
+			start := g * groupPages
+			end := start + groupPages
+			if end > p.npages {
+				end = p.npages
+			}
+			// groupPages divides chunkSlots, so the whole group lives in one
+			// chunk — fetch it once. An unmaterialized chunk is a full group
+			// of zero pages, whose digest is a process-wide constant.
+			ch := p.persist[start>>chunkShift]
+			if ch == nil && end-start == groupPages {
+				p.groupHash[g] = zeroGroupHash()
+			} else {
+				gh := sha256.New()
+				for pi := start; pi < end; pi++ {
+					ph := zeroPageHash()
+					if ch != nil {
+						if pg := ch.pages[pi&chunkMask]; pg != nil {
+							ph = pg.contentHash()
+						}
+					}
+					gh.Write(ph[:])
+				}
+				gh.Sum(p.groupHash[g][:0])
+			}
+			p.groupOK[g] = true
+		}
+		sh := sha256.New()
+		for g := glo; g < ghi; g++ {
+			sh.Write(p.groupHash[g][:])
+		}
+		sh.Sum(p.superHash[s][:0])
+		p.superOK[s] = true
+	}
+
 	h := sha256.New()
 	var hdr [16]byte
 	binary.LittleEndian.PutUint64(hdr[0:], p.base)
 	binary.LittleEndian.PutUint64(hdr[8:], p.size)
 	h.Write(hdr[:])
-
-	ngroups := (len(p.persist) + groupPages - 1) / groupPages
-	if p.groupOK == nil {
-		p.groupHash = make([][32]byte, ngroups)
-		p.groupOK = make([]bool, ngroups)
+	for s := 0; s < nsupers; s++ {
+		h.Write(p.superHash[s][:])
 	}
-	for g := 0; g < ngroups; g++ {
-		if !p.groupOK[g] {
-			gh := sha256.New()
-			end := (g + 1) * groupPages
-			if end > len(p.persist) {
-				end = len(p.persist)
-			}
-			for pi := g * groupPages; pi < end; pi++ {
-				var ph [32]byte
-				if pg := p.persist[pi]; pg != nil {
-					ph = pg.contentHash()
-				} else {
-					ph = zeroPageHash()
-				}
-				gh.Write(ph[:])
-			}
-			gh.Sum(p.groupHash[g][:0])
-			p.groupOK[g] = true
-		}
-		h.Write(p.groupHash[g][:])
-	}
-
 	nh := p.namesDigestLocked()
 	h.Write(nh[:])
 	var out [32]byte
 	h.Sum(out[:0])
 	return out
 }
+
+// zeroGroupHash returns the digest of a full group of zero pages — the
+// value Fingerprint assigns to any group whose chunk was never
+// materialized. Computed once per process.
+func zeroGroupHash() [32]byte {
+	zeroGroupOnce.Do(func() {
+		h := sha256.New()
+		zp := zeroPageHash()
+		for i := 0; i < groupPages; i++ {
+			h.Write(zp[:])
+		}
+		h.Sum(zeroGroupDigest[:0])
+	})
+	return zeroGroupDigest
+}
+
+var (
+	zeroGroupOnce   sync.Once
+	zeroGroupDigest [32]byte
+)
 
 // namesDigestLocked returns the cached hash of the named-region table,
 // recomputing it after a RegisterNamed invalidation. Callers hold p.mu.
@@ -306,7 +467,7 @@ func (p *Pool) PersistedEquals(addr uint64, want []byte) bool {
 			chunk = PageSize - po
 		}
 		var got []byte
-		if pg := p.persist[pi]; pg != nil {
+		if pg := pageAt(p.persist, pi); pg != nil {
 			got = pg.data[po : po+chunk]
 		} else {
 			got = zeroPage[po : po+chunk]
@@ -353,19 +514,24 @@ func (p *Pool) PendingLines() int {
 func (p *Pool) scanLineCounts() (dirty, pending int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	for _, m := range p.muts {
-		if m == nil {
+	for _, mc := range p.muts {
+		if mc == nil {
 			continue
 		}
-		for _, st := range m.state {
-			switch st {
-			case lineDirty:
-				dirty++
-			case linePending:
-				pending++
-			case lineDirtyPending:
-				dirty++
-				pending++
+		for _, m := range mc.muts {
+			if m == nil {
+				continue
+			}
+			for _, st := range m.state {
+				switch st {
+				case lineDirty:
+					dirty++
+				case linePending:
+					pending++
+				case lineDirtyPending:
+					dirty++
+					pending++
+				}
 			}
 		}
 	}

@@ -204,7 +204,7 @@ func (c *Ctx) loadScalar(addr uint64, size uint64) uint64 {
 	p.checkRange(addr, size)
 	off := p.off(addr)
 	if po := off & pageMask; po+size <= PageSize {
-		pg := p.volatile[off>>PageShift]
+		pg := pageAt(p.volatile, int(off>>PageShift))
 		if pg == nil {
 			return 0
 		}
@@ -270,7 +270,7 @@ func (c *Ctx) EqualBytes(addr uint64, s string) bool {
 		if PageSize-po < chunk {
 			chunk = PageSize - po
 		}
-		if pg := p.volatile[pi]; pg != nil {
+		if pg := pageAt(p.volatile, pi); pg != nil {
 			if string(pg.data[po:po+chunk]) != s[:chunk] {
 				return false
 			}

@@ -56,13 +56,13 @@ func (p *Pool) WriteImage(w io.Writer) error {
 	// shared zero buffer), keeping the flat on-disk format of a DAX pool
 	// file while never materializing absent pages.
 	remaining := p.size
-	for _, pg := range p.persist {
+	for pi := 0; pi < p.npages; pi++ {
 		chunk := uint64(PageSize)
 		if chunk > remaining {
 			chunk = remaining
 		}
 		src := zeroPage[:chunk]
-		if pg != nil {
+		if pg := pageAt(p.persist, pi); pg != nil {
 			src = pg.data[:chunk]
 		}
 		if _, err := bw.Write(src); err != nil {
@@ -122,12 +122,13 @@ func ReadImage(r io.Reader) (*Pool, error) {
 			binary.LittleEndian.Uint64(rec[12:]),
 		)
 	}
-	// Read the flat image page by page, leaving all-zero pages absent so a
-	// sparse image stays sparse in memory; the volatile image then aliases
-	// the persistent pages, as after a crash.
+	// Read the flat image page by page, leaving all-zero pages (and whole
+	// all-zero chunks) absent so a sparse image stays sparse in memory; the
+	// volatile directory then aliases the persistent chunks, as after a
+	// crash.
 	var buf [PageSize]byte
 	remaining := size
-	for pi := range p.persist {
+	for pi := 0; pi < p.npages; pi++ {
 		chunk := uint64(PageSize)
 		if chunk > remaining {
 			chunk = remaining
@@ -141,13 +142,18 @@ func ReadImage(r io.Reader) (*Pool, error) {
 		}
 		pg := newPage()
 		copy(pg.data[:], buf[:chunk])
-		p.persist[pi] = pg
+		writableChunk(p.persist, pi>>chunkShift).pages[pi&chunkMask] = pg
+		p.pageZero--
+		p.pagePrivate++
 	}
 	copy(p.volatile, p.persist)
-	for _, pg := range p.volatile {
-		if pg != nil {
-			pg.retain()
+	for _, ch := range p.volatile {
+		if ch != nil {
+			ch.retain()
 		}
 	}
+	// The chunk aliasing just re-shared every materialized page.
+	p.pageShared += p.pagePrivate
+	p.pagePrivate = 0
 	return p, nil
 }

@@ -6,23 +6,42 @@ import (
 	"sync/atomic"
 )
 
-// The pool's two byte images (volatile and persistent) are stored as tables
-// of fixed-size pages shared copy-on-write between pools. This is what makes
-// crash-image materialization O(dirty): Crash copies the page tables and
-// bumps refcounts, and only pages subsequently written by either side are
-// ever duplicated (see crash.go). A nil table entry stands for an all-zero
-// page, so untouched spans of a large pool cost nothing in any pool.
+// The pool's two byte images (volatile and persistent) are stored as
+// two-level page tables shared copy-on-write between pools: a root directory
+// of fixed-size table *chunks* (chunkSlots page slots each, covering 2 MiB
+// of address space), where both the 4 KiB pages and the chunks themselves
+// are refcounted and duplicated lazily on write. This is what makes
+// crash-image materialization O(dirty) in bytes *and* table slots: Crash
+// clones only the root directory (one pointer copy plus one refcount bump
+// per chunk — O(pool/2MiB), effectively constant at realistic sizes), and a
+// chunk is unshared only when a write lands in it while shared. A nil
+// directory entry stands for an all-zero chunk and a nil chunk slot for an
+// all-zero page, so untouched spans of a large pool cost nothing in any
+// pool.
 //
-// Sharing discipline: a page's refcount counts the table slots (across all
-// pools, volatile and persistent tables alike) that reference it. Every
-// write goes through a copy-before-write helper that duplicates the page
-// when the refcount exceeds one, so a shared page is immutable for as long
-// as it is shared — concurrent pools may read it without locks. Refcount
-// operations are atomic because distinct pools run under distinct mutexes.
+// Sharing discipline, by level:
+//
+//   - A chunk's refcount counts the root-directory slots (across all pools,
+//     volatile and persistent directories alike) that reference it. Every
+//     table-slot write goes through writableChunk, which duplicates the
+//     chunk (retaining its pages) when the refcount exceeds one, so a
+//     shared chunk's pages array is immutable for as long as it is shared —
+//     concurrent pools may walk it without locks.
+//   - A page's refcount counts the chunk slots that reference it. A page is
+//     written in place only when its chunk is privately owned AND its own
+//     refcount is one; chunk duplication retains every page it copies, so
+//     the page-level copy-before-write check in volatileWritable/
+//     persistWritable still sees an accurate count after the chunk unshares.
+//
+// Refcount operations are atomic because distinct pools run under distinct
+// mutexes; the release path that recycles a dying chunk or page runs only
+// when the last reference goes away, at which point no other pool can reach
+// it.
 const (
 	// PageShift is log2 of PageSize.
 	PageShift = 12
-	// PageSize is the copy-on-write sharing granularity of pool images.
+	// PageSize is the page-level copy-on-write sharing granularity of pool
+	// images.
 	PageSize = 1 << PageShift
 
 	pageMask     = PageSize - 1
@@ -30,17 +49,33 @@ const (
 	lineShift    = 6 // log2(linesPerPage): line index -> page index
 	lineMask     = linesPerPage - 1
 
-	// groupPages is the fan-in of the fingerprint's middle Merkle level:
-	// one cached group hash covers this many per-page hashes, so an
-	// unchanged 512 KiB span costs one 32-byte write per Fingerprint call.
+	// chunkShift is log2 of chunkSlots.
+	chunkShift = 9
+	// chunkSlots is the page-table chunk size: the chunk-level copy-on-write
+	// sharing granularity. 512 slots cover 2 MiB of address space, so a
+	// 1 GiB pool has a 512-entry root directory — the only thing Crash
+	// copies eagerly.
+	chunkSlots = 1 << chunkShift
+	chunkMask  = chunkSlots - 1
+
+	// groupPages is the fan-in of the fingerprint's lower-middle Merkle
+	// level: one cached group hash covers this many per-page hashes, so an
+	// unchanged 512 KiB span costs nothing per Fingerprint call.
+	// It divides chunkSlots, so a hash group never straddles chunks.
 	groupPages = 128
+
+	// superGroups is the fan-in of the upper-middle Merkle level: one
+	// cached super hash covers this many group hashes (32 MiB of address
+	// space), and the top hash reads only the super level — so Fingerprint
+	// on a big pool costs O(dirty pages + pool/32MiB), not O(pool/512KiB).
+	superGroups = 64
 )
 
 // page is one copy-on-write unit of a pool image, plus its cached content
 // hash (the fingerprint's leaf level). The hash travels with the page: two
 // pools sharing a page also share the work of hashing it.
 type page struct {
-	refs int32 // atomic: table slots referencing this page
+	refs int32 // atomic: chunk slots referencing this page
 
 	// hashMu guards hash/hashOK. Concurrent Fingerprint calls on pools
 	// sharing the page serialize here; in-place writes (which require
@@ -50,6 +85,14 @@ type page struct {
 	hash   [32]byte
 
 	data [PageSize]byte
+}
+
+// pageChunk is one copy-on-write unit of a page table: chunkSlots
+// consecutive page slots shared between root directories. A chunk's pages
+// array is mutated only while the chunk is privately owned (refs == 1).
+type pageChunk struct {
+	refs  int32 // atomic: root-directory slots referencing this chunk
+	pages [chunkSlots]*page
 }
 
 // pageMut is the lazily allocated mutable shadow of one page: the cache-line
@@ -62,9 +105,18 @@ type pageMut struct {
 	pending [PageSize]byte
 }
 
+// mutChunk is the directory unit of the mut table, mirroring pageChunk so a
+// fresh pool's mut directory is O(pool/2MiB) nil pointers. Mut chunks are
+// never shared between pools and carry no refcount.
+type mutChunk struct {
+	muts [chunkSlots]*pageMut
+}
+
 var (
-	pagePool = sync.Pool{New: func() any { return new(page) }}
-	mutPool  = sync.Pool{New: func() any { return new(pageMut) }}
+	pagePool     = sync.Pool{New: func() any { return new(page) }}
+	chunkPool    = sync.Pool{New: func() any { return new(pageChunk) }}
+	mutPool      = sync.Pool{New: func() any { return new(pageMut) }}
+	mutChunkPool = sync.Pool{New: func() any { return new(mutChunk) }}
 
 	zeroPage [PageSize]byte // read-only zero bytes for nil-page reads
 
@@ -91,10 +143,10 @@ func newPageCopy(src *page) *page {
 	return pg
 }
 
-// retain adds one table-slot reference.
+// retain adds one chunk-slot reference.
 func (pg *page) retain() { atomic.AddInt32(&pg.refs, 1) }
 
-// release drops one table-slot reference, recycling the page through the
+// release drops one chunk-slot reference, recycling the page through the
 // shared page pool when the last reference goes away.
 func (pg *page) release() {
 	if atomic.AddInt32(&pg.refs, -1) == 0 {
@@ -102,7 +154,7 @@ func (pg *page) release() {
 	}
 }
 
-// shared reports whether the page is referenced by more than one table slot.
+// shared reports whether the page is referenced by more than one chunk slot.
 func (pg *page) shared() bool { return atomic.LoadInt32(&pg.refs) > 1 }
 
 // contentHash returns the page's SHA-256, computing and caching it on first
@@ -135,6 +187,53 @@ func zeroPageHash() [32]byte {
 	return zeroPageHashVal
 }
 
+// newChunk returns an all-nil chunk with refcount 1. Recycled chunks come
+// back clean: release nils every slot before handing the chunk to the pool.
+func newChunk() *pageChunk {
+	ch := chunkPool.Get().(*pageChunk)
+	ch.refs = 1
+	return ch
+}
+
+// newChunkCopy returns a private duplicate of src with refcount 1, retaining
+// every page it copies. The retains happen before the caller drops its
+// reference to src, so no page's count can touch zero mid-duplication even
+// while other pools release the same chunk concurrently.
+func newChunkCopy(src *pageChunk) *pageChunk {
+	ch := chunkPool.Get().(*pageChunk)
+	ch.refs = 1
+	ch.pages = src.pages
+	for _, pg := range ch.pages {
+		if pg != nil {
+			pg.retain()
+		}
+	}
+	return ch
+}
+
+// retain adds one root-directory reference.
+func (ch *pageChunk) retain() { atomic.AddInt32(&ch.refs, 1) }
+
+// release drops one root-directory reference. The last release drops every
+// page the chunk holds and recycles the cleaned chunk through the shared
+// chunk pool — only dying chunks pay the slot scan, so disposing of a
+// snapshot that stayed shared is O(1) per chunk.
+func (ch *pageChunk) release() {
+	if atomic.AddInt32(&ch.refs, -1) == 0 {
+		for i, pg := range ch.pages {
+			if pg != nil {
+				pg.release()
+				ch.pages[i] = nil
+			}
+		}
+		chunkPool.Put(ch)
+	}
+}
+
+// shared reports whether the chunk is referenced by more than one directory
+// slot.
+func (ch *pageChunk) shared() bool { return atomic.LoadInt32(&ch.refs) > 1 }
+
 // newPageMut returns a mut with all lines clean. The pending area is not
 // cleared: its bytes are only ever read after being staged by a flush.
 func newPageMut() *pageMut {
@@ -145,79 +244,140 @@ func newPageMut() *pageMut {
 
 func putPageMut(m *pageMut) { mutPool.Put(m) }
 
-// tableSet bundles the three per-pool page tables so Release can recycle
-// them as a unit: allocating three fresh np-length tables per crash image is
-// itself an O(pool) cost the snapshot path avoids by reusing released ones.
+// tableSet bundles the three per-pool root directories so Release can
+// recycle them as a unit. Directories are O(pool/2MiB) — tiny — but crash
+// images are made and discarded at explorer rates, so even those stay off
+// the allocator.
 type tableSet struct {
-	volatile, persist []*page
-	muts              []*pageMut
+	volatile, persist []*pageChunk
+	muts              []*mutChunk
 }
 
 var tableSetPool sync.Pool
 
-// newTables returns three all-nil np-length tables, reusing a released set
-// when one of sufficient capacity is available (Release nils every entry, so
-// recycled tables come back clean).
-func newTables(np int) tableSet {
+// newTables returns three all-nil nc-length root directories, reusing a
+// released set when one of sufficient capacity is available (Release nils
+// every entry, so recycled directories come back clean).
+func newTables(nc int) tableSet {
 	if v := tableSetPool.Get(); v != nil {
 		t := v.(*tableSet)
-		if cap(t.volatile) >= np {
-			return tableSet{t.volatile[:np], t.persist[:np], t.muts[:np]}
+		if cap(t.volatile) >= nc {
+			return tableSet{t.volatile[:nc], t.persist[:nc], t.muts[:nc]}
 		}
 	}
-	return tableSet{make([]*page, np), make([]*page, np), make([]*pageMut, np)}
+	return tableSet{make([]*pageChunk, nc), make([]*pageChunk, nc), make([]*mutChunk, nc)}
 }
 
-// npagesFor returns the page-table length covering size bytes.
+// npagesFor returns the page count covering size bytes.
 func npagesFor(size uint64) int { return int((size + PageSize - 1) >> PageShift) }
+
+// nchunksFor returns the root-directory length covering np pages.
+func nchunksFor(np int) int { return (np + chunkSlots - 1) >> chunkShift }
+
+// pageAt returns the page at table index pi, nil for a zero page (absent
+// chunk or absent slot). Callers hold the owning pool's mutex; the chunk may
+// be shared, which is fine for reads.
+func pageAt(t []*pageChunk, pi int) *page {
+	if ch := t[pi>>chunkShift]; ch != nil {
+		return ch.pages[pi&chunkMask]
+	}
+	return nil
+}
+
+// writableChunk returns a privately owned chunk at directory slot ci of t,
+// materializing an absent chunk or duplicating a shared one (retaining its
+// pages) first. Callers hold the owning pool's mutex.
+func writableChunk(t []*pageChunk, ci int) *pageChunk {
+	ch := t[ci]
+	if ch == nil {
+		ch = newChunk()
+		t[ci] = ch
+	} else if ch.shared() {
+		nc := newChunkCopy(ch)
+		ch.release()
+		t[ci] = nc
+		ch = nc
+	}
+	return ch
+}
 
 // --- per-pool page helpers (callers hold p.mu) ---
 
-// mutFor returns the mut chunk for page pi, allocating it on first use.
+// mutFor returns the mut for page pi, allocating its chunk and the mut
+// itself on first use.
 func (p *Pool) mutFor(pi int) *pageMut {
-	m := p.muts[pi]
+	mc := p.muts[pi>>chunkShift]
+	if mc == nil {
+		mc = mutChunkPool.Get().(*mutChunk)
+		p.muts[pi>>chunkShift] = mc
+	}
+	m := mc.muts[pi&chunkMask]
 	if m == nil {
 		m = newPageMut()
-		p.muts[pi] = m
+		mc.muts[pi&chunkMask] = m
 	}
 	return m
 }
 
+// mutAt returns the mut for page pi, nil when the page has never been
+// stored to or flushed.
+func (p *Pool) mutAt(pi int) *pageMut {
+	if mc := p.muts[pi>>chunkShift]; mc != nil {
+		return mc.muts[pi&chunkMask]
+	}
+	return nil
+}
+
 // volatileWritable returns a privately owned volatile page at index pi,
-// materializing a zero page or a copy-before-write duplicate as needed.
+// unsharing the covering chunk and then materializing a zero page or a
+// copy-before-write duplicate as needed.
 func (p *Pool) volatileWritable(pi int) *page {
-	pg := p.volatile[pi]
+	ch := writableChunk(p.volatile, pi>>chunkShift)
+	si := pi & chunkMask
+	pg := ch.pages[si]
 	if pg == nil {
 		pg = newPage()
-		p.volatile[pi] = pg
+		ch.pages[si] = pg
 		return pg
 	}
 	if pg.shared() {
 		np := newPageCopy(pg)
 		pg.release()
-		p.volatile[pi] = np
+		ch.pages[si] = np
 		return np
 	}
 	return pg
 }
 
 // persistWritable is volatileWritable for the persistent table. It also
-// invalidates the page's cached hash and the covering fingerprint group:
-// persistent bytes are about to change.
+// invalidates the page's cached hash and the covering fingerprint group
+// (persistent bytes are about to change) and maintains the incremental
+// PageStats composition counters: materializing or unsharing a page is
+// exactly the zero→private and shared→private transition.
 func (p *Pool) persistWritable(pi int) *page {
 	if p.groupOK != nil {
-		p.groupOK[pi/groupPages] = false
+		g := pi / groupPages
+		p.groupOK[g] = false
+		if p.superOK != nil {
+			p.superOK[g/superGroups] = false
+		}
 	}
-	pg := p.persist[pi]
+	ch := writableChunk(p.persist, pi>>chunkShift)
+	si := pi & chunkMask
+	pg := ch.pages[si]
 	if pg == nil {
 		pg = newPage()
-		p.persist[pi] = pg
+		ch.pages[si] = pg
+		p.pageZero--
+		p.pagePrivate++
 		return pg
 	}
 	if pg.shared() {
 		np := newPageCopy(pg)
 		pg.release()
-		p.persist[pi] = np
+		ch.pages[si] = np
+		p.pageShared--
+		p.pagePrivate++
 		return np
 	}
 	pg.invalidateHash()
@@ -229,7 +389,7 @@ func (p *Pool) readVolatile(off uint64, dst []byte) {
 	for len(dst) > 0 {
 		pi, po := int(off>>PageShift), off&pageMask
 		var n int
-		if pg := p.volatile[pi]; pg != nil {
+		if pg := pageAt(p.volatile, pi); pg != nil {
 			n = copy(dst, pg.data[po:])
 		} else {
 			n = copy(dst, zeroPage[po:])
@@ -240,7 +400,7 @@ func (p *Pool) readVolatile(off uint64, dst []byte) {
 }
 
 // writeVolatile copies src into the volatile image at off, duplicating
-// shared pages copy-before-write.
+// shared chunks and pages copy-before-write.
 func (p *Pool) writeVolatile(off uint64, src []byte) {
 	for len(src) > 0 {
 		pi, po := int(off>>PageShift), off&pageMask
@@ -255,7 +415,7 @@ func (p *Pool) readPersist(off uint64, dst []byte) {
 	for len(dst) > 0 {
 		pi, po := int(off>>PageShift), off&pageMask
 		var n int
-		if pg := p.persist[pi]; pg != nil {
+		if pg := pageAt(p.persist, pi); pg != nil {
 			n = copy(dst, pg.data[po:])
 		} else {
 			n = copy(dst, zeroPage[po:])
@@ -269,14 +429,14 @@ func (p *Pool) readPersist(off uint64, dst []byte) {
 // lines known to have been stored to (their volatile page exists).
 func (p *Pool) volatileLine(l uint64) []byte {
 	lo := (l & lineMask) * LineSize
-	return p.volatile[l>>lineShift].data[lo : lo+LineSize]
+	return pageAt(p.volatile, int(l>>lineShift)).data[lo : lo+LineSize]
 }
 
 // persistLine returns the in-place (read-only) bytes of cache line l in the
 // persistent image, standing in zeros for an absent page.
 func (p *Pool) persistLine(l uint64) []byte {
 	lo := (l & lineMask) * LineSize
-	if pg := p.persist[l>>lineShift]; pg != nil {
+	if pg := pageAt(p.persist, int(l>>lineShift)); pg != nil {
 		return pg.data[lo : lo+LineSize]
 	}
 	return zeroPage[lo : lo+LineSize]

@@ -52,17 +52,24 @@ type Pool struct {
 	base uint64
 	size uint64
 
-	// volatile and persist are the two pool images as copy-on-write page
-	// tables (see page.go): volatile is what loads observe, persist is what
-	// survives a crash. A nil entry is an all-zero page. Pages are shared
-	// between pools (Crash snapshots alias their parent's persistent pages)
-	// and every write path materializes private copies on demand.
-	volatile []*page
-	persist  []*page
+	// volatile and persist are the two pool images as two-level
+	// copy-on-write page tables (see page.go): root directories of
+	// refcounted chunkSlots-page chunks, where volatile is what loads
+	// observe and persist is what survives a crash. A nil directory entry
+	// is an all-zero 2 MiB span and a nil chunk slot an all-zero page.
+	// Chunks and pages are both shared between pools (Crash snapshots alias
+	// their parent's persistent chunks wholesale) and every write path
+	// materializes private chunks/pages on demand.
+	volatile []*pageChunk
+	persist  []*pageChunk
 	// muts holds each page's mutable shadow — cache-line states and
-	// flush-staged line snapshots — allocated lazily on the first store or
-	// flush touching the page and never shared between pools.
-	muts []*pageMut
+	// flush-staged line snapshots — behind the same two-level directory
+	// shape, allocated lazily on the first store or flush touching the page
+	// and never shared between pools.
+	muts []*mutChunk
+	// npages is the page count covering size: the authoritative table
+	// length in pages (len(p.persist) is the directory length in chunks).
+	npages int
 
 	// pendingLines lists line indexes in state linePending or
 	// lineDirtyPending so fences commit in O(pending) rather than scanning
@@ -74,12 +81,18 @@ type Pool struct {
 	dirtyLineCount   int
 	pendingLineCount int
 
-	// groupHash/groupOK cache the fingerprint's middle Merkle level: one
-	// hash per groupPages consecutive persistent pages, invalidated by
-	// persistWritable. Allocated on first Fingerprint; Crash hands the
-	// caches down to snapshots (shared pages have identical content).
+	// groupHash/groupOK and superHash/superOK cache the fingerprint's two
+	// middle Merkle levels: one hash per groupPages consecutive persistent
+	// pages, rolled up into one hash per superGroups consecutive groups.
+	// persistWritable invalidates the covering entry at both levels, so a
+	// Fingerprint after k dirtied pages rehashes O(k) pages plus their
+	// groups and supers — never the whole directory. Allocated on first
+	// Fingerprint; Crash hands the caches down to snapshots (shared pages
+	// have identical content).
 	groupHash [][32]byte
 	groupOK   []bool
+	superHash [][32]byte
+	superOK   []bool
 
 	// sortedNames and namesHash cache the named-region table's sort order
 	// and content hash for Fingerprint and region replay; RegisterNamed
@@ -93,6 +106,26 @@ type Pool struct {
 	// model of the pre-COW engine. Images are byte-identical either way;
 	// benchmarks keep this baseline reachable via SetCrashDeepCopy.
 	deepCopyCrash bool
+	// flatTables disables chunk-granular sharing: Crash copies the page
+	// tables page by page (a fresh private chunk per directory slot, every
+	// page retained individually), restoring the page-granular engine's
+	// O(table length) per-snapshot cost while keeping bytes O(dirty).
+	// Images are byte-identical either way; SetFlatTables keeps the
+	// baseline reachable for benchmarks and differential tests.
+	flatTables bool
+
+	// pageZero/pageShared/pagePrivate are the PageStats composition
+	// counters, maintained incrementally (page materialization and
+	// copy-before-write in persistWritable, wholesale reclassification in
+	// Crash/materializeAllLocked/ReadImage) so the query is O(1) instead of
+	// an O(table) scan per image. Their sum is always npages. "Shared" is
+	// exact at image birth and under this pool's own operations, and drifts
+	// conservatively (over-reporting shared, never private) when a related
+	// pool's writes or Release drop the last remote reference to a chunk —
+	// scanPageStats is the structural reference tests compare against.
+	pageZero    int
+	pageShared  int
+	pagePrivate int
 
 	handlers trace.MultiHandler
 	// conduits tracks the asynchronous delivery conduits — single-consumer
@@ -140,12 +173,15 @@ type Pool struct {
 func New(size uint64) *Pool {
 	size = (size + LineSize - 1) &^ uint64(LineSize-1)
 	np := npagesFor(size)
+	nc := nchunksFor(np)
 	p := &Pool{
 		base:     DefaultBase,
 		size:     size,
-		volatile: make([]*page, np),
-		persist:  make([]*page, np),
-		muts:     make([]*pageMut, np),
+		volatile: make([]*pageChunk, nc),
+		persist:  make([]*pageChunk, nc),
+		muts:     make([]*mutChunk, nc),
+		npages:   np,
+		pageZero: np,
 		names:    map[string]intervals.Range{},
 	}
 	p.alloc.init(p.base, size)
@@ -444,7 +480,7 @@ func (p *Pool) markStoredLines(first, last uint64) {
 // the per-line coin assignment of CrashRandomPending).
 func (p *Pool) stageLines(first, last uint64) (changed bool) {
 	for l := first; l <= last; l++ {
-		m := p.muts[l>>lineShift]
+		m := p.mutAt(int(l >> lineShift))
 		if m == nil {
 			continue // whole page clean
 		}
@@ -480,7 +516,7 @@ func (p *Pool) stageLines(first, last uint64) (changed bool) {
 // where dropping and applying coincide for every crash policy and seed.
 func (p *Pool) commitPending() (changed bool) {
 	for _, l := range p.pendingLines {
-		m := p.muts[l>>lineShift]
+		m := p.mutAt(int(l >> lineShift))
 		li := l & lineMask
 		st := m.state[li]
 		if st != linePending && st != lineDirtyPending {

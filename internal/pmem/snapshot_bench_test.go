@@ -1,0 +1,75 @@
+package pmem
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// BenchmarkCrashSnapshot isolates the pure snapshot+release cost — no
+// checker, no recovery, no workload — for the three image engines at
+// several pool sizes. The pool carries a fixed ~64 dirty pages spread
+// across its whole span, so the chunked engine's per-image cost should
+// stay flat as the pool grows while the flat-table engine scales with the
+// directory length and the deep-copy baseline with the pool size.
+func BenchmarkCrashSnapshot(b *testing.B) {
+	for _, mib := range []int{16, 256, 1024} {
+		size := uint64(mib) << 20
+		for _, engine := range []string{"chunked", "flat", "deepcopy"} {
+			if engine == "deepcopy" && mib > 256 {
+				// O(pool) materialization at 1 GiB swamps the benchmark
+				// run; the scaling story is visible at 16 vs 256 already.
+				continue
+			}
+			b.Run(fmt.Sprintf("%s/%dMiB", engine, mib), func(b *testing.B) {
+				p := New(size)
+				p.SetFlatTables(engine == "flat")
+				p.SetCrashDeepCopy(engine == "deepcopy")
+				c := p.Ctx()
+				const dirty = 64
+				payload := bytes.Repeat([]byte{0x5b}, 512)
+				for i := 0; i < dirty; i++ {
+					persist(c, p.Base()+uint64(i)*(size/dirty)+64, payload)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					img := p.Crash(CrashDropPending, 0)
+					img.Release()
+				}
+				b.StopTimer()
+				p.Release()
+			})
+		}
+	}
+}
+
+// BenchmarkFingerprintAfterCrash measures the explorer's per-point hashing
+// pattern — dirty a page, refresh the parent's Merkle caches, snapshot,
+// fingerprint the image for dedup — which must stay O(dirty), not O(pool):
+// the group and super cache levels absorb the directory length.
+func BenchmarkFingerprintAfterCrash(b *testing.B) {
+	for _, mib := range []int{16, 256, 1024} {
+		size := uint64(mib) << 20
+		b.Run(fmt.Sprintf("%dMiB", mib), func(b *testing.B) {
+			p := New(size)
+			c := p.Ctx()
+			payload := bytes.Repeat([]byte{0x5b}, 512)
+			for i := 0; i < 64; i++ {
+				persist(c, p.Base()+uint64(i)*(size/64)+64, payload)
+			}
+			p.Fingerprint() // warm the parent's caches
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				persist(c, p.Base()+uint64(i%64)*(size/64)+64, payload)
+				p.Fingerprint()
+				img := p.Crash(CrashDropPending, 0)
+				img.Fingerprint()
+				img.Release()
+			}
+			b.StopTimer()
+			p.Release()
+		})
+	}
+}
