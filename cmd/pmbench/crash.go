@@ -31,6 +31,16 @@ type crashOpts struct {
 	// decay sublinearly with pool size (the bound is far below the size
 	// ratio); CI runs it as a soft gate.
 	maxSnapDecay float64
+	// minSegScale, when > 0, fails the experiment unless the geomean
+	// images/sec speedup of the fork-parallel explorer at segGate segments
+	// over one segment reaches the bound. Only meaningful on multi-core
+	// hosts — at one CPU the segments time-slice and the expected value is
+	// ~1x — so CI runs it as a soft gate on a multi-core runner.
+	minSegScale float64
+	// segCounts are the segment counts of the fork-parallel sweep; segGate
+	// is the count the -minsegscale gate is evaluated at.
+	segCounts []int
+	segGate   int
 	// sweepSizesMiB are the pool sizes of the crash-image scaling sweep;
 	// sweepPoints caps crash points per sweep cell so the op count, not the
 	// point count, stays fixed across sizes. sweepDeepLimitMiB stops
@@ -61,6 +71,7 @@ type crashArtifact struct {
 	GeomeanParallelSpeedup float64               `json:"geomean_parallel_speedup"`
 	GeomeanReducedSpeedup  float64               `json:"geomean_reduced_speedup"`
 	Scaling                *crashScaling         `json:"crash_image_scaling,omitempty"`
+	SegmentScaling         *crashSegScaling      `json:"segment_scaling,omitempty"`
 }
 
 // crashScaling is the pool-size sweep section of the artifact: COW vs
@@ -94,14 +105,32 @@ type crashScaling struct {
 	GeomeanSnapDecay float64 `json:"geomean_snap_decay"`
 }
 
-// crashExp measures crash-space exploration five ways per workload —
+// crashSegScaling is the fork-parallel segment sweep section of the artifact:
+// the reducer engine re-run at each segment count with everything else fixed,
+// plus the per-workload and geomean images/sec speedups at GateSegments
+// segments over one — the number -minsegscale bounds (CI soft-gates it: on a
+// single CPU the segments time-slice and the expected speedup is ~1x).
+type crashSegScaling struct {
+	Segments     []int                       `json:"segments"`
+	GateSegments int                         `json:"gate_segments"`
+	Results      []harness.CrashSegmentPoint `json:"results"`
+	// SegSpeedups maps workload to images/sec at GateSegments segments over
+	// images/sec at the first swept count (one segment).
+	SegSpeedups map[string]float64 `json:"seg_speedups"`
+	// GeomeanSegSpeedup aggregates SegSpeedups across workloads.
+	GeomeanSegSpeedup float64 `json:"geomean_seg_speedup"`
+}
+
+// crashExp measures crash-space exploration six ways per workload —
 // exhaustive serial re-execution, the record-once engine with a checker
-// worker pool, the same engine with pruning and deduplication, and the
-// reducer engine over the flat-table and deep-copy snapshot baselines —
-// after the harness has verified all five report the identical failure set. The
-// sanity gates are structural: the reduced engine must check strictly fewer
-// images than the exhaustive reference on every workload, and -minspeedup
-// (when set) bounds the geomean parallel speedup.
+// worker pool, the same engine with pruning and deduplication, the reducer
+// engine over the flat-table and deep-copy snapshot baselines, and the
+// fork-parallel segmented dispatcher — after the harness has verified all six
+// report the identical failure set. The sanity gates are structural: the
+// reduced engine must check strictly fewer images than the exhaustive
+// reference on every workload, the segmented engine's reducer counters must
+// equal the single-segment engine's, and -minspeedup (when set) bounds the
+// geomean parallel speedup.
 func crashExp(opts crashOpts) error {
 	fmt.Println("\n=== Crash-space exploration: serial vs record-once parallel vs +reducers ===")
 	fmt.Printf("%-12s %-18s %8s %8s %8s %8s %8s %12s %10s\n",
@@ -124,15 +153,22 @@ func crashExp(opts crashOpts) error {
 		if err != nil {
 			return err
 		}
-		serial, parallel, reduced, flat, deepcopy := rs[0], rs[1], rs[2], rs[3], rs[4]
+		serial, parallel, reduced, flat, deepcopy, segmented := rs[0], rs[1], rs[2], rs[3], rs[4], rs[5]
 		if reduced.ImagesChecked >= serial.ImagesChecked {
 			return fmt.Errorf("crash %s: reducers checked %d images, not below the exhaustive %d",
 				workload, reduced.ImagesChecked, serial.ImagesChecked)
+		}
+		if segmented.ImagesChecked != reduced.ImagesChecked || segmented.PrunedPoints != reduced.PrunedPoints ||
+			segmented.DedupImages != reduced.DedupImages {
+			return fmt.Errorf("crash %s: segmented counters (%d images, %d pruned, %d deduped) != single-segment (%d, %d, %d)",
+				workload, segmented.ImagesChecked, segmented.PrunedPoints, segmented.DedupImages,
+				reduced.ImagesChecked, reduced.PrunedPoints, reduced.DedupImages)
 		}
 		parSpeed := float64(serial.Nanos) / float64(parallel.Nanos)
 		redSpeed := float64(serial.Nanos) / float64(reduced.Nanos)
 		flatSpeed := float64(serial.Nanos) / float64(flat.Nanos)
 		deepSpeed := float64(serial.Nanos) / float64(deepcopy.Nanos)
+		segSpeed := float64(serial.Nanos) / float64(segmented.Nanos)
 		art.Results = append(art.Results, rs...)
 		art.ParallelSpeedups[workload] = parSpeed
 		art.ReducedSpeedups[workload] = redSpeed
@@ -149,6 +185,8 @@ func crashExp(opts crashOpts) error {
 				mark = fmt.Sprintf("%9.2fx", flatSpeed)
 			case "deepcopy+reducers":
 				mark = fmt.Sprintf("%9.2fx", deepSpeed)
+			case "segmented+reducers":
+				mark = fmt.Sprintf("%9.2fx", segSpeed)
 			}
 			fmt.Printf("%-12s %-18s %8d %8d %8d %8d %8d %12s %10s\n",
 				r.Workload, r.Engine, r.Events, r.Points, r.ImagesChecked,
@@ -170,6 +208,17 @@ func crashExp(opts crashOpts) error {
 			return err
 		}
 		art.Scaling = sc
+	}
+
+	// Segment sweep: the same reducer exploration dispatched over 1..N forked
+	// segments. Counters are segment-count-invariant by construction (the
+	// harness re-verifies), so the sweep isolates pure dispatch parallelism.
+	if len(opts.segCounts) > 0 {
+		ss, err := crashSegmentSweep(opts)
+		if err != nil {
+			return err
+		}
+		art.SegmentScaling = ss
 	}
 
 	if opts.json {
@@ -203,7 +252,64 @@ func crashExp(opts crashOpts) error {
 				opts.sweepSizesMiB[len(opts.sweepSizesMiB)-1], opts.maxSnapDecay)
 		}
 	}
+	if opts.minSegScale > 0 && art.SegmentScaling != nil {
+		if art.SegmentScaling.GeomeanSegSpeedup < opts.minSegScale {
+			return fmt.Errorf("crash: geomean segment speedup %.2fx at %d segments below required %.2fx",
+				art.SegmentScaling.GeomeanSegSpeedup, art.SegmentScaling.GateSegments, opts.minSegScale)
+		}
+	}
 	return nil
+}
+
+// crashSegmentSweep runs and prints the fork-parallel segment sweep,
+// returning the artifact section the -minsegscale gate reads.
+func crashSegmentSweep(opts crashOpts) (*crashSegScaling, error) {
+	fmt.Println("\n--- Segment scaling: fork-parallel dispatch at 1..N segments ---")
+	fmt.Printf("%-12s %9s %8s %8s %8s %12s %12s %10s\n",
+		"workload", "segments", "images", "pruned", "dedup", "time", "images/s", "scaling")
+	gate := opts.segCounts[len(opts.segCounts)-1]
+	for _, s := range opts.segCounts {
+		if s == opts.segGate {
+			gate = s
+		}
+	}
+	ss := &crashSegScaling{
+		Segments:     opts.segCounts,
+		GateSegments: gate,
+		SegSpeedups:  map[string]float64{},
+	}
+	logSpeed := 0.0
+	for _, workload := range opts.workloads {
+		pts, err := harness.MeasureCrashSegments(workload, opts.ops, opts.stride,
+			opts.workers, opts.segCounts)
+		if err != nil {
+			return nil, err
+		}
+		ss.Results = append(ss.Results, pts...)
+		baseRate, gateRate := 0.0, 0.0
+		for i, r := range pts {
+			if i == 0 {
+				baseRate = r.ImagesPerSec
+			}
+			if r.Segments == gate {
+				gateRate = r.ImagesPerSec
+			}
+			scaling := ""
+			if baseRate > 0 {
+				scaling = fmt.Sprintf("%9.2fx", r.ImagesPerSec/baseRate)
+			}
+			fmt.Printf("%-12s %9d %8d %8d %8d %12s %12.0f %10s\n",
+				r.Workload, r.Segments, r.Images, r.PrunedPoints, r.DedupImages,
+				time.Duration(r.Nanos).Round(time.Microsecond), r.ImagesPerSec, scaling)
+		}
+		speed := gateRate / baseRate
+		ss.SegSpeedups[workload] = speed
+		logSpeed += math.Log(speed)
+	}
+	ss.GeomeanSegSpeedup = math.Exp(logSpeed / float64(len(opts.workloads)))
+	fmt.Printf("geomean images/sec speedup at %d segments over 1: %.2fx (cpus: %d)\n",
+		gate, ss.GeomeanSegSpeedup, runtime.NumCPU())
+	return ss, nil
 }
 
 // crashScalingSweep runs and prints the pool-size sweep, returning the

@@ -33,13 +33,17 @@
 // BENCH_crash.json) and is sized with -crashops, -crashstride and
 // -crashworkers; it compares exhaustive serial re-execution with the
 // record-once parallel explorer — with and without its reducers, and over
-// the flat-table and deep-copy snapshot baselines — and fails when any
-// engine's failure set diverges from the serial reference or the reducers
-// do not check strictly fewer images. The pool-size sweep (16→1024 MiB,
-// deep-copy rows capped by -sweepdeeplimit) feeds two soft gates:
-// -mincowscale bounds the geomean chunked-COW-over-deepcopy speedup from
-// below, -maxsnapdecay bounds the geomean decay of COW points/sec across
-// the sweep from above.
+// the flat-table and deep-copy snapshot baselines, and with fork-parallel
+// segmented dispatch — and fails when any engine's failure set diverges
+// from the serial reference or the reducers do not check strictly fewer
+// images. The pool-size sweep (16→1024 MiB, deep-copy rows capped by
+// -sweepdeeplimit) feeds two soft gates: -mincowscale bounds the geomean
+// chunked-COW-over-deepcopy speedup from below, -maxsnapdecay bounds the
+// geomean decay of COW points/sec across the sweep from above. The segment
+// sweep (1/2/4/8 segments per workload) feeds -minsegscale, which bounds
+// the geomean images/sec speedup at 4 segments over 1 from below — only
+// meaningful on multi-core hosts (at one CPU the segments time-slice and
+// the expected value is ~1x), so CI runs it as a soft gate.
 package main
 
 import (
@@ -97,6 +101,7 @@ func main() {
 		minCow     = flag.Float64("mincowscale", 0, "crash: fail unless the geomean cow-over-deepcopy speedup at the largest deep-copy-swept size >= this")
 		maxDecay   = flag.Float64("maxsnapdecay", 0, "crash: fail if the geomean snapshot decay (cow points/sec, smallest over largest sweep size) exceeds this")
 		deepLimit  = flag.Int("sweepdeeplimit", 256, "crash: largest pool size (MiB) the deep-copy baseline is swept at (0 = all sizes)")
+		minSegScl  = flag.Float64("minsegscale", 0, "crash: fail unless the geomean images/sec speedup at 4 segments over 1 >= this (multi-core hosts)")
 	)
 	flag.Parse()
 	harness.Repeats = *repeats
@@ -104,10 +109,11 @@ func main() {
 	pl := pipelineOpts{json: *jsonOut, out: *outPath, minSpeedup: *minSpeed,
 		minShardScale: *minShard, threads: *threads}
 	cr := crashOpts{json: *jsonOut, out: *outPath, minSpeedup: *minSpeed,
-		minCowScale: *minCow, maxSnapDecay: *maxDecay,
+		minCowScale: *minCow, maxSnapDecay: *maxDecay, minSegScale: *minSegScl,
 		ops: *crashOps, stride: *crashStr, workers: *crashWrk,
 		sweepSizesMiB: []int{16, 64, 256, 1024}, sweepPoints: 16,
 		sweepDeepLimitMiB: *deepLimit,
+		segCounts:         []int{1, 2, 4, 8}, segGate: 4,
 		workloads:         []string{"b_tree", "txpair", "redis"}}
 	if err := run(*experiment, *inserts, *memOps, *redisKeys, hp, pl, cr); err != nil {
 		fmt.Fprintln(os.Stderr, "pmbench:", err)

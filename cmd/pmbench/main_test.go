@@ -25,7 +25,8 @@ func TestCrashArtifact(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH_crash.json")
 	cr := crashOpts{json: true, out: out, ops: 4, stride: 5, workers: 2,
 		workloads: []string{"b_tree", "txpair"},
-		sweepSizesMiB: []int{1, 2, 4}, sweepPoints: 3, sweepDeepLimitMiB: 2}
+		sweepSizesMiB: []int{1, 2, 4}, sweepPoints: 3, sweepDeepLimitMiB: 2,
+		segCounts: []int{1, 2, 4}, segGate: 4}
 	if err := run("crash", 0, 0, 0, hotpathOpts{}, pipelineOpts{}, cr); err != nil {
 		t.Fatalf("crash: %v", err)
 	}
@@ -37,13 +38,24 @@ func TestCrashArtifact(t *testing.T) {
 	if err := json.Unmarshal(data, &art); err != nil {
 		t.Fatalf("artifact is not valid JSON: %v", err)
 	}
-	if len(art.Results) != 5*len(art.ParallelSpeedups) ||
+	if len(art.Results) != 6*len(art.ParallelSpeedups) ||
 		art.GeomeanParallelSpeedup <= 0 || art.GeomeanReducedSpeedup <= 0 {
 		t.Fatalf("artifact incomplete: %+v", art)
 	}
 	for _, r := range art.Results {
 		if r.Engine == "parallel+reducers" && r.PrunedPoints == 0 && r.DedupImages == 0 {
 			t.Fatalf("%s reducers engine reduced nothing: %+v", r.Workload, r)
+		}
+		if r.Engine == "segmented+reducers" {
+			if r.Segments != cr.workers {
+				t.Fatalf("%s segmented row has segments=%d, want %d: %+v", r.Workload, r.Segments, cr.workers, r)
+			}
+			if r.RecordNanos <= 0 || r.SnapshotNanos <= 0 || r.CheckNanos <= 0 {
+				t.Fatalf("%s segmented row missing phase counters: %+v", r.Workload, r)
+			}
+		}
+		if r.Engine == "serial" && (r.RecordNanos != 0 || r.ReplayNanos != 0) {
+			t.Fatalf("%s serial row reports record-once phases: %+v", r.Workload, r)
 		}
 	}
 	// The sweep section: cow + flat rows per size per workload, deepcopy
@@ -75,6 +87,29 @@ func TestCrashArtifact(t *testing.T) {
 	}
 	if len(art.Scaling.ChunkSpeedups) != len(cr.sweepSizesMiB)*len(cr.workloads) {
 		t.Fatalf("chunk speedups incomplete: %+v", art.Scaling.ChunkSpeedups)
+	}
+	// The segment sweep: one row per (workload, segment count), counters
+	// invariant in the segment count, the gate geomean populated.
+	if art.SegmentScaling == nil {
+		t.Fatal("segment_scaling section missing")
+	}
+	if len(art.SegmentScaling.Results) != len(cr.segCounts)*len(cr.workloads) {
+		t.Fatalf("segment rows = %d, want %d", len(art.SegmentScaling.Results),
+			len(cr.segCounts)*len(cr.workloads))
+	}
+	images := map[string]int{}
+	for _, r := range art.SegmentScaling.Results {
+		if prev, ok := images[r.Workload]; ok && prev != r.Images {
+			t.Fatalf("%s images vary with segment count: %d vs %d", r.Workload, prev, r.Images)
+		}
+		images[r.Workload] = r.Images
+		if r.ImagesPerSec <= 0 {
+			t.Fatalf("segment row missing rate: %+v", r)
+		}
+	}
+	if art.SegmentScaling.GateSegments != 4 || art.SegmentScaling.GeomeanSegSpeedup <= 0 ||
+		len(art.SegmentScaling.SegSpeedups) != len(cr.workloads) {
+		t.Fatalf("segment gate summary incomplete: %+v", art.SegmentScaling)
 	}
 }
 

@@ -5,13 +5,16 @@
 //
 // By default it uses the record-once explorer (one program execution, a
 // shadow-replay pool, and a bounded checker worker pool); -parallel 0
-// selects the exhaustive re-execution reference engine.
+// selects the exhaustive re-execution reference engine. -segments N splits
+// the crash-point list into N contiguous windows, each dispatched by its own
+// goroutine from a forked copy-on-write replay pool — the failure set and
+// every reducer counter are identical at any segment count.
 //
 // Usage:
 //
 //	pmcrash -workload b_tree -n 25 -stride 13 -parallel 4 -prune -dedup
 //	pmcrash -workload redis -n 10 -stride 7 -policy random -seeds 5
-//	pmcrash -workload memcached -n 8 -stride 9 -parallel 2
+//	pmcrash -workload memcached -n 8 -stride 9 -parallel 2 -segments 4
 //	pmcrash -workload txpair -strictlog -policy random -parallel 0
 package main
 
@@ -40,15 +43,16 @@ func main() {
 		dedup     = flag.Bool("dedup", false, "deduplicate identical crash images by content hash (record-once engine)")
 		deepCopy  = flag.Bool("deepcopy", false, "materialize crash images with private pages (O(pool) baseline) instead of copy-on-write")
 		flat      = flag.Bool("flat", false, "copy page tables at page granularity per image (O(table) baseline) instead of chunk-shared")
+		segments  = flag.Int("segments", 1, "fork-parallel dispatch segments for the record-once engine")
 	)
 	flag.Parse()
-	if err := run(*workload, *n, *stride, *maxPoints, *policy, *seeds, *strictLog, *parallel, *prune, *dedup, *deepCopy, *flat); err != nil {
+	if err := run(*workload, *n, *stride, *maxPoints, *policy, *seeds, *strictLog, *parallel, *prune, *dedup, *deepCopy, *flat, *segments); err != nil {
 		fmt.Fprintln(os.Stderr, "pmcrash:", err)
 		os.Exit(1)
 	}
 }
 
-func run(workload string, n, stride, maxPoints int, policyName string, nseeds int, strictLog bool, parallel int, prune, dedup, deepCopy, flat bool) error {
+func run(workload string, n, stride, maxPoints int, policyName string, nseeds int, strictLog bool, parallel int, prune, dedup, deepCopy, flat bool, segments int) error {
 	cfg := crashtest.Config{PoolSize: 1 << 21, Stride: stride, MaxPoints: maxPoints,
 		DeepCopyImages: deepCopy, FlatTables: flat}
 	switch policyName {
@@ -76,11 +80,15 @@ func run(workload string, n, stride, maxPoints int, policyName string, nseeds in
 		if prune || dedup {
 			return fmt.Errorf("-prune and -dedup require the record-once engine (-parallel >= 1)")
 		}
+		if segments > 1 {
+			return fmt.Errorf("-segments requires the record-once engine (-parallel >= 1)")
+		}
 		res, err = crashtest.RunSerial(prog, check, cfg)
 	} else {
 		cfg.Workers = parallel
 		cfg.Prune = prune
 		cfg.Dedup = dedup
+		cfg.Segments = segments
 		res, err = crashtest.Run(prog, check, cfg)
 	}
 	elapsed := time.Since(start)
@@ -94,6 +102,16 @@ func run(workload string, n, stride, maxPoints int, policyName string, nseeds in
 	if res.PrunedPoints > 0 || res.DedupImages > 0 {
 		fmt.Printf("reducers: %d points pruned, %d images deduplicated\n",
 			res.PrunedPoints, res.DedupImages)
+	}
+	if res.RecordNanos > 0 {
+		// Phase times are summed across goroutines, so with -parallel or
+		// -segments > 1 they can legitimately exceed the wall clock.
+		fmt.Printf("phases: record %s, replay %s, snapshot %s, fingerprint %s, check %s\n",
+			time.Duration(res.RecordNanos).Round(time.Microsecond),
+			time.Duration(res.ReplayNanos).Round(time.Microsecond),
+			time.Duration(res.SnapshotNanos).Round(time.Microsecond),
+			time.Duration(res.FingerprintNanos).Round(time.Microsecond),
+			time.Duration(res.CheckNanos).Round(time.Microsecond))
 	}
 	if total := res.ZeroPages + res.SharedPages + res.PrivatePages; total > 0 {
 		engine := "chunked copy-on-write"

@@ -68,6 +68,15 @@ type Config struct {
 	// Workers bounds the checker worker pool of the record-once engine
 	// (default 1). RunSerial ignores it.
 	Workers int
+	// Segments splits the record-once engine's replay-and-dispatch loop
+	// across this many concurrent segment dispatchers (default 1). Pass 1
+	// replays the journal once, dropping a pmem.Pool.Fork at each segment's
+	// first boundary; pass 2 replays the segments concurrently, each fork
+	// materializing/pruning/deduplicating its own slice of the boundary
+	// list, with cross-segment deduplication resolved at merge time. The
+	// reported failure set and every counter are identical at any segment
+	// count. RunSerial ignores it.
+	Segments int
 	// Prune enables persistency-relevant crash-point pruning in the
 	// record-once engine: boundaries whose crash images provably equal the
 	// previous boundary's (no fence committed new bytes, and — for the
@@ -103,6 +112,9 @@ func (c *Config) fill() {
 	}
 	if c.Workers <= 0 {
 		c.Workers = 1
+	}
+	if c.Segments <= 0 {
+		c.Segments = 1
 	}
 	if c.Policy == pmem.CrashRandomPending && len(c.Seeds) == 0 {
 		c.Seeds = []int64{1, 2, 3}
@@ -158,6 +170,19 @@ type Result struct {
 	ZeroPages    uint64
 	SharedPages  uint64
 	PrivatePages uint64
+	// RecordNanos through CheckNanos split the record-once engine's work
+	// into phases so dispatcher-vs-checker balance is visible per workload:
+	// recording the journal (the single full program execution), replaying
+	// journal events into shadow pools (both passes), materializing crash
+	// images, fingerprinting for deduplication, and running the checker.
+	// Replay, snapshot, fingerprint and check times are summed across
+	// concurrent dispatchers and workers, so they can exceed wall-clock
+	// time. RunSerial leaves them zero.
+	RecordNanos      int64
+	ReplayNanos      int64
+	SnapshotNanos    int64
+	FingerprintNanos int64
+	CheckNanos       int64
 	// Failures lists every inconsistent recovery, ordered by crash point
 	// then seed position.
 	Failures []Failure
@@ -204,8 +229,12 @@ func RunSerial(prog Program, check Checker, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("crashtest: program failed without crashes: %w", err)
 	}
 	res.TotalEvents = full.EventCount()
-	if err := safeCheck(check, full.Crash(cfg.Policy, 0)); err != nil {
-		return nil, fmt.Errorf("crashtest: checker rejects the completed program: %w", err)
+	final := full.Crash(cfg.Policy, 0)
+	ferr := safeCheck(check, final)
+	final.Release()
+	full.Release()
+	if ferr != nil {
+		return nil, fmt.Errorf("crashtest: checker rejects the completed program: %w", ferr)
 	}
 
 	seeds := cfg.effectiveSeeds()
@@ -220,6 +249,7 @@ func RunSerial(prog Program, check Checker, cfg Config) (*Result, error) {
 		if !trapped {
 			// The program finished before the trap (points past its end):
 			// no image was produced, so the point does not count.
+			pool.Release()
 			break
 		}
 		res.Points++
@@ -231,7 +261,9 @@ func RunSerial(prog Program, check Checker, cfg Config) (*Result, error) {
 					AfterEvents: point, Seed: seed, Err: cerr,
 				})
 			}
+			img.Release()
 		}
+		pool.Release()
 	}
 	return res, nil
 }

@@ -1,0 +1,52 @@
+package crashtest
+
+import (
+	"fmt"
+	"testing"
+
+	"pmdebugger/internal/pmem"
+)
+
+// benchProg is a dispatcher-bound workload: many small persists spread over
+// enough pages that every boundary materializes a distinct image, with no
+// prunable stretches — the worst case for the dispatch loop and the best
+// case for measuring raw images/sec.
+func benchProg(pm *pmem.Pool) error {
+	c := pm.Ctx()
+	base := pm.Base()
+	for i := uint64(0); i < 160; i++ {
+		a := base + (i%40)*4096 + (i/40)*64
+		c.Store64(a, i+1)
+		c.Flush(a, 8)
+		c.Fence()
+	}
+	return nil
+}
+
+// BenchmarkDispatcher isolates the explorer's image production rate: a
+// checker that does nothing, so all measured time is journal replay,
+// snapshot materialization, fingerprinting and scheduling. The per-segment
+// scaling of images/sec is the number the segment_scaling artifact section
+// gates on.
+func BenchmarkDispatcher(b *testing.B) {
+	noop := func(img *pmem.Pool) error { return nil }
+	for _, segs := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("segments=%d", segs), func(b *testing.B) {
+			cfg := Config{Workers: 2, Prune: true, Dedup: true, Segments: segs}
+			var images int
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := Run(benchProg, noop, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				images += res.Images
+			}
+			b.StopTimer()
+			if b.Elapsed() > 0 {
+				b.ReportMetric(float64(images)/b.Elapsed().Seconds(), "images/s")
+			}
+		})
+	}
+}

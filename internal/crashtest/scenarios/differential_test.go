@@ -56,30 +56,42 @@ func TestParallelEqualsSerial(t *testing.T) {
 			cfg.Workers = 4
 			cfg.Prune = true
 			cfg.Dedup = true
-			got, err := crashtest.Run(prog, check, cfg)
-			if err != nil {
-				t.Fatal(err)
-			}
+			var single *crashtest.Result
+			for _, segs := range []int{1, 4} {
+				cfg.Segments = segs
+				got, err := crashtest.Run(prog, check, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
 
-			if got.TotalEvents != ref.TotalEvents {
-				t.Errorf("events: %d, serial %d — the recorded run diverged", got.TotalEvents, ref.TotalEvents)
-			}
-			if got.Points != ref.Points {
-				t.Errorf("points: %d, serial %d", got.Points, ref.Points)
-			}
-			if !reflect.DeepEqual(got.FailureKeys(), ref.FailureKeys()) {
-				t.Errorf("failure sets diverge\n parallel: %v\n serial:   %v", got.FailureKeys(), ref.FailureKeys())
-			}
-			if tc.wantReduced {
-				if got.PrunedPoints == 0 && got.DedupImages == 0 {
-					t.Errorf("reducers found nothing across %d points", got.Points)
+				if got.TotalEvents != ref.TotalEvents {
+					t.Errorf("segments=%d events: %d, serial %d — the recorded run diverged", segs, got.TotalEvents, ref.TotalEvents)
 				}
-				if got.Images >= ref.Images && ref.Images > 0 {
-					t.Errorf("reduced run checked %d images, serial %d", got.Images, ref.Images)
+				if got.Points != ref.Points {
+					t.Errorf("segments=%d points: %d, serial %d", segs, got.Points, ref.Points)
 				}
+				if !reflect.DeepEqual(got.FailureKeys(), ref.FailureKeys()) {
+					t.Errorf("segments=%d failure sets diverge\n parallel: %v\n serial:   %v", segs, got.FailureKeys(), ref.FailureKeys())
+				}
+				if tc.wantReduced {
+					if got.PrunedPoints == 0 && got.DedupImages == 0 {
+						t.Errorf("segments=%d: reducers found nothing across %d points", segs, got.Points)
+					}
+					if got.Images >= ref.Images && ref.Images > 0 {
+						t.Errorf("segments=%d: reduced run checked %d images, serial %d", segs, got.Images, ref.Images)
+					}
+				}
+				if single == nil {
+					single = got
+				} else if got.Images != single.Images || got.PrunedPoints != single.PrunedPoints ||
+					got.DedupImages != single.DedupImages {
+					t.Errorf("segments=%d counters (%d images, %d pruned, %d deduped) != single-segment (%d, %d, %d)",
+						segs, got.Images, got.PrunedPoints, got.DedupImages,
+						single.Images, single.PrunedPoints, single.DedupImages)
+				}
+				t.Logf("segments=%d: %d events, %d points: serial checked %d images, parallel %d (%d pruned, %d deduped), %d failures",
+					segs, got.TotalEvents, got.Points, ref.Images, got.Images, got.PrunedPoints, got.DedupImages, len(ref.Failures))
 			}
-			t.Logf("%d events, %d points: serial checked %d images, parallel %d (%d pruned, %d deduped), %d failures",
-				got.TotalEvents, got.Points, ref.Images, got.Images, got.PrunedPoints, got.DedupImages, len(ref.Failures))
 		})
 	}
 }

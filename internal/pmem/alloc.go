@@ -23,6 +23,13 @@ func (a *allocator) init(base, size uint64) {
 	a.free = []freeBlock{{addr: base, size: size}}
 }
 
+// cloneFrom copies src's free list so the receiver allocates and frees
+// independently from identical state — Pool.Fork carries the volatile
+// allocator over, unlike Crash, which resets it for recovery to rebuild.
+func (a *allocator) cloneFrom(src *allocator) {
+	a.free = append(a.free[:0], src.free...)
+}
+
 const allocAlign = 16
 
 func alignUp(v, align uint64) uint64 {

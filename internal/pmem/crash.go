@@ -257,17 +257,10 @@ func (p *Pool) Release() {
 		}
 	}
 	for i, mc := range p.muts {
-		if mc == nil {
-			continue
+		if mc != nil {
+			mc.release()
+			p.muts[i] = nil
 		}
-		for si, m := range mc.muts {
-			if m != nil {
-				putPageMut(m)
-				mc.muts[si] = nil
-			}
-		}
-		mutChunkPool.Put(mc)
-		p.muts[i] = nil
 	}
 	tableSetPool.Put(&tableSet{p.volatile, p.persist, p.muts})
 	p.volatile, p.persist, p.muts = nil, nil, nil

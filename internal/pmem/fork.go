@@ -1,0 +1,109 @@
+package pmem
+
+import "pmdebugger/internal/intervals"
+
+// Fork returns a full-volatile-state copy-on-write clone of the pool.
+//
+// Where Crash materializes what a power failure leaves behind — persistent
+// bytes only, all lines clean, allocator reset — Fork clones the *running*
+// machine: both images, the cache-line state machine, the staged pending
+// set, the allocator, the named-region table, and the warm Merkle caches
+// all carry over, so the fork can keep applying journal events (or live
+// operations) exactly as the parent would have. The segment-parallel crash
+// explorer (internal/crashtest) forks one replayer per segment this way and
+// lets each fork replay only its own slice of the journal.
+//
+// The clone is O(dirty) like Crash: every level of the two page tables and
+// the mut table is shared by retaining the root directories' chunks (one
+// pointer copy plus one refcount bump per 2 MiB of address space), and
+// either side's subsequent writes duplicate shared chunks, pages, and muts
+// before modifying them (writableChunk / volatileWritable / persistWritable
+// / mutFor). Concurrent forks of one parent are safe: refcounts are atomic
+// and shared objects are immutable while shared.
+//
+// Handlers, conduits, and crash traps do not carry over — a fork starts
+// silent, like a pool driven purely by ApplyRecorded. Asynchronous handlers
+// on the parent are drained first so the fork reflects every event emitted
+// before the call.
+func (p *Pool) Fork() *Pool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.syncLocked()
+
+	nc := len(p.persist)
+	tables := newTables(nc)
+	n := &Pool{
+		base:     p.base,
+		size:     p.size,
+		volatile: tables.volatile,
+		persist:  tables.persist,
+		muts:     tables.muts,
+		npages:   p.npages,
+		names:    make(map[string]intervals.Range, len(p.names)),
+	}
+	copy(n.persist, p.persist)
+	for _, ch := range n.persist {
+		if ch != nil {
+			ch.retain()
+		}
+	}
+	copy(n.volatile, p.volatile)
+	for _, ch := range n.volatile {
+		if ch != nil {
+			ch.retain()
+		}
+	}
+	copy(n.muts, p.muts)
+	for _, mc := range n.muts {
+		if mc != nil {
+			mc.retain()
+		}
+	}
+
+	// Line-state machine: the pending set and the incremental counters are
+	// plain values; the per-line states themselves live in the shared muts.
+	n.pendingLines = append([]uint64(nil), p.pendingLines...)
+	n.dirtyLineCount = p.dirtyLineCount
+	n.pendingLineCount = p.pendingLineCount
+
+	// PageStats handoff, exactly as in Crash: sharing the persistent table
+	// turns every materialized page — parent's and fork's alike — into a
+	// shared page; zero spans stay zero on both sides.
+	n.pageZero = p.pageZero
+	n.pageShared = p.pageShared + p.pagePrivate
+	p.pageShared, p.pagePrivate = n.pageShared, 0
+
+	// Warm Merkle caches ride along: shared pages have identical content,
+	// and persistWritable invalidates the covering entries on either side's
+	// later commits.
+	if p.groupOK != nil {
+		n.groupHash = append([][32]byte(nil), p.groupHash...)
+		n.groupOK = append([]bool(nil), p.groupOK...)
+	}
+	if p.superOK != nil {
+		n.superHash = append([][32]byte(nil), p.superHash...)
+		n.superOK = append([]bool(nil), p.superOK...)
+	}
+
+	for name, r := range p.names {
+		n.names[name] = r
+	}
+	n.sortedNames = p.sortedNames
+	n.namesHash, n.namesHashOK = p.namesHash, p.namesHashOK
+
+	n.alloc.cloneFrom(&p.alloc)
+	n.stats = p.stats
+
+	// Replay position and modeled program state: a fork resumes the event
+	// stream where the parent stood.
+	n.seq = p.seq
+	n.epochDepth = p.epochDepth
+	n.epochID = p.epochID
+	n.strandSeq = p.strandSeq
+
+	// Engine knobs are inherited (unlike Crash): a fork exists to produce
+	// the same images the parent would have produced.
+	n.deepCopyCrash = p.deepCopyCrash
+	n.flatTables = p.flatTables
+	return n
+}

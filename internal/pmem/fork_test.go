@@ -1,0 +1,245 @@
+package pmem
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestForkCarriesFullVolatileState is the core Fork contract: unlike Crash,
+// the fork resumes the running machine — volatile bytes, line states, the
+// staged pending set, the allocator, names, and the event position all carry
+// over, so continuing on the fork produces exactly what continuing on the
+// parent would have.
+func TestForkCarriesFullVolatileState(t *testing.T) {
+	p := New(1 << 20)
+	c := p.Ctx()
+	a := p.Alloc(4096)
+	p.RegisterNamed("root", a, 64)
+	persist(c, a, []byte("committed bytes!"))
+	c.StoreBytes(a+64, []byte("dirty line"))    // stays dirty
+	c.StoreBytes(a+128, []byte("pending line")) // staged below
+	c.Flush(a+128, 16)                          // flushed, no fence yet
+	free := p.FreeBytes()
+
+	f := p.Fork()
+	if f.EventCount() != p.EventCount() {
+		t.Fatalf("fork seq %d != parent seq %d", f.EventCount(), p.EventCount())
+	}
+	if d, pe := f.DirtyLines(), f.PendingLines(); d != p.DirtyLines() || pe != p.PendingLines() {
+		t.Fatalf("fork line counts (%d,%d) != parent (%d,%d)", d, pe, p.DirtyLines(), p.PendingLines())
+	}
+	if got := f.Load(a+64, 10); !bytes.Equal(got, []byte("dirty line")) {
+		t.Fatalf("fork lost volatile bytes: %q", got)
+	}
+	if r, ok := f.NamedRange("root"); !ok || r.Addr != a {
+		t.Fatal("fork lost named region")
+	}
+	if f.FreeBytes() != free {
+		t.Fatalf("fork allocator free %d != parent %d", f.FreeBytes(), free)
+	}
+	if d, pe := f.scanLineCounts(); d != f.DirtyLines() || pe != f.PendingLines() {
+		t.Fatalf("fork incremental counts (%d,%d) != scan (%d,%d)", f.DirtyLines(), f.PendingLines(), d, pe)
+	}
+
+	// A fence on the fork commits the line the parent staged before the
+	// fork — the pending set and staged bytes crossed over.
+	f.Ctx().Fence()
+	if !f.PersistedEquals(a+128, []byte("pending line")) {
+		t.Fatal("fork fence did not commit the parent's staged line")
+	}
+	// The parent's own fence still works and the two now agree.
+	c.Fence()
+	if !p.PersistedEquals(a+128, []byte("pending line")) {
+		t.Fatal("parent fence lost its staged line after forking")
+	}
+	f.Release()
+}
+
+// TestForkImagesMatchUnforkedRun drives a parent and its fork through the
+// same tail of operations and checks, for every policy, that the fork's
+// crash images are fingerprint-identical to the images of a pool that never
+// forked — Fork must be invisible to crash semantics.
+func TestForkImagesMatchUnforkedRun(t *testing.T) {
+	run := func(fork bool) map[string][32]byte {
+		p := New(1 << 20)
+		c := p.Ctx()
+		a := uint64(DefaultBase + 4096)
+		persist(c, a, []byte("prefix state 00!"))
+		c.StoreBytes(a+4096, []byte("staged not fenced"))
+		c.Flush(a+4096, 32)
+
+		target := p
+		if fork {
+			target = p.Fork()
+		}
+		tc := target.Ctx()
+		persist(tc, a+8192, []byte("tail writes here"))
+		tc.StoreBytes(a, []byte("overwrite prefix"))
+		tc.Flush(a, 16)
+
+		out := map[string][32]byte{}
+		for _, pol := range []CrashPolicy{CrashDropPending, CrashApplyPending, CrashRandomPending} {
+			for _, seed := range []int64{1, 7} {
+				img := target.Crash(pol, seed)
+				out[fmt.Sprintf("%d/%d", pol, seed)] = img.Fingerprint()
+				img.Release()
+			}
+		}
+		return out
+	}
+	plain, forked := run(false), run(true)
+	for k, fp := range plain {
+		if forked[k] != fp {
+			t.Fatalf("policy/seed %s: forked image differs from unforked run", k)
+		}
+	}
+}
+
+// TestForkStagedBytesAreIsolated pins the mut-level copy-on-write: the
+// staged pending bytes are duplicated before either side restages, so a
+// parent's post-fork restage cannot leak into what the fork's fence commits
+// (and vice versa).
+func TestForkStagedBytesAreIsolated(t *testing.T) {
+	p := New(1 << 20)
+	c := p.Ctx()
+	a := p.Alloc(4096)
+	c.StoreBytes(a, []byte("original staged!"))
+	c.Flush(a, 16) // staged, not fenced
+
+	f := p.Fork()
+
+	// Parent restages different bytes and commits them.
+	c.StoreBytes(a, []byte("parent restaged!"))
+	c.Flush(a, 16)
+	c.Fence()
+	if !p.PersistedEquals(a, []byte("parent restaged!")) {
+		t.Fatal("parent lost its own restaged bytes")
+	}
+
+	// The fork's fence must commit the bytes staged before the fork.
+	f.Ctx().Fence()
+	if !f.PersistedEquals(a, []byte("original staged!")) {
+		t.Fatalf("parent restage leaked into fork: %q", f.PersistedBytes(a, 16))
+	}
+
+	// And the other direction: a second fork restages, the parent's state
+	// machine must not see it.
+	g := p.Fork()
+	gc := g.Ctx()
+	gc.StoreBytes(a, []byte("fork2 restaged!!"))
+	gc.Flush(a, 16)
+	if got := p.PersistedBytes(a, 16); !bytes.Equal(got, []byte("parent restaged!")) {
+		t.Fatalf("fork restage leaked into parent persist image: %q", got)
+	}
+	c.Fence() // parent has nothing newly staged: must be a no-op commit
+	if !p.PersistedEquals(a, []byte("parent restaged!")) {
+		t.Fatal("fork's staged line bled into the parent's fence")
+	}
+	gc.Fence()
+	if !g.PersistedEquals(a, []byte("fork2 restaged!!")) {
+		t.Fatal("fork2 lost its own staged bytes")
+	}
+	f.Release()
+	g.Release()
+}
+
+// TestForkConcurrentMutators is the -race witness for concurrent forks of
+// one parent mutating pages in shared chunks: every fork rewrites the same
+// cache lines (same chunk, same mut) plus a fork-private line, takes crash
+// images, and releases — all concurrently with the parent doing the same.
+// Refcounted COW must keep every pool's bytes private without locking.
+func TestForkConcurrentMutators(t *testing.T) {
+	p := New(1 << 24) // 16 MiB: eight 2 MiB chunk spans
+	c := p.Ctx()
+	base := p.Base()
+	// Dirty several chunks' worth of shared state, with a staged line per
+	// page so the forks share muts too.
+	for i := 0; i < 8; i++ {
+		a := base + uint64(i)*(2<<20) + 64
+		persist(c, a, bytes.Repeat([]byte{byte(i)}, 128))
+		c.StoreBytes(a+4096, []byte("staged line here"))
+		c.Flush(a+4096, 16)
+	}
+
+	const nforks = 8
+	forks := make([]*Pool, nforks)
+	for i := range forks {
+		forks[i] = p.Fork()
+	}
+
+	var wg sync.WaitGroup
+	mutate := func(pool *Pool, tag byte) {
+		defer wg.Done()
+		mc := pool.Ctx()
+		want := bytes.Repeat([]byte{tag}, 64)
+		for i := 0; i < 8; i++ {
+			a := base + uint64(i)*(2<<20) + 64
+			persist(mc, a, want)                       // contended shared line
+			persist(mc, a+uint64(tag)*4096+8192, want) // pool-private line
+			mc.Fence()                                 // commits the pre-fork staged line too
+		}
+		img := pool.Crash(CrashRandomPending, int64(tag))
+		for i := 0; i < 8; i++ {
+			a := base + uint64(i)*(2<<20) + 64
+			if !img.PersistedEquals(a, want) {
+				panic("lost own write in crash image")
+			}
+		}
+		img.Release()
+	}
+	wg.Add(nforks + 1)
+	go mutate(p, 0x40)
+	for i, f := range forks {
+		go mutate(f, byte(0x41+i))
+	}
+	wg.Wait()
+
+	for i, f := range forks {
+		want := bytes.Repeat([]byte{byte(0x41 + i)}, 64)
+		if !f.PersistedEquals(base+64, want) {
+			t.Fatalf("fork %d lost its write after concurrent mutation", i)
+		}
+		f.Release()
+	}
+	if !p.PersistedEquals(base+64, bytes.Repeat([]byte{0x40}, 64)) {
+		t.Fatal("parent lost its write after concurrent mutation")
+	}
+}
+
+// TestForkReleaseRecyclesSharedState releases forks in both orders around
+// parent writes, making sure refcounts neither leak a still-referenced mut
+// to the pool (use-after-recycle shows up as cross-pool corruption) nor
+// double-free. Exercised hardest under -race with the pools swapping dirty
+// chunks.
+func TestForkReleaseRecyclesSharedState(t *testing.T) {
+	p := New(1 << 20)
+	c := p.Ctx()
+	a := p.Alloc(8192)
+	c.StoreBytes(a, []byte("staged by parent"))
+	c.Flush(a, 16)
+
+	f1 := p.Fork()
+	f2 := f1.Fork() // fork of a fork: three pools share one mut
+	f1.Release()    // middle owner goes away first
+
+	// Parent and grandchild still work and stay isolated.
+	c.StoreBytes(a, []byte("parent restaged!"))
+	c.Flush(a, 16)
+	c.Fence()
+	f2.Ctx().Fence()
+	if !f2.PersistedEquals(a, []byte("staged by parent")) {
+		t.Fatalf("grandchild fork lost shared staged bytes: %q", f2.PersistedBytes(a, 16))
+	}
+	if !p.PersistedEquals(a, []byte("parent restaged!")) {
+		t.Fatal("parent lost its restaged bytes")
+	}
+	f2.Release()
+
+	// The parent survives all forks being gone.
+	persist(c, a+4096, []byte("after forks die"))
+	if !p.PersistedEquals(a+4096, []byte("after forks die")) {
+		t.Fatal("parent broken after releasing forks")
+	}
+}

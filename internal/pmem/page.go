@@ -32,6 +32,11 @@ import (
 //     refcount is one; chunk duplication retains every page it copies, so
 //     the page-level copy-before-write check in volatileWritable/
 //     persistWritable still sees an accurate count after the chunk unshares.
+//   - The mut table (per-page line states + flush staging) follows the same
+//     two-level discipline: Pool.Fork shares mut chunks and muts wholesale,
+//     and mutFor unshares chunk-then-mut before any line-state or staging
+//     write. Crash images never share muts (a fresh image has no mutable
+//     state), so only forks pay the mut copy-on-write checks.
 //
 // Refcount operations are atomic because distinct pools run under distinct
 // mutexes; the release path that recycles a dying chunk or page runs only
@@ -98,17 +103,23 @@ type pageChunk struct {
 // pageMut is the lazily allocated mutable shadow of one page: the cache-line
 // state machine and the flush-staged line snapshots. Pools allocate one per
 // page actually stored to or flushed, so a mostly-clean pool (a fresh crash
-// image, say) carries no per-byte mutable state at all. Muts are never
-// shared between pools.
+// image, say) carries no per-byte mutable state at all. Muts follow the same
+// copy-on-write discipline as pages: Fork shares them between parent and
+// fork via refcounts, and mutFor duplicates a shared mut before any state or
+// staging write (Crash never shares muts — images start with all lines
+// clean).
 type pageMut struct {
+	refs    int32 // atomic: mut-chunk slots referencing this mut
 	state   [linesPerPage]lineState
 	pending [PageSize]byte
 }
 
 // mutChunk is the directory unit of the mut table, mirroring pageChunk so a
-// fresh pool's mut directory is O(pool/2MiB) nil pointers. Mut chunks are
-// never shared between pools and carry no refcount.
+// fresh pool's mut directory is O(pool/2MiB) nil pointers. Like pageChunk,
+// mut chunks are refcounted and shared between a pool and its forks; a
+// chunk's muts array is mutated only while the chunk is privately owned.
 type mutChunk struct {
+	refs int32 // atomic: mut-directory slots referencing this chunk
 	muts [chunkSlots]*pageMut
 }
 
@@ -234,15 +245,87 @@ func (ch *pageChunk) release() {
 // slot.
 func (ch *pageChunk) shared() bool { return atomic.LoadInt32(&ch.refs) > 1 }
 
-// newPageMut returns a mut with all lines clean. The pending area is not
-// cleared: its bytes are only ever read after being staged by a flush.
+// newPageMut returns a mut with all lines clean and refcount 1. The pending
+// area is not cleared: its bytes are only ever read after being staged by a
+// flush.
 func newPageMut() *pageMut {
 	m := mutPool.Get().(*pageMut)
+	m.refs = 1
 	m.state = [linesPerPage]lineState{}
 	return m
 }
 
-func putPageMut(m *pageMut) { mutPool.Put(m) }
+// newPageMutCopy returns a private copy of src with refcount 1. Both the
+// line states and the staged pending bytes are copied: a fork and its parent
+// must restage and commit independently.
+func newPageMutCopy(src *pageMut) *pageMut {
+	m := mutPool.Get().(*pageMut)
+	m.refs = 1
+	m.state = src.state
+	m.pending = src.pending
+	return m
+}
+
+// retain adds one mut-chunk-slot reference.
+func (m *pageMut) retain() { atomic.AddInt32(&m.refs, 1) }
+
+// release drops one mut-chunk-slot reference, recycling the mut when the
+// last reference goes away.
+func (m *pageMut) release() {
+	if atomic.AddInt32(&m.refs, -1) == 0 {
+		mutPool.Put(m)
+	}
+}
+
+// shared reports whether the mut is referenced by more than one chunk slot.
+func (m *pageMut) shared() bool { return atomic.LoadInt32(&m.refs) > 1 }
+
+// newMutChunk returns an all-nil mut chunk with refcount 1. Recycled chunks
+// come back clean: release nils every slot before pooling the chunk.
+func newMutChunk() *mutChunk {
+	mc := mutChunkPool.Get().(*mutChunk)
+	mc.refs = 1
+	return mc
+}
+
+// newMutChunkCopy returns a private duplicate of src with refcount 1,
+// retaining every mut it copies — the retains happen before the caller drops
+// its reference to src, so no mut's count can touch zero mid-duplication
+// even while other pools release the same chunk concurrently (the same
+// protocol as newChunkCopy).
+func newMutChunkCopy(src *mutChunk) *mutChunk {
+	mc := mutChunkPool.Get().(*mutChunk)
+	mc.refs = 1
+	mc.muts = src.muts
+	for _, m := range mc.muts {
+		if m != nil {
+			m.retain()
+		}
+	}
+	return mc
+}
+
+// retain adds one mut-directory reference.
+func (mc *mutChunk) retain() { atomic.AddInt32(&mc.refs, 1) }
+
+// release drops one mut-directory reference. The last release drops every
+// mut the chunk holds and recycles the cleaned chunk — only dying chunks pay
+// the slot scan.
+func (mc *mutChunk) release() {
+	if atomic.AddInt32(&mc.refs, -1) == 0 {
+		for i, m := range mc.muts {
+			if m != nil {
+				m.release()
+				mc.muts[i] = nil
+			}
+		}
+		mutChunkPool.Put(mc)
+	}
+}
+
+// shared reports whether the mut chunk is referenced by more than one
+// directory slot.
+func (mc *mutChunk) shared() bool { return atomic.LoadInt32(&mc.refs) > 1 }
 
 // tableSet bundles the three per-pool root directories so Release can
 // recycle them as a unit. Directories are O(pool/2MiB) — tiny — but crash
@@ -303,24 +386,39 @@ func writableChunk(t []*pageChunk, ci int) *pageChunk {
 
 // --- per-pool page helpers (callers hold p.mu) ---
 
-// mutFor returns the mut for page pi, allocating its chunk and the mut
-// itself on first use.
+// mutFor returns a privately owned mut for page pi: it allocates the chunk
+// and the mut on first use, and — mirroring writableChunk/persistWritable —
+// duplicates a chunk or mut shared with a fork before handing it out, so
+// callers may write line states and pending bytes in place.
 func (p *Pool) mutFor(pi int) *pageMut {
-	mc := p.muts[pi>>chunkShift]
+	ci := pi >> chunkShift
+	mc := p.muts[ci]
 	if mc == nil {
-		mc = mutChunkPool.Get().(*mutChunk)
-		p.muts[pi>>chunkShift] = mc
+		mc = newMutChunk()
+		p.muts[ci] = mc
+	} else if mc.shared() {
+		nc := newMutChunkCopy(mc)
+		mc.release()
+		p.muts[ci] = nc
+		mc = nc
 	}
-	m := mc.muts[pi&chunkMask]
+	si := pi & chunkMask
+	m := mc.muts[si]
 	if m == nil {
 		m = newPageMut()
-		mc.muts[pi&chunkMask] = m
+		mc.muts[si] = m
+	} else if m.shared() {
+		nm := newPageMutCopy(m)
+		m.release()
+		mc.muts[si] = nm
+		m = nm
 	}
 	return m
 }
 
 // mutAt returns the mut for page pi, nil when the page has never been
-// stored to or flushed.
+// stored to or flushed. The result may be shared with a fork: callers that
+// intend to write must go through mutFor instead.
 func (p *Pool) mutAt(pi int) *pageMut {
 	if mc := p.muts[pi>>chunkShift]; mc != nil {
 		return mc.muts[pi&chunkMask]

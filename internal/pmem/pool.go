@@ -64,8 +64,9 @@ type Pool struct {
 	persist  []*pageChunk
 	// muts holds each page's mutable shadow — cache-line states and
 	// flush-staged line snapshots — behind the same two-level directory
-	// shape, allocated lazily on the first store or flush touching the page
-	// and never shared between pools.
+	// shape, allocated lazily on the first store or flush touching the page.
+	// Fork shares mut chunks and muts copy-on-write (mutFor unshares before
+	// writes); Crash images never inherit them.
 	muts []*mutChunk
 	// npages is the page count covering size: the authoritative table
 	// length in pages (len(p.persist) is the directory length in chunks).
@@ -480,7 +481,8 @@ func (p *Pool) markStoredLines(first, last uint64) {
 // the per-line coin assignment of CrashRandomPending).
 func (p *Pool) stageLines(first, last uint64) (changed bool) {
 	for l := first; l <= last; l++ {
-		m := p.mutAt(int(l >> lineShift))
+		pi := int(l >> lineShift)
+		m := p.mutAt(pi)
 		if m == nil {
 			continue // whole page clean
 		}
@@ -488,6 +490,7 @@ func (p *Pool) stageLines(first, last uint64) (changed bool) {
 		lo := li * LineSize
 		switch m.state[li] {
 		case lineDirty:
+			m = p.mutFor(pi) // unshare before staging into the mut
 			copy(m.pending[lo:lo+LineSize], p.volatileLine(l))
 			m.state[li] = linePending
 			p.pendingLines = append(p.pendingLines, l)
@@ -497,6 +500,7 @@ func (p *Pool) stageLines(first, last uint64) (changed bool) {
 		case lineDirtyPending:
 			// Restaging keeps the pending set intact: only a content
 			// difference can alter a crash image.
+			m = p.mutFor(pi)
 			v := p.volatileLine(l)
 			if !bytes.Equal(m.pending[lo:lo+LineSize], v) {
 				changed = true
@@ -516,12 +520,14 @@ func (p *Pool) stageLines(first, last uint64) (changed bool) {
 // where dropping and applying coincide for every crash policy and seed.
 func (p *Pool) commitPending() (changed bool) {
 	for _, l := range p.pendingLines {
-		m := p.mutAt(int(l >> lineShift))
+		pi := int(l >> lineShift)
+		m := p.mutAt(pi)
 		li := l & lineMask
 		st := m.state[li]
 		if st != linePending && st != lineDirtyPending {
 			continue
 		}
+		m = p.mutFor(pi) // the state write below needs private ownership
 		lo := li * LineSize
 		staged := m.pending[lo : lo+LineSize]
 		if !bytes.Equal(p.persistLine(l), staged) {

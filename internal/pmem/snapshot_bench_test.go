@@ -44,6 +44,39 @@ func BenchmarkCrashSnapshot(b *testing.B) {
 	}
 }
 
+// BenchmarkFork measures the fork+release cycle against the number of dirty
+// pages carried: like Crash it must be O(dirty) — the directory copy plus
+// one refcount bump per materialized chunk and mut chunk — so the cost
+// should track the dirty count, not the pool size. Lines are left half
+// staged so the pending set and mut sharing are on the measured path.
+func BenchmarkFork(b *testing.B) {
+	const size = uint64(256) << 20
+	for _, dirty := range []int{16, 256, 4096} {
+		b.Run(fmt.Sprintf("dirty=%d", dirty), func(b *testing.B) {
+			p := New(size)
+			c := p.Ctx()
+			payload := bytes.Repeat([]byte{0x5b}, 512)
+			for i := 0; i < dirty; i++ {
+				addr := p.Base() + uint64(i)*(size/uint64(dirty)) + 64
+				if i%2 == 0 {
+					persist(c, addr, payload)
+				} else {
+					c.StoreBytes(addr, payload)
+					c.Flush(addr, uint64(len(payload))) // staged, never fenced
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f := p.Fork()
+				f.Release()
+			}
+			b.StopTimer()
+			p.Release()
+		})
+	}
+}
+
 // BenchmarkFingerprintAfterCrash measures the explorer's per-point hashing
 // pattern — dirty a page, refresh the parent's Merkle caches, snapshot,
 // fingerprint the image for dedup — which must stay O(dirty), not O(pool):
