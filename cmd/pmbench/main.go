@@ -13,6 +13,7 @@
 //	pmbench -experiment hotpath       # cache-line index vs interval-scan hot loop
 //	pmbench -experiment pipeline      # inline vs async-pipelined live detection
 //	pmbench -experiment crash         # crash-space exploration engine comparison
+//	pmbench -experiment serve         # pmserved under concurrent streaming clients
 //	pmbench -experiment all
 //
 // -scale shrinks or grows every operation count (default 1.0); absolute
@@ -44,6 +45,14 @@
 // the geomean images/sec speedup at 4 segments over 1 from below — only
 // meaningful on multi-core hosts (at one CPU the segments time-slice and
 // the expected value is ~1x), so CI runs it as a soft gate.
+//
+// `-experiment serve` honors -json/-out (artifact BENCH_serve.json) and is
+// sized with -serveops (memslap operations per client), -servedrain and
+// -serveshards; it sweeps concurrent client counts {1,2,4,8} against a
+// fresh pmserved per measurement, verifying every tenant's served report
+// byte-identical to an offline replay before keeping a number.
+// -mineventrate bounds the best aggregate server-side events/sec from below
+// (host-dependent, so CI runs it as a soft gate).
 package main
 
 import (
@@ -84,7 +93,7 @@ type pipelineOpts struct {
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "table1, fig8, table5, sota, fig10, fig11, reorg, parallel, hotpath, pipeline, crash, or all")
+		experiment = flag.String("experiment", "all", "table1, fig8, table5, sota, fig10, fig11, reorg, parallel, hotpath, pipeline, crash, serve, or all")
 		inserts    = flag.Int("n", 10000, "micro-benchmark insert count (paper: 1K/10K/100K)")
 		memOps     = flag.Int("memops", 10000, "memcached operation count (paper: 10K-100K)")
 		redisKeys  = flag.Int("rediskeys", 10000, "redis LRU-test key count")
@@ -102,6 +111,10 @@ func main() {
 		maxDecay   = flag.Float64("maxsnapdecay", 0, "crash: fail if the geomean snapshot decay (cow points/sec, smallest over largest sweep size) exceeds this")
 		deepLimit  = flag.Int("sweepdeeplimit", 256, "crash: largest pool size (MiB) the deep-copy baseline is swept at (0 = all sizes)")
 		minSegScl  = flag.Float64("minsegscale", 0, "crash: fail unless the geomean images/sec speedup at 4 segments over 1 >= this (multi-core hosts)")
+		serveOps   = flag.Int("serveops", 2000, "serve: memslap operations per streaming client")
+		serveDrain = flag.String("servedrain", "lazy", "serve: session drain discipline, eager or lazy")
+		serveShard = flag.Int("serveshards", 4, "serve: per-session shard request (strand-model traces)")
+		minEvRate  = flag.Float64("mineventrate", 0, "serve: fail unless the best aggregate events/sec >= this")
 	)
 	flag.Parse()
 	harness.Repeats = *repeats
@@ -115,13 +128,16 @@ func main() {
 		sweepDeepLimitMiB: *deepLimit,
 		segCounts:         []int{1, 2, 4, 8}, segGate: 4,
 		workloads:         []string{"b_tree", "txpair", "redis"}}
-	if err := run(*experiment, *inserts, *memOps, *redisKeys, hp, pl, cr); err != nil {
+	sv := serveOpts{json: *jsonOut, out: *outPath, minEventRate: *minEvRate,
+		opsPerClient: *serveOps, clients: []int{1, 2, 4, 8},
+		drain: *serveDrain, shards: *serveShard}
+	if err := run(*experiment, *inserts, *memOps, *redisKeys, hp, pl, cr, sv); err != nil {
 		fmt.Fprintln(os.Stderr, "pmbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, inserts, memOps, redisKeys int, hp hotpathOpts, pl pipelineOpts, cr crashOpts) error {
+func run(experiment string, inserts, memOps, redisKeys int, hp hotpathOpts, pl pipelineOpts, cr crashOpts, sv serveOpts) error {
 	switch experiment {
 	case "table1":
 		return table1()
@@ -145,6 +161,8 @@ func run(experiment string, inserts, memOps, redisKeys int, hp hotpathOpts, pl p
 		return pipelineExp(pl, memOps, redisKeys)
 	case "crash":
 		return crashExp(cr)
+	case "serve":
+		return serveExp(sv)
 	case "all":
 		for _, fn := range []func() error{
 			table1,
@@ -158,6 +176,7 @@ func run(experiment string, inserts, memOps, redisKeys int, hp hotpathOpts, pl p
 			func() error { return hotpath(hp) },
 			func() error { return pipelineExp(pl, memOps, redisKeys) },
 			func() error { return crashExp(cr) },
+			func() error { return serveExp(sv) },
 		} {
 			if err := fn(); err != nil {
 				return err

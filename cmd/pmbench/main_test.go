@@ -12,11 +12,11 @@ func TestRunExperiments(t *testing.T) {
 	pl := pipelineOpts{threads: 2}
 	cr := crashOpts{ops: 3, stride: 5, workers: 2, workloads: []string{"txpair"}}
 	for _, exp := range []string{"table1", "table5", "fig11", "reorg"} {
-		if err := run(exp, 200, 200, 200, hp, pl, cr); err != nil {
+		if err := run(exp, 200, 200, 200, hp, pl, cr, serveOpts{}); err != nil {
 			t.Errorf("%s: %v", exp, err)
 		}
 	}
-	if err := run("nope", 10, 10, 10, hp, pl, cr); err == nil {
+	if err := run("nope", 10, 10, 10, hp, pl, cr, serveOpts{}); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
@@ -27,7 +27,7 @@ func TestCrashArtifact(t *testing.T) {
 		workloads: []string{"b_tree", "txpair"},
 		sweepSizesMiB: []int{1, 2, 4}, sweepPoints: 3, sweepDeepLimitMiB: 2,
 		segCounts: []int{1, 2, 4}, segGate: 4}
-	if err := run("crash", 0, 0, 0, hotpathOpts{}, pipelineOpts{}, cr); err != nil {
+	if err := run("crash", 0, 0, 0, hotpathOpts{}, pipelineOpts{}, cr, serveOpts{}); err != nil {
 		t.Fatalf("crash: %v", err)
 	}
 	data, err := os.ReadFile(out)
@@ -113,10 +113,43 @@ func TestCrashArtifact(t *testing.T) {
 	}
 }
 
+func TestServeArtifact(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	sv := serveOpts{json: true, out: out, opsPerClient: 300, clients: []int{1, 2},
+		drain: "lazy", shards: 2}
+	if err := run("serve", 0, 0, 0, hotpathOpts{}, pipelineOpts{}, crashOpts{}, sv); err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("artifact not written: %v", err)
+	}
+	var art serveArtifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if len(art.Results) != 2 || art.BestEventsPerSec <= 0 {
+		t.Fatalf("artifact incomplete: %+v", art)
+	}
+	for _, r := range art.Results {
+		if !r.Verified {
+			t.Fatalf("row not verified against offline replay: %+v", r)
+		}
+		if r.Events == 0 || r.EventsPerSec <= 0 {
+			t.Fatalf("row did not move events: %+v", r)
+		}
+	}
+	// An unreachable throughput gate must fail the experiment.
+	sv.minEventRate = 1e18
+	if err := run("serve", 0, 0, 0, hotpathOpts{}, pipelineOpts{}, crashOpts{}, sv); err == nil {
+		t.Fatal("impossible -mineventrate accepted")
+	}
+}
+
 func TestHotpathArtifact(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH_hotpath.json")
 	hp := hotpathOpts{json: true, out: out, rounds: 2}
-	if err := run("hotpath", 0, 0, 0, hp, pipelineOpts{}, crashOpts{}); err != nil {
+	if err := run("hotpath", 0, 0, 0, hp, pipelineOpts{}, crashOpts{}, serveOpts{}); err != nil {
 		t.Fatalf("hotpath: %v", err)
 	}
 	data, err := os.ReadFile(out)
@@ -135,7 +168,7 @@ func TestHotpathArtifact(t *testing.T) {
 func TestPipelineArtifact(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH_pipeline.json")
 	pl := pipelineOpts{json: true, out: out, threads: 4}
-	if err := run("pipeline", 0, 500, 500, hotpathOpts{}, pl, crashOpts{}); err != nil {
+	if err := run("pipeline", 0, 500, 500, hotpathOpts{}, pl, crashOpts{}, serveOpts{}); err != nil {
 		t.Fatalf("pipeline: %v", err)
 	}
 	data, err := os.ReadFile(out)

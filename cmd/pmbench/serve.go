@@ -1,0 +1,98 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"pmdebugger/internal/harness"
+)
+
+// serveOpts carries the serve experiment's artifact/gate flags.
+type serveOpts struct {
+	json bool
+	out  string
+	// minEventRate, when > 0, fails the experiment unless the best
+	// aggregate server-side events/sec across the client sweep reaches the
+	// bound. Absolute throughput is host-dependent; CI runs this as a soft
+	// gate.
+	minEventRate float64
+	opsPerClient int
+	clients      []int
+	drain        string
+	shards       int
+}
+
+// serveArtifact is the BENCH_serve.json schema: one row per concurrent
+// client count, each a fleet of tenants streaming recorded memslap-driven
+// memcached traces into a fresh pmserved instance. Every row's first repeat
+// verifies the served reports byte-identical to offline replays before any
+// number is kept — a served throughput figure with wrong reports would be
+// worthless.
+type serveArtifact struct {
+	Experiment   string                `json:"experiment"`
+	Timestamp    string                `json:"timestamp"`
+	CPUs         int                   `json:"cpus"`
+	Repeats      int                   `json:"repeats"`
+	OpsPerClient int                   `json:"ops_per_client"`
+	Drain        string                `json:"drain"`
+	Shards       int                   `json:"shards,omitempty"`
+	Results      []harness.ServeResult `json:"results"`
+	// BestEventsPerSec is the highest aggregate rate in the sweep — the
+	// headline number the -mineventrate gate bounds.
+	BestEventsPerSec float64 `json:"best_events_per_sec"`
+}
+
+// serveExp measures pmserved under a sweep of concurrent client counts.
+func serveExp(opts serveOpts) error {
+	fmt.Println("\n=== Detection service: pmserved under concurrent streaming clients ===")
+	fmt.Printf("%-8s %10s %10s %12s %14s %9s\n",
+		"clients", "ops/client", "events", "stream time", "events/s", "verified")
+
+	art := serveArtifact{
+		Experiment:   "serve",
+		Timestamp:    time.Now().UTC().Format(time.RFC3339),
+		CPUs:         runtime.NumCPU(),
+		Repeats:      harness.Repeats,
+		OpsPerClient: opts.opsPerClient,
+		Drain:        opts.drain,
+		Shards:       opts.shards,
+	}
+	for _, clients := range opts.clients {
+		res, err := harness.MeasureServe(clients, opts.opsPerClient, opts.drain, opts.shards)
+		if err != nil {
+			return err
+		}
+		art.Results = append(art.Results, res)
+		if res.EventsPerSec > art.BestEventsPerSec {
+			art.BestEventsPerSec = res.EventsPerSec
+		}
+		fmt.Printf("%-8d %10d %10d %12s %14.0f %9v\n",
+			res.Clients, res.OpsPerClient, res.Events,
+			time.Duration(res.Nanos).Round(time.Microsecond), res.EventsPerSec, res.Verified)
+	}
+	fmt.Printf("best aggregate throughput: %.0f events/sec (cpus: %d)\n",
+		art.BestEventsPerSec, art.CPUs)
+
+	if opts.json {
+		out := opts.out
+		if out == "" {
+			out = "BENCH_serve.json"
+		}
+		data, err := json.MarshalIndent(art, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+	if opts.minEventRate > 0 && art.BestEventsPerSec < opts.minEventRate {
+		return fmt.Errorf("serve: best aggregate throughput %.0f events/sec below required %.0f",
+			art.BestEventsPerSec, opts.minEventRate)
+	}
+	return nil
+}

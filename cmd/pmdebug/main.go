@@ -22,6 +22,14 @@
 // says so on stderr. -strands runs each memcached operation in its own
 // strand section, which makes the memcached workload shardable.
 //
+// -serve ADDR streams the workload's trace to a running pmserved instance
+// instead of running a detector in-process: the detector session lives on
+// the server, and pmdebug prints the report pulled back over the same
+// connection. -drain and -shards then select the server session's drain
+// discipline and shard fan-out:
+//
+//	pmdebug -workload memcached -n 10000 -strands -serve 127.0.0.1:7487 -shards 4 -drain lazy
+//
 // The -orders file uses the configuration syntax of §4.5:
 //
 //	order value before key [in function]
@@ -39,6 +47,7 @@ import (
 	"pmdebugger/internal/pmem"
 	"pmdebugger/internal/redis"
 	"pmdebugger/internal/rules"
+	"pmdebugger/internal/serve"
 	"pmdebugger/internal/workloads"
 )
 
@@ -53,12 +62,16 @@ func main() {
 		async    = flag.Bool("async", false, "attach the detector through the asynchronous pipeline")
 		shards   = flag.Int("shards", 0, "pmdebugger only: fan detection out across this many per-strand shards (implies -async)")
 		strands  = flag.Bool("strands", false, "memcached only: run each operation in its own strand section (strand model)")
+		serveA   = flag.String("serve", "", "stream the trace to a pmserved instance at this address instead of detecting in-process")
+		tenant   = flag.String("tenant", "pmdebug", "with -serve: tenant name for the server's per-tenant metrics")
+		drain    = flag.String("drain", "", "with -serve: session drain discipline, eager or lazy")
 	)
 	flag.Parse()
 	if err := run(runOpts{
 		workload: *workload, n: *n, detector: *detector, buggy: *buggy,
 		threads: *threads, ordersFile: *ordersF, async: *async,
 		shards: *shards, strands: *strands,
+		serveAddr: *serveA, tenant: *tenant, drain: *drain,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "pmdebug:", err)
 		os.Exit(1)
@@ -75,6 +88,9 @@ type runOpts struct {
 	async      bool
 	shards     int
 	strands    bool
+	serveAddr  string
+	tenant     string
+	drain      string
 }
 
 func run(o runOpts) error {
@@ -94,10 +110,37 @@ func run(o runOpts) error {
 		if o.detector != "pmdebugger" {
 			return fmt.Errorf("-shards requires -detector pmdebugger (got %q)", o.detector)
 		}
-		o.async = true
+		if o.serveAddr == "" {
+			o.async = true
+		}
+	}
+	if o.serveAddr != "" {
+		if o.detector != "pmdebugger" {
+			return fmt.Errorf("-serve streams to the pmdebugger service; it cannot run -detector %q", o.detector)
+		}
+		if o.ordersFile != "" {
+			return fmt.Errorf("-orders is not supported with -serve (order specs are not part of the session handshake)")
+		}
+		if o.async {
+			return fmt.Errorf("-async is meaningless with -serve (the server pipelines per session); drop it")
+		}
 	}
 
+	// sess is the remote detector session when -serve is set; build then
+	// returns a nil local detector and attach wires the session instead.
+	var sess *serve.Session
+
 	build := func(model rules.Model) (baselines.Detector, error) {
+		if o.serveAddr != "" {
+			s, err := serve.Dial(o.serveAddr, serve.Options{
+				Tenant: o.tenant, Model: model, Drain: o.drain, Shards: o.shards,
+			})
+			if err != nil {
+				return nil, err
+			}
+			sess = s
+			return nil, nil
+		}
 		switch o.detector {
 		case "pmdebugger":
 			cfg := core.Config{Model: model, Orders: orders}
@@ -136,6 +179,8 @@ func run(o runOpts) error {
 
 	attach := func(pm *pmem.Pool, det baselines.Detector) {
 		switch {
+		case sess != nil:
+			pm.Attach(sess)
 		case o.shards > 1:
 			pm.AttachWith(det, pmem.AttachOptions{Async: true, Shards: o.shards})
 		case o.async:
@@ -210,6 +255,21 @@ func run(o runOpts) error {
 		}
 		pm.End()
 		pmPool = pm
+	}
+
+	if sess != nil {
+		sum, rerr := sess.Report()
+		fmt.Print(sum)
+		fmt.Printf("delivery: served by %s (session %s)\n", o.serveAddr, sess.ID())
+		if rerr != nil {
+			return rerr
+		}
+		if pmPool != nil {
+			st := pmPool.Stats()
+			fmt.Printf("pool: %d stores (%d bytes), %d writebacks, %d fences, %d lines committed\n",
+				st.Stores, st.BytesStored, st.Flushes, st.Fences, st.LinesCommitted)
+		}
+		return nil
 	}
 
 	fmt.Print(det.Report().Summary())

@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"testing"
+	"time"
+
+	"pmdebugger/internal/serve"
+)
 
 func TestRunWorkloads(t *testing.T) {
 	for _, w := range []string{"b_tree", "hashmap_atomic", "memcached", "redis"} {
@@ -67,5 +73,50 @@ func TestRunErrors(t *testing.T) {
 	// ignored.
 	if err := run(runOpts{workload: "b_tree", n: 10, detector: "pmemcheck", threads: 1, shards: 4}); err == nil {
 		t.Error("-shards with pmemcheck accepted")
+	}
+}
+
+// TestRunServe streams workloads to an in-process pmserved instead of
+// detecting locally, including a sharded strand-mode session.
+func TestRunServe(t *testing.T) {
+	srv := serve.New(serve.Config{Addr: "127.0.0.1:0"})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	for _, o := range []runOpts{
+		{workload: "b_tree", n: 200, detector: "pmdebugger", threads: 1, serveAddr: srv.Addr(), tenant: "cli"},
+		{workload: "memcached", n: 200, detector: "pmdebugger", buggy: true, threads: 2, serveAddr: srv.Addr(), tenant: "cli"},
+		{workload: "memcached", n: 200, detector: "pmdebugger", threads: 2, strands: true,
+			shards: 4, drain: "lazy", serveAddr: srv.Addr(), tenant: "cli"},
+	} {
+		if err := run(o); err != nil {
+			t.Errorf("%+v: %v", o, err)
+		}
+	}
+}
+
+func TestRunServeErrors(t *testing.T) {
+	// -serve composes only with the pmdebugger detector and no order specs.
+	if err := run(runOpts{workload: "b_tree", n: 10, detector: "pmemcheck", threads: 1, serveAddr: "127.0.0.1:1"}); err == nil {
+		t.Error("-serve with pmemcheck accepted")
+	}
+	if err := run(runOpts{workload: "b_tree", n: 10, detector: "pmdebugger", threads: 1,
+		serveAddr: "127.0.0.1:1", ordersFile: "orders.conf"}); err == nil {
+		t.Error("-serve with -orders accepted")
+	}
+	if err := run(runOpts{workload: "b_tree", n: 10, detector: "pmdebugger", threads: 1,
+		serveAddr: "127.0.0.1:1", async: true}); err == nil {
+		t.Error("-serve with -async accepted")
+	}
+	// Unreachable server: the dial failure must surface.
+	if err := run(runOpts{workload: "b_tree", n: 10, detector: "pmdebugger", threads: 1,
+		serveAddr: "127.0.0.1:1", tenant: "x"}); err == nil {
+		t.Error("unreachable server accepted")
 	}
 }

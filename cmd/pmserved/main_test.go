@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+
+	"pmdebugger/internal/serve"
+	"pmdebugger/internal/trace"
+)
+
+// TestRunServesAndDrains boots the daemon on ephemeral ports, runs one
+// session through it, then delivers a SIGTERM and expects a clean drain.
+func TestRunServesAndDrains(t *testing.T) {
+	sigc := make(chan os.Signal, 1)
+	ready := make(chan *serve.Server, 1)
+	done := make(chan error, 1)
+	var logbuf bytes.Buffer
+	go func() {
+		done <- run(
+			[]string{"-addr", "127.0.0.1:0", "-http", "127.0.0.1:0", "-drain-timeout", "5s"},
+			&logbuf, sigc,
+			func(s *serve.Server) { ready <- s },
+		)
+	}()
+
+	var srv *serve.Server
+	select {
+	case srv = <-ready:
+	case err := <-done:
+		t.Fatalf("run exited early: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	sess, err := serve.Dial(srv.Addr(), serve.Options{Tenant: "smoke"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.HandleBatch([]trace.Event{
+		{Kind: trace.KindStore, Addr: 0x100, Size: 8},
+		{Kind: trace.KindFlush, Addr: 0x100},
+		{Kind: trace.KindFence},
+	})
+	if _, err := sess.Report(); err != nil {
+		t.Fatal(err)
+	}
+
+	sigc <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain failed: %v\nlog:\n%s", err, logbuf.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not drain after SIGTERM")
+	}
+}
+
+// TestRunBadFlags: flag errors surface instead of starting a server.
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-nonsense"}, io.Discard, nil, nil); err == nil {
+		t.Fatal("bad flags accepted")
+	}
+}

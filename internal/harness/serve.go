@@ -1,0 +1,92 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"pmdebugger/internal/serve"
+)
+
+// This file measures pmserved, the detection service: N concurrent clients,
+// each a separate tenant, stream pre-recorded memslap-driven memcached
+// traces to one server instance, which runs a detector session per
+// connection. The timed phase covers only the streaming (client encode →
+// TCP → server decode → pipeline → detection → report frame); trace
+// recording happens untimed up front. The reported events/sec is the
+// server-side aggregate across all tenants — the fleet-throughput number
+// the paper's "fast" claim turns into when detection moves behind a socket.
+
+// ServeResult is one client-count measurement of the serving benchmark.
+type ServeResult struct {
+	Clients      int     `json:"clients"`
+	OpsPerClient int     `json:"ops_per_client"`
+	Events       int     `json:"events"` // total streamed across clients
+	Nanos        int64   `json:"nanos"`  // best-of-Repeats streaming wall clock
+	EventsPerSec float64 `json:"events_per_sec"`
+	Drain        string  `json:"drain"`
+	Shards       int     `json:"shards,omitempty"`
+	// Verified records that every tenant's served report was checked
+	// byte-identical to an offline replay (done once, on the first repeat).
+	Verified bool `json:"verified"`
+}
+
+// MeasureServe runs the serving benchmark for one client count. Each repeat
+// gets a fresh server (sessions are cheap; a shared server would let repeat
+// N's tenant aggregates pollute repeat N+1's metrics check). The first
+// repeat verifies report byte-identity against offline replays — a failed
+// verification is a hard error, not a slow data point.
+func MeasureServe(clients, opsPerClient int, drain string, shards int) (ServeResult, error) {
+	res := ServeResult{
+		Clients:      clients,
+		OpsPerClient: opsPerClient,
+		Drain:        drain,
+		Shards:       shards,
+	}
+	reps := Repeats
+	if reps < 1 {
+		reps = 1
+	}
+	for rep := 0; rep < reps; rep++ {
+		verify := rep == 0
+		srv := serve.New(serve.Config{Addr: "127.0.0.1:0", HTTPAddr: "127.0.0.1:0"})
+		if err := srv.Start(); err != nil {
+			return res, err
+		}
+		cfg := serve.SoakConfig{
+			Clients: clients,
+			Ops:     opsPerClient,
+			Threads: 4,
+			Buggy:   true,
+			Strands: shards > 1, // sharding needs the strand-model port
+			Drain:   drain,
+			Shards:  shards,
+			Verify:  verify,
+		}
+		if verify {
+			cfg.HTTPAddr = srv.HTTPAddr()
+		}
+		sr, err := serve.Soak(srv.Addr(), cfg)
+		if shutErr := shutdownServer(srv); err == nil {
+			err = shutErr
+		}
+		if err != nil {
+			return res, fmt.Errorf("serve benchmark (%d clients, repeat %d): %w", clients, rep, err)
+		}
+		if verify {
+			res.Verified = true
+		}
+		if res.Nanos == 0 || sr.Elapsed.Nanoseconds() < res.Nanos {
+			res.Events = sr.Events
+			res.Nanos = sr.Elapsed.Nanoseconds()
+			res.EventsPerSec = sr.EventsPerSec
+		}
+	}
+	return res, nil
+}
+
+func shutdownServer(srv *serve.Server) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return srv.Shutdown(ctx)
+}

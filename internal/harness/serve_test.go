@@ -1,0 +1,16 @@
+package harness
+
+import "testing"
+
+func TestMeasureServe(t *testing.T) {
+	res, err := MeasureServe(2, 300, "eager", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clients != 2 || res.Events == 0 || res.EventsPerSec <= 0 {
+		t.Fatalf("serve measurement did not move: %+v", res)
+	}
+	if !res.Verified {
+		t.Fatal("first repeat did not verify report byte-identity")
+	}
+}

@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestSoakManyClients is the acceptance soak: 8 concurrent clients, each a
+// separate tenant streaming its own buggy strand-mode memcached trace into
+// sharded lazy-drain sessions, every pulled report byte-identical to an
+// offline replay, and /metrics agreeing with what was streamed. Run under
+// -race in CI.
+func TestSoakManyClients(t *testing.T) {
+	srv := startServer(t, Config{})
+
+	cfg := SoakConfig{
+		Clients:  8,
+		Ops:      1500,
+		Threads:  4,
+		Buggy:    true,
+		Strands:  true,
+		Drain:    DrainLazy,
+		Shards:   4,
+		Verify:   true,
+		HTTPAddr: srv.HTTPAddr(),
+	}
+	res, err := Soak(srv.Addr(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clients != 8 || len(res.Tenants) != 8 {
+		t.Fatalf("soak covered %d clients / %d tenants, want 8", res.Clients, len(res.Tenants))
+	}
+	if res.Events == 0 || res.EventsPerSec <= 0 {
+		t.Fatalf("soak moved no events: %+v", res)
+	}
+	t.Logf("soak: %d clients, %d events in %v (%.0f events/sec)",
+		res.Clients, res.Events, res.Elapsed, res.EventsPerSec)
+}
+
+// TestSoakEagerUnsharded covers the other drain/topology corner with a
+// smaller fleet.
+func TestSoakEagerUnsharded(t *testing.T) {
+	srv := startServer(t, Config{})
+	_, err := Soak(srv.Addr(), SoakConfig{
+		Clients:  3,
+		Ops:      500,
+		Buggy:    true,
+		Drain:    DrainEager,
+		Verify:   true,
+		HTTPAddr: srv.HTTPAddr(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSoakSurvivesShutdownAfter ensures a soaked server still drains
+// cleanly: Shutdown after the soak returns promptly with no error.
+func TestSoakSurvivesShutdownAfter(t *testing.T) {
+	srv := New(Config{Addr: "127.0.0.1:0", HTTPAddr: "127.0.0.1:0"})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Soak(srv.Addr(), SoakConfig{Clients: 2, Ops: 300}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("post-soak shutdown: %v", err)
+	}
+	m := srv.MetricsSnapshot()
+	if m.ActiveSessions != 0 || m.TotalSessions != 2 || m.CleanSessions != 2 {
+		t.Fatalf("post-soak metrics wrong: %+v", m)
+	}
+}

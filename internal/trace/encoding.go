@@ -169,16 +169,21 @@ func NewReader(r io.Reader) (*Reader, error) {
 }
 
 // ReadBatch fills dst with decoded events and returns how many were read.
-// It returns 0, io.EOF at a clean end of stream and an error for a
-// truncated or corrupt trace.
+// It blocks only until at least one whole record is available: a partial
+// batch is returned as soon as the buffered bytes run out, so a reader over
+// a live connection delivers events as they arrive instead of stalling
+// until a whole slab has buffered. It returns 0, io.EOF at a clean end of
+// stream and an error for a truncated or corrupt trace.
 func (tr *Reader) ReadBatch(dst []Event) (int, error) {
 	n := 0
 	for n < len(dst) {
 		if len(tr.buf) < recordSize {
+			if n > 0 {
+				// Deliver what already arrived rather than blocking on a
+				// refill; the next call fills again.
+				return n, nil
+			}
 			if err := tr.fill(); err != nil {
-				if err == io.EOF && n > 0 {
-					return n, nil
-				}
 				return n, err
 			}
 		}
@@ -189,26 +194,39 @@ func (tr *Reader) ReadBatch(dst []Event) (int, error) {
 	return n, nil
 }
 
-// fill reads the next slab of whole records from the underlying reader.
+// fill reads the next run of whole records from the underlying reader. It
+// waits only for one record (io.ReadAtLeast) and takes whatever else came
+// with it, so socket streams trickle through record by record while file
+// reads still move near-slab-sized runs per call. A read boundary that cuts
+// a record mid-way is not an error: the partial bytes are carried over to
+// the next fill. A cut at end-of-stream is the truncated-record error.
 func (tr *Reader) fill() error {
 	if tr.slab == nil {
 		return io.EOF
 	}
-	read, err := io.ReadFull(tr.br, tr.slab)
+	// Carry partial-record bytes to the slab head; buf aliases the slab, so
+	// the ranges may overlap (copy handles that).
+	rem := len(tr.buf)
+	if rem > 0 {
+		copy(tr.slab, tr.buf)
+	}
+	tr.buf = nil
+	read, err := io.ReadAtLeast(tr.br, tr.slab[rem:], recordSize-rem)
+	total := rem + read
 	if err == io.ErrUnexpectedEOF || err == io.EOF {
-		if read == 0 {
+		if total == 0 {
 			tr.Close()
 			return io.EOF
 		}
-		if read%recordSize != 0 {
-			return fmt.Errorf("trace: truncated record (%d trailing bytes)", read%recordSize)
+		if total%recordSize != 0 {
+			return fmt.Errorf("trace: truncated record (%d trailing bytes)", total%recordSize)
 		}
 		err = nil
 	}
 	if err != nil {
 		return fmt.Errorf("trace: read records: %w", err)
 	}
-	tr.buf = tr.slab[:read]
+	tr.buf = tr.slab[:total]
 	return nil
 }
 

@@ -175,3 +175,23 @@ func (m MultiHandler) HandleEvent(ev Event) {
 		h.HandleEvent(ev)
 	}
 }
+
+// HandleBatch implements BatchHandler: children that implement the batch
+// fast path receive the slice whole, the rest get per-event delivery. A tee
+// (e.g. record + detect on a trace server) therefore keeps every
+// batch-capable consumer on the fast path instead of silently degrading
+// the whole fan-out to per-event dispatch, which is what happened when
+// MultiHandler implemented only HandleEvent.
+func (m MultiHandler) HandleBatch(evs []Event) {
+	for _, h := range m {
+		if bh, ok := h.(BatchHandler); ok {
+			bh.HandleBatch(evs)
+		} else {
+			for _, ev := range evs {
+				h.HandleEvent(ev)
+			}
+		}
+	}
+}
+
+var _ BatchHandler = (MultiHandler)(nil)
